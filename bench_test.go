@@ -1,0 +1,282 @@
+package objmig
+
+// This file is the benchmark harness required by the reproduction: one
+// benchmark per paper figure (each run regenerates the figure's series
+// with the simulation harness and reports its headline numbers as
+// benchmark metrics), plus micro-benchmarks of the live runtime's hot
+// paths.
+//
+//	go test -bench=Fig -benchmem        # regenerate all figures
+//	go test -bench=Runtime -benchmem    # runtime micro-benchmarks
+//
+// The full-quality tables (paper-grade confidence intervals) come from
+// cmd/objmig-sim; benchmarks use the quick profile so a -bench=. run
+// stays in the minutes range.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"objmig/sim"
+)
+
+// benchOpts is the quick profile used by the figure benchmarks.
+func benchOpts(seed int64) sim.RunOpts {
+	return sim.RunOpts{Seed: seed, Quick: true, MaxCalls: 8000, Parallelism: 8}
+}
+
+// runFigure regenerates one figure per benchmark iteration and returns
+// the last table for metric extraction.
+func runFigure(b *testing.B, id string) sim.Table {
+	b.Helper()
+	e, ok := sim.ExperimentByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var tbl sim.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tbl, err = sim.RunExperiment(e, benchOpts(int64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+// lastY reports the final-x value of a series as a benchmark metric.
+func lastY(b *testing.B, tbl sim.Table, label, metric string) {
+	b.Helper()
+	col := tbl.Column(label)
+	if col == nil {
+		b.Fatalf("series %q missing", label)
+	}
+	b.ReportMetric(col[len(col)-1], metric)
+}
+
+// BenchmarkFig8 regenerates Fig. 8 (mean communication time per call
+// against the usage distance t_m) and reports the three policies'
+// values at the highest usage frequency.
+func BenchmarkFig8(b *testing.B) {
+	tbl := runFigure(b, "fig8")
+	first := tbl.Y[0]
+	for j, s := range tbl.Experiment.Series {
+		b.ReportMetric(first[j], fmt.Sprintf("%s@tm=min", shortLabel(s.Label)))
+	}
+}
+
+// BenchmarkFig10 regenerates Fig. 10 (the invocation-duration
+// component of the Fig. 8 runs).
+func BenchmarkFig10(b *testing.B) {
+	tbl := runFigure(b, "fig10")
+	lastY(b, tbl, "Migration", "migration-dur@tm=100")
+	lastY(b, tbl, "Transient Placement", "placement-dur@tm=100")
+}
+
+// BenchmarkFig11 regenerates Fig. 11 (the migration-load component).
+func BenchmarkFig11(b *testing.B) {
+	tbl := runFigure(b, "fig11")
+	lastY(b, tbl, "Migration", "migration-load@tm=100")
+	lastY(b, tbl, "Transient Placement", "placement-load@tm=100")
+}
+
+// BenchmarkFig12 regenerates Fig. 12 (hot-spot objects under an
+// increasing number of clients) and reports the two break-even points
+// the paper calls out (~6 and ~20 clients).
+func BenchmarkFig12(b *testing.B) {
+	tbl := runFigure(b, "fig12")
+	b.ReportMetric(tbl.Crossover("Migration", "without Migration"), "breakeven-migration")
+	b.ReportMetric(tbl.Crossover("Transient Placement", "without Migration"), "breakeven-placement")
+}
+
+// BenchmarkFig14 regenerates Fig. 14 (dynamic placement strategies)
+// and reports each strategy's value at C=25 — the paper's conclusion
+// is that they differ from conservative placement only marginally.
+func BenchmarkFig14(b *testing.B) {
+	tbl := runFigure(b, "fig14")
+	lastY(b, tbl, "Conservative Place-Policy", "placement@C=25")
+	lastY(b, tbl, "Comparing the Nodes", "compare@C=25")
+	lastY(b, tbl, "Comparing and Reinstantiation", "reinstantiate@C=25")
+}
+
+// BenchmarkFig16 regenerates Fig. 16 (attachment regimes with
+// overlapping working sets) and reports the five series at C=12, whose
+// ordering is the paper's central Table/Figure-16 claim.
+func BenchmarkFig16(b *testing.B) {
+	tbl := runFigure(b, "fig16")
+	for _, s := range tbl.Experiment.Series {
+		lastY(b, tbl, s.Label, shortLabel(s.Label)+"@C=12")
+	}
+}
+
+// BenchmarkFig16Exclusive regenerates the exclusive-attachment
+// extension (the Section 3.4 variant the paper describes but does not
+// plot).
+func BenchmarkFig16Exclusive(b *testing.B) {
+	tbl := runFigure(b, "fig16x")
+	lastY(b, tbl, "Migration + exclusive Attachment", "mig+exclusive@C=12")
+	lastY(b, tbl, "Transient Placement + exclusive Attachment", "plc+exclusive@C=12")
+}
+
+// BenchmarkAblationGroupLock regenerates the group-lock ablation: the
+// gap between the two A-transitive series is what extending the
+// placement lock to the whole working set is worth.
+func BenchmarkAblationGroupLock(b *testing.B) {
+	tbl := runFigure(b, "ablation-grouplock")
+	lastY(b, tbl, "Placement + A-transitive (group lock)", "with-grouplock@C=12")
+	lastY(b, tbl, "Placement + A-transitive (root lock only)", "rootlock-only@C=12")
+}
+
+// shortLabel compresses the paper's series labels into metric names.
+func shortLabel(label string) string {
+	switch label {
+	case "without Migration":
+		return "sedentary"
+	case "Migration":
+		return "migration"
+	case "Transient Placement":
+		return "placement"
+	case "Migration + unrestricted Attachment":
+		return "mig+unrestricted"
+	case "Migration + A-transitive Attachment":
+		return "mig+a-trans"
+	case "Transient Placement + unrestricted Attachment":
+		return "plc+unrestricted"
+	case "Transient Placement + A-transitive Attachment":
+		return "plc+a-trans"
+	default:
+		return label
+	}
+}
+
+// --- Live-runtime micro-benchmarks ---
+
+// benchNodes builds a local two-node cluster with the bench type.
+func benchNodes(b *testing.B, policy PolicyKind) (*Node, *Node, Ref) {
+	b.Helper()
+	cl := NewLocalCluster()
+	t := newBenchType()
+	mk := func(id NodeID) *Node {
+		n, err := NewNode(Config{ID: id, Cluster: cl, Policy: policy})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := n.RegisterType(t); err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { _ = n.Close() })
+		return n
+	}
+	a, c := mk("a"), mk("b")
+	ref, err := a.Create("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a, c, ref
+}
+
+type benchState struct {
+	Value int
+}
+
+func newBenchType() *Type[benchState] {
+	t := NewType[benchState]("bench")
+	HandleFunc(t, "Add", func(c *Ctx, s *benchState, d int) (int, error) {
+		s.Value += d
+		return s.Value, nil
+	})
+	return t
+}
+
+// BenchmarkRuntimeLocalInvoke measures an invocation of a locally
+// hosted object (trap + dispatch + gob round trip, no network).
+func BenchmarkRuntimeLocalInvoke(b *testing.B) {
+	a, _, ref := benchNodes(b, PolicyPlacement)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Call[int, int](ctx, a, ref, "Add", 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRuntimeRemoteInvoke measures an invocation that crosses the
+// in-memory transport (linearise, forward, execute, reply).
+func BenchmarkRuntimeRemoteInvoke(b *testing.B) {
+	_, remote, ref := benchNodes(b, PolicyPlacement)
+	ctx := context.Background()
+	// Warm the location cache.
+	if _, err := Call[int, int](ctx, remote, ref, "Add", 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Call[int, int](ctx, remote, ref, "Add", 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRuntimeMigration measures a full single-object migration
+// round trip between two nodes (pause, snapshot, install, commit —
+// twice, so the benchmark is steady-state).
+func BenchmarkRuntimeMigration(b *testing.B) {
+	a, _, ref := benchNodes(b, PolicyConventional)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Migrate(ctx, ref, "b"); err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Migrate(ctx, ref, "a"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRuntimeMoveBlock measures an uncontended placement
+// move-block: move-request, one call, end-request, and the migration
+// back and forth it implies.
+func BenchmarkRuntimeMoveBlock(b *testing.B) {
+	a, remote, ref := benchNodes(b, PolicyPlacement)
+	_ = a
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := remote.Move(ctx, ref, func(ctx context.Context, blk *Block) error {
+			_, err := Call[int, int](ctx, remote, ref, "Add", 1)
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRuntimeWorkingSet measures the distributed closure walk over
+// an attached working set of five objects.
+func BenchmarkRuntimeWorkingSet(b *testing.B) {
+	a, _, root := benchNodes(b, PolicyPlacement)
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		m, err := a.Create("bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Attach(ctx, root, m, NoAlliance); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws, err := a.WorkingSet(ctx, root, NoAlliance)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ws) != 5 {
+			b.Fatalf("working set = %d", len(ws))
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Command objmig-node runs a standalone object-hosting node on TCP. It
+// registers a small key-value object type ("kv") so multi-process
+// clusters can be exercised by hand:
+//
+//	objmig-node -id a -listen 127.0.0.1:7001 -create 2
+//	objmig-node -id b -listen 127.0.0.1:7002 -peer a=127.0.0.1:7001
+//
+// The node prints the references of any objects it creates; other
+// nodes can invoke them with those references (see cmd/objmig-demo for
+// a scripted version of this setup).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"objmig"
+)
+
+// kvState is the demo object: a string map plus an access counter.
+type kvState struct {
+	Data map[string]string
+	Hits int
+}
+
+// kvPair is the Put argument.
+type kvPair struct {
+	Key, Val string
+}
+
+// newKVType builds the demo object type registered by every node.
+func newKVType() *objmig.Type[kvState] {
+	t := objmig.NewType[kvState]("kv")
+	objmig.HandleFunc(t, "Put", func(c *objmig.Ctx, s *kvState, p kvPair) (struct{}, error) {
+		if s.Data == nil {
+			s.Data = make(map[string]string)
+		}
+		s.Data[p.Key] = p.Val
+		s.Hits++
+		return struct{}{}, nil
+	})
+	objmig.HandleFunc(t, "Get", func(c *objmig.Ctx, s *kvState, key string) (string, error) {
+		s.Hits++
+		return s.Data[key], nil
+	})
+	objmig.HandleFunc(t, "Hits", func(c *objmig.Ctx, s *kvState, _ struct{}) (int, error) {
+		return s.Hits, nil
+	})
+	objmig.HandleFunc(t, "Where", func(c *objmig.Ctx, s *kvState, _ struct{}) (objmig.NodeID, error) {
+		return c.Node().ID(), nil
+	})
+	return t
+}
+
+// peerList collects repeated -peer id=addr flags.
+type peerList map[objmig.NodeID]string
+
+func (p peerList) String() string { return fmt.Sprintf("%v", map[objmig.NodeID]string(p)) }
+
+func (p peerList) Set(v string) error {
+	id, addr, ok := strings.Cut(v, "=")
+	if !ok || id == "" || addr == "" {
+		return fmt.Errorf("want id=addr, got %q", v)
+	}
+	p[objmig.NodeID(id)] = addr
+	return nil
+}
+
+func parsePolicy(s string) (objmig.PolicyKind, error) {
+	switch s {
+	case "sedentary":
+		return objmig.PolicySedentary, nil
+	case "conventional":
+		return objmig.PolicyConventional, nil
+	case "placement":
+		return objmig.PolicyPlacement, nil
+	case "compare-nodes":
+		return objmig.PolicyCompareNodes, nil
+	case "compare-reinstantiate":
+		return objmig.PolicyCompareReinstantiate, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q", s)
+	}
+}
+
+func parseAttach(s string) (objmig.AttachMode, error) {
+	switch s {
+	case "unrestricted":
+		return objmig.AttachUnrestricted, nil
+	case "a-transitive":
+		return objmig.AttachATransitive, nil
+	case "exclusive":
+		return objmig.AttachExclusive, nil
+	default:
+		return 0, fmt.Errorf("unknown attach mode %q", s)
+	}
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	peers := peerList{}
+	var (
+		id     = flag.String("id", "node", "node identity (unique per cluster)")
+		listen = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		policy = flag.String("policy", "placement",
+			"move policy: sedentary, conventional, placement, compare-nodes, compare-reinstantiate")
+		attach = flag.String("attach", "a-transitive",
+			"attachment mode: unrestricted, a-transitive, exclusive")
+		create = flag.Int("create", 0, "create this many kv objects at startup")
+	)
+	flag.Var(peers, "peer", "peer address as id=addr (repeatable)")
+	flag.Parse()
+
+	pol, err := parsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "objmig-node:", err)
+		return 2
+	}
+	att, err := parseAttach(*attach)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "objmig-node:", err)
+		return 2
+	}
+	node, err := objmig.NewNode(objmig.Config{
+		ID:         objmig.NodeID(*id),
+		Cluster:    objmig.NewTCPCluster(),
+		ListenAddr: *listen,
+		Policy:     pol,
+		Attach:     att,
+		Peers:      peers,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "objmig-node:", err)
+		return 1
+	}
+	defer func() { _ = node.Close() }()
+	if err := node.RegisterType(newKVType()); err != nil {
+		fmt.Fprintln(os.Stderr, "objmig-node:", err)
+		return 1
+	}
+
+	fmt.Printf("node %s listening on %s (policy %v, attach %v)\n",
+		node.ID(), node.Addr(), node.Policy(), node.AttachPolicy())
+	for i := 0; i < *create; i++ {
+		ref, err := node.Create("kv")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "objmig-node:", err)
+			return 1
+		}
+		fmt.Printf("created kv object %s\n", ref)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	st := node.Stats()
+	fmt.Printf("shutting down: served %d invocations, granted %d moves, hosted %d objects\n",
+		st.InvocationsServed, st.MovesGranted, st.ObjectsHosted)
+	return 0
+}

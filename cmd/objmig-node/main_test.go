@@ -1,0 +1,122 @@
+package main
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"objmig"
+)
+
+func TestParsePolicy(t *testing.T) {
+	t.Parallel()
+	cases := map[string]objmig.PolicyKind{
+		"sedentary":             objmig.PolicySedentary,
+		"conventional":          objmig.PolicyConventional,
+		"placement":             objmig.PolicyPlacement,
+		"compare-nodes":         objmig.PolicyCompareNodes,
+		"compare-reinstantiate": objmig.PolicyCompareReinstantiate,
+	}
+	for in, want := range cases {
+		got, err := parsePolicy(in)
+		if err != nil || got != want {
+			t.Errorf("parsePolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parsePolicy("bogus"); err == nil {
+		t.Error("parsePolicy accepted bogus")
+	}
+}
+
+func TestParseAttach(t *testing.T) {
+	t.Parallel()
+	cases := map[string]objmig.AttachMode{
+		"unrestricted": objmig.AttachUnrestricted,
+		"a-transitive": objmig.AttachATransitive,
+		"exclusive":    objmig.AttachExclusive,
+	}
+	for in, want := range cases {
+		got, err := parseAttach(in)
+		if err != nil || got != want {
+			t.Errorf("parseAttach(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseAttach("bogus"); err == nil {
+		t.Error("parseAttach accepted bogus")
+	}
+}
+
+func TestPeerListFlag(t *testing.T) {
+	t.Parallel()
+	p := peerList{}
+	if err := p.Set("a=127.0.0.1:7001"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Set("b=127.0.0.1:7002"); err != nil {
+		t.Fatal(err)
+	}
+	if p["a"] != "127.0.0.1:7001" || p["b"] != "127.0.0.1:7002" {
+		t.Fatalf("peers = %v", p)
+	}
+	for _, bad := range []string{"", "noequals", "=addr", "id="} {
+		if err := p.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+	if p.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+// TestKVTypeEndToEnd drives the node binary's kv type through a
+// two-node TCP cluster, which is exactly what two objmig-node processes
+// would do.
+func TestKVTypeEndToEnd(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	cl := objmig.NewTCPCluster()
+	mk := func(id objmig.NodeID) *objmig.Node {
+		n, err := objmig.NewNode(objmig.Config{ID: id, Cluster: cl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.RegisterType(newKVType()); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = n.Close() })
+		return n
+	}
+	a, b := mk("a"), mk("b")
+	a.AddPeer("b", b.Addr())
+	b.AddPeer("a", a.Addr())
+
+	ref, err := a.Create("kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := objmig.Call[kvPair, struct{}](ctx, b, ref, "Put", kvPair{Key: "k", Val: "v"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := objmig.Call[string, string](ctx, b, ref, "Get", "k")
+	if err != nil || got != "v" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if err := b.Migrate(ctx, ref, "b"); err != nil {
+		t.Fatal(err)
+	}
+	where, err := objmig.Call[struct{}, objmig.NodeID](ctx, a, ref, "Where", struct{}{})
+	if err != nil || where != "b" {
+		t.Fatalf("Where = %v, %v", where, err)
+	}
+	hits, err := objmig.Call[struct{}, int](ctx, a, ref, "Hits", struct{}{})
+	if err != nil || hits != 2 {
+		t.Fatalf("Hits = %d, %v", hits, err)
+	}
+	// References survive the round trip through their string form
+	// (what an operator would paste between objmig-node terminals).
+	parsed, err := objmig.ParseRef(ref.String())
+	if err != nil || parsed != ref {
+		t.Fatalf("ParseRef(%q) = %v, %v", ref.String(), parsed, err)
+	}
+}

@@ -1,0 +1,138 @@
+// Command objmig-sim regenerates the paper's evaluation: one experiment
+// per figure of "Object Migration in Non-Monolithic Distributed
+// Applications" (Ciupke, Kottmann, Walter; ICDCS 1996).
+//
+// Usage:
+//
+//	objmig-sim -experiment all            # every figure, full quality
+//	objmig-sim -experiment fig12 -quick   # one figure, fast preview
+//	objmig-sim -experiment table1         # parameter tables only
+//	objmig-sim -experiment fig16 -csv     # CSV series for plotting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"objmig/sim"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("objmig-sim", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "all",
+			"experiment to run: fig8, fig10, fig11, fig12, fig14, fig16, table1, "+
+				"all (the paper's figures), fig16x, ablation-grouplock, or extensions")
+		seed     = fs.Int64("seed", 1996, "master seed (cells derive their own)")
+		quick    = fs.Bool("quick", false, "fast preview runs (loose confidence intervals)")
+		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		parallel = fs.Int("parallel", 8, "concurrent simulation cells")
+		maxCalls = fs.Int("maxcalls", 0, "override the per-cell call cap (0: default)")
+		ciRel    = fs.Float64("ci", 0, "override the CI stopping rule (0: default; paper uses 0.01)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	ids := []string{*experiment}
+	switch *experiment {
+	case "all":
+		ids = []string{"fig8", "fig10", "fig11", "fig12", "fig14", "fig16"}
+	case "extensions":
+		ids = nil
+		for _, e := range sim.Extensions() {
+			ids = append(ids, e.ID)
+		}
+	}
+	if *experiment == "table1" {
+		for _, e := range sim.Experiments() {
+			fmt.Fprintln(out, e.ParameterTable())
+		}
+		return 0
+	}
+
+	opts := sim.RunOpts{
+		Seed:        *seed,
+		Quick:       *quick,
+		Parallelism: *parallel,
+		MaxCalls:    *maxCalls,
+		CIRel:       *ciRel,
+	}
+	for _, id := range ids {
+		e, ok := sim.ExperimentByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "objmig-sim: unknown experiment %q (have %s)\n",
+				id, strings.Join(sim.SortedIDs(), ", "))
+			return 2
+		}
+		start := time.Now()
+		tbl, err := sim.RunExperiment(e, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "objmig-sim: %s: %v\n", id, err)
+			return 1
+		}
+		if *csv {
+			fmt.Fprintf(out, "# %s\n%s\n", e.Title, tbl.CSV())
+		} else {
+			fmt.Fprintln(out, tbl.Format())
+			fmt.Fprintln(out, e.ParameterTable())
+			printFindings(out, tbl)
+			fmt.Fprintf(out, "(%d cells in %v)\n\n", len(e.Xs)*len(e.Series), time.Since(start).Round(time.Millisecond))
+		}
+	}
+	return 0
+}
+
+// printFindings reports the headline observations the paper draws from
+// each figure, computed from the regenerated data.
+func printFindings(out io.Writer, t sim.Table) {
+	switch t.Experiment.ID {
+	case "fig12":
+		mig := t.Crossover("Migration", "without Migration")
+		plc := t.Crossover("Transient Placement", "without Migration")
+		fmt.Fprintf(out, "break-even migration vs sedentary:  %s clients (paper: ~6)\n", fmtX(mig))
+		fmt.Fprintf(out, "break-even placement vs sedentary:  %s clients (paper: ~20)\n", fmtX(plc))
+	case "fig14":
+		base := t.Column("Conservative Place-Policy")
+		for _, label := range []string{"Comparing the Nodes", "Comparing and Reinstantiation"} {
+			col := t.Column(label)
+			var worst float64
+			for i := range col {
+				if base[i] == 0 {
+					continue
+				}
+				d := math.Abs(col[i]-base[i]) / base[i]
+				if d > worst {
+					worst = d
+				}
+			}
+			fmt.Fprintf(out, "%-31s within %.1f%% of conservative placement (paper: marginal)\n", label, worst*100)
+		}
+	case "fig16":
+		last := len(t.Experiment.Xs) - 1
+		get := func(label string) float64 { return t.Column(label)[last] }
+		fmt.Fprintf(out, "at C=%.0f: migration+unrestricted %.2f >> migration+A-transitive %.2f > placement+unrestricted %.2f > placement+A-transitive %.2f (sedentary %.2f)\n",
+			t.Experiment.Xs[last],
+			get("Migration + unrestricted Attachment"),
+			get("Migration + A-transitive Attachment"),
+			get("Transient Placement + unrestricted Attachment"),
+			get("Transient Placement + A-transitive Attachment"),
+			get("without Migration"))
+	}
+}
+
+func fmtX(x float64) string {
+	if math.IsNaN(x) {
+		return "none"
+	}
+	return fmt.Sprintf("%.1f", x)
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTable1(t *testing.T) {
+	t.Parallel()
+	var out strings.Builder
+	if code := run([]string{"-experiment", "table1"}, &out); code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	for _, want := range []string{
+		"Fig. 8", "Fig. 12", "Fig. 16",
+		"D  (number of nodes)", "exp. mean(1)",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("table1 output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleFigureQuick(t *testing.T) {
+	t.Parallel()
+	var out strings.Builder
+	code := run([]string{
+		"-experiment", "fig12", "-quick", "-maxcalls", "3000", "-parallel", "4",
+	}, &out)
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"Fig. 12", "without Migration", "Transient Placement",
+		"break-even migration vs sedentary", "cells in",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	t.Parallel()
+	var out strings.Builder
+	code := run([]string{
+		"-experiment", "fig8", "-quick", "-maxcalls", "2000", "-csv", "-parallel", "4",
+	}, &out)
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	s := out.String()
+	if !strings.HasPrefix(s, "# Fig. 8") {
+		t.Fatalf("CSV header missing:\n%.200s", s)
+	}
+	if !strings.Contains(s, "x,\"without Migration\"") {
+		t.Fatalf("CSV columns missing:\n%.200s", s)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	t.Parallel()
+	var out strings.Builder
+	if code := run([]string{"-experiment", "fig99"}, &out); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	t.Parallel()
+	var out strings.Builder
+	if code := run([]string{"-definitely-not-a-flag"}, &out); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}

@@ -1,0 +1,91 @@
+package objmig
+
+import (
+	"fmt"
+	"time"
+)
+
+// EventKind classifies runtime events.
+type EventKind int
+
+const (
+	// EventInvoke: a method executed on a hosted object.
+	EventInvoke EventKind = iota + 1
+	// EventMoveDecision: a move-request was decided at this node
+	// (Outcome: granted, stayed, denied).
+	EventMoveDecision
+	// EventEnd: an end-request was processed here.
+	EventEnd
+	// EventMigration: this node coordinated a transfer batch
+	// (Objects lists the working set, Target the destination).
+	EventMigration
+	// EventInstall: objects arrived and were reinstantiated here.
+	EventInstall
+	// EventFix: an object's fixed flag changed here.
+	EventFix
+	// EventAttach: an attachment half-edge was added or removed here.
+	EventAttach
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventInvoke:
+		return "invoke"
+	case EventMoveDecision:
+		return "move-decision"
+	case EventEnd:
+		return "end"
+	case EventMigration:
+		return "migration"
+	case EventInstall:
+		return "install"
+	case EventFix:
+		return "fix"
+	case EventAttach:
+		return "attach"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one observable runtime occurrence at a node. Events are
+// emitted synchronously on the hot path: observers must be fast and
+// must not call back into the node.
+type Event struct {
+	Kind    EventKind
+	Node    NodeID // the node the event happened on
+	Obj     Ref    // primary object (zero for pure batch events)
+	Target  NodeID // destination (migrations) or requester (moves)
+	Outcome string // granted / stayed / denied / fixed / unfixed / ...
+	Objects []Ref  // batch members (migrations, installs)
+	Time    time.Time
+}
+
+// String renders the event compactly for logs.
+func (e Event) String() string {
+	s := fmt.Sprintf("[%s] %s %s", e.Node, e.Kind, e.Obj)
+	if e.Outcome != "" {
+		s += " " + e.Outcome
+	}
+	if e.Target != "" {
+		s += " -> " + string(e.Target)
+	}
+	if len(e.Objects) > 0 {
+		s += fmt.Sprintf(" (%d objects)", len(e.Objects))
+	}
+	return s
+}
+
+// Observer receives runtime events. See Config.Observer.
+type Observer func(Event)
+
+// emit delivers an event to the node's observer, if any.
+func (n *Node) emit(e Event) {
+	if n.observer == nil {
+		return
+	}
+	e.Node = n.id
+	e.Time = time.Now()
+	n.observer(e)
+}

@@ -1,0 +1,162 @@
+package objmig
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// recorder collects events thread-safely.
+type recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (r *recorder) observe(e Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+func (r *recorder) kinds() []EventKind {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]EventKind, len(r.events))
+	for i, e := range r.events {
+		out[i] = e.Kind
+	}
+	return out
+}
+
+func (r *recorder) count(k EventKind, outcome string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := 0
+	for _, e := range r.events {
+		if e.Kind == k && (outcome == "" || e.Outcome == outcome) {
+			c++
+		}
+	}
+	return c
+}
+
+// observedCluster builds a cluster whose every node reports to rec.
+func observedCluster(t *testing.T, count int, policy PolicyKind, rec *recorder) []*Node {
+	t.Helper()
+	cl := NewLocalCluster()
+	nodes := make([]*Node, count)
+	for i := range nodes {
+		n, err := NewNode(Config{
+			ID:       NodeID("n" + string(rune('0'+i))),
+			Cluster:  cl,
+			Policy:   policy,
+			Observer: rec.observe,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.RegisterType(newCounterType()); err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	})
+	return nodes
+}
+
+func TestObserverSeesInvocationAndMigration(t *testing.T) {
+	t.Parallel()
+	ctx := ctxShort(t)
+	rec := &recorder{}
+	nodes := observedCluster(t, 2, PolicyPlacement, rec)
+	ref := mustCreate(t, nodes[0])
+
+	if _, err := Call[int, int](ctx, nodes[0], ref, "Add", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[0].Migrate(ctx, ref, "n1"); err != nil {
+		t.Fatal(err)
+	}
+	if rec.count(EventInvoke, "Add") != 1 {
+		t.Fatalf("invoke events: %v", rec.kinds())
+	}
+	if rec.count(EventMigration, "") != 1 {
+		t.Fatalf("migration events: %v", rec.kinds())
+	}
+	if rec.count(EventInstall, "") != 1 {
+		t.Fatalf("install events: %v", rec.kinds())
+	}
+}
+
+func TestObserverSeesContention(t *testing.T) {
+	t.Parallel()
+	ctx := ctxShort(t)
+	rec := &recorder{}
+	nodes := observedCluster(t, 3, PolicyPlacement, rec)
+	ref := mustCreate(t, nodes[0])
+
+	err := nodes[1].Move(ctx, ref, func(ctx context.Context, b *Block) error {
+		return nodes[2].Move(ctx, ref, func(ctx context.Context, b2 *Block) error {
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.count(EventMoveDecision, "granted") != 1 {
+		t.Fatalf("granted decisions: %v", rec.kinds())
+	}
+	if rec.count(EventMoveDecision, "denied") != 1 {
+		t.Fatalf("denied decisions: %v", rec.kinds())
+	}
+	if rec.count(EventEnd, "unlocked") != 1 {
+		t.Fatalf("unlock events: %v", rec.kinds())
+	}
+}
+
+func TestObserverSeesFixAndAttach(t *testing.T) {
+	t.Parallel()
+	ctx := ctxShort(t)
+	rec := &recorder{}
+	nodes := observedCluster(t, 1, PolicyPlacement, rec)
+	a := mustCreate(t, nodes[0])
+	b := mustCreate(t, nodes[0])
+	if err := nodes[0].Fix(ctx, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[0].Unfix(ctx, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[0].Attach(ctx, a, b, NoAlliance); err != nil {
+		t.Fatal(err)
+	}
+	if rec.count(EventFix, "fixed") != 1 || rec.count(EventFix, "unfixed") != 1 {
+		t.Fatalf("fix events: %v", rec.kinds())
+	}
+	// Two half-edges, one event each.
+	if rec.count(EventAttach, "attached") != 2 {
+		t.Fatalf("attach events: %v", rec.kinds())
+	}
+}
+
+func TestEventString(t *testing.T) {
+	t.Parallel()
+	e := Event{
+		Kind: EventMigration, Node: "n0", Target: "n1",
+		Objects: []Ref{{}, {}},
+	}
+	s := e.String()
+	for _, want := range []string{"n0", "migration", "-> n1", "2 objects"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Event.String() = %q missing %q", s, want)
+		}
+	}
+	if EventKind(99).String() != "unknown" {
+		t.Fatal("unknown kind name")
+	}
+}

@@ -1,0 +1,173 @@
+// Alliances: a side-by-side demonstration of why attachment
+// transitiveness must be restricted in non-monolithic systems
+// (Section 3.4 of the paper).
+//
+// Two applications each attach a front object to two backing objects;
+// one backing object is shared. Under conventional (unrestricted)
+// attachment the two working sets merge into one component, so either
+// application's migration drags everything — including the other
+// application's private objects. Under A-transitive attachment each
+// alliance's closure stays its own.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"objmig"
+)
+
+// Part is a plain object with a name, enough to track who goes where.
+type Part struct {
+	Name string
+}
+
+func newPartType() *objmig.Type[Part] {
+	t := objmig.NewType[Part]("part")
+	objmig.HandleFunc(t, "Name", func(c *objmig.Ctx, p *Part, _ struct{}) (string, error) {
+		return p.Name, nil
+	})
+	return t
+}
+
+// world is the built demo topology:
+//
+//	appA: frontA - {sharedDB, cacheA}   (alliance A)
+//	appB: frontB - {sharedDB, cacheB}   (alliance B)
+type world struct {
+	nodes     []*objmig.Node
+	objs      map[string]objmig.Ref
+	allianceA objmig.AllianceID
+	allianceB objmig.AllianceID
+}
+
+func (w *world) close() {
+	for _, n := range w.nodes {
+		_ = n.Close()
+	}
+}
+
+func (w *world) hub() *objmig.Node { return w.nodes[0] }
+
+func buildWorld(ctx context.Context, attach objmig.AttachMode) (*world, error) {
+	cluster := objmig.NewLocalCluster()
+	w := &world{objs: map[string]objmig.Ref{}}
+	for _, id := range []objmig.NodeID{"hub", "site-a", "site-b"} {
+		n, err := objmig.NewNode(objmig.Config{
+			ID: id, Cluster: cluster,
+			Policy: objmig.PolicyConventional, // isolate the attachment effect
+			Attach: attach,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := n.RegisterType(newPartType()); err != nil {
+			return nil, err
+		}
+		w.nodes = append(w.nodes, n)
+	}
+	for _, name := range []string{"frontA", "frontB", "sharedDB", "cacheA", "cacheB"} {
+		ref, err := w.hub().Create("part")
+		if err != nil {
+			return nil, err
+		}
+		w.objs[name] = ref
+	}
+	w.allianceA = w.hub().NewAlliance()
+	w.allianceB = w.hub().NewAlliance()
+	pairs := []struct {
+		a, b string
+		al   objmig.AllianceID
+	}{
+		{"frontA", "sharedDB", w.allianceA},
+		{"frontA", "cacheA", w.allianceA},
+		{"frontB", "sharedDB", w.allianceB},
+		{"frontB", "cacheB", w.allianceB},
+	}
+	for _, p := range pairs {
+		if err := w.hub().Attach(ctx, w.objs[p.a], w.objs[p.b], p.al); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+func (w *world) printLocations(ctx context.Context) {
+	for _, name := range []string{"frontA", "sharedDB", "cacheA", "frontB", "cacheB"} {
+		at, err := w.hub().Locate(ctx, w.objs[name])
+		if err != nil {
+			at = "?"
+		}
+		fmt.Printf("  %-8s @ %s\n", name, at)
+	}
+}
+
+func runUnrestricted(ctx context.Context) error {
+	w, err := buildWorld(ctx, objmig.AttachUnrestricted)
+	if err != nil {
+		return err
+	}
+	defer w.close()
+
+	fmt.Println("=== unrestricted attachment (the conventional danger) ===")
+	ws, err := w.hub().WorkingSet(ctx, w.objs["frontA"], objmig.NoAlliance)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("closure of frontA spans %d objects (both applications merged!)\n", len(ws))
+	// Application A has no idea it is about to move B's cache too.
+	if err := w.hub().Migrate(ctx, w.objs["frontA"], "site-a"); err != nil {
+		return err
+	}
+	fmt.Println("after A migrates frontA to site-a:")
+	w.printLocations(ctx)
+	fmt.Println()
+	return nil
+}
+
+func runATransitive(ctx context.Context) error {
+	w, err := buildWorld(ctx, objmig.AttachATransitive)
+	if err != nil {
+		return err
+	}
+	defer w.close()
+
+	fmt.Println("=== A-transitive attachment (the paper's remedy) ===")
+	wsA, err := w.hub().WorkingSet(ctx, w.objs["frontA"], w.allianceA)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("closure of frontA in alliance A spans %d objects (its own working set)\n", len(wsA))
+	// Application A migrates in ITS alliance: sharedDB and cacheA
+	// come along; frontB and cacheB stay untouched.
+	if err := w.hub().MigrateIn(ctx, w.allianceA, w.objs["frontA"], "site-a"); err != nil {
+		return err
+	}
+	fmt.Println("after A migrates frontA to site-a (alliance-scoped):")
+	w.printLocations(ctx)
+	// Application B still controls its own set: it pulls the shared
+	// database back with ITS working set.
+	if err := w.hub().MigrateIn(ctx, w.allianceB, w.objs["frontB"], "site-b"); err != nil {
+		return err
+	}
+	fmt.Println("after B migrates frontB to site-b (alliance-scoped):")
+	w.printLocations(ctx)
+	fmt.Println()
+	return nil
+}
+
+func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := runUnrestricted(ctx); err != nil {
+		log.Fatal(err)
+	}
+	if err := runATransitive(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Unrestricted attachment merged both applications' working sets, so one")
+	fmt.Println("component's move dragged the other's private objects. A-transitive")
+	fmt.Println("attachment kept every alliance's closure its own (Section 3.4).")
+}

@@ -1,0 +1,45 @@
+// Simulation: drive the paper's evaluation model through the public
+// sim package — a scaled-down version of Figure 12 (the hot-spot
+// experiment) that finds the break-even points where migration stops
+// paying off.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"objmig/sim"
+)
+
+func main() {
+	exp, ok := sim.ExperimentByID("fig12")
+	if !ok {
+		log.Fatal("fig12 experiment missing")
+	}
+	// Thin the sweep for a fast demo run; the full harness lives in
+	// cmd/objmig-sim and bench_test.go.
+	exp.Xs = []float64{1, 5, 9, 13, 17, 21, 25}
+
+	tbl, err := sim.RunExperiment(exp, sim.RunOpts{Seed: 42, Quick: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tbl.Format())
+	fmt.Printf("conventional migration break-even: ~%.1f clients (paper: ~6)\n",
+		tbl.Crossover("Migration", "without Migration"))
+	fmt.Printf("transient placement break-even:    ~%.1f clients (paper: ~20)\n",
+		tbl.Crossover("Transient Placement", "without Migration"))
+	fmt.Println("\nThe same Config/Run API supports custom workloads:")
+
+	r, err := sim.Run(sim.Config{
+		Nodes: 8, Clients: 6, Servers1: 2,
+		MigrationTime: 4, MeanCalls: 10, MeanInterCall: 1, MeanInterBlock: 20,
+		Policy: sim.PolicyPlacement,
+		Seed:   7, MaxCalls: 20000, CIRel: 0.05,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("custom cell: %.3f mean communication time per call over %d calls\n",
+		r.CommTimePerCall, r.Calls)
+}

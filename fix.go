@@ -1,0 +1,139 @@
+package objmig
+
+import (
+	"context"
+	"fmt"
+
+	"objmig/internal/core"
+	"objmig/internal/wire"
+)
+
+// Fix makes the object sedentary at its current node: every subsequent
+// move- and migrate-request is denied until Unfix (the fix() primitive
+// of Section 2.2).
+func (n *Node) Fix(ctx context.Context, ref Ref) error {
+	return n.fixRequest(ctx, ref.OID, true)
+}
+
+// Unfix clears the fixed flag.
+func (n *Node) Unfix(ctx context.Context, ref Ref) error {
+	return n.fixRequest(ctx, ref.OID, false)
+}
+
+// Refix moves a fixed (or unfixed) object to a new node and fixes it
+// there — the refix() primitive.
+func (n *Node) Refix(ctx context.Context, ref Ref, target NodeID) error {
+	_, err := n.migrateRequest(ctx, &wire.MigrateReq{
+		Obj: ref.OID, Target: target, Alliance: NoAlliance, Fix: true,
+	})
+	return err
+}
+
+// IsFixed reports whether the object is currently fixed. The flag
+// travels with the object's policy state, so the query chases the
+// object to its current host.
+func (n *Node) IsFixed(ctx context.Context, ref Ref) (bool, error) {
+	oid := ref.OID
+	req := &wire.FixReq{Obj: oid, Query: true}
+	for attempt := 0; attempt < n.retries; attempt++ {
+		if err := chasePause(ctx, attempt); err != nil {
+			return false, err
+		}
+		if _, ok := n.hostedRecord(oid); ok {
+			resp, err := n.handleFix(req)
+			if to, moved := movedTo(err); moved {
+				n.reg.Learn(oid, to)
+				continue
+			}
+			if err != nil {
+				return false, fromRemote(err)
+			}
+			return resp.Fixed, nil
+		}
+		target := n.reg.Hint(oid)
+		if target == n.id {
+			if n.selfHintRetry(oid) {
+				continue // an arrival raced the two lookups
+			}
+			return false, fmt.Errorf("%w: %s", ErrNotFound, oid)
+		}
+		var resp wire.FixResp
+		err := n.call(ctx, target, wire.KFix, req, &resp)
+		if err == nil {
+			return resp.Fixed, nil
+		}
+		if to, moved := movedTo(err); moved {
+			n.reg.Learn(oid, to)
+			continue
+		}
+		if isCode(err, wire.CodeNotFound) && target != oid.Origin {
+			n.reg.Invalidate(oid)
+			continue
+		}
+		return false, fromRemote(err)
+	}
+	return false, fmt.Errorf("%w: %s (fixed?)", ErrUnreachable, oid)
+}
+
+// fixRequest chases the object and flips its fixed flag at the host.
+func (n *Node) fixRequest(ctx context.Context, oid core.OID, fix bool) error {
+	req := &wire.FixReq{Obj: oid, Fix: fix}
+	for attempt := 0; attempt < n.retries; attempt++ {
+		if err := chasePause(ctx, attempt); err != nil {
+			return err
+		}
+		if _, ok := n.hostedRecord(oid); ok {
+			_, err := n.handleFix(req)
+			if to, moved := movedTo(err); moved {
+				n.reg.Learn(oid, to)
+				continue
+			}
+			return fromRemote(err)
+		}
+		target := n.reg.Hint(oid)
+		if target == n.id {
+			if n.selfHintRetry(oid) {
+				continue // an arrival raced the two lookups
+			}
+			return fmt.Errorf("%w: %s", ErrNotFound, oid)
+		}
+		var resp wire.FixResp
+		err := n.call(ctx, target, wire.KFix, req, &resp)
+		if err == nil {
+			return nil
+		}
+		if to, moved := movedTo(err); moved {
+			n.reg.Learn(oid, to)
+			continue
+		}
+		if isCode(err, wire.CodeNotFound) && target != oid.Origin {
+			n.reg.Invalidate(oid)
+			continue
+		}
+		return fromRemote(err)
+	}
+	return fmt.Errorf("%w: %s (fix)", ErrUnreachable, oid)
+}
+
+// handleFix serves fix/unfix and the fixed-flag query.
+func (n *Node) handleFix(req *wire.FixReq) (*wire.FixResp, error) {
+	rec, ok := n.record(req.Obj)
+	if !ok {
+		return nil, n.whereabouts(req.Obj)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.status == recGone {
+		return nil, &wire.RemoteError{Code: wire.CodeMoved, Msg: req.Obj.String(), To: rec.movedTo}
+	}
+	if req.Query {
+		return &wire.FixResp{Fixed: rec.pol.Fixed}, nil
+	}
+	rec.pol.Fixed = req.Fix
+	outcome := "unfixed"
+	if req.Fix {
+		outcome = "fixed"
+	}
+	n.emit(Event{Kind: EventFix, Obj: Ref{OID: req.Obj}, Outcome: outcome})
+	return &wire.FixResp{Fixed: rec.pol.Fixed}, nil
+}

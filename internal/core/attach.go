@@ -1,0 +1,246 @@
+package core
+
+// This file implements the attachment machinery of Sections 2.2 and 3.4:
+// symmetric, alliance-labelled attachment edges, the three transitivity
+// regimes (unrestricted, A-transitive, exclusive) and the closure
+// computation that determines the working set actually moved by a
+// migration.
+
+// AttachMode selects how transitive attachments are.
+type AttachMode int
+
+const (
+	// AttachUnrestricted is conventional attachment: the closure
+	// follows every edge regardless of the alliance it was issued in.
+	// This is the behaviour the paper shows to be devastating in
+	// non-monolithic systems (Fig. 16).
+	AttachUnrestricted AttachMode = iota + 1
+	// AttachATransitive restricts the closure to edges of the
+	// alliance the migration-controlling primitive was invoked in
+	// (Section 3.4, "attachments are A-transitive").
+	AttachATransitive
+	// AttachExclusive allows each object at most one attachment
+	// partner; additional attach-requests are ignored
+	// (first-comes-first-served, Section 3.4).
+	AttachExclusive
+)
+
+// String returns the paper's name for the mode.
+func (m AttachMode) String() string {
+	switch m {
+	case AttachUnrestricted:
+		return "unrestricted"
+	case AttachATransitive:
+		return "a-transitive"
+	case AttachExclusive:
+		return "exclusive"
+	default:
+		return "unknown"
+	}
+}
+
+// Valid reports whether m names a known mode.
+func (m AttachMode) Valid() bool {
+	return m >= AttachUnrestricted && m <= AttachExclusive
+}
+
+// Edge is one half of a symmetric attachment: the partner object and the
+// alliance the attachment was issued in.
+type Edge struct {
+	To       OID
+	Alliance AllianceID
+}
+
+// NeighborFunc yields the attachment edges of an object in canonical
+// (deterministic) order. The simulator backs it with a central graph;
+// the live runtime backs it with per-object adjacency fetched from the
+// hosts of the objects involved.
+type NeighborFunc func(OID) []Edge
+
+// Closure computes the set of objects kept together with start — the
+// working set a migration actually moves. The result always contains
+// start, is sorted canonically and depends on the mode:
+//
+//   - AttachUnrestricted, AttachExclusive: follow every edge.
+//   - AttachATransitive: follow only edges labelled with the alliance
+//     the move was issued in.
+func Closure(mode AttachMode, start OID, al AllianceID, neighbors NeighborFunc) []OID {
+	visited := map[OID]bool{start: true}
+	queue := []OID{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range neighbors(cur) {
+			if mode == AttachATransitive && e.Alliance != al {
+				continue
+			}
+			if visited[e.To] {
+				continue
+			}
+			visited[e.To] = true
+			queue = append(queue, e.To)
+		}
+	}
+	out := make([]OID, 0, len(visited))
+	for o := range visited {
+		out = append(out, o)
+	}
+	SortOIDs(out)
+	return out
+}
+
+// AttachGraph is a centralised attachment graph. The simulator and the
+// tests use it directly; the live runtime keeps the same information
+// distributed as per-object EdgeSets but funnels every mutation through
+// the same admission rule (AdmitAttach).
+type AttachGraph struct {
+	mode  AttachMode
+	edges map[OID]map[OID]map[AllianceID]struct{}
+}
+
+// NewAttachGraph returns an empty graph with the given mode. Invalid
+// modes are treated as AttachUnrestricted.
+func NewAttachGraph(mode AttachMode) *AttachGraph {
+	if !mode.Valid() {
+		mode = AttachUnrestricted
+	}
+	return &AttachGraph{
+		mode:  mode,
+		edges: make(map[OID]map[OID]map[AllianceID]struct{}),
+	}
+}
+
+// Mode returns the graph's attachment mode.
+func (g *AttachGraph) Mode() AttachMode { return g.mode }
+
+// Degree returns the number of distinct attachment partners of o.
+func (g *AttachGraph) Degree(o OID) int { return len(g.edges[o]) }
+
+// Attached reports whether a and b are attached in alliance al.
+func (g *AttachGraph) Attached(a, b OID, al AllianceID) bool {
+	_, ok := g.edges[a][b][al]
+	return ok
+}
+
+// AdmitAttach applies the mode's admission rule without mutating the
+// graph: it reports whether an attach(a, b) would be accepted given the
+// current degrees. Self-attachments are never admitted. Under
+// AttachExclusive an object may have at most one partner; re-attaching
+// the same pair (in any alliance) is admitted.
+func (g *AttachGraph) AdmitAttach(a, b OID) bool {
+	return admitAttach(g.mode, a, b, g.Degree(a), g.Degree(b),
+		len(g.edges[a][b]) > 0)
+}
+
+// admitAttach is the pure admission rule shared with the live runtime.
+// degA and degB are the numbers of distinct partners of a and b, and
+// alreadyPaired reports whether a and b are already attached (in any
+// alliance).
+func admitAttach(mode AttachMode, a, b OID, degA, degB int, alreadyPaired bool) bool {
+	if a == b {
+		return false
+	}
+	if mode != AttachExclusive {
+		return true
+	}
+	if alreadyPaired {
+		return true
+	}
+	return degA == 0 && degB == 0
+}
+
+// AdmitAttachRule exposes the admission rule for callers that keep
+// adjacency elsewhere (the live runtime).
+func AdmitAttachRule(mode AttachMode, a, b OID, degA, degB int, alreadyPaired bool) bool {
+	return admitAttach(mode, a, b, degA, degB, alreadyPaired)
+}
+
+// Attach records the symmetric attachment of a and b in alliance al.
+// It reports whether the edge was added; violations of the mode's
+// admission rule are ignored, as the paper specifies ("all additional
+// attachments for this object are ignored").
+func (g *AttachGraph) Attach(a, b OID, al AllianceID) bool {
+	if !g.AdmitAttach(a, b) {
+		return false
+	}
+	g.addHalf(a, b, al)
+	g.addHalf(b, a, al)
+	return true
+}
+
+func (g *AttachGraph) addHalf(from, to OID, al AllianceID) {
+	m, ok := g.edges[from]
+	if !ok {
+		m = make(map[OID]map[AllianceID]struct{})
+		g.edges[from] = m
+	}
+	set, ok := m[to]
+	if !ok {
+		set = make(map[AllianceID]struct{})
+		m[to] = set
+	}
+	set[al] = struct{}{}
+}
+
+// Detach removes the attachment of a and b in alliance al. It reports
+// whether such an edge existed.
+func (g *AttachGraph) Detach(a, b OID, al AllianceID) bool {
+	if !g.Attached(a, b, al) {
+		return false
+	}
+	g.dropHalf(a, b, al)
+	g.dropHalf(b, a, al)
+	return true
+}
+
+func (g *AttachGraph) dropHalf(from, to OID, al AllianceID) {
+	set := g.edges[from][to]
+	delete(set, al)
+	if len(set) == 0 {
+		delete(g.edges[from], to)
+	}
+	if len(g.edges[from]) == 0 {
+		delete(g.edges, from)
+	}
+}
+
+// Neighbors returns the attachment edges of o in canonical order
+// (partner OID, then alliance).
+func (g *AttachGraph) Neighbors(o OID) []Edge {
+	adj := g.edges[o]
+	if len(adj) == 0 {
+		return nil
+	}
+	partners := make([]OID, 0, len(adj))
+	for p := range adj {
+		partners = append(partners, p)
+	}
+	SortOIDs(partners)
+	var out []Edge
+	for _, p := range partners {
+		als := make([]AllianceID, 0, len(adj[p]))
+		for al := range adj[p] {
+			als = append(als, al)
+		}
+		sortAlliances(als)
+		for _, al := range als {
+			out = append(out, Edge{To: p, Alliance: al})
+		}
+	}
+	return out
+}
+
+// Closure computes the working set moved together with start when the
+// controlling primitive is issued in alliance al.
+func (g *AttachGraph) Closure(start OID, al AllianceID) []OID {
+	return Closure(g.mode, start, al, g.Neighbors)
+}
+
+// sortAlliances sorts alliance IDs ascending, in place.
+func sortAlliances(as []AllianceID) {
+	for i := 1; i < len(as); i++ {
+		for j := i; j > 0 && as[j] < as[j-1]; j-- {
+			as[j], as[j-1] = as[j-1], as[j]
+		}
+	}
+}

@@ -1,0 +1,351 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func oid(origin string, seq uint64) OID { return OID{Origin: NodeID(origin), Seq: seq} }
+
+func TestAttachDetachBasics(t *testing.T) {
+	t.Parallel()
+	g := NewAttachGraph(AttachUnrestricted)
+	a, b := oid("n", 1), oid("n", 2)
+	if !g.Attach(a, b, NoAlliance) {
+		t.Fatal("attach rejected")
+	}
+	if !g.Attached(a, b, NoAlliance) || !g.Attached(b, a, NoAlliance) {
+		t.Fatal("attachment not symmetric")
+	}
+	if g.Degree(a) != 1 || g.Degree(b) != 1 {
+		t.Fatalf("degrees = %d, %d, want 1, 1", g.Degree(a), g.Degree(b))
+	}
+	if !g.Detach(a, b, NoAlliance) {
+		t.Fatal("detach failed")
+	}
+	if g.Attached(a, b, NoAlliance) || g.Degree(a) != 0 || g.Degree(b) != 0 {
+		t.Fatal("detach left residue")
+	}
+	if g.Detach(a, b, NoAlliance) {
+		t.Fatal("double detach reported success")
+	}
+}
+
+func TestSelfAttachRejected(t *testing.T) {
+	t.Parallel()
+	g := NewAttachGraph(AttachUnrestricted)
+	a := oid("n", 1)
+	if g.Attach(a, a, NoAlliance) {
+		t.Fatal("self-attach accepted")
+	}
+}
+
+func TestAttachMultipleAlliances(t *testing.T) {
+	t.Parallel()
+	g := NewAttachGraph(AttachATransitive)
+	a, b := oid("n", 1), oid("n", 2)
+	if !g.Attach(a, b, 1) || !g.Attach(a, b, 2) {
+		t.Fatal("attach in two alliances rejected")
+	}
+	if g.Degree(a) != 1 {
+		t.Fatalf("degree counts partners, not edges: %d", g.Degree(a))
+	}
+	g.Detach(a, b, 1)
+	if !g.Attached(a, b, 2) {
+		t.Fatal("detach in alliance 1 removed alliance 2 edge")
+	}
+}
+
+func TestExclusiveAttachment(t *testing.T) {
+	t.Parallel()
+	g := NewAttachGraph(AttachExclusive)
+	a, b, c := oid("n", 1), oid("n", 2), oid("n", 3)
+	if !g.Attach(a, b, NoAlliance) {
+		t.Fatal("first attach rejected")
+	}
+	// First-comes-first-served: b is taken, so c cannot attach to it,
+	// and a cannot take a second partner.
+	if g.Attach(b, c, NoAlliance) {
+		t.Fatal("exclusive mode accepted a second partner for b")
+	}
+	if g.Attach(a, c, NoAlliance) {
+		t.Fatal("exclusive mode accepted a second partner for a")
+	}
+	// Re-attaching the same pair (e.g. in another alliance) is fine.
+	if !g.Attach(a, b, 5) {
+		t.Fatal("re-attach of the same pair rejected")
+	}
+	// After detaching everything, new partners are admitted again.
+	g.Detach(a, b, NoAlliance)
+	g.Detach(a, b, 5)
+	if !g.Attach(b, c, NoAlliance) {
+		t.Fatal("attach after full detach rejected")
+	}
+}
+
+func TestClosureUnrestrictedMergesOverlap(t *testing.T) {
+	t.Parallel()
+	// Two working sets sharing one member, the paper's Section 2.4
+	// scenario: closure of either root contains both sets.
+	g := NewAttachGraph(AttachUnrestricted)
+	s1a, s1b := oid("n", 1), oid("n", 2)
+	s2x, s2y, s2z := oid("n", 10), oid("n", 11), oid("n", 12)
+	g.Attach(s1a, s2x, 1)
+	g.Attach(s1a, s2y, 1)
+	g.Attach(s1b, s2y, 2)
+	g.Attach(s1b, s2z, 2)
+	got := g.Closure(s1a, 1)
+	want := []OID{s1a, s1b, s2x, s2y, s2z}
+	SortOIDs(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("closure = %v, want %v", got, want)
+	}
+}
+
+func TestClosureATransitiveRestrictsToAlliance(t *testing.T) {
+	t.Parallel()
+	g := NewAttachGraph(AttachATransitive)
+	s1a, s1b := oid("n", 1), oid("n", 2)
+	s2x, s2y, s2z := oid("n", 10), oid("n", 11), oid("n", 12)
+	g.Attach(s1a, s2x, 1)
+	g.Attach(s1a, s2y, 1)
+	g.Attach(s1b, s2y, 2)
+	g.Attach(s1b, s2z, 2)
+	got := g.Closure(s1a, 1)
+	want := []OID{s1a, s2x, s2y}
+	SortOIDs(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("A-closure = %v, want %v", got, want)
+	}
+	// A move issued in alliance 2 starting from the shared member
+	// stays within alliance 2.
+	got = g.Closure(s2y, 2)
+	want = []OID{s1b, s2y, s2z}
+	SortOIDs(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("A-closure from shared member = %v, want %v", got, want)
+	}
+}
+
+func TestClosureNoAllianceLabel(t *testing.T) {
+	t.Parallel()
+	g := NewAttachGraph(AttachATransitive)
+	a, b, c := oid("n", 1), oid("n", 2), oid("n", 3)
+	g.Attach(a, b, NoAlliance)
+	g.Attach(b, c, 7)
+	got := g.Closure(a, NoAlliance)
+	want := []OID{a, b}
+	SortOIDs(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("closure = %v, want %v", got, want)
+	}
+}
+
+func TestClosureAlwaysContainsStart(t *testing.T) {
+	t.Parallel()
+	g := NewAttachGraph(AttachUnrestricted)
+	lone := oid("n", 99)
+	got := g.Closure(lone, NoAlliance)
+	if len(got) != 1 || got[0] != lone {
+		t.Fatalf("closure of unattached object = %v", got)
+	}
+}
+
+func TestClosureExclusivePairsOnly(t *testing.T) {
+	t.Parallel()
+	f := func(seed int64) bool {
+		g := NewAttachGraph(AttachExclusive)
+		r := rand.New(rand.NewSource(seed))
+		objs := make([]OID, 12)
+		for i := range objs {
+			objs[i] = oid("n", uint64(i))
+		}
+		for i := 0; i < 40; i++ {
+			a, b := objs[r.Intn(len(objs))], objs[r.Intn(len(objs))]
+			g.Attach(a, b, AllianceID(r.Intn(3)))
+		}
+		for _, o := range objs {
+			if n := len(g.Closure(o, NoAlliance)); n > 2 {
+				t.Logf("closure size %d under exclusive attachment", n)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomGraph builds a random attachment graph for property tests.
+func randomGraph(mode AttachMode, seed int64) (*AttachGraph, []OID) {
+	g := NewAttachGraph(mode)
+	r := rand.New(rand.NewSource(seed))
+	objs := make([]OID, 10)
+	for i := range objs {
+		objs[i] = oid("n", uint64(i))
+	}
+	for i := 0; i < 30; i++ {
+		a, b := objs[r.Intn(len(objs))], objs[r.Intn(len(objs))]
+		g.Attach(a, b, AllianceID(r.Intn(3)))
+	}
+	return g, objs
+}
+
+// TestClosureSubsetProperty: the A-transitive closure is always a subset
+// of the unrestricted closure over the same edges.
+func TestClosureSubsetProperty(t *testing.T) {
+	t.Parallel()
+	f := func(seed int64) bool {
+		g, objs := randomGraph(AttachATransitive, seed)
+		for _, o := range objs {
+			for al := AllianceID(0); al < 3; al++ {
+				restricted := Closure(AttachATransitive, o, al, g.Neighbors)
+				full := Closure(AttachUnrestricted, o, al, g.Neighbors)
+				set := make(map[OID]bool, len(full))
+				for _, m := range full {
+					set[m] = true
+				}
+				for _, m := range restricted {
+					if !set[m] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClosureSymmetryProperty: membership in a closure is symmetric -
+// working sets are well-defined groups.
+func TestClosureSymmetryProperty(t *testing.T) {
+	t.Parallel()
+	f := func(seed int64, aTransitive bool) bool {
+		mode := AttachUnrestricted
+		if aTransitive {
+			mode = AttachATransitive
+		}
+		g, objs := randomGraph(mode, seed)
+		for _, o := range objs {
+			for al := AllianceID(0); al < 3; al++ {
+				for _, m := range g.Closure(o, al) {
+					back := g.Closure(m, al)
+					found := false
+					for _, x := range back {
+						if x == o {
+							found = true
+							break
+						}
+					}
+					if !found {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClosureDeterministic: closures are returned in canonical order and
+// are identical across repeated computation.
+func TestClosureDeterministic(t *testing.T) {
+	t.Parallel()
+	g, objs := randomGraph(AttachUnrestricted, 1234)
+	for _, o := range objs {
+		a := g.Closure(o, NoAlliance)
+		b := g.Closure(o, NoAlliance)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatal("closure not deterministic")
+		}
+		for i := 1; i < len(a); i++ {
+			if !a[i-1].Less(a[i]) {
+				t.Fatalf("closure not sorted: %v", a)
+			}
+		}
+	}
+}
+
+func TestNeighborsCanonicalOrder(t *testing.T) {
+	t.Parallel()
+	g := NewAttachGraph(AttachUnrestricted)
+	a := oid("n", 1)
+	g.Attach(a, oid("n", 3), 2)
+	g.Attach(a, oid("n", 2), 1)
+	g.Attach(a, oid("n", 3), 1)
+	got := g.Neighbors(a)
+	want := []Edge{
+		{To: oid("n", 2), Alliance: 1},
+		{To: oid("n", 3), Alliance: 1},
+		{To: oid("n", 3), Alliance: 2},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("neighbors = %v, want %v", got, want)
+	}
+}
+
+func TestAdmitAttachRule(t *testing.T) {
+	t.Parallel()
+	a, b := oid("n", 1), oid("n", 2)
+	cases := []struct {
+		name          string
+		mode          AttachMode
+		degA, degB    int
+		alreadyPaired bool
+		want          bool
+	}{
+		{"unrestricted always", AttachUnrestricted, 5, 5, false, true},
+		{"a-transitive always", AttachATransitive, 5, 5, false, true},
+		{"exclusive fresh", AttachExclusive, 0, 0, false, true},
+		{"exclusive a taken", AttachExclusive, 1, 0, false, false},
+		{"exclusive b taken", AttachExclusive, 0, 1, false, false},
+		{"exclusive same pair", AttachExclusive, 1, 1, true, true},
+	}
+	for _, tc := range cases {
+		if got := AdmitAttachRule(tc.mode, a, b, tc.degA, tc.degB, tc.alreadyPaired); got != tc.want {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	if AdmitAttachRule(AttachUnrestricted, a, a, 0, 0, false) {
+		t.Error("self-attach admitted")
+	}
+}
+
+func TestAttachModeStringAndValid(t *testing.T) {
+	t.Parallel()
+	if AttachUnrestricted.String() != "unrestricted" ||
+		AttachATransitive.String() != "a-transitive" ||
+		AttachExclusive.String() != "exclusive" ||
+		AttachMode(0).String() != "unknown" {
+		t.Fatal("AttachMode.String mismatch")
+	}
+	if AttachMode(0).Valid() || !AttachATransitive.Valid() {
+		t.Fatal("AttachMode.Valid mismatch")
+	}
+	// Invalid modes fall back to unrestricted.
+	if NewAttachGraph(AttachMode(0)).Mode() != AttachUnrestricted {
+		t.Fatal("invalid mode not clamped")
+	}
+}
+
+func TestSortOIDs(t *testing.T) {
+	t.Parallel()
+	ids := []OID{oid("b", 1), oid("a", 2), oid("a", 1)}
+	SortOIDs(ids)
+	want := []OID{oid("a", 1), oid("a", 2), oid("b", 1)}
+	if !reflect.DeepEqual(ids, want) {
+		t.Fatalf("sorted = %v, want %v", ids, want)
+	}
+	if ids[0].String() != "a/1" {
+		t.Fatalf("String = %q", ids[0].String())
+	}
+}

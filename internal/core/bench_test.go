@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkPolicyOnMove measures one policy decision — the per-request
+// cost a host pays at its object table.
+func BenchmarkPolicyOnMove(b *testing.B) {
+	for _, kind := range []PolicyKind{
+		PolicyConventional, PolicyPlacement, PolicyCompareNodes, PolicyCompareReinstantiate,
+	} {
+		b.Run(kind.String(), func(b *testing.B) {
+			p := PolicyFor(kind)
+			var st ObjState
+			nodes := []NodeID{"a", "b", "c", "d"}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				req := MoveRequest{From: nodes[i%len(nodes)], Block: BlockID(i)}
+				dec := p.OnMove(&st, "a", req)
+				_ = dec
+				p.OnEnd(&st, "a", EndRequest{From: req.From, Block: req.Block})
+			}
+		})
+	}
+}
+
+// BenchmarkClosure measures working-set computation on rings of
+// attached objects (the Fig. 16 shape).
+func BenchmarkClosure(b *testing.B) {
+	for _, size := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("ring-%d", size), func(b *testing.B) {
+			g := NewAttachGraph(AttachUnrestricted)
+			objs := make([]OID, size)
+			for i := range objs {
+				objs[i] = OID{Origin: "n", Seq: uint64(i)}
+			}
+			for i := range objs {
+				g.Attach(objs[i], objs[(i+1)%size], AllianceID(i%3))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := g.Closure(objs[i%size], NoAlliance); len(got) != size {
+					b.Fatalf("closure = %d", len(got))
+				}
+			}
+		})
+	}
+}

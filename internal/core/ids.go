@@ -1,0 +1,63 @@
+// Package core implements the paper's primary contribution: the
+// migration-control policies for non-monolithic distributed
+// applications.
+//
+// Everything in this package is a pure, deterministic state machine with
+// no I/O and no clock: the same code is driven by the discrete-event
+// simulator (package sim) and by the live distributed-object runtime
+// (package objmig), so the policies that are evaluated are exactly the
+// policies that ship.
+//
+// The package models the linguistic primitives of Section 2 of the paper
+// (migrate / move / end / fix / attach) and the two proposed remedies of
+// Section 3: transient placement (the "place-policy") and restriction of
+// attachment transitiveness via alliances (A-transitive attachment),
+// plus the two "intelligent" dynamic extensions of Section 3.3
+// (comparing-the-nodes and comparing-and-reinstantiation) and the
+// exclusive-attachment variant of Section 3.4.
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node (a location) in the distributed system.
+type NodeID string
+
+// OID is a globally unique object identifier: the node that created the
+// object plus a per-creator sequence number.
+type OID struct {
+	Origin NodeID
+	Seq    uint64
+}
+
+// String renders the OID as origin/seq.
+func (o OID) String() string { return fmt.Sprintf("%s/%d", o.Origin, o.Seq) }
+
+// Less provides the canonical ordering of OIDs (by origin, then
+// sequence), used wherever deterministic iteration is required.
+func (o OID) Less(p OID) bool {
+	if o.Origin != p.Origin {
+		return o.Origin < p.Origin
+	}
+	return o.Seq < p.Seq
+}
+
+// SortOIDs sorts ids into canonical order, in place.
+func SortOIDs(ids []OID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+}
+
+// AllianceID identifies an alliance, the dynamic cooperation context of
+// Section 3.4. NoAlliance labels attachments issued outside any alliance
+// and moves issued without a cooperation context.
+type AllianceID uint64
+
+// NoAlliance is the zero alliance: the global (context-free) label.
+const NoAlliance AllianceID = 0
+
+// BlockID identifies one move-block (the span between a move-request and
+// its end-request). Lock ownership is per block, not per node: two
+// blocks running on the same node are still distinct contenders.
+type BlockID uint64

@@ -1,0 +1,421 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestPolicyKindString(t *testing.T) {
+	t.Parallel()
+	cases := map[PolicyKind]string{
+		PolicySedentary:            "sedentary",
+		PolicyConventional:         "conventional",
+		PolicyPlacement:            "placement",
+		PolicyCompareNodes:         "compare-nodes",
+		PolicyCompareReinstantiate: "compare-reinstantiate",
+		PolicyKind(0):              "unknown",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("PolicyKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestPolicyForPanicsOnInvalid(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PolicyFor(0) did not panic")
+		}
+	}()
+	PolicyFor(PolicyKind(0))
+}
+
+func TestSedentaryNeverMigrates(t *testing.T) {
+	t.Parallel()
+	p := PolicyFor(PolicySedentary)
+	var st ObjState
+	d := p.OnMove(&st, "n1", MoveRequest{From: "n2", Block: 1})
+	if d.Action != ActionDeny || d.Reason != ReasonPolicy {
+		t.Fatalf("remote move: %+v, want deny/policy", d)
+	}
+	d = p.OnMove(&st, "n1", MoveRequest{From: "n1", Block: 2})
+	if d.Action != ActionStay {
+		t.Fatalf("local move: %+v, want stay", d)
+	}
+	if e := p.OnEnd(&st, "n1", EndRequest{From: "n2", Block: 1}); e != (EndDecision{}) {
+		t.Fatalf("end: %+v, want zero decision", e)
+	}
+}
+
+func TestConventionalAlwaysMigrates(t *testing.T) {
+	t.Parallel()
+	p := PolicyFor(PolicyConventional)
+	var st ObjState
+	if d := p.OnMove(&st, "n1", MoveRequest{From: "n2", Block: 1}); d.Action != ActionMigrate {
+		t.Fatalf("remote move: %+v, want migrate", d)
+	}
+	if d := p.OnMove(&st, "n2", MoveRequest{From: "n2", Block: 2}); d.Action != ActionStay {
+		t.Fatalf("local move: %+v, want stay", d)
+	}
+	// A second, conflicting move still migrates: this is the thrash
+	// the paper demonstrates.
+	if d := p.OnMove(&st, "n2", MoveRequest{From: "n3", Block: 3}); d.Action != ActionMigrate {
+		t.Fatalf("conflicting move: %+v, want migrate", d)
+	}
+}
+
+func TestConventionalRespectsFixed(t *testing.T) {
+	t.Parallel()
+	p := PolicyFor(PolicyConventional)
+	st := ObjState{Fixed: true}
+	if d := p.OnMove(&st, "n1", MoveRequest{From: "n2", Block: 1}); d.Action != ActionDeny || d.Reason != ReasonFixed {
+		t.Fatalf("move on fixed: %+v, want deny/fixed", d)
+	}
+}
+
+func TestPlacementFirstMoverWinsAndLocks(t *testing.T) {
+	t.Parallel()
+	p := PolicyFor(PolicyPlacement)
+	var st ObjState
+	d := p.OnMove(&st, "n1", MoveRequest{From: "n2", Block: 7})
+	if d.Action != ActionMigrate {
+		t.Fatalf("first move: %+v, want migrate", d)
+	}
+	if !st.Lock.Held || st.Lock.Owner != "n2" || st.Lock.Block != 7 {
+		t.Fatalf("lock after grant: %+v", st.Lock)
+	}
+	// Conflicting move from another node is denied.
+	if d := p.OnMove(&st, "n2", MoveRequest{From: "n3", Block: 8}); d.Action != ActionDeny || d.Reason != ReasonLocked {
+		t.Fatalf("conflicting move: %+v, want deny/locked", d)
+	}
+	// Conflicting move from the SAME node but a different block is
+	// also denied: lock ownership is per block.
+	if d := p.OnMove(&st, "n2", MoveRequest{From: "n2", Block: 9}); d.Action != ActionDeny || d.Reason != ReasonLocked {
+		t.Fatalf("same-node different-block move: %+v, want deny/locked", d)
+	}
+	// Re-delivery of the winning move is idempotent.
+	if d := p.OnMove(&st, "n2", MoveRequest{From: "n2", Block: 7}); d.Action != ActionStay {
+		t.Fatalf("re-delivered winning move: %+v, want stay", d)
+	}
+}
+
+func TestPlacementEndSemantics(t *testing.T) {
+	t.Parallel()
+	p := PolicyFor(PolicyPlacement)
+	var st ObjState
+	p.OnMove(&st, "n1", MoveRequest{From: "n2", Block: 7})
+	// End from a non-owner is ignored.
+	if e := p.OnEnd(&st, "n2", EndRequest{From: "n3", Block: 8}); e.Unlocked {
+		t.Fatalf("non-owner end unlocked: %+v", e)
+	}
+	if !st.Lock.Held {
+		t.Fatal("lock lost after non-owner end")
+	}
+	// End from the owner with the wrong block is ignored too.
+	if e := p.OnEnd(&st, "n2", EndRequest{From: "n2", Block: 99}); e.Unlocked {
+		t.Fatalf("wrong-block end unlocked: %+v", e)
+	}
+	// The owner's end releases the lock.
+	e := p.OnEnd(&st, "n2", EndRequest{From: "n2", Block: 7})
+	if !e.Unlocked || st.Lock.Held {
+		t.Fatalf("owner end: %+v lock=%+v", e, st.Lock)
+	}
+	// A new contender can now win.
+	if d := p.OnMove(&st, "n2", MoveRequest{From: "n3", Block: 10}); d.Action != ActionMigrate {
+		t.Fatalf("move after unlock: %+v, want migrate", d)
+	}
+}
+
+func TestPlacementLocalMoveLocksWithoutTransfer(t *testing.T) {
+	t.Parallel()
+	p := PolicyFor(PolicyPlacement)
+	var st ObjState
+	d := p.OnMove(&st, "n2", MoveRequest{From: "n2", Block: 3})
+	if d.Action != ActionStay {
+		t.Fatalf("local move: %+v, want stay", d)
+	}
+	if !st.Lock.Held || st.Lock.Owner != "n2" || st.Lock.Block != 3 {
+		t.Fatalf("local move must still lock: %+v", st.Lock)
+	}
+}
+
+func TestPlacementFixedDeniesWithoutLocking(t *testing.T) {
+	t.Parallel()
+	p := PolicyFor(PolicyPlacement)
+	st := ObjState{Fixed: true}
+	if d := p.OnMove(&st, "n1", MoveRequest{From: "n2", Block: 1}); d.Action != ActionDeny || d.Reason != ReasonFixed {
+		t.Fatalf("move on fixed: %+v", d)
+	}
+	if st.Lock.Held {
+		t.Fatal("fixed deny must not leave a lock behind")
+	}
+}
+
+func TestPlacementAbortReleasesLock(t *testing.T) {
+	t.Parallel()
+	p := PolicyFor(PolicyPlacement)
+	var st ObjState
+	req := MoveRequest{From: "n2", Block: 7}
+	p.OnMove(&st, "n1", req)
+	p.Abort(&st, req)
+	if st.Lock.Held {
+		t.Fatalf("lock held after abort: %+v", st.Lock)
+	}
+	// Abort of a non-winning request must not release someone else's
+	// lock.
+	p.OnMove(&st, "n1", MoveRequest{From: "n3", Block: 8})
+	p.Abort(&st, MoveRequest{From: "n4", Block: 9})
+	if !st.Lock.Held || st.Lock.Owner != "n3" {
+		t.Fatalf("foreign abort broke the lock: %+v", st.Lock)
+	}
+}
+
+func TestCompareNodesMajorityRule(t *testing.T) {
+	t.Parallel()
+	p := PolicyFor(PolicyCompareNodes)
+	var st ObjState
+	// First move: requester has 1 open move, current host 0 - migrate.
+	if d := p.OnMove(&st, "h", MoveRequest{From: "a", Block: 1}); d.Action != ActionMigrate {
+		t.Fatalf("first move: %+v, want migrate", d)
+	}
+	// Object now at "a". A move from "b" ties 1:1 - denied.
+	if d := p.OnMove(&st, "a", MoveRequest{From: "b", Block: 2}); d.Action != ActionDeny || d.Reason != ReasonOutvoted {
+		t.Fatalf("tying move: %+v, want deny/outvoted", d)
+	}
+	// A second move from "b" (another block on the same node) makes
+	// it 2:1 - migrate. This is the "may lead to a migration at some
+	// point later" behaviour the paper describes.
+	if d := p.OnMove(&st, "a", MoveRequest{From: "b", Block: 3}); d.Action != ActionMigrate {
+		t.Fatalf("majority move: %+v, want migrate", d)
+	}
+	if got := st.OpenMoves["b"]; got != 2 {
+		t.Fatalf("open moves at b = %d, want 2", got)
+	}
+	// Ends drain the counters and drop empty entries.
+	p.OnEnd(&st, "b", EndRequest{From: "b", Block: 2})
+	p.OnEnd(&st, "b", EndRequest{From: "b", Block: 3})
+	if _, ok := st.OpenMoves["b"]; ok {
+		t.Fatalf("drained counter not removed: %+v", st.OpenMoves)
+	}
+	// An unmatched end is harmless.
+	p.OnEnd(&st, "b", EndRequest{From: "zz", Block: 99})
+	if c := st.OpenMoves["zz"]; c != 0 {
+		t.Fatalf("unmatched end created count %d", c)
+	}
+}
+
+func TestCompareNodesNeverMigratesOnEnd(t *testing.T) {
+	t.Parallel()
+	p := PolicyFor(PolicyCompareNodes)
+	var st ObjState
+	p.OnMove(&st, "h", MoveRequest{From: "a", Block: 1})
+	p.OnMove(&st, "a", MoveRequest{From: "b", Block: 2})
+	p.OnMove(&st, "a", MoveRequest{From: "b", Block: 3})
+	// Object at "b" now; "a" ends its block. Even though counts may
+	// favour another node, plain compare-nodes never migrates on end.
+	if e := p.OnEnd(&st, "b", EndRequest{From: "a", Block: 1}); e.Migrate {
+		t.Fatalf("compare-nodes migrated on end: %+v", e)
+	}
+}
+
+func TestCompareReinstantiateMigratesOnEnd(t *testing.T) {
+	t.Parallel()
+	p := PolicyFor(PolicyCompareReinstantiate)
+	var st ObjState
+	// Two open moves at "b", one at "a"; object at "a".
+	p.OnMove(&st, "h", MoveRequest{From: "a", Block: 1}) // a:1, migrate to a
+	p.OnMove(&st, "a", MoveRequest{From: "b", Block: 2}) // b:1, deny
+	p.OnMove(&st, "a", MoveRequest{From: "b", Block: 3}) // b:2, migrate to b
+	// Suppose the driver kept it at "a" anyway (transfer raced); on
+	// a's end, b holds the clear majority 2:0 - migrate to b.
+	e := p.OnEnd(&st, "a", EndRequest{From: "a", Block: 1})
+	if !e.Migrate || e.MigrateTo != "b" {
+		t.Fatalf("end decision: %+v, want migrate to b", e)
+	}
+}
+
+func TestCompareReinstantiateNoMigrationOnTie(t *testing.T) {
+	t.Parallel()
+	p := PolicyFor(PolicyCompareReinstantiate)
+	var st ObjState
+	st.incOpen("b")
+	st.incOpen("c")
+	// b and c tie at 1; no clear majority.
+	if e := p.OnEnd(&st, "a", EndRequest{From: "zz", Block: 9}); e.Migrate {
+		t.Fatalf("tie migrated: %+v", e)
+	}
+	// Current host already holds the maximum: no migration.
+	st2 := ObjState{}
+	st2.incOpen("a")
+	st2.incOpen("a")
+	st2.incOpen("b")
+	if e := p.OnEnd(&st2, "a", EndRequest{From: "zz", Block: 9}); e.Migrate {
+		t.Fatalf("current-max migrated: %+v", e)
+	}
+}
+
+func TestObjStateClone(t *testing.T) {
+	t.Parallel()
+	st := ObjState{Fixed: true, Lock: LockState{Held: true, Owner: "n", Block: 4}}
+	st.incOpen("a")
+	c := st.Clone()
+	c.incOpen("a")
+	if st.OpenMoves["a"] != 1 || c.OpenMoves["a"] != 2 {
+		t.Fatalf("clone shares the map: orig=%v clone=%v", st.OpenMoves, c.OpenMoves)
+	}
+	if c.Lock != st.Lock || c.Fixed != st.Fixed {
+		t.Fatal("clone lost scalar state")
+	}
+}
+
+// TestPolicyDeterminism replays a random request sequence twice against
+// every policy and requires identical decisions and final state.
+func TestPolicyDeterminism(t *testing.T) {
+	t.Parallel()
+	kinds := []PolicyKind{
+		PolicySedentary, PolicyConventional, PolicyPlacement,
+		PolicyCompareNodes, PolicyCompareReinstantiate,
+	}
+	nodes := []NodeID{"a", "b", "c", "d"}
+	run := func(kind PolicyKind, seed int64) ([]string, ObjState) {
+		p := PolicyFor(kind)
+		r := rand.New(rand.NewSource(seed))
+		var st ObjState
+		cur := nodes[0]
+		var log []string
+		for i := 0; i < 300; i++ {
+			from := nodes[r.Intn(len(nodes))]
+			block := BlockID(r.Intn(10))
+			if r.Intn(3) == 0 {
+				e := p.OnEnd(&st, cur, EndRequest{From: from, Block: block})
+				if e.Migrate {
+					cur = e.MigrateTo
+				}
+				log = append(log, "end")
+			} else {
+				d := p.OnMove(&st, cur, MoveRequest{From: from, Block: block})
+				if d.Action == ActionMigrate {
+					cur = from
+				}
+				log = append(log, d.Action.goString())
+			}
+		}
+		return log, st
+	}
+	for _, kind := range kinds {
+		l1, s1 := run(kind, 42)
+		l2, s2 := run(kind, 42)
+		if !reflect.DeepEqual(l1, l2) || !reflect.DeepEqual(s1, s2) {
+			t.Fatalf("%v: nondeterministic decisions", kind)
+		}
+	}
+}
+
+func (a MoveAction) goString() string {
+	switch a {
+	case ActionDeny:
+		return "deny"
+	case ActionStay:
+		return "stay"
+	case ActionMigrate:
+		return "migrate"
+	}
+	return "?"
+}
+
+// TestOpenMovesNeverNegative drives the compare policies with random
+// move/end sequences and checks the counter invariants with
+// testing/quick.
+func TestOpenMovesNeverNegative(t *testing.T) {
+	t.Parallel()
+	f := func(seed int64, reinst bool) bool {
+		kind := PolicyCompareNodes
+		if reinst {
+			kind = PolicyCompareReinstantiate
+		}
+		p := PolicyFor(kind)
+		r := rand.New(rand.NewSource(seed))
+		nodes := []NodeID{"a", "b", "c"}
+		var st ObjState
+		cur := nodes[0]
+		for i := 0; i < 200; i++ {
+			from := nodes[r.Intn(len(nodes))]
+			block := BlockID(r.Intn(5))
+			if r.Intn(2) == 0 {
+				d := p.OnMove(&st, cur, MoveRequest{From: from, Block: block})
+				if d.Action == ActionMigrate {
+					cur = from
+				}
+			} else {
+				e := p.OnEnd(&st, cur, EndRequest{From: from, Block: block})
+				if e.Migrate {
+					cur = e.MigrateTo
+				}
+			}
+			for n, c := range st.OpenMoves {
+				if c <= 0 {
+					t.Logf("node %v has count %d", n, c)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlacementSingleOwnerInvariant checks with testing/quick that the
+// placement lock always has exactly zero or one owner and that a grant
+// is only given when the lock is free.
+func TestPlacementSingleOwnerInvariant(t *testing.T) {
+	t.Parallel()
+	f := func(seed int64) bool {
+		p := PolicyFor(PolicyPlacement)
+		r := rand.New(rand.NewSource(seed))
+		nodes := []NodeID{"a", "b", "c"}
+		var st ObjState
+		cur := nodes[0]
+		granted := map[BlockID]bool{}
+		for i := 0; i < 200; i++ {
+			from := nodes[r.Intn(len(nodes))]
+			block := BlockID(i) // unique per block, like real move-blocks
+			if r.Intn(3) != 0 {
+				before := st.Lock
+				d := p.OnMove(&st, cur, MoveRequest{From: from, Block: block})
+				switch d.Action {
+				case ActionMigrate, ActionStay:
+					if before.Held && before.Block != block {
+						return false // granted over a held lock
+					}
+					granted[block] = true
+					if d.Action == ActionMigrate {
+						cur = from
+					}
+				case ActionDeny:
+					if st.Lock != before {
+						return false // deny must not change the lock
+					}
+				}
+			} else if len(granted) > 0 {
+				// End a random granted block from its owner.
+				for b := range granted {
+					if st.Lock.Held && st.Lock.Block == b {
+						p.OnEnd(&st, cur, EndRequest{From: st.Lock.Owner, Block: b})
+					}
+					delete(granted, b)
+					break
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

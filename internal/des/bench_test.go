@@ -1,0 +1,61 @@
+package des
+
+import "testing"
+
+// BenchmarkEventThroughput measures the kernel's raw event rate: the
+// handoff cost dominates simulation time, so this number bounds every
+// experiment's speed.
+func BenchmarkEventThroughput(b *testing.B) {
+	k := NewKernel()
+	k.Spawn("ticker", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	k.Run(-1)
+	b.StopTimer()
+	k.Shutdown()
+}
+
+// BenchmarkCondBroadcast measures waking a cohort of waiters.
+func BenchmarkCondBroadcast(b *testing.B) {
+	const waiters = 16
+	k := NewKernel()
+	c := k.NewCond()
+	for i := 0; i < waiters; i++ {
+		k.Spawn("waiter", func(p *Proc) {
+			for j := 0; j < b.N; j++ {
+				p.Wait(c)
+			}
+		})
+	}
+	k.Spawn("beater", func(p *Proc) {
+		for j := 0; j < b.N; j++ {
+			p.Sleep(1)
+			c.Broadcast()
+		}
+		// Release anyone still parked on the final round.
+		p.Sleep(1)
+		c.Broadcast()
+	})
+	b.ResetTimer()
+	k.Run(-1)
+	b.StopTimer()
+	k.Shutdown()
+}
+
+// BenchmarkSpawn measures process creation and teardown.
+func BenchmarkSpawn(b *testing.B) {
+	k := NewKernel()
+	k.Spawn("spawner", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Kernel().Spawn("child", func(c *Proc) {})
+			p.Sleep(0)
+		}
+	})
+	b.ResetTimer()
+	k.Run(-1)
+	b.StopTimer()
+	k.Shutdown()
+}

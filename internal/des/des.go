@@ -1,0 +1,276 @@
+// Package des implements a deterministic, process-oriented
+// discrete-event simulation kernel.
+//
+// Processes are goroutines, but the kernel guarantees that at most one
+// goroutine (either the kernel itself or exactly one process) runs at
+// any moment: control is handed over explicitly through unbuffered
+// channels, so execution is fully deterministic for a given program and
+// event schedule. Simultaneous events fire in schedule order (FIFO,
+// implemented with a monotonically increasing sequence number).
+//
+// Simulated time is a dimensionless float64. The paper normalises all
+// durations to the mean duration of one remote invocation message, so
+// model time deliberately is not a time.Duration.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// stopPanic is the sentinel used to unwind a process when the kernel
+// shuts down. It is recovered by the process wrapper and never escapes
+// the package.
+type stopPanic struct{}
+
+// Proc is the handle a simulation process uses to interact with the
+// kernel: sleeping, waiting on conditions and reading the clock. A Proc
+// must only be used from within the process function it was passed to.
+type Proc struct {
+	k       *Kernel
+	name    string
+	resume  chan bool // kernel -> proc; value true means "stop"
+	pending bool      // proc has an event in the kernel heap
+	ended   bool
+}
+
+// Name returns the process name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() float64 { return p.k.now }
+
+// Kernel returns the kernel the process runs under.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// event is a scheduled wake-up of a process.
+type event struct {
+	t   float64
+	seq uint64
+	p   *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulation kernel. The zero value is not
+// usable; construct with NewKernel. A Kernel must be driven from a
+// single goroutine; the deterministic handshake protocol is the only
+// concurrency control.
+type Kernel struct {
+	now      float64
+	events   eventHeap
+	seq      uint64
+	yield    chan struct{} // proc -> kernel: "parked or finished"
+	live     int           // spawned, not-yet-finished processes
+	conds    []*Cond
+	stopping bool
+	failure  interface{} // process panic, re-raised by the kernel loop
+}
+
+// NewKernel returns a fresh kernel at time 0.
+func NewKernel() *Kernel {
+	return &Kernel{yield: make(chan struct{})}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() float64 { return k.now }
+
+// Live returns the number of processes that have been spawned and have
+// not yet finished.
+func (k *Kernel) Live() int { return k.live }
+
+// Spawn creates a new process and schedules its start at the current
+// simulated time. It may be called before Run or from inside a running
+// process.
+func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{k: k, name: name, resume: make(chan bool)}
+	k.live++
+	go func() {
+		if stop := <-p.resume; stop {
+			k.finish(p)
+			return
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(stopPanic); !ok {
+					k.failure = fmt.Sprintf("process %q panicked: %v", p.name, r)
+				}
+			}
+			k.finish(p)
+		}()
+		fn(p)
+	}()
+	k.schedule(k.now, p)
+	return p
+}
+
+// finish marks the process ended and returns control to the kernel. It
+// runs on the process goroutine as its final act.
+func (k *Kernel) finish(p *Proc) {
+	p.ended = true
+	k.live--
+	k.yield <- struct{}{}
+}
+
+// schedule enqueues a wake-up for p at time t. A process may have at
+// most one pending event; violating this is a kernel-usage bug.
+func (k *Kernel) schedule(t float64, p *Proc) {
+	if p.pending {
+		panic(fmt.Sprintf("des: process %q scheduled twice", p.name))
+	}
+	p.pending = true
+	k.seq++
+	heap.Push(&k.events, event{t: t, seq: k.seq, p: p})
+}
+
+// park hands control back to the kernel and blocks until the process is
+// resumed. If the kernel is shutting down it unwinds the process.
+func (p *Proc) park() {
+	p.k.yield <- struct{}{}
+	if stop := <-p.resume; stop {
+		panic(stopPanic{})
+	}
+}
+
+// Sleep suspends the process for d units of simulated time. Negative
+// durations are treated as zero.
+func (p *Proc) Sleep(d float64) {
+	if p.k.stopping {
+		panic(stopPanic{})
+	}
+	if d < 0 {
+		d = 0
+	}
+	p.k.schedule(p.k.now+d, p)
+	p.park()
+}
+
+// Yield suspends the process until all events already scheduled for the
+// current instant have fired.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Run executes events until the event queue is empty or the clock would
+// exceed until (pass a negative value to run to exhaustion). It returns
+// the time of the last executed event. Run re-raises any process panic.
+func (k *Kernel) Run(until float64) float64 {
+	for len(k.events) > 0 {
+		e := heap.Pop(&k.events).(event)
+		if until >= 0 && e.t > until {
+			heap.Push(&k.events, e) // the simulation may be resumed later
+			k.now = until
+			return k.now
+		}
+		k.now = e.t
+		e.p.pending = false
+		e.p.resume <- false
+		<-k.yield
+		if k.failure != nil {
+			f := k.failure
+			k.failure = nil
+			panic(f)
+		}
+	}
+	return k.now
+}
+
+// Shutdown unwinds every live process so their goroutines exit. It must
+// be called when the kernel is no longer needed; afterwards the kernel
+// must not be used again.
+func (k *Kernel) Shutdown() {
+	k.stopping = true
+	for k.live > 0 {
+		progressed := false
+		for len(k.events) > 0 {
+			e := heap.Pop(&k.events).(event)
+			if e.p.ended {
+				continue
+			}
+			e.p.pending = false
+			e.p.resume <- true
+			<-k.yield
+			progressed = true
+		}
+		for _, c := range k.conds {
+			waiters := c.waiters
+			c.waiters = nil
+			for _, w := range waiters {
+				if w.ended || w.pending {
+					continue
+				}
+				w.resume <- true
+				<-k.yield
+				progressed = true
+			}
+		}
+		if !progressed {
+			break // no live process is reachable; avoid spinning
+		}
+	}
+	k.conds = nil
+}
+
+// Cond is a simulation condition variable: processes Wait on it and are
+// woken, in FIFO order at the current instant, by Signal or Broadcast.
+type Cond struct {
+	k       *Kernel
+	waiters []*Proc
+}
+
+// NewCond returns a condition variable bound to the kernel.
+func (k *Kernel) NewCond() *Cond {
+	c := &Cond{k: k}
+	k.conds = append(k.conds, c)
+	return c
+}
+
+// Wait suspends the process until the condition is signalled. As with
+// sync.Cond, callers must re-check their predicate in a loop: a
+// broadcast wakes every waiter regardless of why it waited.
+func (p *Proc) Wait(c *Cond) {
+	if p.k.stopping {
+		panic(stopPanic{})
+	}
+	c.waiters = append(c.waiters, p)
+	p.park()
+}
+
+// Broadcast wakes all current waiters. They run at the current instant,
+// in the order they started waiting, after the caller next yields.
+func (c *Cond) Broadcast() {
+	for _, w := range c.waiters {
+		if w.ended {
+			continue
+		}
+		c.k.schedule(c.k.now, w)
+	}
+	c.waiters = c.waiters[:0]
+}
+
+// Signal wakes the longest-waiting process, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	if !w.ended {
+		c.k.schedule(c.k.now, w)
+	}
+}

@@ -1,0 +1,272 @@
+package des
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestSleepAdvancesClock(t *testing.T) {
+	t.Parallel()
+	k := NewKernel()
+	var wake []float64
+	k.Spawn("a", func(p *Proc) {
+		p.Sleep(1.5)
+		wake = append(wake, p.Now())
+		p.Sleep(2.5)
+		wake = append(wake, p.Now())
+	})
+	end := k.Run(-1)
+	k.Shutdown()
+	want := []float64{1.5, 4.0}
+	if !reflect.DeepEqual(wake, want) {
+		t.Fatalf("wake times = %v, want %v", wake, want)
+	}
+	if end != 4.0 {
+		t.Fatalf("end time = %v, want 4", end)
+	}
+}
+
+func TestEventOrderingAndFIFOTies(t *testing.T) {
+	t.Parallel()
+	k := NewKernel()
+	var order []string
+	for i := 0; i < 5; i++ {
+		name := fmt.Sprintf("p%d", i)
+		k.Spawn(name, func(p *Proc) {
+			p.Sleep(1) // all wake at t=1; must run in spawn order
+			order = append(order, p.Name())
+		})
+	}
+	k.Run(-1)
+	k.Shutdown()
+	want := []string{"p0", "p1", "p2", "p3", "p4"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestCondBroadcastWakesAllFIFO(t *testing.T) {
+	t.Parallel()
+	k := NewKernel()
+	c := k.NewCond()
+	var order []string
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("w%d", i)
+		k.Spawn(name, func(p *Proc) {
+			p.Wait(c)
+			order = append(order, p.Name()+fmt.Sprintf("@%v", p.Now()))
+		})
+	}
+	k.Spawn("broadcaster", func(p *Proc) {
+		p.Sleep(3)
+		c.Broadcast()
+	})
+	k.Run(-1)
+	k.Shutdown()
+	want := []string{"w0@3", "w1@3", "w2@3"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestCondSignalWakesOne(t *testing.T) {
+	t.Parallel()
+	k := NewKernel()
+	c := k.NewCond()
+	woken := 0
+	for i := 0; i < 3; i++ {
+		k.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+			p.Wait(c)
+			woken++
+		})
+	}
+	k.Spawn("signaller", func(p *Proc) {
+		p.Sleep(1)
+		c.Signal()
+	})
+	k.Run(-1)
+	if woken != 1 {
+		t.Fatalf("woken = %d, want 1", woken)
+	}
+	k.Shutdown()
+	if k.Live() != 0 {
+		t.Fatalf("Live = %d after Shutdown, want 0", k.Live())
+	}
+}
+
+func TestWaitPredicateLoop(t *testing.T) {
+	t.Parallel()
+	k := NewKernel()
+	c := k.NewCond()
+	ready := false
+	var observed float64
+	k.Spawn("consumer", func(p *Proc) {
+		for !ready {
+			p.Wait(c)
+		}
+		observed = p.Now()
+	})
+	k.Spawn("teaser", func(p *Proc) {
+		p.Sleep(1)
+		c.Broadcast() // predicate still false; consumer must re-wait
+		p.Sleep(1)
+		ready = true
+		c.Broadcast()
+	})
+	k.Run(-1)
+	k.Shutdown()
+	if observed != 2 {
+		t.Fatalf("consumer proceeded at t=%v, want 2", observed)
+	}
+}
+
+func TestRunUntilIsResumable(t *testing.T) {
+	t.Parallel()
+	k := NewKernel()
+	var ticks []float64
+	k.Spawn("ticker", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(10)
+			ticks = append(ticks, p.Now())
+		}
+	})
+	k.Run(25)
+	if len(ticks) != 2 {
+		t.Fatalf("after Run(25): %d ticks, want 2", len(ticks))
+	}
+	if now := k.Now(); now != 25 {
+		t.Fatalf("Now = %v, want 25", now)
+	}
+	k.Run(-1)
+	k.Shutdown()
+	if len(ticks) != 5 {
+		t.Fatalf("after full run: %d ticks, want 5", len(ticks))
+	}
+}
+
+func TestSpawnFromWithinProcess(t *testing.T) {
+	t.Parallel()
+	k := NewKernel()
+	var childTime float64
+	k.Spawn("parent", func(p *Proc) {
+		p.Sleep(2)
+		p.Kernel().Spawn("child", func(c *Proc) {
+			c.Sleep(3)
+			childTime = c.Now()
+		})
+	})
+	k.Run(-1)
+	k.Shutdown()
+	if childTime != 5 {
+		t.Fatalf("child finished at %v, want 5", childTime)
+	}
+}
+
+func TestShutdownTerminatesBlockedProcesses(t *testing.T) {
+	t.Parallel()
+	k := NewKernel()
+	c := k.NewCond()
+	k.Spawn("sleeper", func(p *Proc) { p.Sleep(1e18) })
+	k.Spawn("waiter", func(p *Proc) { p.Wait(c) })
+	k.Run(10)
+	k.Shutdown()
+	if k.Live() != 0 {
+		t.Fatalf("Live = %d after Shutdown, want 0", k.Live())
+	}
+}
+
+func TestProcessPanicPropagates(t *testing.T) {
+	t.Parallel()
+	k := NewKernel()
+	k.Spawn("bomb", func(p *Proc) {
+		p.Sleep(1)
+		panic("boom")
+	})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("Run did not propagate process panic")
+		}
+		k.Shutdown()
+	}()
+	k.Run(-1)
+}
+
+func TestNegativeSleepIsZero(t *testing.T) {
+	t.Parallel()
+	k := NewKernel()
+	var at float64
+	k.Spawn("p", func(p *Proc) {
+		p.Sleep(-5)
+		at = p.Now()
+	})
+	k.Run(-1)
+	k.Shutdown()
+	if at != 0 {
+		t.Fatalf("woke at %v, want 0", at)
+	}
+}
+
+// TestDeterminism runs a randomized workload twice with the same seed
+// and requires the full event trace to be identical.
+func TestDeterminism(t *testing.T) {
+	t.Parallel()
+	trace := func(seed int64) []string {
+		k := NewKernel()
+		c := k.NewCond()
+		var log []string
+		for i := 0; i < 8; i++ {
+			name := fmt.Sprintf("p%d", i)
+			r := rand.New(rand.NewSource(seed + int64(i)))
+			k.Spawn(name, func(p *Proc) {
+				for j := 0; j < 20; j++ {
+					switch r.Intn(3) {
+					case 0:
+						p.Sleep(r.Float64() * 3)
+					case 1:
+						c.Broadcast()
+						p.Sleep(0.1)
+					case 2:
+						if r.Intn(2) == 0 {
+							p.Wait(c)
+						} else {
+							p.Sleep(r.Float64())
+						}
+					}
+					log = append(log, fmt.Sprintf("%s@%.9f", p.Name(), p.Now()))
+				}
+			})
+		}
+		// A pacemaker guarantees waiters are eventually released.
+		k.Spawn("pacemaker", func(p *Proc) {
+			for i := 0; i < 500; i++ {
+				p.Sleep(0.5)
+				c.Broadcast()
+			}
+		})
+		k.Run(-1)
+		k.Shutdown()
+		return log
+	}
+	a, b := trace(99), trace(99)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical seeds produced different event traces")
+	}
+}
+
+func TestLiveCount(t *testing.T) {
+	t.Parallel()
+	k := NewKernel()
+	for i := 0; i < 4; i++ {
+		k.Spawn("p", func(p *Proc) { p.Sleep(1) })
+	}
+	if k.Live() != 4 {
+		t.Fatalf("Live = %d before run, want 4", k.Live())
+	}
+	k.Run(-1)
+	if k.Live() != 0 {
+		t.Fatalf("Live = %d after run, want 0", k.Live())
+	}
+	k.Shutdown()
+}

@@ -1,0 +1,22 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+
+	"objmig/internal/core"
+)
+
+func TestDebug(t *testing.T) {
+	t.Parallel()
+	r := New("n1")
+	id := core.OID{Origin: "n1", Seq: 4}
+	r.Created(id)
+	r.Departed(id, "n2")
+	out := r.Debug(id)
+	for _, want := range []string{"self=n1", `home="n2"(true)`, `fwd="n2"(true)`, `cache=""(false)`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Debug = %q missing %q", out, want)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package registry
+
+import (
+	"sync"
+	"testing"
+
+	"objmig/internal/core"
+)
+
+func oid(origin string, seq uint64) core.OID {
+	return core.OID{Origin: core.NodeID(origin), Seq: seq}
+}
+
+func TestCreatedAndHint(t *testing.T) {
+	t.Parallel()
+	r := New("n1")
+	id := oid("n1", 1)
+	r.Created(id)
+	if at, ok := r.Home(id); !ok || at != "n1" {
+		t.Fatalf("home = %v, %v", at, ok)
+	}
+	if got := r.Hint(id); got != "n1" {
+		t.Fatalf("hint = %v, want n1", got)
+	}
+}
+
+func TestDepartureInstallsForwardAndUpdatesHome(t *testing.T) {
+	t.Parallel()
+	r := New("n1")
+	id := oid("n1", 1)
+	r.Created(id)
+	r.Departed(id, "n2")
+	if to, ok := r.Forward(id); !ok || to != "n2" {
+		t.Fatalf("forward = %v, %v", to, ok)
+	}
+	if at, _ := r.Home(id); at != "n2" {
+		t.Fatalf("home after departure = %v", at)
+	}
+	if got := r.Hint(id); got != "n2" {
+		t.Fatalf("hint = %v", got)
+	}
+}
+
+func TestArrivalClearsForward(t *testing.T) {
+	t.Parallel()
+	r := New("n1")
+	id := oid("n1", 1)
+	r.Created(id)
+	r.Departed(id, "n2")
+	r.Arrived(id) // came back
+	if _, ok := r.Forward(id); ok {
+		t.Fatal("forward survived arrival")
+	}
+	if at, _ := r.Home(id); at != "n1" {
+		t.Fatalf("home = %v, want n1", at)
+	}
+}
+
+func TestForeignObjectLifecycle(t *testing.T) {
+	t.Parallel()
+	r := New("n2")
+	id := oid("n1", 7)
+	// Unknown foreign object: hint falls back to its origin.
+	if got := r.Hint(id); got != "n1" {
+		t.Fatalf("hint = %v, want origin n1", got)
+	}
+	r.Learn(id, "n5")
+	if got := r.Hint(id); got != "n5" {
+		t.Fatalf("hint = %v, want cached n5", got)
+	}
+	r.Invalidate(id)
+	if got := r.Hint(id); got != "n1" {
+		t.Fatalf("hint after invalidate = %v, want n1", got)
+	}
+	// Hosting the foreign object, then sending it on.
+	r.Arrived(id)
+	r.Departed(id, "n9")
+	if got := r.Hint(id); got != "n9" {
+		t.Fatalf("hint = %v, want forward n9", got)
+	}
+	if at, ok := r.Home(id); ok {
+		t.Fatalf("foreign object entered home index: %v", at)
+	}
+}
+
+func TestLearnIgnoresSelfAndEmpty(t *testing.T) {
+	t.Parallel()
+	r := New("n2")
+	id := oid("n1", 7)
+	r.Learn(id, "")
+	r.Learn(id, "n2")
+	if got := r.Hint(id); got != "n1" {
+		t.Fatalf("hint = %v, want origin", got)
+	}
+}
+
+func TestHomeUpdate(t *testing.T) {
+	t.Parallel()
+	r := New("n1")
+	mine := oid("n1", 1)
+	foreign := oid("nX", 2)
+	r.Created(mine)
+	r.HomeUpdate([]core.OID{mine, foreign}, "n4")
+	if at, _ := r.Home(mine); at != "n4" {
+		t.Fatalf("home = %v, want n4", at)
+	}
+	if _, ok := r.Home(foreign); ok {
+		t.Fatal("foreign object accepted into home index")
+	}
+	if got := r.Hint(mine); got != "n4" {
+		t.Fatalf("hint = %v, want n4", got)
+	}
+}
+
+func TestForwardBeatsCache(t *testing.T) {
+	t.Parallel()
+	r := New("n2")
+	id := oid("n1", 3)
+	r.Learn(id, "n5")
+	r.Arrived(id)
+	r.Departed(id, "n6")
+	if got := r.Hint(id); got != "n6" {
+		t.Fatalf("hint = %v, want forward n6 over stale cache", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	t.Parallel()
+	r := New("n1")
+	r.Created(oid("n1", 1))
+	r.Learn(oid("n9", 1), "n3")
+	r.Arrived(oid("n9", 2))
+	r.Departed(oid("n9", 2), "n4")
+	h, f, c := r.Stats()
+	if h != 1 || f != 1 || c != 1 {
+		t.Fatalf("stats = %d, %d, %d", h, f, c)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	t.Parallel()
+	r := New("n1")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := oid("n1", uint64(i%10))
+				switch g % 4 {
+				case 0:
+					r.Created(id)
+				case 1:
+					r.Departed(id, "n2")
+				case 2:
+					r.Hint(id)
+				case 3:
+					r.Arrived(id)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,388 @@
+// Package rpc multiplexes request/response exchanges over a
+// transport.Conn: every in-flight call has an ID, responses are matched
+// to pending calls, and inbound requests are dispatched to a handler in
+// their own goroutine (invocations may block on object locks and
+// migrations, so the read loop must never be held up).
+//
+// Frame layout:
+//
+//	[1B direction][8B big-endian call ID][payload]
+//
+// direction 0 carries a request ([1B kind][body]); direction 1 a
+// successful response ([body]); direction 2 a failed response
+// (gob-encoded wire.RemoteError).
+package rpc
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"objmig/internal/transport"
+	"objmig/internal/wire"
+)
+
+const (
+	dirRequest = 0
+	dirOK      = 1
+	dirErr     = 2
+)
+
+// ErrPeerClosed is returned by calls whose peer shut down before a
+// response arrived.
+var ErrPeerClosed = errors.New("rpc: peer closed")
+
+// Handler processes one inbound request and returns the response body.
+// Returning a *wire.RemoteError preserves the error code across the
+// wire; any other error is wrapped as CodeInternal.
+type Handler func(ctx context.Context, kind wire.Kind, body []byte) ([]byte, error)
+
+// Peer manages one connection: concurrent outbound calls and inbound
+// request dispatch.
+type Peer struct {
+	conn    transport.Conn
+	handler Handler
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	pending map[uint64]chan callResult
+	nextID  uint64
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+type callResult struct {
+	body []byte
+	err  error
+}
+
+// NewPeer wraps a connection. handler may be nil for client-only peers
+// (inbound requests are then rejected). The peer owns the connection
+// and closes it on Close.
+func NewPeer(conn transport.Conn, handler Handler) *Peer {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Peer{
+		conn:    conn,
+		handler: handler,
+		ctx:     ctx,
+		cancel:  cancel,
+		pending: make(map[uint64]chan callResult),
+	}
+	p.wg.Add(1)
+	go p.readLoop()
+	return p
+}
+
+// Call sends a request and blocks for its response, the context's
+// cancellation, or peer shutdown.
+func (p *Peer) Call(ctx context.Context, kind wire.Kind, body []byte) ([]byte, error) {
+	ch := make(chan callResult, 1)
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrPeerClosed
+	}
+	p.nextID++
+	id := p.nextID
+	p.pending[id] = ch
+	p.mu.Unlock()
+
+	frame := make([]byte, 1+8+1+len(body))
+	frame[0] = dirRequest
+	binary.BigEndian.PutUint64(frame[1:9], id)
+	frame[9] = byte(kind)
+	copy(frame[10:], body)
+	if err := p.conn.Send(frame); err != nil {
+		p.forget(id)
+		return nil, fmt.Errorf("rpc: send: %w", err)
+	}
+
+	select {
+	case r := <-ch:
+		return r.body, r.err
+	case <-ctx.Done():
+		p.forget(id)
+		return nil, ctx.Err()
+	}
+}
+
+// forget drops a pending call registration.
+func (p *Peer) forget(id uint64) {
+	p.mu.Lock()
+	delete(p.pending, id)
+	p.mu.Unlock()
+}
+
+// readLoop receives frames until the connection dies, dispatching
+// requests and completing pending calls.
+func (p *Peer) readLoop() {
+	defer p.wg.Done()
+	for {
+		frame, err := p.conn.Recv()
+		if err != nil {
+			p.failAll(err)
+			return
+		}
+		if len(frame) < 9 {
+			p.failAll(fmt.Errorf("rpc: short frame (%d bytes)", len(frame)))
+			return
+		}
+		dir := frame[0]
+		id := binary.BigEndian.Uint64(frame[1:9])
+		payload := frame[9:]
+		switch dir {
+		case dirRequest:
+			if len(payload) < 1 {
+				continue
+			}
+			kind := wire.Kind(payload[0])
+			body := payload[1:]
+			p.wg.Add(1)
+			go func() {
+				defer p.wg.Done()
+				p.serve(id, kind, body)
+			}()
+		case dirOK, dirErr:
+			p.mu.Lock()
+			ch, ok := p.pending[id]
+			delete(p.pending, id)
+			p.mu.Unlock()
+			if !ok {
+				continue // caller gave up (context cancelled)
+			}
+			if dir == dirOK {
+				ch <- callResult{body: payload}
+			} else {
+				ch <- callResult{err: decodeError(payload)}
+			}
+		}
+	}
+}
+
+// serve runs the handler for one request and sends the response.
+func (p *Peer) serve(id uint64, kind wire.Kind, body []byte) {
+	var (
+		res []byte
+		err error
+	)
+	if p.handler == nil {
+		err = wire.Errorf(wire.CodeBadRequest, "peer does not serve requests")
+	} else if !kind.Valid() {
+		err = wire.Errorf(wire.CodeBadRequest, "unknown request kind %d", kind)
+	} else {
+		res, err = p.handler(p.ctx, kind, body)
+	}
+	var frame []byte
+	if err != nil {
+		var re *wire.RemoteError
+		if !errors.As(err, &re) {
+			re = wire.Errorf(wire.CodeInternal, "%v", err)
+		}
+		enc, mErr := wire.Marshal(re)
+		if mErr != nil {
+			enc, _ = wire.Marshal(wire.Errorf(wire.CodeInternal, "unencodable error"))
+		}
+		frame = make([]byte, 9+len(enc))
+		frame[0] = dirErr
+		copy(frame[9:], enc)
+	} else {
+		frame = make([]byte, 9+len(res))
+		frame[0] = dirOK
+		copy(frame[9:], res)
+	}
+	binary.BigEndian.PutUint64(frame[1:9], id)
+	// A send failure means the connection is dying; the read loop
+	// will fail all pending calls, nothing more to do here.
+	_ = p.conn.Send(frame)
+}
+
+// decodeError reconstructs the remote error from a dirErr payload.
+func decodeError(payload []byte) error {
+	var re wire.RemoteError
+	if err := wire.Unmarshal(payload, &re); err != nil {
+		return fmt.Errorf("rpc: undecodable remote error: %w", err)
+	}
+	return &re
+}
+
+// failAll terminates every pending call with err and marks the peer
+// closed.
+func (p *Peer) failAll(err error) {
+	p.cancel()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	for id, ch := range p.pending {
+		ch <- callResult{err: fmt.Errorf("%w: %v", ErrPeerClosed, err)}
+		delete(p.pending, id)
+	}
+}
+
+// Closed reports whether the peer has shut down.
+func (p *Peer) Closed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
+// Close tears the peer down and waits for its goroutines (read loop and
+// in-flight handlers) to finish.
+func (p *Peer) Close() error {
+	p.cancel()
+	err := p.conn.Close()
+	p.wg.Wait()
+	p.failAll(ErrPeerClosed)
+	return err
+}
+
+// Server accepts inbound connections and serves them with a handler.
+type Server struct {
+	l       transport.Listener
+	handler Handler
+
+	mu    sync.Mutex
+	peers map[*Peer]struct{}
+	done  bool
+
+	wg sync.WaitGroup
+}
+
+// Serve starts accepting connections on l.
+func Serve(l transport.Listener, handler Handler) *Server {
+	s := &Server{l: l, handler: handler, peers: make(map[*Peer]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() string { return s.l.Addr() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.l.Accept()
+		if err != nil {
+			return
+		}
+		p := NewPeer(conn, s.handler)
+		s.mu.Lock()
+		if s.done {
+			s.mu.Unlock()
+			_ = p.Close()
+			return
+		}
+		s.peers[p] = struct{}{}
+		s.mu.Unlock()
+	}
+}
+
+// Close stops accepting and closes every live peer.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return nil
+	}
+	s.done = true
+	peers := make([]*Peer, 0, len(s.peers))
+	for p := range s.peers {
+		peers = append(peers, p)
+	}
+	s.peers = nil
+	s.mu.Unlock()
+	err := s.l.Close()
+	for _, p := range peers {
+		_ = p.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Pool maintains client connections keyed by address, dialling lazily
+// and re-dialling after failures.
+type Pool struct {
+	tr transport.Transport
+
+	mu    sync.Mutex
+	conns map[string]*Peer
+	done  bool
+}
+
+// NewPool returns an empty pool over the transport.
+func NewPool(tr transport.Transport) *Pool {
+	return &Pool{tr: tr, conns: make(map[string]*Peer)}
+}
+
+// Call sends one request to addr, dialling if needed. Dead peers are
+// evicted and re-dialled on the next call.
+func (p *Pool) Call(ctx context.Context, addr string, kind wire.Kind, body []byte) ([]byte, error) {
+	peer, err := p.get(addr)
+	if err != nil {
+		return nil, err
+	}
+	res, err := peer.Call(ctx, kind, body)
+	if errors.Is(err, ErrPeerClosed) {
+		p.evict(addr, peer)
+	}
+	return res, err
+}
+
+func (p *Pool) get(addr string) (*Peer, error) {
+	p.mu.Lock()
+	if p.done {
+		p.mu.Unlock()
+		return nil, ErrPeerClosed
+	}
+	if peer, ok := p.conns[addr]; ok && !peer.Closed() {
+		p.mu.Unlock()
+		return peer, nil
+	}
+	p.mu.Unlock()
+
+	conn, err := p.tr.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+	}
+	peer := NewPeer(conn, nil)
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.done {
+		go func() { _ = peer.Close() }()
+		return nil, ErrPeerClosed
+	}
+	if existing, ok := p.conns[addr]; ok && !existing.Closed() {
+		// Lost a dial race; keep the existing peer.
+		go func() { _ = peer.Close() }()
+		return existing, nil
+	}
+	p.conns[addr] = peer
+	return peer, nil
+}
+
+func (p *Pool) evict(addr string, peer *Peer) {
+	p.mu.Lock()
+	if p.conns[addr] == peer {
+		delete(p.conns, addr)
+	}
+	p.mu.Unlock()
+}
+
+// Close closes every pooled connection.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	p.done = true
+	conns := p.conns
+	p.conns = map[string]*Peer{}
+	p.mu.Unlock()
+	for _, peer := range conns {
+		_ = peer.Close()
+	}
+	return nil
+}

@@ -1,0 +1,256 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"objmig/internal/transport"
+	"objmig/internal/wire"
+)
+
+// echoHandler replies with the request body; kind KPing with payload
+// "fail" returns a typed error; "slow" blocks until the context dies.
+func echoHandler(ctx context.Context, kind wire.Kind, body []byte) ([]byte, error) {
+	switch string(body) {
+	case "fail":
+		return nil, wire.Errorf(wire.CodeFixed, "nope")
+	case "boom":
+		return nil, errors.New("plain failure")
+	case "slow":
+		<-ctx.Done()
+		return nil, ctx.Err()
+	default:
+		return body, nil
+	}
+}
+
+// pipe builds a served listener and a pool on a fresh in-memory
+// network, returning the address.
+func pipe(t *testing.T, h Handler) (*Server, *Pool, string) {
+	t.Helper()
+	tr := transport.NewNetwork().Transport()
+	l, err := tr.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(l, h)
+	pool := NewPool(tr)
+	t.Cleanup(func() {
+		_ = pool.Close()
+		_ = srv.Close()
+	})
+	return srv, pool, l.Addr()
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	t.Parallel()
+	_, pool, addr := pipe(t, echoHandler)
+	res, err := pool.Call(context.Background(), addr, wire.KPing, []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res) != "hello" {
+		t.Fatalf("res = %q", res)
+	}
+}
+
+func TestTypedErrorCrossesWire(t *testing.T) {
+	t.Parallel()
+	_, pool, addr := pipe(t, echoHandler)
+	_, err := pool.Call(context.Background(), addr, wire.KPing, []byte("fail"))
+	var re *wire.RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v is not a RemoteError", err)
+	}
+	if re.Code != wire.CodeFixed || re.Msg != "nope" {
+		t.Fatalf("remote error = %+v", re)
+	}
+}
+
+func TestPlainErrorBecomesInternal(t *testing.T) {
+	t.Parallel()
+	_, pool, addr := pipe(t, echoHandler)
+	_, err := pool.Call(context.Background(), addr, wire.KPing, []byte("boom"))
+	var re *wire.RemoteError
+	if !errors.As(err, &re) || re.Code != wire.CodeInternal {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	t.Parallel()
+	_, pool, addr := pipe(t, echoHandler)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			msg := fmt.Sprintf("msg-%d", i)
+			res, err := pool.Call(context.Background(), addr, wire.KPing, []byte(msg))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if string(res) != msg {
+				errs <- fmt.Errorf("mismatched response %q for %q", res, msg)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	t.Parallel()
+	_, pool, addr := pipe(t, echoHandler)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := pool.Call(ctx, addr, wire.KPing, []byte("slow"))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("cancellation took far too long")
+	}
+	// The peer must still work for subsequent calls.
+	res, err := pool.Call(context.Background(), addr, wire.KPing, []byte("after"))
+	if err != nil || string(res) != "after" {
+		t.Fatalf("call after cancellation: %q, %v", res, err)
+	}
+}
+
+func TestServerCloseFailsPendingCalls(t *testing.T) {
+	t.Parallel()
+	srv, pool, addr := pipe(t, echoHandler)
+	done := make(chan error, 1)
+	go func() {
+		_, err := pool.Call(context.Background(), addr, wire.KPing, []byte("slow"))
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	_ = srv.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("pending call succeeded across server close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pending call not failed by server close")
+	}
+}
+
+func TestPoolRedialsAfterPeerDeath(t *testing.T) {
+	t.Parallel()
+	tr := transport.NewNetwork().Transport()
+	l, err := tr.Listen("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(l, echoHandler)
+	pool := NewPool(tr)
+	defer pool.Close()
+
+	if _, err := pool.Call(context.Background(), "svc", wire.KPing, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	_ = srv.Close()
+	// First call after death may fail while the dead peer is evicted.
+	_, _ = pool.Call(context.Background(), "svc", wire.KPing, []byte("b"))
+
+	l2, err := tr.Listen("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := Serve(l2, echoHandler)
+	defer srv2.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		res, err := pool.Call(context.Background(), "svc", wire.KPing, []byte("c"))
+		if err == nil && string(res) == "c" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pool never recovered: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestClientOnlyPeerRejectsRequests(t *testing.T) {
+	t.Parallel()
+	tr := transport.NewNetwork().Transport()
+	l, err := tr.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The "server" here dials back through the accepted conn.
+	conns := make(chan transport.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			conns <- c
+		}
+	}()
+	clientConn, err := tr.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewPeer(clientConn, nil) // client-only: no handler
+	defer client.Close()
+	serverSide := NewPeer(<-conns, echoHandler)
+	defer serverSide.Close()
+
+	_, err = serverSide.Call(context.Background(), wire.KPing, []byte("x"))
+	var re *wire.RemoteError
+	if !errors.As(err, &re) || re.Code != wire.CodeBadRequest {
+		t.Fatalf("err = %v, want CodeBadRequest", err)
+	}
+}
+
+func TestInvalidKindRejected(t *testing.T) {
+	t.Parallel()
+	_, pool, addr := pipe(t, echoHandler)
+	_, err := pool.Call(context.Background(), addr, wire.Kind(99), []byte("x"))
+	var re *wire.RemoteError
+	if !errors.As(err, &re) || re.Code != wire.CodeBadRequest {
+		t.Fatalf("err = %v, want CodeBadRequest", err)
+	}
+}
+
+func TestPoolCloseRejectsCalls(t *testing.T) {
+	t.Parallel()
+	_, pool, addr := pipe(t, echoHandler)
+	_ = pool.Close()
+	if _, err := pool.Call(context.Background(), addr, wire.KPing, nil); !errors.Is(err, ErrPeerClosed) {
+		t.Fatalf("err = %v, want ErrPeerClosed", err)
+	}
+}
+
+func TestCallsOverTCP(t *testing.T) {
+	t.Parallel()
+	tr := transport.TCP{}
+	l, err := tr.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(l, echoHandler)
+	defer srv.Close()
+	pool := NewPool(tr)
+	defer pool.Close()
+	for i := 0; i < 20; i++ {
+		msg := fmt.Sprintf("tcp-%d", i)
+		res, err := pool.Call(context.Background(), l.Addr(), wire.KPing, []byte(msg))
+		if err != nil || string(res) != msg {
+			t.Fatalf("call %d: %q, %v", i, res, err)
+		}
+	}
+}

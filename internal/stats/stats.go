@@ -1,0 +1,140 @@
+// Package stats provides the statistics machinery used by the
+// simulation harness: running moments (Welford), batch-means confidence
+// intervals and the paper's stopping rule (relative confidence-interval
+// half-width of 1% at probability p = 0.99).
+package stats
+
+import "math"
+
+// Z99 is the two-sided standard-normal quantile for p = 0.99, i.e. the z
+// value such that P(|Z| <= z) = 0.99. The paper runs every simulation
+// "as long as a confidence interval of 1% was reached with probability
+// p=0.99"; with batch means and a normal approximation this is the
+// multiplier for the half-width.
+const Z99 = 2.5758293035489004
+
+// Welford accumulates count, mean and variance of a stream of samples in
+// a single pass using Welford's numerically stable recurrence. The zero
+// value is ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add folds one sample into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of samples seen.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the sample mean, or 0 if no samples have been added.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance, or 0 for fewer than two
+// samples.
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Merge folds another accumulator into w (parallel Welford merge).
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.mean += d * float64(o.n) / float64(n)
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.n = n
+}
+
+// Estimator implements the batch-means method: consecutive samples are
+// grouped into batches of BatchSize; the batch means are treated as
+// (approximately) independent observations, from which a confidence
+// interval on the grand mean is computed. This is the standard remedy
+// for the autocorrelation of steady-state simulation output.
+//
+// The zero value is not ready to use; construct with NewEstimator.
+type Estimator struct {
+	batchSize int
+	curSum    float64
+	curN      int
+	batches   Welford
+	all       Welford
+}
+
+// NewEstimator returns an Estimator with the given batch size. Batch
+// sizes below 1 are clamped to 1.
+func NewEstimator(batchSize int) *Estimator {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	return &Estimator{batchSize: batchSize}
+}
+
+// Add folds one sample into the estimator.
+func (e *Estimator) Add(x float64) {
+	e.all.Add(x)
+	e.curSum += x
+	e.curN++
+	if e.curN == e.batchSize {
+		e.batches.Add(e.curSum / float64(e.curN))
+		e.curSum, e.curN = 0, 0
+	}
+}
+
+// N returns the total number of samples.
+func (e *Estimator) N() int64 { return e.all.N() }
+
+// Mean returns the grand sample mean over all samples (including those
+// of the incomplete current batch).
+func (e *Estimator) Mean() float64 { return e.all.Mean() }
+
+// Batches returns the number of complete batches.
+func (e *Estimator) Batches() int64 { return e.batches.N() }
+
+// RelHalfWidth returns the relative confidence-interval half-width
+// z*s/(sqrt(nb)*|mean|) over the batch means. It returns +Inf when
+// fewer than two batches are complete or the mean is zero.
+func (e *Estimator) RelHalfWidth(z float64) float64 {
+	nb := e.batches.N()
+	m := e.batches.Mean()
+	if nb < 2 || m == 0 {
+		return math.Inf(1)
+	}
+	return z * e.batches.Std() / (math.Sqrt(float64(nb)) * math.Abs(m))
+}
+
+// Converged reports whether the estimator satisfies the stopping rule: a
+// relative half-width of at most rel at confidence multiplier z with at
+// least minBatches complete batches.
+func (e *Estimator) Converged(z, rel float64, minBatches int64) bool {
+	if e.batches.N() < minBatches {
+		return false
+	}
+	return e.RelHalfWidth(z) <= rel
+}
+
+// Reset discards all accumulated state, keeping the batch size. It is
+// used to delete the warm-up transient.
+func (e *Estimator) Reset() {
+	e.curSum, e.curN = 0, 0
+	e.batches = Welford{}
+	e.all = Welford{}
+}

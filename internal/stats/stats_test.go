@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestWelfordMatchesNaive(t *testing.T) {
+	t.Parallel()
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.N() != int64(len(xs)) {
+		t.Fatalf("N = %d, want %d", w.N(), len(xs))
+	}
+	if !almostEqual(w.Mean(), 5, 1e-12) {
+		t.Fatalf("Mean = %v, want 5", w.Mean())
+	}
+	// Unbiased variance of the classic example set is 32/7.
+	if !almostEqual(w.Var(), 32.0/7.0, 1e-12) {
+		t.Fatalf("Var = %v, want %v", w.Var(), 32.0/7.0)
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	t.Parallel()
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.Std() != 0 {
+		t.Fatal("zero-value Welford must report zeros")
+	}
+	w.Add(3)
+	if w.Mean() != 3 || w.Var() != 0 {
+		t.Fatalf("single sample: mean=%v var=%v", w.Mean(), w.Var())
+	}
+}
+
+func TestWelfordMergeEquivalence(t *testing.T) {
+	t.Parallel()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(100)
+		m := 1 + r.Intn(100)
+		var a, b, all Welford
+		for i := 0; i < n; i++ {
+			x := r.NormFloat64()*3 + 10
+			a.Add(x)
+			all.Add(x)
+		}
+		for i := 0; i < m; i++ {
+			x := r.NormFloat64()*3 + 10
+			b.Add(x)
+			all.Add(x)
+		}
+		a.Merge(b)
+		return a.N() == all.N() &&
+			almostEqual(a.Mean(), all.Mean(), 1e-9) &&
+			almostEqual(a.Var(), all.Var(), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordMergeEmpty(t *testing.T) {
+	t.Parallel()
+	var a, b Welford
+	a.Add(1)
+	a.Add(2)
+	before := a
+	a.Merge(b)
+	if a != before {
+		t.Fatal("merging an empty accumulator changed state")
+	}
+	b.Merge(a)
+	if b.N() != 2 || !almostEqual(b.Mean(), 1.5, 1e-12) {
+		t.Fatalf("merge into empty: N=%d mean=%v", b.N(), b.Mean())
+	}
+}
+
+func TestEstimatorBatching(t *testing.T) {
+	t.Parallel()
+	e := NewEstimator(10)
+	for i := 0; i < 95; i++ {
+		e.Add(1)
+	}
+	if e.Batches() != 9 {
+		t.Fatalf("Batches = %d, want 9", e.Batches())
+	}
+	if e.N() != 95 {
+		t.Fatalf("N = %d, want 95", e.N())
+	}
+	if !almostEqual(e.Mean(), 1, 1e-12) {
+		t.Fatalf("Mean = %v, want 1", e.Mean())
+	}
+}
+
+func TestEstimatorConvergesOnConstantStream(t *testing.T) {
+	t.Parallel()
+	e := NewEstimator(5)
+	for i := 0; i < 50; i++ {
+		e.Add(3)
+	}
+	if !e.Converged(Z99, 0.01, 10) {
+		t.Fatalf("constant stream did not converge: rhw=%v", e.RelHalfWidth(Z99))
+	}
+}
+
+func TestEstimatorNotConvergedEarly(t *testing.T) {
+	t.Parallel()
+	e := NewEstimator(5)
+	e.Add(3)
+	if e.Converged(Z99, 0.01, 2) {
+		t.Fatal("converged with <2 batches")
+	}
+	if !math.IsInf(e.RelHalfWidth(Z99), 1) {
+		t.Fatal("RelHalfWidth must be +Inf with <2 batches")
+	}
+}
+
+func TestEstimatorRelHalfWidthShrinks(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewSource(11))
+	e := NewEstimator(100)
+	add := func(n int) {
+		for i := 0; i < n; i++ {
+			e.Add(r.ExpFloat64() * 2)
+		}
+	}
+	add(2000)
+	early := e.RelHalfWidth(Z99)
+	add(200000)
+	late := e.RelHalfWidth(Z99)
+	if !(late < early) {
+		t.Fatalf("half-width did not shrink: early=%v late=%v", early, late)
+	}
+	if !e.Converged(Z99, 0.05, 10) {
+		t.Fatalf("estimator should be within 5%% after 202k samples, rhw=%v", late)
+	}
+}
+
+func TestEstimatorReset(t *testing.T) {
+	t.Parallel()
+	e := NewEstimator(2)
+	for i := 0; i < 10; i++ {
+		e.Add(float64(i))
+	}
+	e.Reset()
+	if e.N() != 0 || e.Batches() != 0 || e.Mean() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+	e.Add(7)
+	if !almostEqual(e.Mean(), 7, 1e-12) {
+		t.Fatalf("post-reset mean = %v", e.Mean())
+	}
+}
+
+func TestEstimatorBatchSizeClamp(t *testing.T) {
+	t.Parallel()
+	e := NewEstimator(0)
+	e.Add(1)
+	if e.Batches() != 1 {
+		t.Fatalf("batch size 0 must clamp to 1; batches=%d", e.Batches())
+	}
+}
+
+func TestZ99Value(t *testing.T) {
+	t.Parallel()
+	// erf(z/sqrt(2)) must be 0.99 for the two-sided 99% quantile.
+	if !almostEqual(math.Erf(Z99/math.Sqrt2), 0.99, 1e-12) {
+		t.Fatalf("Z99 inconsistent: erf = %v", math.Erf(Z99/math.Sqrt2))
+	}
+}

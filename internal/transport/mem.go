@@ -1,0 +1,169 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Network is an in-process fabric of memTransport endpoints. Each test
+// or example creates its own Network; there is no global state.
+type Network struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+	nextAuto  int
+	latency   time.Duration
+}
+
+// NewNetwork returns an empty in-memory network.
+func NewNetwork() *Network {
+	return &Network{listeners: make(map[string]*memListener)}
+}
+
+// SetLatency delays every frame delivery by d, simulating a slow
+// network. It applies to frames sent after the call.
+func (n *Network) SetLatency(d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.latency = d
+}
+
+// Transport returns a Transport view of the network.
+func (n *Network) Transport() Transport { return memTransport{n: n} }
+
+type memTransport struct{ n *Network }
+
+var _ Transport = memTransport{}
+
+func (t memTransport) Listen(addr string) (Listener, error) {
+	t.n.mu.Lock()
+	defer t.n.mu.Unlock()
+	if addr == "" {
+		t.n.nextAuto++
+		addr = fmt.Sprintf("mem-%d", t.n.nextAuto)
+	}
+	if _, taken := t.n.listeners[addr]; taken {
+		return nil, fmt.Errorf("transport: address %q in use", addr)
+	}
+	l := &memListener{
+		n:      t.n,
+		addr:   addr,
+		accept: make(chan Conn, 16),
+		done:   make(chan struct{}),
+	}
+	t.n.listeners[addr] = l
+	return l, nil
+}
+
+func (t memTransport) Dial(addr string) (Conn, error) {
+	t.n.mu.Lock()
+	l, ok := t.n.listeners[addr]
+	latency := t.n.latency
+	t.n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no listener at %q", addr)
+	}
+	a, b := newMemPipe(t.n, latency)
+	select {
+	case l.accept <- b:
+		return a, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+type memListener struct {
+	n      *Network
+	addr   string
+	accept chan Conn
+	done   chan struct{}
+	once   sync.Once
+}
+
+var _ Listener = (*memListener)(nil)
+
+func (l *memListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+func (l *memListener) Addr() string { return l.addr }
+
+func (l *memListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.n.mu.Lock()
+		delete(l.n.listeners, l.addr)
+		l.n.mu.Unlock()
+	})
+	return nil
+}
+
+// memConn is one end of an in-memory pipe.
+type memConn struct {
+	n       *Network
+	latency time.Duration
+	out     chan []byte
+	in      chan []byte
+	done    chan struct{} // shared between both ends
+	once    *sync.Once
+}
+
+var _ Conn = (*memConn)(nil)
+
+// newMemPipe builds a connected pair of memConns.
+func newMemPipe(n *Network, latency time.Duration) (Conn, Conn) {
+	ab := make(chan []byte, 64)
+	ba := make(chan []byte, 64)
+	done := make(chan struct{})
+	once := &sync.Once{}
+	a := &memConn{n: n, latency: latency, out: ab, in: ba, done: done, once: once}
+	b := &memConn{n: n, latency: latency, out: ba, in: ab, done: done, once: once}
+	return a, b
+}
+
+func (c *memConn) Send(frame []byte) error {
+	if c.latency > 0 {
+		t := time.NewTimer(c.latency)
+		select {
+		case <-t.C:
+		case <-c.done:
+			t.Stop()
+			return ErrClosed
+		}
+	}
+	// Copy the frame: the caller may reuse its buffer.
+	cp := make([]byte, len(frame))
+	copy(cp, frame)
+	select {
+	case c.out <- cp:
+		return nil
+	case <-c.done:
+		return ErrClosed
+	}
+}
+
+func (c *memConn) Recv() ([]byte, error) {
+	select {
+	case f := <-c.in:
+		return f, nil
+	case <-c.done:
+		// Drain frames that raced with Close so orderly shutdown
+		// doesn't drop a final response.
+		select {
+		case f := <-c.in:
+			return f, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+func (c *memConn) Close() error {
+	c.once.Do(func() { close(c.done) })
+	return nil
+}

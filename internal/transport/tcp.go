@@ -1,0 +1,125 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// maxFrame bounds a single frame (16 MiB): large enough for any batch
+// of object snapshots this system ships, small enough to reject
+// corrupted length prefixes before allocating.
+const maxFrame = 16 << 20
+
+// TCP is the TCP transport. Frames are length-prefixed (big-endian
+// uint32) byte strings.
+type TCP struct{}
+
+var _ Transport = TCP{}
+
+// Listen binds a TCP listener. Use "127.0.0.1:0" to let the kernel pick
+// a port; Addr reports the bound address.
+func (TCP) Listen(addr string) (Listener, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &tcpListener{l: l}, nil
+}
+
+// Dial connects to a TCP listener.
+func (TCP) Dial(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return newTCPConn(c), nil
+}
+
+type tcpListener struct {
+	l    net.Listener
+	once sync.Once
+}
+
+var _ Listener = (*tcpListener)(nil)
+
+func (t *tcpListener) Accept() (Conn, error) {
+	c, err := t.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return newTCPConn(c), nil
+}
+
+func (t *tcpListener) Addr() string { return t.l.Addr().String() }
+
+func (t *tcpListener) Close() error {
+	var err error
+	t.once.Do(func() { err = t.l.Close() })
+	return err
+}
+
+type tcpConn struct {
+	c net.Conn
+	r *bufio.Reader
+
+	sendMu sync.Mutex
+	w      *bufio.Writer
+
+	once sync.Once
+}
+
+var _ Conn = (*tcpConn)(nil)
+
+func newTCPConn(c net.Conn) *tcpConn {
+	return &tcpConn{
+		c: c,
+		r: bufio.NewReaderSize(c, 64<<10),
+		w: bufio.NewWriterSize(c, 64<<10),
+	}
+}
+
+func (t *tcpConn) Send(frame []byte) error {
+	if len(frame) > maxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(frame))
+	}
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	if _, err := t.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := t.w.Write(frame); err != nil {
+		return err
+	}
+	return t.w.Flush()
+}
+
+func (t *tcpConn) Recv() ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(t.r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(t.r, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+func (t *tcpConn) Close() error {
+	var err error
+	t.once.Do(func() { err = t.c.Close() })
+	return err
+}

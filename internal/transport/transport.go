@@ -1,0 +1,41 @@
+// Package transport abstracts the byte-level links between nodes: a
+// frame-oriented connection interface with an in-memory implementation
+// (for tests, examples and single-process clusters, with optional
+// injected latency) and a TCP implementation for real deployments.
+package transport
+
+import "errors"
+
+// ErrClosed is returned by operations on closed connections and
+// listeners.
+var ErrClosed = errors.New("transport: closed")
+
+// Conn is a reliable, ordered, frame-oriented duplex connection. Send
+// and Recv are safe for one concurrent sender and one concurrent
+// receiver; Close may be called from any goroutine and unblocks both.
+type Conn interface {
+	// Send transmits one frame.
+	Send(frame []byte) error
+	// Recv blocks for the next frame.
+	Recv() ([]byte, error)
+	// Close tears the connection down. It is idempotent.
+	Close() error
+}
+
+// Listener accepts inbound connections.
+type Listener interface {
+	// Accept blocks for the next inbound connection.
+	Accept() (Conn, error)
+	// Addr returns the address peers dial to reach this listener.
+	Addr() string
+	// Close stops accepting. It is idempotent.
+	Close() error
+}
+
+// Transport creates listeners and outbound connections.
+type Transport interface {
+	// Listen binds to addr. An empty addr lets the transport choose.
+	Listen(addr string) (Listener, error)
+	// Dial connects to a listener's address.
+	Dial(addr string) (Conn, error)
+}

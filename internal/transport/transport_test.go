@@ -1,0 +1,353 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testTransports enumerates both implementations under one test suite.
+func testTransports(t *testing.T, run func(t *testing.T, tr Transport)) {
+	t.Helper()
+	t.Run("mem", func(t *testing.T) {
+		t.Parallel()
+		run(t, NewNetwork().Transport())
+	})
+	t.Run("tcp", func(t *testing.T) {
+		t.Parallel()
+		run(t, TCP{})
+	})
+}
+
+func TestSendRecv(t *testing.T) {
+	t.Parallel()
+	testTransports(t, func(t *testing.T, tr Transport) {
+		l, err := tr.Listen("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := l.Accept()
+			if err != nil {
+				t.Errorf("accept: %v", err)
+				return
+			}
+			defer c.Close()
+			for {
+				f, err := c.Recv()
+				if err != nil {
+					return
+				}
+				// Echo with a prefix.
+				if err := c.Send(append([]byte("echo:"), f...)); err != nil {
+					return
+				}
+			}
+		}()
+
+		c, err := tr.Dial(l.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			msg := []byte(fmt.Sprintf("frame-%d", i))
+			if err := c.Send(msg); err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, append([]byte("echo:"), msg...)) {
+				t.Fatalf("frame %d: got %q", i, got)
+			}
+		}
+		c.Close()
+		wg.Wait()
+	})
+}
+
+func TestEmptyAndLargeFrames(t *testing.T) {
+	t.Parallel()
+	testTransports(t, func(t *testing.T, tr Transport) {
+		l, err := tr.Listen("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		go func() {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			for {
+				f, err := c.Recv()
+				if err != nil {
+					return
+				}
+				if err := c.Send(f); err != nil {
+					return
+				}
+			}
+		}()
+		c, err := tr.Dial(l.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+
+		if err := c.Send(nil); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 0 {
+			t.Fatalf("empty frame echoed as %d bytes", len(got))
+		}
+
+		large := bytes.Repeat([]byte{0xAB}, 1<<20)
+		if err := c.Send(large); err != nil {
+			t.Fatal(err)
+		}
+		got, err = c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, large) {
+			t.Fatal("large frame corrupted")
+		}
+	})
+}
+
+func TestDialUnknownAddress(t *testing.T) {
+	t.Parallel()
+	if _, err := NewNetwork().Transport().Dial("nowhere"); err == nil {
+		t.Fatal("mem dial to unknown address succeeded")
+	}
+	if _, err := (TCP{}).Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("tcp dial to closed port succeeded")
+	}
+}
+
+func TestCloseUnblocksRecv(t *testing.T) {
+	t.Parallel()
+	testTransports(t, func(t *testing.T, tr Transport) {
+		l, err := tr.Listen("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		accepted := make(chan Conn, 1)
+		go func() {
+			c, err := l.Accept()
+			if err == nil {
+				accepted <- c
+			}
+		}()
+		c, err := tr.Dial(l.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := <-accepted
+		defer srv.Close()
+
+		done := make(chan error, 1)
+		go func() {
+			_, err := c.Recv()
+			done <- err
+		}()
+		time.Sleep(10 * time.Millisecond)
+		c.Close()
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Fatal("Recv returned nil after close")
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("Recv did not unblock on close")
+		}
+	})
+}
+
+func TestListenerCloseUnblocksAccept(t *testing.T) {
+	t.Parallel()
+	testTransports(t, func(t *testing.T, tr Transport) {
+		l, err := tr.Listen("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() {
+			_, err := l.Accept()
+			done <- err
+		}()
+		time.Sleep(10 * time.Millisecond)
+		l.Close()
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Fatal("Accept returned nil after close")
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("Accept did not unblock on close")
+		}
+	})
+}
+
+func TestMemAddressInUse(t *testing.T) {
+	t.Parallel()
+	tr := NewNetwork().Transport()
+	l, err := tr.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Listen("a"); err == nil {
+		t.Fatal("duplicate listen succeeded")
+	}
+	l.Close()
+	// After close the address is free again.
+	if _, err := tr.Listen("a"); err != nil {
+		t.Fatalf("listen after close: %v", err)
+	}
+}
+
+func TestMemNetworksIsolated(t *testing.T) {
+	t.Parallel()
+	n1, n2 := NewNetwork(), NewNetwork()
+	if _, err := n1.Transport().Listen("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n2.Transport().Dial("x"); err == nil {
+		t.Fatal("networks are not isolated")
+	}
+}
+
+func TestMemLatency(t *testing.T) {
+	t.Parallel()
+	n := NewNetwork()
+	n.SetLatency(50 * time.Millisecond)
+	tr := n.Transport()
+	l, err := tr.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		f, err := c.Recv()
+		if err != nil {
+			return
+		}
+		_ = c.Send(f)
+	}()
+	c, err := tr.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := c.Send([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 90*time.Millisecond {
+		t.Fatalf("round trip took %v, want >= ~100ms with 50ms latency", d)
+	}
+}
+
+func TestTCPFrameTooLarge(t *testing.T) {
+	t.Parallel()
+	tr := TCP{}
+	l, err := tr.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		_, _ = c.Recv()
+	}()
+	c, err := tr.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send(make([]byte, maxFrame+1)); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestConcurrentSenders(t *testing.T) {
+	t.Parallel()
+	testTransports(t, func(t *testing.T, tr Transport) {
+		l, err := tr.Listen("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		total := 200
+		received := make(chan []byte, total)
+		go func() {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			for i := 0; i < total; i++ {
+				f, err := c.Recv()
+				if err != nil {
+					return
+				}
+				received <- f
+			}
+		}()
+		c, err := tr.Dial(l.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < total/4; i++ {
+					if err := c.Send([]byte(fmt.Sprintf("%d-%d", g, i))); err != nil {
+						t.Errorf("send: %v", err)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		seen := map[string]bool{}
+		for i := 0; i < total; i++ {
+			select {
+			case f := <-received:
+				if seen[string(f)] {
+					t.Fatalf("duplicate frame %q", f)
+				}
+				seen[string(f)] = true
+			case <-time.After(5 * time.Second):
+				t.Fatalf("only %d/%d frames arrived", i, total)
+			}
+		}
+	})
+}

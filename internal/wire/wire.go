@@ -1,0 +1,323 @@
+// Package wire defines the message vocabulary of the live runtime: the
+// gob-encoded request and response bodies exchanged between nodes, and
+// the error representation that crosses the wire.
+//
+// Objects are linearised for transfer exactly as the paper's system
+// model describes (Section 3.1): a snapshot carries the object's state,
+// its migration-policy state (locks, counters, the fixed flag) and its
+// attachment edges, so policy decisions survive the move.
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"objmig/internal/core"
+)
+
+// Kind discriminates request bodies.
+type Kind uint8
+
+const (
+	KInvoke Kind = iota + 1
+	KMove
+	KEnd
+	KMigrate
+	KLocate
+	KPause
+	KInstall
+	KCommit
+	KAbort
+	KHomeUpdate
+	KEdgeAdd
+	KEdgeDel
+	KEdges
+	KFix
+	KPing
+	kMax
+)
+
+// String names the kind for diagnostics.
+func (k Kind) String() string {
+	names := [...]string{
+		KInvoke: "invoke", KMove: "move", KEnd: "end", KMigrate: "migrate",
+		KLocate: "locate", KPause: "pause", KInstall: "install",
+		KCommit: "commit", KAbort: "abort", KHomeUpdate: "home-update",
+		KEdgeAdd: "edge-add", KEdgeDel: "edge-del", KEdges: "edges",
+		KFix: "fix", KPing: "ping",
+	}
+	if k >= 1 && int(k) < len(names) && names[k] != "" {
+		return names[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Valid reports whether k is a known kind.
+func (k Kind) Valid() bool { return k >= KInvoke && k < kMax }
+
+// Marshal gob-encodes a message body.
+func Marshal(v interface{}) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("wire: marshal %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal gob-decodes a message body into v (a pointer).
+func Unmarshal(data []byte, v interface{}) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("wire: unmarshal %T: %w", v, err)
+	}
+	return nil
+}
+
+// ErrCode classifies remote failures so callers can react (retry on
+// moved, report fixed, and so on).
+type ErrCode int
+
+const (
+	CodeInternal ErrCode = iota + 1
+	// CodeNotFound: the addressed object is unknown at the target and
+	// the target has no forwarding pointer for it.
+	CodeNotFound
+	// CodeMoved: the object has left; To names the next hop.
+	CodeMoved
+	// CodeFixed: the object is fixed and cannot migrate.
+	CodeFixed
+	// CodeDenied: a migration-policy denial (placement lock held,
+	// dynamic policy kept the object, working set busy).
+	CodeDenied
+	// CodeUnknownType: the target node has no registration for the
+	// object's type and cannot host it.
+	CodeUnknownType
+	// CodeUnknownMethod: the object's type has no such method.
+	CodeUnknownMethod
+	// CodeExclusive: an attachment violated the exclusive-attachment
+	// admission rule.
+	CodeExclusive
+	// CodeBadRequest: malformed or inapplicable request.
+	CodeBadRequest
+	// CodeUnavailable: the node is shutting down.
+	CodeUnavailable
+)
+
+// RemoteError is the wire representation of a failure. It is the error
+// returned by the RPC layer for application-level failures.
+type RemoteError struct {
+	Code ErrCode
+	Msg  string
+	To   core.NodeID // next hop for CodeMoved
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	if e.Code == CodeMoved {
+		return fmt.Sprintf("remote: %s (moved to %s)", e.Msg, e.To)
+	}
+	return "remote: " + e.Msg
+}
+
+// Errorf builds a RemoteError.
+func Errorf(code ErrCode, format string, args ...interface{}) *RemoteError {
+	return &RemoteError{Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+// EdgeRec is one attachment edge in transferable form.
+type EdgeRec struct {
+	Other    core.OID
+	Alliance core.AllianceID
+}
+
+// Snapshot is a linearised object: everything a node needs to
+// reinstantiate it.
+type Snapshot struct {
+	ID    core.OID
+	Type  string
+	State []byte // gob of the user struct
+	Pol   core.ObjState
+	Edges []EdgeRec
+}
+
+// --- Request/response bodies ---
+
+// InvokeReq asks the receiving node to execute a method on a hosted
+// object.
+type InvokeReq struct {
+	Obj    core.OID
+	Method string
+	Arg    []byte
+}
+
+// InvokeResp returns the encoded result and the node that executed the
+// call (a location hint for the caller's cache).
+type InvokeResp struct {
+	Result []byte
+	At     core.NodeID
+}
+
+// MoveReq is the move-primitive: the block on node From asks the
+// object's host to bring the object (and its working set) to From.
+type MoveReq struct {
+	Obj      core.OID
+	From     core.NodeID
+	Block    core.BlockID
+	Alliance core.AllianceID
+}
+
+// MoveOutcome mirrors core.MoveAction across the wire.
+type MoveOutcome int
+
+const (
+	MoveDenied MoveOutcome = iota + 1
+	MoveStayed
+	MoveMigrated
+)
+
+// MoveResp reports the policy's verdict and the object's location after
+// the request.
+type MoveResp struct {
+	Outcome MoveOutcome
+	Reason  core.DenyReason
+	At      core.NodeID
+	// Moved lists the objects that travelled (the working set), so
+	// the block can release them on end.
+	Moved []core.OID
+}
+
+// EndReq closes move-block Block of node From for object Obj. Members
+// lists the working set that was granted (and, under placement,
+// locked) at move time, so the end releases exactly what the move
+// took — even if attachments changed while the block ran.
+type EndReq struct {
+	Obj      core.OID
+	From     core.NodeID
+	Block    core.BlockID
+	Alliance core.AllianceID
+	Members  []core.OID
+}
+
+// EndResp reports what the end-request did.
+type EndResp struct {
+	Unlocked bool
+	Migrated bool // reinstantiation moved the object
+	At       core.NodeID
+}
+
+// MigrateReq is the explicit migrate-primitive: move Obj (and working
+// set) to Target, optionally fixing it there (refix).
+type MigrateReq struct {
+	Obj      core.OID
+	Target   core.NodeID
+	Alliance core.AllianceID
+	Fix      bool
+}
+
+// MigrateResp reports the object's location after the migration.
+type MigrateResp struct {
+	At    core.NodeID
+	Moved []core.OID
+}
+
+// LocateReq asks a node (normally the object's origin) where the object
+// lives.
+type LocateReq struct{ Obj core.OID }
+
+// LocateResp answers with the best known location.
+type LocateResp struct{ At core.NodeID }
+
+// PauseReq asks a node to pause and snapshot the listed local objects
+// as part of group migration Token.
+type PauseReq struct {
+	Objs  []core.OID
+	Token uint64
+}
+
+// PauseResp carries the snapshots of the paused objects.
+type PauseResp struct{ Snapshots []Snapshot }
+
+// InstallReq delivers snapshots to the target node of a migration.
+type InstallReq struct {
+	Snapshots []Snapshot
+	Token     uint64
+}
+
+// InstallResp acknowledges installation.
+type InstallResp struct{}
+
+// CommitReq tells the old hosts that the move is complete: replace the
+// paused entries with forwarding pointers to NewHome and release
+// waiters.
+type CommitReq struct {
+	Objs    []core.OID
+	NewHome core.NodeID
+	Token   uint64
+}
+
+// CommitResp acknowledges the commit.
+type CommitResp struct{}
+
+// AbortReq rolls a pause back (the migration failed elsewhere).
+type AbortReq struct {
+	Objs  []core.OID
+	Token uint64
+}
+
+// AbortResp acknowledges the rollback.
+type AbortResp struct{}
+
+// HomeUpdate tells an origin node where its objects now live. It is
+// advisory: lookups fall back to forwarding chains when it is lost.
+type HomeUpdate struct {
+	Objs []core.OID
+	At   core.NodeID
+}
+
+// HomeUpdateResp acknowledges the update.
+type HomeUpdateResp struct{}
+
+// EdgeAddReq adds half an attachment edge at the host of Obj.
+type EdgeAddReq struct {
+	Obj      core.OID
+	Other    core.OID
+	Alliance core.AllianceID
+	Mode     core.AttachMode
+}
+
+// EdgeAddResp acknowledges the half-edge.
+type EdgeAddResp struct{}
+
+// EdgeDelReq removes half an attachment edge.
+type EdgeDelReq struct {
+	Obj      core.OID
+	Other    core.OID
+	Alliance core.AllianceID
+}
+
+// EdgeDelResp reports whether the edge existed.
+type EdgeDelResp struct{ Existed bool }
+
+// EdgesReq fetches the attachment adjacency of a hosted object (used by
+// the closure walk of group migration).
+type EdgesReq struct{ Obj core.OID }
+
+// EdgesResp lists the edges.
+type EdgesResp struct{ Edges []EdgeRec }
+
+// FixReq sets or clears the fixed flag of a hosted object, or (with
+// Query) reads it without changing it.
+type FixReq struct {
+	Obj   core.OID
+	Fix   bool
+	Query bool
+}
+
+// FixResp reports the flag after the request.
+type FixResp struct{ Fixed bool }
+
+// PingReq checks liveness.
+type PingReq struct{ Payload string }
+
+// PingResp echoes the payload.
+type PingResp struct{ Payload string }

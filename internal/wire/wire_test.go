@@ -1,0 +1,154 @@
+package wire
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"objmig/internal/core"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	t.Parallel()
+	in := InvokeReq{
+		Obj:    core.OID{Origin: "n1", Seq: 42},
+		Method: "Get",
+		Arg:    []byte{1, 2, 3},
+	}
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out InvokeReq
+	if err := Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestSnapshotRoundTripProperty(t *testing.T) {
+	t.Parallel()
+	f := func(origin string, seq uint64, typ string, state []byte, fixed bool, owner string, block uint64) bool {
+		in := Snapshot{
+			ID:    core.OID{Origin: core.NodeID(origin), Seq: seq},
+			Type:  typ,
+			State: state,
+			Pol: core.ObjState{
+				Fixed: fixed,
+				Lock: core.LockState{
+					Held:  owner != "",
+					Owner: core.NodeID(owner),
+					Block: core.BlockID(block),
+				},
+				OpenMoves: map[core.NodeID]int{"a": 1, "b": 2},
+			},
+			Edges: []EdgeRec{{Other: core.OID{Origin: "x", Seq: 1}, Alliance: 3}},
+		}
+		data, err := Marshal(in)
+		if err != nil {
+			return false
+		}
+		var out Snapshot
+		if err := Unmarshal(data, &out); err != nil {
+			return false
+		}
+		// gob encodes nil and empty slices identically; normalise.
+		if len(in.State) == 0 {
+			in.State, out.State = nil, nil
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalError(t *testing.T) {
+	t.Parallel()
+	var out InvokeReq
+	if err := Unmarshal([]byte("not gob"), &out); err == nil {
+		t.Fatal("garbage decoded successfully")
+	}
+}
+
+func TestRemoteError(t *testing.T) {
+	t.Parallel()
+	e := Errorf(CodeFixed, "object %s is fixed", "n1/3")
+	if e.Code != CodeFixed {
+		t.Fatalf("code = %v", e.Code)
+	}
+	if e.Error() != "remote: object n1/3 is fixed" {
+		t.Fatalf("Error() = %q", e.Error())
+	}
+	moved := &RemoteError{Code: CodeMoved, Msg: "gone", To: "n7"}
+	if moved.Error() != "remote: gone (moved to n7)" {
+		t.Fatalf("Error() = %q", moved.Error())
+	}
+	var re *RemoteError
+	if !errors.As(error(moved), &re) || re.To != "n7" {
+		t.Fatal("errors.As failed on RemoteError")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	t.Parallel()
+	if KInvoke.String() != "invoke" || KCommit.String() != "commit" {
+		t.Fatal("Kind.String mismatch")
+	}
+	if Kind(200).String() != "kind(200)" {
+		t.Fatalf("unknown kind: %q", Kind(200).String())
+	}
+	if Kind(0).Valid() || Kind(200).Valid() || !KPing.Valid() {
+		t.Fatal("Kind.Valid mismatch")
+	}
+}
+
+func TestAllBodiesRoundTrip(t *testing.T) {
+	t.Parallel()
+	oid := core.OID{Origin: "n1", Seq: 1}
+	bodies := []interface{}{
+		&InvokeReq{Obj: oid, Method: "m"},
+		&InvokeResp{Result: []byte("r"), At: "n2"},
+		&MoveReq{Obj: oid, From: "n2", Block: 3, Alliance: 4},
+		&MoveResp{Outcome: MoveMigrated, At: "n2", Moved: []core.OID{oid}},
+		&EndReq{Obj: oid, From: "n2", Block: 3},
+		&EndResp{Unlocked: true, At: "n2"},
+		&MigrateReq{Obj: oid, Target: "n3", Fix: true},
+		&MigrateResp{At: "n3", Moved: []core.OID{oid}},
+		&LocateReq{Obj: oid},
+		&LocateResp{At: "n9"},
+		&PauseReq{Objs: []core.OID{oid}, Token: 8},
+		&PauseResp{Snapshots: []Snapshot{{ID: oid, Type: "t"}}},
+		&InstallReq{Snapshots: []Snapshot{{ID: oid}}, Token: 8},
+		&InstallResp{},
+		&CommitReq{Objs: []core.OID{oid}, NewHome: "n3", Token: 8},
+		&CommitResp{},
+		&AbortReq{Objs: []core.OID{oid}, Token: 8},
+		&AbortResp{},
+		&HomeUpdate{Objs: []core.OID{oid}, At: "n3"},
+		&HomeUpdateResp{},
+		&EdgeAddReq{Obj: oid, Other: core.OID{Origin: "n2", Seq: 2}, Alliance: 1, Mode: core.AttachExclusive},
+		&EdgeAddResp{},
+		&EdgeDelReq{Obj: oid, Other: core.OID{Origin: "n2", Seq: 2}},
+		&EdgeDelResp{Existed: true},
+		&EdgesReq{Obj: oid},
+		&EdgesResp{Edges: []EdgeRec{{Other: oid, Alliance: 2}}},
+		&FixReq{Obj: oid, Fix: true},
+		&FixResp{},
+		&PingReq{Payload: "hi"},
+		&PingResp{Payload: "hi"},
+	}
+	for _, b := range bodies {
+		data, err := Marshal(b)
+		if err != nil {
+			t.Fatalf("marshal %T: %v", b, err)
+		}
+		out := reflect.New(reflect.TypeOf(b).Elem()).Interface()
+		if err := Unmarshal(data, out); err != nil {
+			t.Fatalf("unmarshal %T: %v", b, err)
+		}
+	}
+}

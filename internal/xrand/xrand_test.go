@@ -1,0 +1,122 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExpMean(t *testing.T) {
+	t.Parallel()
+	s := New(1)
+	const n = 200000
+	const mean = 8.0
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Exp(mean)
+	}
+	got := sum / n
+	if math.Abs(got-mean) > 0.1 {
+		t.Fatalf("Exp(%v) sample mean = %v, want within 0.1", mean, got)
+	}
+}
+
+func TestExpNonPositiveMean(t *testing.T) {
+	t.Parallel()
+	s := New(2)
+	if got := s.Exp(0); got != 0 {
+		t.Fatalf("Exp(0) = %v, want 0", got)
+	}
+	if got := s.Exp(-3); got != 0 {
+		t.Fatalf("Exp(-3) = %v, want 0", got)
+	}
+}
+
+func TestExpCountAtLeastOne(t *testing.T) {
+	t.Parallel()
+	f := func(seed int64, mean float64) bool {
+		s := New(seed)
+		m := math.Mod(math.Abs(mean), 20)
+		for i := 0; i < 50; i++ {
+			if s.ExpCount(m) < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpCountMean(t *testing.T) {
+	t.Parallel()
+	s := New(3)
+	const n = 200000
+	const mean = 8.0
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(s.ExpCount(mean))
+	}
+	got := sum / n
+	// Clamping to >=1 biases the mean slightly upward; allow ~5%.
+	if math.Abs(got-mean) > 0.4 {
+		t.Fatalf("ExpCount(%v) sample mean = %v, want within 0.4", mean, got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	t.Parallel()
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Exp(3) != b.Exp(3) {
+			t.Fatal("same seed produced different Exp sequences")
+		}
+		if a.Intn(17) != b.Intn(17) {
+			t.Fatal("same seed produced different Intn sequences")
+		}
+	}
+}
+
+func TestForkDeterministicAndConsumptionIndependent(t *testing.T) {
+	t.Parallel()
+	a, b := New(42), New(42)
+	// Consume the parents differently before forking.
+	for i := 0; i < 100; i++ {
+		a.Float64()
+	}
+	ca, cb := a.Fork("client-0"), b.Fork("client-0")
+	for i := 0; i < 100; i++ {
+		if ca.Exp(1) != cb.Exp(1) {
+			t.Fatal("Fork not independent of parent consumption state")
+		}
+	}
+}
+
+func TestForkDistinctLabels(t *testing.T) {
+	t.Parallel()
+	p := New(7)
+	a, b := p.Fork("x"), p.Fork("y")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("streams for distinct labels coincide on %d/100 draws", same)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	t.Parallel()
+	s := New(9)
+	p := s.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,227 @@
+package objmig
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"objmig/internal/core"
+	"objmig/internal/wire"
+)
+
+// InvokeRaw invokes a method with a pre-encoded argument, chasing
+// forwarding pointers and location hints until the object is found.
+// Typed callers should prefer Call.
+func (n *Node) InvokeRaw(ctx context.Context, ref Ref, method string, arg []byte) ([]byte, error) {
+	if ref.IsZero() {
+		return nil, fmt.Errorf("%w: zero reference", ErrNotFound)
+	}
+	oid := ref.OID
+	for attempt := 0; attempt < n.retries; attempt++ {
+		if attempt > 0 {
+			// The object is on the move; give the transfer a moment.
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(time.Millisecond):
+			}
+		}
+		if rec, ok := n.hostedRecord(oid); ok {
+			out, err := n.invokeLocal(ctx, rec, method, arg)
+			if to, moved := movedTo(err); moved {
+				n.reg.Learn(oid, to)
+				continue
+			}
+			return out, fromRemote(err)
+		}
+		target := n.reg.Hint(oid)
+		if target == n.id {
+			if n.selfHintRetry(oid) {
+				continue // an arrival raced the two lookups
+			}
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, oid)
+		}
+		var resp wire.InvokeResp
+		n.stats.remoteCallsSent.Add(1)
+		err := n.call(ctx, target, wire.KInvoke,
+			&wire.InvokeReq{Obj: oid, Method: method, Arg: arg}, &resp)
+		if err == nil {
+			n.reg.Learn(oid, resp.At)
+			return resp.Result, nil
+		}
+		if to, moved := movedTo(err); moved {
+			n.reg.Learn(oid, to)
+			continue
+		}
+		if isCode(err, wire.CodeNotFound) && target != oid.Origin {
+			// Stale hint: fall back towards the origin.
+			n.reg.Invalidate(oid)
+			continue
+		}
+		return nil, fromRemote(err)
+	}
+	recState := "no-record"
+	if rec, ok := n.record(oid); ok {
+		rec.mu.Lock()
+		recState = fmt.Sprintf("status=%d movedTo=%s", rec.status, rec.movedTo)
+		rec.mu.Unlock()
+	}
+	return nil, fmt.Errorf("%w: %s (retries exhausted; %s; %s)", ErrUnreachable, oid, recState, n.reg.Debug(oid))
+}
+
+// isCode reports whether err is a RemoteError with the given code.
+func isCode(err error, code wire.ErrCode) bool {
+	var re *wire.RemoteError
+	return errors.As(err, &re) && re.Code == code
+}
+
+// chasePause briefly backs off between location-chasing attempts so
+// in-flight transfers can land before the next try.
+func chasePause(ctx context.Context, attempt int) error {
+	if attempt == 0 {
+		return ctx.Err()
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(time.Millisecond):
+		return nil
+	}
+}
+
+// selfHintRetry resolves the "my own tables point at me but I don't
+// host it" case: if any record exists (the object just arrived, is
+// arriving, or left a stub disagreeing with the registry for an
+// instant) the chase should retry; only a never-hosted object is
+// genuinely unknown.
+func (n *Node) selfHintRetry(oid core.OID) bool {
+	_, ok := n.record(oid)
+	return ok
+}
+
+// invokeLocal executes a method on a hosted object, serialising
+// invocations per object and waiting out migrations in progress.
+func (n *Node) invokeLocal(ctx context.Context, rec *objRecord, method string, arg []byte) (out []byte, err error) {
+	if err := rec.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer rec.release()
+	t, ok := n.typeByName(rec.typeName)
+	if !ok {
+		return nil, wire.Errorf(wire.CodeUnknownType, "type %q not registered on %s", rec.typeName, n.id)
+	}
+	m, ok := t.method(method)
+	if !ok {
+		return nil, wire.Errorf(wire.CodeUnknownMethod, "%s.%s", rec.typeName, method)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("objmig: method %s.%s panicked: %v", rec.typeName, method, r)
+		}
+	}()
+	n.stats.invocationsServed.Add(1)
+	n.emit(Event{Kind: EventInvoke, Obj: Ref{OID: rec.id}, Outcome: method})
+	c := &Ctx{ctx: ctx, node: n, self: Ref{OID: rec.id}}
+	return m(c, rec.inst, arg)
+}
+
+// handleInvoke serves a remote invocation.
+func (n *Node) handleInvoke(ctx context.Context, req *wire.InvokeReq) (*wire.InvokeResp, error) {
+	rec, ok := n.record(req.Obj)
+	if !ok {
+		return nil, n.whereabouts(req.Obj)
+	}
+	out, err := n.invokeLocal(ctx, rec, req.Method, req.Arg)
+	if err != nil {
+		var re *wire.RemoteError
+		if errors.As(err, &re) {
+			return nil, re
+		}
+		return nil, wire.Errorf(wire.CodeInternal, "%v", err)
+	}
+	return &wire.InvokeResp{Result: out, At: n.id}, nil
+}
+
+// whereabouts builds the error for an object this node does not host:
+// a redirect when anything points elsewhere, not-found otherwise.
+func (n *Node) whereabouts(oid core.OID) *wire.RemoteError {
+	if to, ok := n.reg.Forward(oid); ok && to != n.id {
+		return &wire.RemoteError{Code: wire.CodeMoved, Msg: oid.String(), To: to}
+	}
+	if oid.Origin == n.id {
+		if at, ok := n.reg.Home(oid); ok && at != n.id {
+			return &wire.RemoteError{Code: wire.CodeMoved, Msg: oid.String(), To: at}
+		}
+	}
+	// Double check: an installation may have landed between the
+	// caller's record lookup and the forward lookup above (the record
+	// appears before the forwarding pointer is cleared). Answer
+	// "moved to me" so the caller simply retries here.
+	if _, ok := n.hostedRecord(oid); ok {
+		return &wire.RemoteError{Code: wire.CodeMoved, Msg: oid.String(), To: n.id}
+	}
+	return wire.Errorf(wire.CodeNotFound, "object %s unknown at %s", oid, n.id)
+}
+
+// handleLocate serves a location query with authoritative knowledge
+// only: hosting, the registry's (chain-shortened) forwarding pointer,
+// or the origin's home index. Hearsay (cached hints) is never served —
+// stale caches on bystander nodes would let location chases cycle.
+func (n *Node) handleLocate(req *wire.LocateReq) (*wire.LocateResp, error) {
+	if _, ok := n.hostedRecord(req.Obj); ok {
+		return &wire.LocateResp{At: n.id}, nil
+	}
+	if err := n.whereabouts(req.Obj); err.Code == wire.CodeMoved {
+		return &wire.LocateResp{At: err.To}, nil
+	}
+	return nil, wire.Errorf(wire.CodeNotFound, "object %s unknown at %s", req.Obj, n.id)
+}
+
+// Locate resolves the node currently hosting the object by following
+// hints and forwarding pointers. Each attempt re-derives its starting
+// point from the registry, folding everything learnt back in.
+func (n *Node) Locate(ctx context.Context, ref Ref) (NodeID, error) {
+	oid := ref.OID
+	next := NodeID("")
+	for attempt := 0; attempt < n.retries; attempt++ {
+		if err := chasePause(ctx, attempt); err != nil {
+			return "", err
+		}
+		if _, ok := n.hostedRecord(oid); ok {
+			return n.id, nil
+		}
+		target := next
+		if target == "" || target == n.id {
+			target = n.reg.Hint(oid)
+		}
+		next = ""
+		if target == n.id {
+			if n.selfHintRetry(oid) {
+				continue // an arrival raced the two lookups
+			}
+			return "", fmt.Errorf("%w: %s", ErrNotFound, oid)
+		}
+		var resp wire.LocateResp
+		err := n.call(ctx, target, wire.KLocate, &wire.LocateReq{Obj: oid}, &resp)
+		if err != nil {
+			if to, moved := movedTo(err); moved {
+				n.reg.Learn(oid, to)
+				next = to
+				continue
+			}
+			if isCode(err, wire.CodeNotFound) && target != oid.Origin {
+				n.reg.Invalidate(oid)
+				continue
+			}
+			return "", fromRemote(err)
+		}
+		if resp.At == target {
+			n.reg.Learn(oid, resp.At)
+			return resp.At, nil
+		}
+		n.reg.Learn(oid, resp.At)
+		next = resp.At
+	}
+	return "", fmt.Errorf("%w: %s (locate)", ErrUnreachable, oid)
+}

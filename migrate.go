@@ -1,0 +1,453 @@
+package objmig
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"objmig/internal/core"
+	"objmig/internal/wire"
+)
+
+// edgesOf fetches the attachment adjacency of an object, chasing its
+// location, and reports the host that answered. Each attempt re-derives
+// the target from the registry: carrying a stale redirect across
+// attempts can point back at ourselves while the registry already
+// knows better.
+func (n *Node) edgesOf(ctx context.Context, oid core.OID) ([]wire.EdgeRec, NodeID, error) {
+	for attempt := 0; attempt < n.retries; attempt++ {
+		if err := chasePause(ctx, attempt); err != nil {
+			return nil, "", err
+		}
+		if rec, ok := n.hostedRecord(oid); ok {
+			return rec.edgeList(), n.id, nil
+		}
+		target := n.reg.Hint(oid)
+		if target == n.id {
+			if n.selfHintRetry(oid) {
+				continue // an arrival raced the two lookups
+			}
+			return nil, "", fmt.Errorf("%w: %s (edges)", ErrNotFound, oid)
+		}
+		var resp wire.EdgesResp
+		err := n.call(ctx, target, wire.KEdges, &wire.EdgesReq{Obj: oid}, &resp)
+		if err == nil {
+			n.reg.Learn(oid, target)
+			return resp.Edges, target, nil
+		}
+		if to, moved := movedTo(err); moved {
+			n.reg.Learn(oid, to)
+			continue
+		}
+		if isCode(err, wire.CodeNotFound) && target != oid.Origin {
+			n.reg.Invalidate(oid)
+			continue
+		}
+		return nil, "", fromRemote(err)
+	}
+	return nil, "", fmt.Errorf("%w: %s (edges)", ErrUnreachable, oid)
+}
+
+// isGone reports whether the record is a forwarding stub.
+func (r *objRecord) isGone() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.status == recGone
+}
+
+// closureOf walks the attachment graph from root and returns the
+// working set a move in the given alliance drags along, together with
+// each member's (believed) host. This is the distributed twin of
+// core.Closure: same traversal semantics, remote adjacency.
+func (n *Node) closureOf(ctx context.Context, root core.OID, al core.AllianceID) (map[core.OID]NodeID, error) {
+	members := make(map[core.OID]NodeID)
+	queue := []core.OID{root}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if _, seen := members[cur]; seen {
+			continue
+		}
+		edges, host, err := n.edgesOf(ctx, cur)
+		if err != nil {
+			return nil, fmt.Errorf("closure of %s: %w", root, err)
+		}
+		members[cur] = host
+		for _, e := range edges {
+			if n.attachMode == core.AttachATransitive && e.Alliance != al {
+				continue
+			}
+			if _, seen := members[e.Other]; !seen {
+				queue = append(queue, e.Other)
+			}
+		}
+	}
+	return members, nil
+}
+
+// sortedOIDs returns the member OIDs in canonical order (deterministic
+// protocol messages).
+func sortedOIDs(members map[core.OID]NodeID) []core.OID {
+	out := make([]core.OID, 0, len(members))
+	for oid := range members {
+		out = append(out, oid)
+	}
+	core.SortOIDs(out)
+	return out
+}
+
+// migrateGroup transfers the member objects to target as one batch:
+// pause everywhere, collect snapshots, admission check, mutate, install
+// at the target, commit forwarding pointers, notify origins.
+//
+//   - admit inspects the paused snapshots and may veto the migration
+//     (transient placement's all-or-nothing working-set rule).
+//   - mutate edits each snapshot before installation (placement group
+//     locks, refix).
+//
+// On any failure before installation the pauses are rolled back and the
+// system is unchanged.
+func (n *Node) migrateGroup(ctx context.Context, members map[core.OID]NodeID, target NodeID,
+	admit func([]wire.Snapshot) error, mutate func(*wire.Snapshot)) ([]core.OID, error) {
+
+	token := n.nextToken()
+	ids := sortedOIDs(members)
+
+	// Group members by host, hosts in deterministic order.
+	byHost := make(map[NodeID][]core.OID)
+	for _, oid := range ids {
+		h := members[oid]
+		byHost[h] = append(byHost[h], oid)
+	}
+	hosts := make([]NodeID, 0, len(byHost))
+	for h := range byHost {
+		hosts = append(hosts, h)
+	}
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+
+	// Phase 1: pause and snapshot at every host.
+	var snapshots []wire.Snapshot
+	paused := make(map[NodeID][]core.OID)
+	abort := func() {
+		for h, objs := range paused {
+			if h == n.id {
+				n.abortLocal(&wire.AbortReq{Objs: objs, Token: token})
+				continue
+			}
+			actx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			var resp wire.AbortResp
+			_ = n.call(actx, h, wire.KAbort, &wire.AbortReq{Objs: objs, Token: token}, &resp)
+			cancel()
+		}
+	}
+	for _, h := range hosts {
+		req := &wire.PauseReq{Objs: byHost[h], Token: token}
+		var resp *wire.PauseResp
+		var err error
+		if h == n.id {
+			resp, err = n.handlePause(ctx, req)
+		} else {
+			resp = &wire.PauseResp{}
+			err = n.call(ctx, h, wire.KPause, req, resp)
+		}
+		if err != nil {
+			abort()
+			return nil, err
+		}
+		paused[h] = byHost[h]
+		snapshots = append(snapshots, resp.Snapshots...)
+	}
+
+	if admit != nil {
+		if err := admit(snapshots); err != nil {
+			abort()
+			return nil, err
+		}
+	}
+	if mutate != nil {
+		for i := range snapshots {
+			mutate(&snapshots[i])
+		}
+	}
+
+	// Phase 2: install at the target.
+	ireq := &wire.InstallReq{Snapshots: snapshots, Token: token}
+	if target == n.id {
+		if _, err := n.handleInstall(ireq); err != nil {
+			abort()
+			return nil, err
+		}
+	} else {
+		var iresp wire.InstallResp
+		if err := n.call(ctx, target, wire.KInstall, ireq, &iresp); err != nil {
+			abort()
+			return nil, err
+		}
+	}
+
+	// Phase 3: commit forwarding pointers at the old hosts. The
+	// target's own paused records were replaced by the installation.
+	for _, h := range hosts {
+		if h == target {
+			continue
+		}
+		req := &wire.CommitReq{Objs: byHost[h], NewHome: target, Token: token}
+		if h == n.id {
+			n.commitLocal(req)
+			continue
+		}
+		var resp wire.CommitResp
+		if err := n.call(ctx, h, wire.KCommit, req, &resp); err != nil {
+			// The objects are installed at the target; the stale host
+			// keeps paused stubs until it learns better. Report the
+			// partial failure.
+			return ids, fmt.Errorf("objmig: commit at %s failed (objects are at %s): %w", h, target, err)
+		}
+	}
+
+	// Phase 4: advise the origins (asynchronous, best effort).
+	n.notifyOrigins(ids, target)
+	n.stats.migrationsOut.Add(1)
+	n.stats.objectsMovedOut.Add(int64(len(ids)))
+	moved := make([]Ref, len(ids))
+	for i, id := range ids {
+		moved[i] = Ref{OID: id}
+	}
+	n.emit(Event{Kind: EventMigration, Target: target, Objects: moved})
+	return ids, nil
+}
+
+// notifyOrigins sends home updates for the moved objects to their
+// origin nodes in the background.
+func (n *Node) notifyOrigins(ids []core.OID, at NodeID) {
+	byOrigin := make(map[NodeID][]core.OID)
+	for _, oid := range ids {
+		byOrigin[oid.Origin] = append(byOrigin[oid.Origin], oid)
+	}
+	for origin, objs := range byOrigin {
+		if origin == n.id {
+			n.reg.HomeUpdate(objs, at)
+			continue
+		}
+		if origin == at {
+			continue // installation already updated the target's tables
+		}
+		origin, objs := origin, objs
+		n.spawn(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			var resp wire.HomeUpdateResp
+			_ = n.call(ctx, origin, wire.KHomeUpdate,
+				&wire.HomeUpdate{Objs: objs, At: at}, &resp)
+		})
+	}
+}
+
+// handlePause pauses and snapshots local objects for a migration.
+func (n *Node) handlePause(ctx context.Context, req *wire.PauseReq) (*wire.PauseResp, error) {
+	var done []*objRecord
+	rollback := func() {
+		for _, rec := range done {
+			rec.unpause(req.Token)
+		}
+	}
+	resp := &wire.PauseResp{}
+	for _, oid := range req.Objs {
+		rec, ok := n.record(oid)
+		if !ok {
+			rollback()
+			return nil, n.whereabouts(oid)
+		}
+		if err := rec.pause(ctx, req.Token); err != nil {
+			rollback()
+			var re *wire.RemoteError
+			if errors.As(err, &re) {
+				return nil, re
+			}
+			return nil, wire.Errorf(wire.CodeDenied, "pause %s: %v", oid, err)
+		}
+		done = append(done, rec)
+		t, ok := n.typeByName(rec.typeName)
+		if !ok {
+			rollback()
+			return nil, wire.Errorf(wire.CodeUnknownType, "type %q not registered at %s", rec.typeName, n.id)
+		}
+		snap, err := rec.snapshot(t)
+		if err != nil {
+			rollback()
+			return nil, wire.Errorf(wire.CodeInternal, "snapshot %s: %v", oid, err)
+		}
+		resp.Snapshots = append(resp.Snapshots, snap)
+	}
+	return resp, nil
+}
+
+// handleInstall reinstantiates migrated objects locally, atomically.
+func (n *Node) handleInstall(req *wire.InstallReq) (*wire.InstallResp, error) {
+	if err := n.installBatch(req.Snapshots, req.Token); err != nil {
+		var re *wire.RemoteError
+		if errors.As(err, &re) {
+			return nil, re
+		}
+		return nil, wire.Errorf(wire.CodeInternal, "install: %v", err)
+	}
+	return &wire.InstallResp{}, nil
+}
+
+// handleCommit finalises departures of local paused records.
+func (n *Node) handleCommit(req *wire.CommitReq) (*wire.CommitResp, error) {
+	n.commitLocal(req)
+	return &wire.CommitResp{}, nil
+}
+
+func (n *Node) commitLocal(req *wire.CommitReq) {
+	for _, oid := range req.Objs {
+		rec, ok := n.record(oid)
+		if !ok {
+			continue
+		}
+		oid := oid
+		rec.depart(req.Token, req.NewHome, func() {
+			n.reg.Departed(oid, req.NewHome)
+		})
+	}
+}
+
+// handleAbort rolls back local pauses.
+func (n *Node) handleAbort(req *wire.AbortReq) (*wire.AbortResp, error) {
+	n.abortLocal(req)
+	return &wire.AbortResp{}, nil
+}
+
+func (n *Node) abortLocal(req *wire.AbortReq) {
+	for _, oid := range req.Objs {
+		if rec, ok := n.hostedRecord(oid); ok {
+			rec.unpause(req.Token)
+		}
+	}
+}
+
+// Migrate moves an object (with the working set attached in the global
+// context) to the target node. It respects fixing and transient-
+// placement locks.
+func (n *Node) Migrate(ctx context.Context, ref Ref, target NodeID) error {
+	return n.MigrateIn(ctx, NoAlliance, ref, target)
+}
+
+// MigrateIn is Migrate issued inside an alliance: under A-transitive
+// attachment only the alliance's attachments travel.
+func (n *Node) MigrateIn(ctx context.Context, al AllianceID, ref Ref, target NodeID) error {
+	_, err := n.migrateRequest(ctx, &wire.MigrateReq{Obj: ref.OID, Target: target, Alliance: al})
+	return err
+}
+
+// MigrateToObject collocates ref with another object: "the target
+// either names a node or another object" (Section 2.2).
+func (n *Node) MigrateToObject(ctx context.Context, ref, with Ref) error {
+	at, err := n.Locate(ctx, with)
+	if err != nil {
+		return fmt.Errorf("objmig: locate collocation target: %w", err)
+	}
+	return n.Migrate(ctx, ref, at)
+}
+
+// migrateRequest chases the object's host and asks it to execute the
+// migrate primitive.
+func (n *Node) migrateRequest(ctx context.Context, req *wire.MigrateReq) (*wire.MigrateResp, error) {
+	oid := req.Obj
+	for attempt := 0; attempt < n.retries; attempt++ {
+		if err := chasePause(ctx, attempt); err != nil {
+			return nil, err
+		}
+		if _, ok := n.hostedRecord(oid); ok {
+			resp, err := n.handleMigrate(ctx, req)
+			if to, moved := movedTo(err); moved {
+				n.reg.Learn(oid, to)
+				continue
+			}
+			return resp, fromRemote(err)
+		}
+		target := n.reg.Hint(oid)
+		if target == n.id {
+			if n.selfHintRetry(oid) {
+				continue // an arrival raced the two lookups
+			}
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, oid)
+		}
+		var resp wire.MigrateResp
+		err := n.call(ctx, target, wire.KMigrate, req, &resp)
+		if err == nil {
+			n.reg.Learn(oid, resp.At)
+			return &resp, nil
+		}
+		if to, moved := movedTo(err); moved {
+			n.reg.Learn(oid, to)
+			continue
+		}
+		if isCode(err, wire.CodeNotFound) && target != oid.Origin {
+			n.reg.Invalidate(oid)
+			continue
+		}
+		return nil, fromRemote(err)
+	}
+	return nil, fmt.Errorf("%w: %s (migrate)", ErrUnreachable, oid)
+}
+
+// handleMigrate executes the migrate primitive at the object's host.
+func (n *Node) handleMigrate(ctx context.Context, req *wire.MigrateReq) (*wire.MigrateResp, error) {
+	rec, ok := n.record(req.Obj)
+	if !ok {
+		return nil, n.whereabouts(req.Obj)
+	}
+	rec.mu.Lock()
+	if rec.status == recGone {
+		to := rec.movedTo
+		rec.mu.Unlock()
+		return nil, &wire.RemoteError{Code: wire.CodeMoved, Msg: req.Obj.String(), To: to}
+	}
+	if rec.pol.Fixed && !req.Fix {
+		rec.mu.Unlock()
+		return nil, wire.Errorf(wire.CodeFixed, "object %s is fixed at %s", req.Obj, n.id)
+	}
+	if rec.pol.Lock.Held {
+		owner := rec.pol.Lock.Owner
+		rec.mu.Unlock()
+		return nil, wire.Errorf(wire.CodeDenied, "object %s is placed (locked by %s)", req.Obj, owner)
+	}
+	rec.mu.Unlock()
+
+	members, err := n.closureOf(ctx, req.Obj, req.Alliance)
+	if err != nil {
+		return nil, wire.Errorf(wire.CodeInternal, "%v", err)
+	}
+	admit := func(snaps []wire.Snapshot) error {
+		for _, s := range snaps {
+			if s.Pol.Lock.Held {
+				return wire.Errorf(wire.CodeDenied, "working-set member %s is placed", s.ID)
+			}
+			if s.Pol.Fixed && !(req.Fix && s.ID == req.Obj) {
+				return wire.Errorf(wire.CodeFixed, "working-set member %s is fixed", s.ID)
+			}
+		}
+		return nil
+	}
+	var mutate func(*wire.Snapshot)
+	if req.Fix {
+		mutate = func(s *wire.Snapshot) {
+			if s.ID == req.Obj {
+				s.Pol.Fixed = true
+			}
+		}
+	}
+	moved, err := n.migrateGroup(ctx, members, req.Target, admit, mutate)
+	if err != nil {
+		var re *wire.RemoteError
+		if errors.As(err, &re) {
+			return nil, re
+		}
+		return nil, wire.Errorf(wire.CodeInternal, "%v", err)
+	}
+	return &wire.MigrateResp{At: req.Target, Moved: moved}, nil
+}

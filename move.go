@@ -1,0 +1,378 @@
+package objmig
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"objmig/internal/core"
+	"objmig/internal/wire"
+)
+
+// Block is the handle a move-block body receives: whether the move was
+// granted, where the object is, and which objects travelled.
+type Block struct {
+	// Ref is the object the block was opened on.
+	Ref Ref
+	// Granted reports whether the move brought the object here. When
+	// false the block still runs; its calls are forwarded to the
+	// object's current location (the paper's "indication").
+	Granted bool
+	// At is the object's location after the move-request.
+	At NodeID
+	// Moved lists the working set that travelled with the object.
+	Moved []Ref
+
+	alliance AllianceID
+	id       core.BlockID
+	prevAt   NodeID
+}
+
+// Move opens a move-block on ref outside any alliance: it issues the
+// move-request, runs body, and closes the block with an end-request.
+// The body runs whether or not the move was granted.
+func (n *Node) Move(ctx context.Context, ref Ref, body func(ctx context.Context, b *Block) error) error {
+	return n.moveBlock(ctx, NoAlliance, ref, body, false)
+}
+
+// MoveIn is Move issued inside an alliance: with A-transitive
+// attachment, only the alliance's attachments travel.
+func (n *Node) MoveIn(ctx context.Context, al AllianceID, ref Ref, body func(ctx context.Context, b *Block) error) error {
+	return n.moveBlock(ctx, al, ref, body, false)
+}
+
+// Visit is a move combined with a migrate-back: when the block ends,
+// the object returns to the node it came from (Section 2.3).
+func (n *Node) Visit(ctx context.Context, ref Ref, body func(ctx context.Context, b *Block) error) error {
+	return n.moveBlock(ctx, NoAlliance, ref, body, true)
+}
+
+func (n *Node) moveBlock(ctx context.Context, al AllianceID, ref Ref,
+	body func(ctx context.Context, b *Block) error, visit bool) error {
+
+	block := n.nextBlock()
+	out, err := n.moveRequest(ctx, &wire.MoveReq{
+		Obj: ref.OID, From: n.id, Block: block, Alliance: al,
+	})
+	if err != nil {
+		return err
+	}
+	b := &Block{
+		Ref:      ref,
+		Granted:  out.resp.Outcome != wire.MoveDenied,
+		At:       out.resp.At,
+		alliance: al,
+		id:       block,
+		prevAt:   out.prevAt,
+	}
+	for _, oid := range out.resp.Moved {
+		b.Moved = append(b.Moved, Ref{OID: oid})
+	}
+
+	bodyErr := body(ctx, b)
+
+	if endErr := n.endBlock(ctx, ref, al, block, out.resp.Moved); endErr != nil && bodyErr == nil {
+		bodyErr = endErr
+	}
+	if visit && b.Granted && b.prevAt != "" && b.prevAt != n.id {
+		if migErr := n.MigrateIn(ctx, al, ref, b.prevAt); migErr != nil && bodyErr == nil {
+			bodyErr = fmt.Errorf("objmig: visit return: %w", migErr)
+		}
+	}
+	return bodyErr
+}
+
+// moveOutcome couples the responder (the object's previous host) with
+// its response.
+type moveOutcome struct {
+	resp   *wire.MoveResp
+	prevAt NodeID
+}
+
+// moveRequest chases the object's current host and delivers the
+// move-request there.
+func (n *Node) moveRequest(ctx context.Context, req *wire.MoveReq) (*moveOutcome, error) {
+	oid := req.Obj
+	for attempt := 0; attempt < n.retries; attempt++ {
+		if err := chasePause(ctx, attempt); err != nil {
+			return nil, err
+		}
+		if _, ok := n.hostedRecord(oid); ok {
+			resp, err := n.handleMove(ctx, req)
+			if to, moved := movedTo(err); moved {
+				n.reg.Learn(oid, to)
+				continue
+			}
+			if err != nil {
+				return nil, fromRemote(err)
+			}
+			return &moveOutcome{resp: resp, prevAt: n.id}, nil
+		}
+		target := n.reg.Hint(oid)
+		if target == n.id {
+			if n.selfHintRetry(oid) {
+				continue // an arrival raced the two lookups
+			}
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, oid)
+		}
+		var resp wire.MoveResp
+		err := n.call(ctx, target, wire.KMove, req, &resp)
+		if err == nil {
+			n.reg.Learn(oid, resp.At)
+			return &moveOutcome{resp: &resp, prevAt: target}, nil
+		}
+		if to, moved := movedTo(err); moved {
+			n.reg.Learn(oid, to)
+			continue
+		}
+		if isCode(err, wire.CodeNotFound) && target != oid.Origin {
+			n.reg.Invalidate(oid)
+			continue
+		}
+		return nil, fromRemote(err)
+	}
+	return nil, fmt.Errorf("%w: %s (move)", ErrUnreachable, oid)
+}
+
+// handleMove interprets a move-request at the object's current host —
+// the run-time support of paper Fig. 3. Under conventional migration a
+// busy working set is retried (the thrash the paper analyses); under
+// transient placement it denies immediately.
+func (n *Node) handleMove(ctx context.Context, req *wire.MoveReq) (*wire.MoveResp, error) {
+	const (
+		busyRetries = 50
+		busyBackoff = 2 * time.Millisecond
+	)
+	for attempt := 0; ; attempt++ {
+		resp, retry, err := n.tryMove(ctx, req)
+		if !retry {
+			return resp, err
+		}
+		if attempt >= busyRetries || ctx.Err() != nil {
+			return nil, wire.Errorf(wire.CodeDenied, "working set of %s stayed busy", req.Obj)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, wire.Errorf(wire.CodeDenied, "working set of %s stayed busy", req.Obj)
+		case <-time.After(busyBackoff):
+		}
+	}
+}
+
+// tryMove performs one move attempt. retry=true means the working set
+// was busy under a policy that should chase it (conventional and the
+// dynamic strategies).
+func (n *Node) tryMove(ctx context.Context, req *wire.MoveReq) (_ *wire.MoveResp, retry bool, _ error) {
+	rec, ok := n.record(req.Obj)
+	if !ok {
+		return nil, false, n.whereabouts(req.Obj)
+	}
+	coreReq := core.MoveRequest{From: req.From, Block: req.Block}
+
+	rec.mu.Lock()
+	if rec.status == recGone {
+		to := rec.movedTo
+		rec.mu.Unlock()
+		return nil, false, &wire.RemoteError{Code: wire.CodeMoved, Msg: req.Obj.String(), To: to}
+	}
+	if rec.status == recPaused {
+		// Another migration is in flight. Placement denies (the
+		// object is spoken for); the chasing policies wait.
+		rec.mu.Unlock()
+		if n.policy.Kind() == core.PolicyPlacement {
+			return &wire.MoveResp{Outcome: wire.MoveDenied, Reason: core.ReasonLocked, At: n.id}, false, nil
+		}
+		return nil, true, nil
+	}
+	dec := n.policy.OnMove(&rec.pol, n.id, coreReq)
+	rec.mu.Unlock()
+
+	if dec.Action == core.ActionDeny {
+		n.stats.movesDenied.Add(1)
+		n.emit(Event{Kind: EventMoveDecision, Obj: Ref{OID: req.Obj}, Target: req.From, Outcome: "denied"})
+		return &wire.MoveResp{Outcome: wire.MoveDenied, Reason: dec.Reason, At: n.id}, false, nil
+	}
+
+	// Granted: collocate the working set at the caller.
+	members, err := n.closureOf(ctx, req.Obj, req.Alliance)
+	if err != nil {
+		n.moveAbort(rec, coreReq)
+		return nil, false, wire.Errorf(wire.CodeInternal, "%v", err)
+	}
+	placement := n.policy.Kind() == core.PolicyPlacement
+	admit := func(snaps []wire.Snapshot) error {
+		for _, s := range snaps {
+			lockedByOther := s.Pol.Lock.Held &&
+				(s.Pol.Lock.Owner != req.From || s.Pol.Lock.Block != req.Block)
+			if lockedByOther {
+				return wire.Errorf(wire.CodeDenied, "working-set member %s is placed", s.ID)
+			}
+			if s.Pol.Fixed && s.ID != req.Obj {
+				return wire.Errorf(wire.CodeFixed, "working-set member %s is fixed", s.ID)
+			}
+		}
+		return nil
+	}
+	var mutate func(*wire.Snapshot)
+	if placement {
+		mutate = func(s *wire.Snapshot) {
+			s.Pol.Lock = core.LockState{Held: true, Owner: req.From, Block: req.Block}
+		}
+	}
+	moved, err := n.migrateGroup(ctx, members, req.From, admit, mutate)
+	if err != nil {
+		n.moveAbort(rec, coreReq)
+		if isCode(err, wire.CodeDenied) {
+			if placement {
+				return &wire.MoveResp{Outcome: wire.MoveDenied, Reason: core.ReasonLocked, At: n.id}, false, nil
+			}
+			return nil, true, nil // busy working set: chase it
+		}
+		var re *wire.RemoteError
+		if errors.As(err, &re) {
+			return nil, false, re
+		}
+		return nil, false, wire.Errorf(wire.CodeInternal, "%v", err)
+	}
+	outcome := wire.MoveMigrated
+	name := "granted"
+	if dec.Action == core.ActionStay {
+		outcome = wire.MoveStayed
+		name = "stayed"
+		n.stats.movesStayed.Add(1)
+	} else {
+		n.stats.movesGranted.Add(1)
+	}
+	n.emit(Event{Kind: EventMoveDecision, Obj: Ref{OID: req.Obj}, Target: req.From, Outcome: name})
+	return &wire.MoveResp{Outcome: outcome, At: req.From, Moved: moved}, false, nil
+}
+
+// moveAbort undoes the policy effects of a granted move whose transfer
+// failed.
+func (n *Node) moveAbort(rec *objRecord, req core.MoveRequest) {
+	rec.mu.Lock()
+	n.policy.Abort(&rec.pol, req)
+	rec.mu.Unlock()
+}
+
+// endBlock closes a move-block. Following the paper, the end-request
+// is a local operation for the conventional and placement policies (the
+// winner holds the objects locally; the loser's end is a no-op). Only
+// the dynamic strategies forward it to the object, since their counters
+// must stay consistent (Section 3.3's extra cost).
+func (n *Node) endBlock(ctx context.Context, ref Ref, al AllianceID, block core.BlockID, members []core.OID) error {
+	req := &wire.EndReq{Obj: ref.OID, From: n.id, Block: block, Alliance: al, Members: members}
+	kind := n.policy.Kind()
+	dynamic := kind == core.PolicyCompareNodes || kind == core.PolicyCompareReinstantiate
+	if !dynamic {
+		if _, ok := n.hostedRecord(ref.OID); ok {
+			_, err := n.handleEnd(ctx, req)
+			return fromRemote(err)
+		}
+		return nil // the paper's "the end-request is simply ignored"
+	}
+	// Dynamic policies: chase the object.
+	oid := ref.OID
+	for attempt := 0; attempt < n.retries; attempt++ {
+		if err := chasePause(ctx, attempt); err != nil {
+			return err
+		}
+		if _, ok := n.hostedRecord(oid); ok {
+			_, err := n.handleEnd(ctx, req)
+			if to, moved := movedTo(err); moved {
+				n.reg.Learn(oid, to)
+				continue
+			}
+			return fromRemote(err)
+		}
+		target := n.reg.Hint(oid)
+		if target == n.id {
+			if n.selfHintRetry(oid) {
+				continue // an arrival raced the two lookups
+			}
+			return fmt.Errorf("%w: %s", ErrNotFound, oid)
+		}
+		var resp wire.EndResp
+		err := n.call(ctx, target, wire.KEnd, req, &resp)
+		if err == nil {
+			return nil
+		}
+		if to, moved := movedTo(err); moved {
+			n.reg.Learn(oid, to)
+			continue
+		}
+		if isCode(err, wire.CodeNotFound) && target != oid.Origin {
+			n.reg.Invalidate(oid)
+			continue
+		}
+		return fromRemote(err)
+	}
+	return fmt.Errorf("%w: %s (end)", ErrUnreachable, oid)
+}
+
+// handleEnd processes an end-request at the object's host: release the
+// block's group locks and, under comparing-and-reinstantiation, migrate
+// towards a clear majority of open move-requests.
+func (n *Node) handleEnd(ctx context.Context, req *wire.EndReq) (*wire.EndResp, error) {
+	rec, ok := n.record(req.Obj)
+	if !ok {
+		return nil, n.whereabouts(req.Obj)
+	}
+	rec.mu.Lock()
+	if rec.status == recGone {
+		to := rec.movedTo
+		rec.mu.Unlock()
+		return nil, &wire.RemoteError{Code: wire.CodeMoved, Msg: req.Obj.String(), To: to}
+	}
+	coreEnd := core.EndRequest{From: req.From, Block: req.Block}
+	dec := n.policy.OnEnd(&rec.pol, n.id, coreEnd)
+	rec.mu.Unlock()
+	n.stats.endRequests.Add(1)
+	endOutcome := "noop"
+	if dec.Unlocked {
+		endOutcome = "unlocked"
+	}
+	if dec.Migrate {
+		endOutcome = "reinstantiate"
+	}
+	n.emit(Event{Kind: EventEnd, Obj: Ref{OID: req.Obj}, Target: dec.MigrateTo, Outcome: endOutcome})
+
+	resp := &wire.EndResp{Unlocked: dec.Unlocked, At: n.id}
+
+	// Release the rest of the working set's group locks: exactly the
+	// members the move granted (req.Members), not the closure as it
+	// looks now — attachments may have changed while the block ran,
+	// and recomputing would leak locks on departed members. After a
+	// granted placement move the whole set lives on this node.
+	if dec.Unlocked {
+		for _, oid := range req.Members {
+			if oid == req.Obj {
+				continue
+			}
+			if mrec, ok := n.hostedRecord(oid); ok {
+				mrec.mu.Lock()
+				n.policy.OnEnd(&mrec.pol, n.id, coreEnd)
+				mrec.mu.Unlock()
+			}
+		}
+	}
+
+	if dec.Migrate {
+		// Reinstantiation: hand the object to the majority. Run in
+		// the background; the end-request itself stays local/cheap.
+		target := dec.MigrateTo
+		obj := req.Obj
+		al := req.Alliance
+		n.spawn(func() {
+			mctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if members, err := n.closureOf(mctx, obj, al); err == nil {
+				_, _ = n.migrateGroup(mctx, members, target, nil, nil)
+			}
+		})
+		resp.Migrated = true
+		resp.At = target
+	}
+	return resp, nil
+}

@@ -1,0 +1,399 @@
+package objmig
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"objmig/internal/core"
+	"objmig/internal/registry"
+	"objmig/internal/rpc"
+	"objmig/internal/transport"
+	"objmig/internal/wire"
+)
+
+// Cluster is the communication fabric nodes attach to. Create one
+// in-memory cluster per test or example, or a TCP cluster for real
+// deployments.
+type Cluster struct {
+	tr  transport.Transport
+	mem *transport.Network
+}
+
+// NewLocalCluster returns an in-process fabric. Nodes on it are
+// addressed by their NodeID; no explicit peer addresses are needed.
+func NewLocalCluster() *Cluster {
+	n := transport.NewNetwork()
+	return &Cluster{tr: n.Transport(), mem: n}
+}
+
+// SetLatency injects a per-frame delivery delay on a local cluster
+// (no-op on TCP clusters), for observing migration behaviour on a
+// realistic network.
+func (c *Cluster) SetLatency(d time.Duration) {
+	if c.mem != nil {
+		c.mem.SetLatency(d)
+	}
+}
+
+// NewTCPCluster returns a TCP fabric. Nodes must be given listen
+// addresses and an address book (Config.Peers / Node.AddPeer).
+func NewTCPCluster() *Cluster {
+	return &Cluster{tr: transport.TCP{}}
+}
+
+// Config configures a node.
+type Config struct {
+	// ID is the node's identity. Required, unique per cluster.
+	ID NodeID
+	// Cluster is the fabric to attach to. Required.
+	Cluster *Cluster
+	// ListenAddr is where the node listens. Defaults to the NodeID on
+	// local clusters and 127.0.0.1:0 on TCP clusters.
+	ListenAddr string
+	// Policy is the node's move-policy. Defaults to the paper's
+	// recommendation, transient placement.
+	Policy PolicyKind
+	// Attach is the attachment-transitivity regime. Defaults to the
+	// paper's recommendation, A-transitive attachment.
+	Attach AttachMode
+	// Peers maps node IDs to dial addresses (needed on TCP clusters;
+	// local clusters address peers by ID automatically).
+	Peers map[NodeID]string
+	// CallRetries bounds redirect-chasing per call. Defaults to 32.
+	// A chase normally terminates within a handful of hops; the
+	// budget only matters when migrations churn faster than the
+	// 1ms-per-attempt chase can follow.
+	CallRetries int
+	// Observer, when non-nil, receives runtime events (invocations,
+	// move decisions, migrations, ...) synchronously. Observers must
+	// be fast and must not call back into the node.
+	Observer Observer
+}
+
+// Node hosts distributed objects and executes the migration policies at
+// the current location of each object (paper Fig. 3).
+type Node struct {
+	id         NodeID
+	policy     core.MovePolicy
+	attachMode core.AttachMode
+	retries    int
+	observer   Observer
+
+	server *rpc.Server
+	pool   *rpc.Pool
+	reg    *registry.Registry
+
+	mu     sync.Mutex
+	objs   map[core.OID]*objRecord
+	types  map[string]objectType
+	peers  map[NodeID]string
+	seq    uint64
+	block  uint64
+	token  uint64
+	allSeq uint32
+	closed bool
+
+	stats nodeStats
+
+	bg sync.WaitGroup // background work: home updates, reinstantiation
+}
+
+// NewNode creates and starts a node.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("objmig: Config.ID is required")
+	}
+	if cfg.Cluster == nil {
+		return nil, fmt.Errorf("objmig: Config.Cluster is required")
+	}
+	if cfg.Policy == 0 {
+		cfg.Policy = PolicyPlacement
+	}
+	if !cfg.Policy.Valid() {
+		return nil, fmt.Errorf("objmig: invalid policy %d", cfg.Policy)
+	}
+	if cfg.Attach == 0 {
+		cfg.Attach = AttachATransitive
+	}
+	if !cfg.Attach.Valid() {
+		return nil, fmt.Errorf("objmig: invalid attach mode %d", cfg.Attach)
+	}
+	if cfg.CallRetries <= 0 {
+		cfg.CallRetries = 32
+	}
+	listen := cfg.ListenAddr
+	if listen == "" {
+		if cfg.Cluster.mem != nil {
+			listen = string(cfg.ID)
+		} else {
+			listen = "127.0.0.1:0"
+		}
+	}
+	l, err := cfg.Cluster.tr.Listen(listen)
+	if err != nil {
+		return nil, fmt.Errorf("objmig: listen: %w", err)
+	}
+	n := &Node{
+		id:         cfg.ID,
+		policy:     core.PolicyFor(cfg.Policy),
+		attachMode: cfg.Attach,
+		retries:    cfg.CallRetries,
+		observer:   cfg.Observer,
+		pool:       rpc.NewPool(cfg.Cluster.tr),
+		reg:        registry.New(cfg.ID),
+		objs:       make(map[core.OID]*objRecord),
+		types:      make(map[string]objectType),
+		peers:      make(map[NodeID]string),
+	}
+	for id, addr := range cfg.Peers {
+		n.peers[id] = addr
+	}
+	n.server = rpc.Serve(l, n.handle)
+	return n, nil
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() NodeID { return n.id }
+
+// Addr returns the node's listen address (give it to peers on TCP
+// clusters).
+func (n *Node) Addr() string { return n.server.Addr() }
+
+// Policy returns the node's move-policy kind.
+func (n *Node) Policy() PolicyKind { return n.policy.Kind() }
+
+// AttachPolicy returns the node's attachment regime.
+func (n *Node) AttachPolicy() AttachMode { return n.attachMode }
+
+// AddPeer teaches the node how to reach another node.
+func (n *Node) AddPeer(id NodeID, addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers[id] = addr
+}
+
+// addrOf resolves a node ID to a dial address. On local clusters the
+// ID is the address.
+func (n *Node) addrOf(id NodeID) string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if addr, ok := n.peers[id]; ok {
+		return addr
+	}
+	return string(id)
+}
+
+// RegisterType makes the node able to host objects of the type. All
+// nodes that may receive migrating instances must register the type.
+func (n *Node) RegisterType(t interface{ Name() string }) error {
+	ot, ok := t.(objectType)
+	if !ok {
+		return fmt.Errorf("objmig: %T is not an object type (use NewType)", t)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.types[ot.Name()]; dup {
+		return fmt.Errorf("objmig: type %q registered twice", ot.Name())
+	}
+	n.types[ot.Name()] = ot
+	return nil
+}
+
+// typeByName looks a registered type up.
+func (n *Node) typeByName(name string) (objectType, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	t, ok := n.types[name]
+	return t, ok
+}
+
+// Create instantiates a fresh object of the named type on this node and
+// returns its reference.
+func (n *Node) Create(typeName string) (Ref, error) {
+	t, ok := n.typeByName(typeName)
+	if !ok {
+		return Ref{}, fmt.Errorf("%w: %q", ErrUnknownType, typeName)
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return Ref{}, ErrClosed
+	}
+	n.seq++
+	id := core.OID{Origin: n.id, Seq: n.seq}
+	rec := newObjRecord(id, t.Name(), t.newInstance())
+	n.objs[id] = rec
+	n.mu.Unlock()
+	n.reg.Created(id)
+	return Ref{OID: id}, nil
+}
+
+// NewAlliance mints a cluster-unique alliance identifier: the high 32
+// bits identify the creating node, the low 32 bits count locally.
+func (n *Node) NewAlliance() AllianceID {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(n.id))
+	n.mu.Lock()
+	n.allSeq++
+	seq := n.allSeq
+	n.mu.Unlock()
+	return AllianceID(uint64(h.Sum32())<<32 | uint64(seq))
+}
+
+// nextBlock mints a node-unique move-block ID.
+func (n *Node) nextBlock() core.BlockID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.block++
+	return core.BlockID(n.block)
+}
+
+// nextToken mints a node-unique migration token.
+func (n *Node) nextToken() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.token++
+	return n.token
+}
+
+// record looks up a hosted object.
+func (n *Node) record(id core.OID) (*objRecord, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	rec, ok := n.objs[id]
+	return rec, ok
+}
+
+// Close shuts the node down: stops serving, closes client connections
+// and waits for background work.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+	err := n.server.Close()
+	_ = n.pool.Close()
+	n.bg.Wait()
+	return err
+}
+
+// call performs one RPC to another node, translating remote errors.
+// The raw wire error is preserved for movedTo inspection by callers.
+func (n *Node) call(ctx context.Context, to NodeID, kind wire.Kind, req, resp interface{}) error {
+	body, err := wire.Marshal(req)
+	if err != nil {
+		return err
+	}
+	out, err := n.pool.Call(ctx, n.addrOf(to), kind, body)
+	if err != nil {
+		return err
+	}
+	return wire.Unmarshal(out, resp)
+}
+
+// handle is the node's rpc.Handler: it dispatches inbound requests.
+func (n *Node) handle(ctx context.Context, kind wire.Kind, body []byte) ([]byte, error) {
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return nil, wire.Errorf(wire.CodeUnavailable, "node %s closed", n.id)
+	}
+	switch kind {
+	case wire.KPing:
+		var req wire.PingReq
+		if err := wire.Unmarshal(body, &req); err != nil {
+			return nil, wire.Errorf(wire.CodeBadRequest, "%v", err)
+		}
+		return wire.Marshal(wire.PingResp{Payload: req.Payload})
+	case wire.KInvoke:
+		return handleTyped(body, func(req *wire.InvokeReq) (*wire.InvokeResp, error) {
+			return n.handleInvoke(ctx, req)
+		})
+	case wire.KLocate:
+		return handleTyped(body, func(req *wire.LocateReq) (*wire.LocateResp, error) {
+			return n.handleLocate(req)
+		})
+	case wire.KMove:
+		return handleTyped(body, func(req *wire.MoveReq) (*wire.MoveResp, error) {
+			return n.handleMove(ctx, req)
+		})
+	case wire.KEnd:
+		return handleTyped(body, func(req *wire.EndReq) (*wire.EndResp, error) {
+			return n.handleEnd(ctx, req)
+		})
+	case wire.KMigrate:
+		return handleTyped(body, func(req *wire.MigrateReq) (*wire.MigrateResp, error) {
+			return n.handleMigrate(ctx, req)
+		})
+	case wire.KPause:
+		return handleTyped(body, func(req *wire.PauseReq) (*wire.PauseResp, error) {
+			return n.handlePause(ctx, req)
+		})
+	case wire.KInstall:
+		return handleTyped(body, func(req *wire.InstallReq) (*wire.InstallResp, error) {
+			return n.handleInstall(req)
+		})
+	case wire.KCommit:
+		return handleTyped(body, func(req *wire.CommitReq) (*wire.CommitResp, error) {
+			return n.handleCommit(req)
+		})
+	case wire.KAbort:
+		return handleTyped(body, func(req *wire.AbortReq) (*wire.AbortResp, error) {
+			return n.handleAbort(req)
+		})
+	case wire.KHomeUpdate:
+		return handleTyped(body, func(req *wire.HomeUpdate) (*wire.HomeUpdateResp, error) {
+			n.reg.HomeUpdate(req.Objs, req.At)
+			return &wire.HomeUpdateResp{}, nil
+		})
+	case wire.KEdgeAdd:
+		return handleTyped(body, func(req *wire.EdgeAddReq) (*wire.EdgeAddResp, error) {
+			return n.handleEdgeAdd(ctx, req)
+		})
+	case wire.KEdgeDel:
+		return handleTyped(body, func(req *wire.EdgeDelReq) (*wire.EdgeDelResp, error) {
+			return n.handleEdgeDel(ctx, req)
+		})
+	case wire.KEdges:
+		return handleTyped(body, func(req *wire.EdgesReq) (*wire.EdgesResp, error) {
+			return n.handleEdges(req)
+		})
+	case wire.KFix:
+		return handleTyped(body, func(req *wire.FixReq) (*wire.FixResp, error) {
+			return n.handleFix(req)
+		})
+	default:
+		return nil, wire.Errorf(wire.CodeBadRequest, "unhandled kind %v", kind)
+	}
+}
+
+// handleTyped decodes the request, runs the handler and encodes the
+// response.
+func handleTyped[Req, Resp any](body []byte, fn func(*Req) (*Resp, error)) ([]byte, error) {
+	req := new(Req)
+	if err := wire.Unmarshal(body, req); err != nil {
+		return nil, wire.Errorf(wire.CodeBadRequest, "%v", err)
+	}
+	resp, err := fn(req)
+	if err != nil {
+		return nil, err
+	}
+	return wire.Marshal(resp)
+}
+
+// spawn runs fn in a tracked background goroutine (never fire-and-
+// forget).
+func (n *Node) spawn(fn func()) {
+	n.bg.Add(1)
+	go func() {
+		defer n.bg.Done()
+		fn()
+	}()
+}

@@ -1,0 +1,70 @@
+package objmig
+
+import "sync/atomic"
+
+// Stats is a snapshot of a node's runtime counters. All counters are
+// cumulative since the node started.
+type Stats struct {
+	// InvocationsServed counts method executions on objects hosted
+	// here (local and remote callers alike).
+	InvocationsServed int64
+	// RemoteCallsSent counts invocation requests this node sent to
+	// other nodes (including redirect retries).
+	RemoteCallsSent int64
+	// MovesGranted / MovesStayed / MovesDenied classify move-requests
+	// decided at this node (it hosted the object at decision time).
+	MovesGranted int64
+	MovesStayed  int64
+	MovesDenied  int64
+	// EndRequests counts end-requests processed here.
+	EndRequests int64
+	// MigrationsOut counts transfer batches coordinated by this node;
+	// ObjectsMovedOut the objects they carried.
+	MigrationsOut   int64
+	ObjectsMovedOut int64
+	// ObjectsInstalled counts objects that arrived here.
+	ObjectsInstalled int64
+	// ObjectsHosted is the number of live (non-forwarding) records.
+	ObjectsHosted int64
+}
+
+// nodeStats is the internal atomic counterpart of Stats.
+type nodeStats struct {
+	invocationsServed atomic.Int64
+	remoteCallsSent   atomic.Int64
+	movesGranted      atomic.Int64
+	movesStayed       atomic.Int64
+	movesDenied       atomic.Int64
+	endRequests       atomic.Int64
+	migrationsOut     atomic.Int64
+	objectsMovedOut   atomic.Int64
+	objectsInstalled  atomic.Int64
+}
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	recs := make([]*objRecord, 0, len(n.objs))
+	for _, rec := range n.objs {
+		recs = append(recs, rec)
+	}
+	n.mu.Unlock()
+	hosted := int64(0)
+	for _, rec := range recs {
+		if !rec.isGone() {
+			hosted++
+		}
+	}
+	return Stats{
+		InvocationsServed: n.stats.invocationsServed.Load(),
+		RemoteCallsSent:   n.stats.remoteCallsSent.Load(),
+		MovesGranted:      n.stats.movesGranted.Load(),
+		MovesStayed:       n.stats.movesStayed.Load(),
+		MovesDenied:       n.stats.movesDenied.Load(),
+		EndRequests:       n.stats.endRequests.Load(),
+		MigrationsOut:     n.stats.migrationsOut.Load(),
+		ObjectsMovedOut:   n.stats.objectsMovedOut.Load(),
+		ObjectsInstalled:  n.stats.objectsInstalled.Load(),
+		ObjectsHosted:     hosted,
+	}
+}

@@ -1,0 +1,566 @@
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"objmig/internal/core"
+)
+
+// Series is one curve of an experiment: a label plus the policy
+// configuration it represents.
+type Series struct {
+	Label  string
+	Policy core.PolicyKind
+	Attach core.AttachMode // zero value: unrestricted
+	// NoGroupLock enables the group-lock ablation for this series
+	// (see Config.DisableGroupLock).
+	NoGroupLock bool
+}
+
+// Metric selects which result column an experiment plots.
+type Metric int
+
+const (
+	// MetricCommTime is mean communication time per call, the
+	// headline metric of Figs. 8, 12, 14 and 16.
+	MetricCommTime Metric = iota + 1
+	// MetricCallDuration is the pure invocation-duration component
+	// (Fig. 10).
+	MetricCallDuration
+	// MetricMigrationPerCall is the amortised migration component
+	// (Fig. 11).
+	MetricMigrationPerCall
+)
+
+func (m Metric) String() string {
+	switch m {
+	case MetricCommTime:
+		return "mean communication-time per call"
+	case MetricCallDuration:
+		return "mean duration of one call"
+	case MetricMigrationPerCall:
+		return "mean migration-time per call"
+	default:
+		return "unknown"
+	}
+}
+
+// pick extracts the metric from a result.
+func (m Metric) pick(r Result) float64 {
+	switch m {
+	case MetricCallDuration:
+		return r.CallDuration
+	case MetricMigrationPerCall:
+		return r.MigrationPerCall
+	default:
+		return r.CommTimePerCall
+	}
+}
+
+// Experiment describes one paper figure: a base configuration, an x-axis
+// sweep and a set of series.
+type Experiment struct {
+	ID     string // "fig8", "fig12", ...
+	Title  string
+	XLabel string
+	Metric Metric
+	Xs     []float64
+	Series []Series
+	Base   Config
+	// Apply sets the swept parameter on a cell config.
+	Apply func(cfg *Config, x float64)
+}
+
+// Experiments returns all experiments of the paper's evaluation, keyed
+// by ID, in presentation order.
+func Experiments() []Experiment {
+	return []Experiment{Fig8(), Fig10(), Fig11(), Fig12(), Fig14(), Fig16()}
+}
+
+// Extensions returns the experiments that go beyond the paper's
+// figures: the exclusive-attachment variant it describes but does not
+// plot (Section 3.4), and the group-lock ablation that quantifies our
+// reading of the placement/attachment interaction.
+func Extensions() []Experiment {
+	return []Experiment{Fig16Exclusive(), AblationGroupLock()}
+}
+
+// ExperimentByID looks an experiment up by its ID (e.g. "fig8"),
+// searching the paper's experiments and the extensions.
+func ExperimentByID(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	for _, e := range Extensions() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// fig8Base is the parameter table of Fig. 9: D=3, C=3, S1=3, S2=0, M=6,
+// N~exp(8), t_i~exp(1), t_m variable.
+func fig8Base() Config {
+	return Config{
+		Nodes: 3, Clients: 3, Servers1: 3, Servers2: 0,
+		MigrationTime: 6, MeanCalls: 8, MeanInterCall: 1,
+	}
+}
+
+// threePolicies are the series of Figs. 8, 10, 11 and 12.
+func threePolicies() []Series {
+	return []Series{
+		{Label: "without Migration", Policy: core.PolicySedentary},
+		{Label: "Migration", Policy: core.PolicyConventional},
+		{Label: "Transient Placement", Policy: core.PolicyPlacement},
+	}
+}
+
+// usageXs is the t_m sweep of Figs. 8, 10 and 11 ("mean distance
+// between two usages", 0..100 in the paper; 0 is approximated by 0.5).
+func usageXs() []float64 {
+	return []float64{0.5, 1, 2, 5, 10, 15, 20, 30, 40, 50, 60, 80, 100}
+}
+
+func applyInterBlock(cfg *Config, x float64) { cfg.MeanInterBlock = x }
+func applyClients(cfg *Config, x float64)    { cfg.Clients = int(x) }
+
+// Fig8 is the usage-frequency experiment: mean communication time per
+// call against the mean distance t_m between two usages.
+func Fig8() Experiment {
+	return Experiment{
+		ID:     "fig8",
+		Title:  "Fig. 8: Increasing the Usage Frequency",
+		XLabel: "mean distance between two usages (t_m)",
+		Metric: MetricCommTime,
+		Xs:     usageXs(),
+		Series: threePolicies(),
+		Base:   fig8Base(),
+		Apply:  applyInterBlock,
+	}
+}
+
+// Fig10 is the invocation-duration component of the Fig. 8 runs.
+func Fig10() Experiment {
+	e := Fig8()
+	e.ID = "fig10"
+	e.Title = "Fig. 10: Duration of Invocations"
+	e.Metric = MetricCallDuration
+	return e
+}
+
+// Fig11 is the migration-load component of the Fig. 8 runs.
+func Fig11() Experiment {
+	e := Fig8()
+	e.ID = "fig11"
+	e.Title = "Fig. 11: Migration-Load"
+	e.Metric = MetricMigrationPerCall
+	return e
+}
+
+// Fig12 is the hot-spot experiment: an increasing number of clients
+// against a fixed set of servers on a large network (D=27), parameters
+// of Fig. 13.
+func Fig12() Experiment {
+	return Experiment{
+		ID:     "fig12",
+		Title:  "Fig. 12: Increasing the Number of Clients",
+		XLabel: "number of clients",
+		Metric: MetricCommTime,
+		Xs:     []float64{1, 3, 5, 7, 9, 11, 13, 15, 17, 19, 21, 23, 25},
+		Series: threePolicies(),
+		Base: Config{
+			Nodes: 27, Servers1: 3, Servers2: 0,
+			MigrationTime: 6, MeanCalls: 8, MeanInterCall: 1,
+			MeanInterBlock: 30,
+		},
+		Apply: applyClients,
+	}
+}
+
+// Fig14 compares the conservative place-policy against the two dynamic
+// strategies of Section 3.3 on a small network (D=3), parameters of
+// Fig. 15.
+func Fig14() Experiment {
+	return Experiment{
+		ID:     "fig14",
+		Title:  "Fig. 14: Exploiting Dynamic Information",
+		XLabel: "number of clients",
+		Metric: MetricCommTime,
+		Xs:     []float64{1, 3, 5, 7, 9, 11, 13, 15, 17, 19, 21, 23, 25},
+		Series: []Series{
+			{Label: "Conservative Place-Policy", Policy: core.PolicyPlacement},
+			{Label: "Comparing the Nodes", Policy: core.PolicyCompareNodes},
+			{Label: "Comparing and Reinstantiation", Policy: core.PolicyCompareReinstantiate},
+		},
+		Base: Config{
+			Nodes: 3, Servers1: 3, Servers2: 0,
+			MigrationTime: 6, MeanCalls: 8, MeanInterCall: 1,
+			MeanInterBlock: 30,
+		},
+		Apply: applyClients,
+	}
+}
+
+// Fig16 is the attachment experiment: two server layers with
+// overlapping working sets (D=24, S1=6, S2=6), parameters of Fig. 17.
+func Fig16() Experiment {
+	return Experiment{
+		ID:     "fig16",
+		Title:  "Fig. 16: Keeping Objects Together",
+		XLabel: "number of clients",
+		Metric: MetricCommTime,
+		Xs:     []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12},
+		Series: []Series{
+			{Label: "without Migration", Policy: core.PolicySedentary},
+			{Label: "Migration + unrestricted Attachment",
+				Policy: core.PolicyConventional, Attach: core.AttachUnrestricted},
+			{Label: "Migration + A-transitive Attachment",
+				Policy: core.PolicyConventional, Attach: core.AttachATransitive},
+			{Label: "Transient Placement + unrestricted Attachment",
+				Policy: core.PolicyPlacement, Attach: core.AttachUnrestricted},
+			{Label: "Transient Placement + A-transitive Attachment",
+				Policy: core.PolicyPlacement, Attach: core.AttachATransitive},
+		},
+		Base: Config{
+			Nodes: 24, Servers1: 6, Servers2: 6,
+			MigrationTime: 6, MeanCalls: 6, MeanInterCall: 1,
+			MeanInterBlock: 30,
+		},
+		Apply: applyClients,
+	}
+}
+
+// Fig16Exclusive is an extension: the Fig. 16 topology under the
+// exclusive-attachment rule of Section 3.4 (each object admits at most
+// one attachment partner, extra attach-requests are ignored). The
+// working sets collapse to pairs, so the moved closures are small like
+// A-transitive ones, at the price of not keeping full working sets
+// together. The paper describes this variant but does not plot it.
+func Fig16Exclusive() Experiment {
+	e := Fig16()
+	e.ID = "fig16x"
+	e.Title = "Extension: Fig. 16 topology with exclusive attachment"
+	e.Series = []Series{
+		{Label: "without Migration", Policy: core.PolicySedentary},
+		{Label: "Migration + exclusive Attachment",
+			Policy: core.PolicyConventional, Attach: core.AttachExclusive},
+		{Label: "Transient Placement + exclusive Attachment",
+			Policy: core.PolicyPlacement, Attach: core.AttachExclusive},
+		{Label: "Transient Placement + A-transitive Attachment",
+			Policy: core.PolicyPlacement, Attach: core.AttachATransitive},
+	}
+	return e
+}
+
+// AblationGroupLock is an extension: it quantifies the value of
+// extending the placement lock to the whole moved working set (our
+// reading of Section 4.4) by re-running the placement/A-transitive
+// series of Fig. 16 with the group lock disabled (only the requested
+// object locks; attached members can be stolen mid-block).
+func AblationGroupLock() Experiment {
+	e := Fig16()
+	e.ID = "ablation-grouplock"
+	e.Title = "Ablation: placement group lock on the Fig. 16 topology"
+	e.Series = []Series{
+		{Label: "Placement + A-transitive (group lock)",
+			Policy: core.PolicyPlacement, Attach: core.AttachATransitive},
+		{Label: "Placement + A-transitive (root lock only)",
+			Policy: core.PolicyPlacement, Attach: core.AttachATransitive, NoGroupLock: true},
+		{Label: "Placement + unrestricted (group lock)",
+			Policy: core.PolicyPlacement, Attach: core.AttachUnrestricted},
+		{Label: "Placement + unrestricted (root lock only)",
+			Policy: core.PolicyPlacement, Attach: core.AttachUnrestricted, NoGroupLock: true},
+	}
+	return e
+}
+
+// RunOpts controls an experiment run.
+type RunOpts struct {
+	// Seed is the master seed; every cell derives its own seed from
+	// it, the experiment ID, the series label and the x value.
+	Seed int64
+	// Quick trades precision for speed (short runs with a loose CI),
+	// for tests and benchmarks.
+	Quick bool
+	// Parallelism bounds concurrent cells; 0 means a sensible
+	// default.
+	Parallelism int
+	// CIRel overrides the stopping rule (0 keeps the mode default:
+	// 0.01 full, 0.05 quick).
+	CIRel float64
+	// MaxCalls overrides the per-cell call cap (0 keeps the mode
+	// default).
+	MaxCalls int
+}
+
+// Table is a completed experiment: the y value of every series at every
+// x, plus the detailed per-cell results.
+type Table struct {
+	Experiment Experiment
+	// Y[i][j] is the metric of series j at Xs[i].
+	Y [][]float64
+	// Cells[i][j] is the full result of series j at Xs[i].
+	Cells [][]Result
+}
+
+// RunExperiment simulates every cell of the experiment.
+func RunExperiment(e Experiment, opts RunOpts) (Table, error) {
+	warm, batch, maxCalls, ci := DefaultWarmupCalls, DefaultBatchSize, DefaultMaxCalls, 0.01
+	if opts.Quick {
+		warm, batch, maxCalls, ci = 300, 200, 12000, 0.05
+	}
+	if opts.CIRel > 0 {
+		ci = opts.CIRel
+	}
+	if opts.MaxCalls > 0 {
+		maxCalls = opts.MaxCalls
+	}
+	par := opts.Parallelism
+	if par <= 0 {
+		par = 8
+	}
+
+	t := Table{
+		Experiment: e,
+		Y:          make([][]float64, len(e.Xs)),
+		Cells:      make([][]Result, len(e.Xs)),
+	}
+	for i := range e.Xs {
+		t.Y[i] = make([]float64, len(e.Series))
+		t.Cells[i] = make([]Result, len(e.Series))
+	}
+
+	type cell struct{ i, j int }
+	work := make(chan cell)
+	errs := make(chan error, 1)
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < par; wkr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range work {
+				x := e.Xs[c.i]
+				s := e.Series[c.j]
+				cfg := e.Base
+				e.Apply(&cfg, x)
+				cfg.Policy = s.Policy
+				cfg.Attach = s.Attach
+				cfg.DisableGroupLock = s.NoGroupLock
+				cfg.Seed = cellSeed(opts.Seed, e.ID, s.Label, x)
+				cfg.WarmupCalls = warm
+				cfg.BatchSize = batch
+				cfg.MaxCalls = maxCalls
+				cfg.CIRel = ci
+				r, err := Run(cfg)
+				if err != nil {
+					select {
+					case errs <- fmt.Errorf("cell %s/%s x=%v: %w", e.ID, s.Label, x, err):
+					default:
+					}
+					continue
+				}
+				t.Cells[c.i][c.j] = r
+				t.Y[c.i][c.j] = e.Metric.pick(r)
+			}
+		}()
+	}
+	for i := range e.Xs {
+		for j := range e.Series {
+			work <- cell{i, j}
+		}
+	}
+	close(work)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return Table{}, err
+	default:
+	}
+	return t, nil
+}
+
+// cellSeed derives a per-cell seed from the master seed and the cell's
+// identity, so results are reproducible and cells are decorrelated.
+func cellSeed(seed int64, id, label string, x float64) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%g", id, label, x)
+	return seed ^ int64(h.Sum64())
+}
+
+// Format renders the table as aligned text, one row per x value.
+func (t Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Experiment.Title)
+	fmt.Fprintf(&b, "y: %s\n", t.Experiment.Metric)
+	header := make([]string, 0, len(t.Experiment.Series)+1)
+	header = append(header, t.Experiment.XLabel)
+	for _, s := range t.Experiment.Series {
+		header = append(header, s.Label)
+	}
+	widths := make([]int, len(header))
+	rows := make([][]string, 0, len(t.Experiment.Xs)+1)
+	rows = append(rows, header)
+	for i, x := range t.Experiment.Xs {
+		row := make([]string, 0, len(header))
+		row = append(row, trimFloat(x))
+		for j := range t.Experiment.Series {
+			row = append(row, fmt.Sprintf("%.4f", t.Y[i][j]))
+		}
+		rows = append(rows, row)
+	}
+	for _, row := range rows {
+		for c, cellStr := range row {
+			if len(cellStr) > widths[c] {
+				widths[c] = len(cellStr)
+			}
+		}
+	}
+	for _, row := range rows {
+		for c, cellStr := range row {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[c], cellStr)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row.
+func (t Table) CSV() string {
+	var b strings.Builder
+	b.WriteString("x")
+	for _, s := range t.Experiment.Series {
+		fmt.Fprintf(&b, ",%q", s.Label)
+	}
+	b.WriteByte('\n')
+	for i, x := range t.Experiment.Xs {
+		b.WriteString(trimFloat(x))
+		for j := range t.Experiment.Series {
+			fmt.Fprintf(&b, ",%.6f", t.Y[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func trimFloat(x float64) string {
+	s := fmt.Sprintf("%.2f", x)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// SeriesIndex returns the column index of the series with the given
+// label, or -1.
+func (t Table) SeriesIndex(label string) int {
+	for j, s := range t.Experiment.Series {
+		if s.Label == label {
+			return j
+		}
+	}
+	return -1
+}
+
+// Column returns the y values of one series across the sweep.
+func (t Table) Column(label string) []float64 {
+	j := t.SeriesIndex(label)
+	if j < 0 {
+		return nil
+	}
+	out := make([]float64, len(t.Y))
+	for i := range t.Y {
+		out[i] = t.Y[i][j]
+	}
+	return out
+}
+
+// Crossover returns the interpolated x at which series a first rises
+// above series b, or NaN if it never does. It is used to locate the
+// break-even points the paper reports for Fig. 12.
+func (t Table) Crossover(a, b string) float64 {
+	ya, yb := t.Column(a), t.Column(b)
+	if ya == nil || yb == nil {
+		return math.NaN()
+	}
+	xs := t.Experiment.Xs
+	for i := range xs {
+		if ya[i] <= yb[i] {
+			continue
+		}
+		if i == 0 {
+			return xs[0]
+		}
+		// Linear interpolation between the bracketing points.
+		d0 := ya[i-1] - yb[i-1] // <= 0
+		d1 := ya[i] - yb[i]     // > 0
+		return xs[i-1] + (xs[i]-xs[i-1])*(-d0)/(d1-d0)
+	}
+	return math.NaN()
+}
+
+// ParameterTable renders the paper's Table 1 style parameter listing
+// for an experiment.
+func (e Experiment) ParameterTable() string {
+	c := e.Base
+	var b strings.Builder
+	fmt.Fprintf(&b, "Parameters for %s\n", e.Title)
+	rows := [][2]string{
+		{"D  (number of nodes)", fmt.Sprintf("%d", c.Nodes)},
+		{"C  (number of clients)", orVariable(c.Clients)},
+		{"S1 (1st layer servers)", fmt.Sprintf("%d", c.Servers1)},
+		{"S2 (2nd layer servers)", fmt.Sprintf("%d", c.Servers2)},
+		{"M  (migration duration)", trimFloat(c.MigrationTime)},
+		{"N  (calls per move-block)", "exp. mean(" + trimFloat(c.MeanCalls) + ")"},
+		{"t_i (time between calls)", "exp. mean(" + trimFloat(c.MeanInterCall) + ")"},
+		{"t_m (time between blocks)", orVariableF(c.MeanInterBlock)},
+		{"remote call duration", "exp. mean(1)"},
+	}
+	w := 0
+	for _, r := range rows {
+		if len(r[0]) > w {
+			w = len(r[0])
+		}
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-*s  %s\n", w, r[0], r[1])
+	}
+	return b.String()
+}
+
+func orVariable(v int) string {
+	if v == 0 {
+		return "variable"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+func orVariableF(v float64) string {
+	if v == 0 {
+		return "variable"
+	}
+	return "exp. mean(" + trimFloat(v) + ")"
+}
+
+// SortedIDs returns all experiment IDs — the paper's figures and the
+// extensions — in lexical order (utility for CLIs).
+func SortedIDs() []string {
+	var ids []string
+	for _, e := range Experiments() {
+		ids = append(ids, e.ID)
+	}
+	for _, e := range Extensions() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}

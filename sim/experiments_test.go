@@ -1,0 +1,275 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"objmig/internal/core"
+)
+
+func TestExperimentCatalogue(t *testing.T) {
+	t.Parallel()
+	es := Experiments()
+	if len(es) != 6 {
+		t.Fatalf("got %d experiments, want 6", len(es))
+	}
+	seen := map[string]bool{}
+	for _, e := range es {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if len(e.Xs) == 0 || len(e.Series) == 0 || e.Apply == nil {
+			t.Fatalf("experiment %q incomplete", e.ID)
+		}
+		if e.Base.MigrationTime != 6 {
+			t.Fatalf("experiment %q: M = %v, want 6 (paper)", e.ID, e.Base.MigrationTime)
+		}
+	}
+	for _, id := range []string{"fig8", "fig10", "fig11", "fig12", "fig14", "fig16"} {
+		if !seen[id] {
+			t.Fatalf("missing experiment %q", id)
+		}
+	}
+	if _, ok := ExperimentByID("fig8"); !ok {
+		t.Fatal("ExperimentByID(fig8) failed")
+	}
+	if _, ok := ExperimentByID("nope"); ok {
+		t.Fatal("ExperimentByID accepted an unknown id")
+	}
+	if got := len(SortedIDs()); got != len(Experiments())+len(Extensions()) {
+		t.Fatalf("SortedIDs has %d entries", got)
+	}
+}
+
+func TestExtensionsCatalogue(t *testing.T) {
+	t.Parallel()
+	exts := Extensions()
+	if len(exts) != 2 {
+		t.Fatalf("got %d extensions, want 2", len(exts))
+	}
+	for _, id := range []string{"fig16x", "ablation-grouplock"} {
+		e, ok := ExperimentByID(id)
+		if !ok {
+			t.Fatalf("extension %q not resolvable", id)
+		}
+		if len(e.Series) == 0 || len(e.Xs) == 0 {
+			t.Fatalf("extension %q incomplete", id)
+		}
+	}
+	// The ablation must actually toggle the group lock.
+	abl, _ := ExperimentByID("ablation-grouplock")
+	toggled := false
+	for _, s := range abl.Series {
+		if s.NoGroupLock {
+			toggled = true
+		}
+	}
+	if !toggled {
+		t.Fatal("ablation series never disables the group lock")
+	}
+}
+
+// TestGroupLockAblationDirection: with A-transitive working sets the
+// group lock must help (it is the mechanism that keeps a placed working
+// set together).
+func TestGroupLockAblationDirection(t *testing.T) {
+	t.Parallel()
+	base := Config{
+		Nodes: 24, Clients: 10, Servers1: 6, Servers2: 6,
+		MigrationTime: 6, MeanCalls: 6, MeanInterCall: 1, MeanInterBlock: 30,
+		Policy: core.PolicyPlacement, Attach: core.AttachATransitive,
+		Seed: 7, WarmupCalls: 500, BatchSize: 200, MaxCalls: 30000, CIRel: 0.02,
+	}
+	locked := mustRunT(t, base)
+	base.DisableGroupLock = true
+	unlocked := mustRunT(t, base)
+	if !(locked.CommTimePerCall < unlocked.CommTimePerCall) {
+		t.Fatalf("group lock did not help: locked %v vs unlocked %v",
+			locked.CommTimePerCall, unlocked.CommTimePerCall)
+	}
+}
+
+func mustRunT(t *testing.T, cfg Config) Result {
+	t.Helper()
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestExperimentParametersMatchPaper(t *testing.T) {
+	t.Parallel()
+	f8, _ := ExperimentByID("fig8")
+	if f8.Base.Nodes != 3 || f8.Base.Clients != 3 || f8.Base.Servers1 != 3 ||
+		f8.Base.MeanCalls != 8 || f8.Base.MeanInterCall != 1 {
+		t.Fatalf("fig8 base = %+v, departs from Fig. 9 parameters", f8.Base)
+	}
+	f12, _ := ExperimentByID("fig12")
+	if f12.Base.Nodes != 27 || f12.Base.Servers1 != 3 || f12.Base.MeanInterBlock != 30 {
+		t.Fatalf("fig12 base = %+v, departs from Fig. 13 parameters", f12.Base)
+	}
+	f14, _ := ExperimentByID("fig14")
+	if f14.Base.Nodes != 3 || len(f14.Series) != 3 {
+		t.Fatalf("fig14 = %+v, departs from Fig. 15 parameters", f14.Base)
+	}
+	f16, _ := ExperimentByID("fig16")
+	if f16.Base.Nodes != 24 || f16.Base.Servers1 != 6 || f16.Base.Servers2 != 6 ||
+		f16.Base.MeanCalls != 6 || len(f16.Series) != 5 {
+		t.Fatalf("fig16 = %+v, departs from Fig. 17 parameters", f16.Base)
+	}
+}
+
+// tinyExperiment is a scaled-down sweep for harness tests.
+func tinyExperiment() Experiment {
+	return Experiment{
+		ID:     "tiny",
+		Title:  "tiny test experiment",
+		XLabel: "clients",
+		Metric: MetricCommTime,
+		Xs:     []float64{2, 3},
+		Series: []Series{
+			{Label: "sedentary", Policy: core.PolicySedentary},
+			{Label: "placement", Policy: core.PolicyPlacement},
+		},
+		Base: Config{
+			Nodes: 3, Servers1: 3,
+			MigrationTime: 6, MeanCalls: 8, MeanInterCall: 1, MeanInterBlock: 10,
+		},
+		Apply: applyClients,
+	}
+}
+
+func TestRunExperiment(t *testing.T) {
+	t.Parallel()
+	tbl, err := RunExperiment(tinyExperiment(), RunOpts{Seed: 1, Quick: true, MaxCalls: 4000, Parallelism: 4})
+	if err != nil {
+		t.Fatalf("RunExperiment: %v", err)
+	}
+	if len(tbl.Y) != 2 || len(tbl.Y[0]) != 2 {
+		t.Fatalf("table shape %dx%d, want 2x2", len(tbl.Y), len(tbl.Y[0]))
+	}
+	for i := range tbl.Y {
+		for j := range tbl.Y[i] {
+			if tbl.Y[i][j] <= 0 {
+				t.Fatalf("cell (%d,%d) = %v, want > 0", i, j, tbl.Y[i][j])
+			}
+			if tbl.Cells[i][j].Calls == 0 {
+				t.Fatalf("cell (%d,%d) has no calls", i, j)
+			}
+		}
+	}
+	// Determinism of the harness as a whole.
+	tbl2, err := RunExperiment(tinyExperiment(), RunOpts{Seed: 1, Quick: true, MaxCalls: 4000, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tbl.Y {
+		for j := range tbl.Y[i] {
+			if tbl.Y[i][j] != tbl2.Y[i][j] {
+				t.Fatalf("harness nondeterministic at (%d,%d): %v vs %v", i, j, tbl.Y[i][j], tbl2.Y[i][j])
+			}
+		}
+	}
+}
+
+func TestTableFormatAndCSV(t *testing.T) {
+	t.Parallel()
+	tbl := Table{
+		Experiment: tinyExperiment(),
+		Y:          [][]float64{{1.25, 0.75}, {1.3, 0.9}},
+		Cells:      [][]Result{{{}, {}}, {{}, {}}},
+	}
+	text := tbl.Format()
+	for _, want := range []string{"tiny test experiment", "sedentary", "placement", "1.2500", "0.9000"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("Format output missing %q:\n%s", want, text)
+		}
+	}
+	csv := tbl.CSV()
+	if !strings.HasPrefix(csv, "x,") {
+		t.Fatalf("CSV header: %q", csv)
+	}
+	if !strings.Contains(csv, "\"placement\"") || !strings.Contains(csv, "0.750000") {
+		t.Fatalf("CSV body:\n%s", csv)
+	}
+	if lines := strings.Count(csv, "\n"); lines != 3 {
+		t.Fatalf("CSV has %d lines, want 3", lines)
+	}
+}
+
+func TestColumnAndCrossover(t *testing.T) {
+	t.Parallel()
+	e := tinyExperiment()
+	e.Xs = []float64{0, 10, 20, 30}
+	e.Series = []Series{{Label: "a"}, {Label: "b"}}
+	tbl := Table{
+		Experiment: e,
+		Y: [][]float64{
+			{1, 2},
+			{1.5, 2},
+			{2.5, 2},
+			{3, 2},
+		},
+	}
+	if got := tbl.Column("b"); len(got) != 4 || got[0] != 2 {
+		t.Fatalf("Column(b) = %v", got)
+	}
+	if got := tbl.Column("zzz"); got != nil {
+		t.Fatalf("Column(zzz) = %v, want nil", got)
+	}
+	// a crosses b between x=10 (a=1.5) and x=20 (a=2.5): at 15.
+	x := tbl.Crossover("a", "b")
+	if math.Abs(x-15) > 1e-9 {
+		t.Fatalf("Crossover = %v, want 15", x)
+	}
+	// b never rises above a after a's crossing... b crosses a below
+	// x=10, never: b-a at x=0 is +1, so crossover at the first point.
+	if x := tbl.Crossover("b", "a"); x != 0 {
+		t.Fatalf("Crossover(b,a) = %v, want 0", x)
+	}
+	flat := Table{Experiment: e, Y: [][]float64{{1, 2}, {1, 2}, {1, 2}, {1, 2}}}
+	if x := flat.Crossover("a", "b"); !math.IsNaN(x) {
+		t.Fatalf("Crossover on non-crossing series = %v, want NaN", x)
+	}
+}
+
+func TestParameterTable(t *testing.T) {
+	t.Parallel()
+	f12, _ := ExperimentByID("fig12")
+	txt := f12.ParameterTable()
+	for _, want := range []string{"D  (number of nodes)", "27", "variable", "exp. mean(30)", "exp. mean(1)"} {
+		if !strings.Contains(txt, want) {
+			t.Fatalf("parameter table missing %q:\n%s", want, txt)
+		}
+	}
+}
+
+func TestCellSeedsDistinct(t *testing.T) {
+	t.Parallel()
+	s := map[int64]bool{}
+	for _, id := range []string{"fig8", "fig12"} {
+		for _, label := range []string{"a", "b"} {
+			for _, x := range []float64{1, 2, 3} {
+				seed := cellSeed(42, id, label, x)
+				if s[seed] {
+					t.Fatalf("seed collision for %s/%s/%v", id, label, x)
+				}
+				s[seed] = true
+			}
+		}
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	t.Parallel()
+	if MetricCommTime.String() == "unknown" || Metric(99).String() != "unknown" {
+		t.Fatal("Metric.String mismatch")
+	}
+	r := Result{CommTimePerCall: 1, CallDuration: 2, MigrationPerCall: 3}
+	if MetricCommTime.pick(r) != 1 || MetricCallDuration.pick(r) != 2 || MetricMigrationPerCall.pick(r) != 3 {
+		t.Fatal("Metric.pick mismatch")
+	}
+}

@@ -1,0 +1,216 @@
+// Package sim implements the paper's simulation model (Section 4.1) and
+// the experiments behind every figure of its evaluation.
+//
+// The model: D fully connected nodes run C sedentary client objects and
+// S1 (+ optionally S2) mobile server objects. Clients repeatedly open
+// move-blocks against a uniformly chosen first-layer server: a
+// move-request, N invocations separated by think times t_i, and an
+// end-request. Every invocation message has an exponentially
+// distributed duration with mean 1 (the time unit); a remote invocation
+// is a request plus a reply message, a local invocation costs nothing.
+// Migrating an object (or an attached working set, as one batch) takes
+// the fixed duration M, during which calls to the migrating objects
+// block. Which move-requests actually migrate objects is decided by the
+// policies of internal/core — the same state machines the live runtime
+// executes.
+//
+// The reported metric is the paper's: mean communication time per
+// (top-level) call, i.e. the invocation duration plus the block's
+// migration cost spread evenly over the block's invocations. Figures 10
+// and 11 report the two components separately.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"objmig/internal/core"
+	"objmig/internal/stats"
+)
+
+// Re-exported policy and attachment identifiers, so users of the
+// public simulation API can name them without reaching into internal
+// packages.
+const (
+	PolicySedentary            = core.PolicySedentary
+	PolicyConventional         = core.PolicyConventional
+	PolicyPlacement            = core.PolicyPlacement
+	PolicyCompareNodes         = core.PolicyCompareNodes
+	PolicyCompareReinstantiate = core.PolicyCompareReinstantiate
+
+	AttachUnrestricted = core.AttachUnrestricted
+	AttachATransitive  = core.AttachATransitive
+	AttachExclusive    = core.AttachExclusive
+)
+
+// Config describes one simulation cell: a parameter set of Table 1 plus
+// a policy selection and the stopping rule.
+type Config struct {
+	// Nodes is D, the number of fully connected nodes.
+	Nodes int
+	// Clients is C. Clients are sedentary and pinned round-robin to
+	// nodes (client i lives on node i mod D).
+	Clients int
+	// Servers1 is S1, the number of first-layer servers (the objects
+	// clients open move-blocks against).
+	Servers1 int
+	// Servers2 is S2, the number of second-layer servers. When
+	// non-zero, first-layer server i owns the working set
+	// {S2[i mod S2], S2[(i+1) mod S2]} (wrap-around overlap — the
+	// paper's partially overlapping worst case) and every top-level
+	// call triggers one nested call to a uniformly chosen member.
+	Servers2 int
+	// MigrationTime is M, the fixed duration of one migration batch.
+	MigrationTime float64
+	// MeanCalls is the mean of the exponentially distributed number
+	// of calls N in a move-block.
+	MeanCalls float64
+	// MeanInterCall is the mean think time t_i between two calls of a
+	// block.
+	MeanInterCall float64
+	// MeanInterBlock is the mean pause t_m between two move-blocks of
+	// the same client.
+	MeanInterBlock float64
+	// Policy selects the move-policy under test.
+	Policy core.PolicyKind
+	// Attach selects the attachment regime. It only matters when
+	// Servers2 > 0; the zero value defaults to unrestricted.
+	Attach core.AttachMode
+	// DisableGroupLock is an ablation switch: when set, a granted
+	// placement move locks only the requested object instead of the
+	// whole moved working set, so other blocks can steal attached
+	// members mid-block. The paper's semantics (Section 4.4) keep the
+	// set together; this switch quantifies what that rule is worth.
+	DisableGroupLock bool
+	// Seed makes the run reproducible.
+	Seed int64
+
+	// WarmupCalls top-level calls are simulated but not measured, to
+	// delete the initial transient.
+	WarmupCalls int
+	// BatchSize is the batch-means batch size (in calls).
+	BatchSize int
+	// MinBatches is the minimum number of complete batches before the
+	// CI stopping rule may fire.
+	MinBatches int
+	// CIRel is the paper's stopping rule: stop when the relative
+	// confidence-interval half-width at p = 0.99 drops to this value
+	// (the paper uses 0.01). Zero disables the rule; the run then
+	// always lasts MaxCalls.
+	CIRel float64
+	// MaxCalls caps the measured calls regardless of convergence.
+	MaxCalls int
+}
+
+// Defaults used when the corresponding Config field is zero.
+const (
+	DefaultWarmupCalls = 2000
+	DefaultBatchSize   = 500
+	DefaultMinBatches  = 20
+	DefaultMaxCalls    = 200000
+)
+
+// withDefaults returns a copy of c with zero stopping-rule fields
+// replaced by the defaults.
+func (c Config) withDefaults() Config {
+	if c.WarmupCalls == 0 {
+		c.WarmupCalls = DefaultWarmupCalls
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = DefaultBatchSize
+	}
+	if c.MinBatches == 0 {
+		c.MinBatches = DefaultMinBatches
+	}
+	if c.MaxCalls == 0 {
+		c.MaxCalls = DefaultMaxCalls
+	}
+	if c.Attach == 0 {
+		c.Attach = core.AttachUnrestricted
+	}
+	return c
+}
+
+// Validate reports whether the configuration is runnable.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes < 1:
+		return errors.New("sim: Nodes must be >= 1")
+	case c.Clients < 1:
+		return errors.New("sim: Clients must be >= 1")
+	case c.Servers1 < 1:
+		return errors.New("sim: Servers1 must be >= 1")
+	case c.Servers2 < 0:
+		return errors.New("sim: Servers2 must be >= 0")
+	case c.Servers2 == 1:
+		return errors.New("sim: Servers2 must be 0 or >= 2 (working sets of two)")
+	case c.MigrationTime < 0:
+		return errors.New("sim: MigrationTime must be >= 0")
+	case c.MeanCalls <= 0:
+		return errors.New("sim: MeanCalls must be > 0")
+	case c.MeanInterCall < 0 || c.MeanInterBlock < 0:
+		return errors.New("sim: think times must be >= 0")
+	case !c.Policy.Valid():
+		return fmt.Errorf("sim: invalid policy %d", c.Policy)
+	case c.Attach != 0 && !c.Attach.Valid():
+		return fmt.Errorf("sim: invalid attach mode %d", c.Attach)
+	case c.CIRel < 0:
+		return errors.New("sim: CIRel must be >= 0")
+	default:
+		return nil
+	}
+}
+
+// Result is the outcome of one simulation cell.
+type Result struct {
+	// CommTimePerCall is the paper's headline metric (Figs. 8, 12,
+	// 14, 16): mean invocation duration plus amortised migration
+	// cost.
+	CommTimePerCall float64
+	// CallDuration is the pure invocation-duration component
+	// (Fig. 10).
+	CallDuration float64
+	// MigrationPerCall is the amortised migration component
+	// (Fig. 11).
+	MigrationPerCall float64
+
+	// Calls is the number of measured (post-warm-up) top-level calls.
+	Calls int64
+	// Blocks is the number of measured move-blocks.
+	Blocks int64
+	// Migrations counts transfer batches; ObjectsMoved counts the
+	// objects they carried (> Migrations when attachments drag
+	// working sets along).
+	Migrations   int64
+	ObjectsMoved int64
+	// MovesGranted / MovesStayed / MovesDenied classify move-request
+	// outcomes.
+	MovesGranted int64
+	MovesStayed  int64
+	MovesDenied  int64
+
+	// RelHalfWidth is the achieved relative CI half-width of
+	// CommTimePerCall at p = 0.99.
+	RelHalfWidth float64
+	// Converged reports whether the CI stopping rule fired (false
+	// when the run hit MaxCalls first or the rule was disabled).
+	Converged bool
+	// SimTime is the simulated time at the end of measurement.
+	SimTime float64
+}
+
+// Run simulates one cell to completion and returns its result. Cells
+// are independent; callers may run many cells concurrently, each Run
+// uses only its own state.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	w := newWorld(cfg)
+	return w.run(), nil
+}
+
+// z99 re-exports the confidence multiplier used by the stopping rule so
+// result consumers can reconstruct absolute intervals.
+const z99 = stats.Z99

@@ -1,0 +1,307 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"objmig/internal/core"
+)
+
+// quickCfg returns a fast-running configuration for tests.
+func quickCfg(policy core.PolicyKind) Config {
+	return Config{
+		Nodes: 3, Clients: 3, Servers1: 3,
+		MigrationTime: 6, MeanCalls: 8, MeanInterCall: 1, MeanInterBlock: 10,
+		Policy: policy, Seed: 7,
+		WarmupCalls: 300, BatchSize: 200, MaxCalls: 15000, CIRel: 0.02,
+	}
+}
+
+func mustRun(t *testing.T, cfg Config) Result {
+	t.Helper()
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return r
+}
+
+func TestValidate(t *testing.T) {
+	t.Parallel()
+	bad := []Config{
+		{},
+		{Nodes: 1},
+		{Nodes: 1, Clients: 1},
+		{Nodes: 1, Clients: 1, Servers1: 1, MeanCalls: 8, Policy: 99},
+		{Nodes: 1, Clients: 1, Servers1: 1, MeanCalls: 0, Policy: core.PolicySedentary},
+		{Nodes: 1, Clients: 1, Servers1: 1, Servers2: 1, MeanCalls: 8, Policy: core.PolicySedentary},
+		{Nodes: 1, Clients: 1, Servers1: 1, MeanCalls: 8, MigrationTime: -1, Policy: core.PolicySedentary},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	ok := quickCfg(core.PolicySedentary)
+	if err := ok.withDefaults().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+// TestSedentaryAnalyticMean pins the simulator to the paper's analytic
+// check: with D = C = S1 = 3 a sedentary system has a mean
+// communication time per call of 4/3 (two messages, remote with
+// probability 2/3).
+func TestSedentaryAnalyticMean(t *testing.T) {
+	t.Parallel()
+	r := mustRun(t, quickCfg(core.PolicySedentary))
+	want := 4.0 / 3.0
+	if math.Abs(r.CommTimePerCall-want) > 0.03 {
+		t.Fatalf("sedentary D3/C3 mean = %v, want %v +- 0.03", r.CommTimePerCall, want)
+	}
+	if r.Migrations != 0 || r.ObjectsMoved != 0 || r.MovesGranted != 0 {
+		t.Fatalf("sedentary system migrated: %+v", r)
+	}
+	if r.MigrationPerCall != 0 {
+		t.Fatalf("sedentary migration load = %v", r.MigrationPerCall)
+	}
+}
+
+// TestSedentaryHotSpotMean checks the large-network baseline: with
+// servers kept off the client nodes every call is remote, so the mean
+// is 2 message durations.
+func TestSedentaryHotSpotMean(t *testing.T) {
+	t.Parallel()
+	cfg := quickCfg(core.PolicySedentary)
+	cfg.Nodes, cfg.Clients, cfg.MeanInterBlock = 27, 9, 30
+	r := mustRun(t, cfg)
+	if math.Abs(r.CommTimePerCall-2.0) > 0.04 {
+		t.Fatalf("hot-spot sedentary mean = %v, want 2.0 +- 0.04", r.CommTimePerCall)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	t.Parallel()
+	cfg := quickCfg(core.PolicyPlacement)
+	a := mustRun(t, cfg)
+	b := mustRun(t, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different results:\n%+v\n%+v", a, b)
+	}
+	cfg.Seed = 8
+	c := mustRun(t, cfg)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical results (suspicious)")
+	}
+}
+
+// TestMetricDecomposition: the headline metric is exactly the sum of
+// its two components, per the paper's definition.
+func TestMetricDecomposition(t *testing.T) {
+	t.Parallel()
+	for _, p := range []core.PolicyKind{core.PolicyConventional, core.PolicyPlacement} {
+		r := mustRun(t, quickCfg(p))
+		sum := r.CallDuration + r.MigrationPerCall
+		if math.Abs(r.CommTimePerCall-sum) > 1e-9 {
+			t.Fatalf("%v: comm %v != dur %v + mig %v", p, r.CommTimePerCall, r.CallDuration, r.MigrationPerCall)
+		}
+	}
+}
+
+// TestMigrationWinsAtLowConcurrency reproduces the right edge of
+// Fig. 8: with rare move-blocks both migration policies clearly beat
+// the sedentary baseline.
+func TestMigrationWinsAtLowConcurrency(t *testing.T) {
+	t.Parallel()
+	base := quickCfg(core.PolicySedentary)
+	base.MeanInterBlock = 100
+	sed := mustRun(t, base)
+	base.Policy = core.PolicyConventional
+	conv := mustRun(t, base)
+	base.Policy = core.PolicyPlacement
+	plc := mustRun(t, base)
+	if !(conv.CommTimePerCall < 0.8*sed.CommTimePerCall) {
+		t.Fatalf("conventional %v not clearly below sedentary %v", conv.CommTimePerCall, sed.CommTimePerCall)
+	}
+	if !(plc.CommTimePerCall < 0.8*sed.CommTimePerCall) {
+		t.Fatalf("placement %v not clearly below sedentary %v", plc.CommTimePerCall, sed.CommTimePerCall)
+	}
+}
+
+// TestPlacementBeatsConventionalUnderContention reproduces the heart of
+// the paper (Figs. 8 and 12): with many concurrent clients conventional
+// migration thrashes while transient placement stays well below it.
+func TestPlacementBeatsConventionalUnderContention(t *testing.T) {
+	t.Parallel()
+	cfg := Config{
+		Nodes: 27, Clients: 20, Servers1: 3,
+		MigrationTime: 6, MeanCalls: 8, MeanInterCall: 1, MeanInterBlock: 30,
+		Seed: 7, WarmupCalls: 500, BatchSize: 200, MaxCalls: 25000, CIRel: 0.02,
+	}
+	cfg.Policy = core.PolicyConventional
+	conv := mustRun(t, cfg)
+	cfg.Policy = core.PolicyPlacement
+	plc := mustRun(t, cfg)
+	cfg.Policy = core.PolicySedentary
+	sed := mustRun(t, cfg)
+	if !(plc.CommTimePerCall < 0.7*conv.CommTimePerCall) {
+		t.Fatalf("placement %v vs conventional %v: no clear win", plc.CommTimePerCall, conv.CommTimePerCall)
+	}
+	// At 20 clients conventional migration is far beyond its
+	// break-even (~6 clients in the paper) while placement is still
+	// around its own (~20).
+	if !(conv.CommTimePerCall > 1.5*sed.CommTimePerCall) {
+		t.Fatalf("conventional %v not clearly above sedentary %v at C=20", conv.CommTimePerCall, sed.CommTimePerCall)
+	}
+	if !(plc.CommTimePerCall < 1.15*sed.CommTimePerCall) {
+		t.Fatalf("placement %v far above sedentary %v at C=20", plc.CommTimePerCall, sed.CommTimePerCall)
+	}
+	if plc.MovesDenied == 0 {
+		t.Fatal("placement under contention denied no moves")
+	}
+}
+
+// TestDynamicPoliciesMarginal reproduces the conclusion of Section 4.3:
+// the dynamic strategies stay within a small band around conservative
+// placement.
+func TestDynamicPoliciesMarginal(t *testing.T) {
+	t.Parallel()
+	cfg := Config{
+		Nodes: 3, Clients: 9, Servers1: 3,
+		MigrationTime: 6, MeanCalls: 8, MeanInterCall: 1, MeanInterBlock: 30,
+		Seed: 7, WarmupCalls: 500, BatchSize: 200, MaxCalls: 25000, CIRel: 0.02,
+	}
+	cfg.Policy = core.PolicyPlacement
+	plc := mustRun(t, cfg)
+	cfg.Policy = core.PolicyCompareNodes
+	cmp := mustRun(t, cfg)
+	cfg.Policy = core.PolicyCompareReinstantiate
+	rei := mustRun(t, cfg)
+	for name, r := range map[string]Result{"compare-nodes": cmp, "reinstantiate": rei} {
+		ratio := r.CommTimePerCall / plc.CommTimePerCall
+		if ratio < 0.8 || ratio > 1.2 {
+			t.Fatalf("%s/%v: ratio %v outside the marginal band", name, r.CommTimePerCall, ratio)
+		}
+	}
+}
+
+// TestFig16Ordering reproduces the qualitative ordering of Fig. 16 at
+// high concurrency.
+func TestFig16Ordering(t *testing.T) {
+	t.Parallel()
+	base := Config{
+		Nodes: 24, Clients: 10, Servers1: 6, Servers2: 6,
+		MigrationTime: 6, MeanCalls: 6, MeanInterCall: 1, MeanInterBlock: 30,
+		Seed: 7, WarmupCalls: 500, BatchSize: 200, MaxCalls: 25000, CIRel: 0.02,
+	}
+	run := func(p core.PolicyKind, a core.AttachMode) Result {
+		cfg := base
+		cfg.Policy, cfg.Attach = p, a
+		return mustRun(t, cfg)
+	}
+	sed := run(core.PolicySedentary, core.AttachUnrestricted)
+	convU := run(core.PolicyConventional, core.AttachUnrestricted)
+	convA := run(core.PolicyConventional, core.AttachATransitive)
+	plcU := run(core.PolicyPlacement, core.AttachUnrestricted)
+	plcA := run(core.PolicyPlacement, core.AttachATransitive)
+
+	// Unrestricted conventional migration is devastating: clearly the
+	// worst, far above the sedentary baseline.
+	if !(convU.CommTimePerCall > 1.5*sed.CommTimePerCall) {
+		t.Fatalf("conv+unrestricted %v not devastating vs sedentary %v", convU.CommTimePerCall, sed.CommTimePerCall)
+	}
+	if !(convU.CommTimePerCall > convA.CommTimePerCall) {
+		t.Fatalf("A-transitivity did not help conventional migration: %v vs %v", convA.CommTimePerCall, convU.CommTimePerCall)
+	}
+	if !(convA.CommTimePerCall > plcU.CommTimePerCall) {
+		t.Fatalf("placement+unrestricted %v not below migration+A-transitive %v", plcU.CommTimePerCall, convA.CommTimePerCall)
+	}
+	if !(plcA.CommTimePerCall < plcU.CommTimePerCall) {
+		t.Fatalf("placement+A-transitive %v not best (placement+unrestricted %v)", plcA.CommTimePerCall, plcU.CommTimePerCall)
+	}
+	// Unrestricted attachment drags whole merged components around.
+	if convU.ObjectsMoved <= convA.ObjectsMoved {
+		t.Fatalf("unrestricted moved %d objects, a-transitive %d: expected more under unrestricted",
+			convU.ObjectsMoved, convA.ObjectsMoved)
+	}
+}
+
+// TestStoppingRules checks both termination paths.
+func TestStoppingRules(t *testing.T) {
+	t.Parallel()
+	cfg := quickCfg(core.PolicySedentary)
+	cfg.CIRel = 0.2 // very loose: the CI rule must fire early
+	r := mustRun(t, cfg)
+	if !r.Converged {
+		t.Fatalf("loose CI did not converge: %+v", r)
+	}
+	if r.Calls >= int64(cfg.MaxCalls) {
+		t.Fatalf("CI rule did not stop early: %d calls", r.Calls)
+	}
+
+	cfg = quickCfg(core.PolicySedentary)
+	cfg.CIRel = 0 // disabled: run to MaxCalls
+	cfg.MaxCalls = 5000
+	r = mustRun(t, cfg)
+	if r.Converged {
+		t.Fatal("disabled CI rule reported convergence")
+	}
+	if r.Calls < 5000 {
+		t.Fatalf("run stopped at %d calls, want >= 5000", r.Calls)
+	}
+}
+
+// TestPlacementGroupLockKeepsWorkingSetTogether: under placement with
+// working sets, a block's whole working set is protected, so the number
+// of batch migrations can never exceed the number of granted moves plus
+// stays.
+func TestPlacementGroupLockKeepsWorkingSetTogether(t *testing.T) {
+	t.Parallel()
+	cfg := Config{
+		Nodes: 24, Clients: 8, Servers1: 6, Servers2: 6,
+		MigrationTime: 6, MeanCalls: 6, MeanInterCall: 1, MeanInterBlock: 30,
+		Policy: core.PolicyPlacement, Attach: core.AttachATransitive,
+		Seed: 7, WarmupCalls: 300, BatchSize: 200, MaxCalls: 15000, CIRel: 0.02,
+	}
+	r := mustRun(t, cfg)
+	if r.Migrations == 0 {
+		t.Fatal("no migrations at all")
+	}
+	if r.Migrations > r.MovesGranted+r.MovesStayed {
+		t.Fatalf("migrations %d exceed granted+stayed %d", r.Migrations, r.MovesGranted+r.MovesStayed)
+	}
+	// Working sets have three members, so batches move at most three
+	// objects on average, and at least one.
+	avg := float64(r.ObjectsMoved) / float64(r.Migrations)
+	if avg < 1 || avg > 3 {
+		t.Fatalf("average batch size %v outside [1,3]", avg)
+	}
+}
+
+// TestConventionalMovesEveryBlock: conventional migration grants every
+// single move-request (no deny path except fixing).
+func TestConventionalMovesEveryBlock(t *testing.T) {
+	t.Parallel()
+	r := mustRun(t, quickCfg(core.PolicyConventional))
+	if r.MovesDenied != 0 {
+		t.Fatalf("conventional denied %d moves", r.MovesDenied)
+	}
+	if r.MovesGranted == 0 {
+		t.Fatal("conventional granted no moves")
+	}
+}
+
+func TestResultAccounting(t *testing.T) {
+	t.Parallel()
+	r := mustRun(t, quickCfg(core.PolicyPlacement))
+	if r.Calls <= 0 || r.Blocks <= 0 {
+		t.Fatalf("missing accounting: %+v", r)
+	}
+	if r.SimTime <= 0 {
+		t.Fatalf("sim time %v", r.SimTime)
+	}
+	if r.ObjectsMoved < r.Migrations {
+		t.Fatalf("objects moved %d < migrations %d", r.ObjectsMoved, r.Migrations)
+	}
+}

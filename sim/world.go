@@ -1,0 +1,445 @@
+package sim
+
+import (
+	"fmt"
+
+	"objmig/internal/core"
+	"objmig/internal/des"
+	"objmig/internal/stats"
+	"objmig/internal/xrand"
+)
+
+// object is a mobile server object in the simulated world.
+type object struct {
+	id        core.OID
+	node      int // current node, or -1 while in transit
+	inTransit bool
+	transit   int // transit target while inTransit
+	st        core.ObjState
+	cond      *des.Cond // broadcast whenever the object becomes resident
+	// First-layer servers only:
+	ws       []int           // indices into world.s2 (the working set)
+	alliance core.AllianceID // the server's cooperation context
+}
+
+// world is the state of one simulation cell.
+type world struct {
+	cfg    Config
+	k      *des.Kernel
+	policy core.MovePolicy
+	attach *core.AttachGraph
+
+	nodeNames []core.NodeID
+	s1        []*object
+	s2        []*object
+	byOID     map[core.OID]*object
+
+	comm    *stats.Estimator
+	callDur *stats.Estimator
+	migPer  *stats.Estimator
+
+	warmupLeft int
+	done       bool
+	blockSeq   uint64
+
+	res Result
+}
+
+func newWorld(cfg Config) *world {
+	w := &world{
+		cfg:        cfg,
+		k:          des.NewKernel(),
+		policy:     core.PolicyFor(cfg.Policy),
+		attach:     core.NewAttachGraph(cfg.Attach),
+		comm:       stats.NewEstimator(cfg.BatchSize),
+		callDur:    stats.NewEstimator(cfg.BatchSize),
+		migPer:     stats.NewEstimator(cfg.BatchSize),
+		warmupLeft: cfg.WarmupCalls,
+		byOID:      make(map[core.OID]*object),
+	}
+	w.nodeNames = make([]core.NodeID, cfg.Nodes)
+	for i := range w.nodeNames {
+		w.nodeNames[i] = core.NodeID(fmt.Sprintf("n%03d", i))
+	}
+	master := xrand.New(cfg.Seed)
+	// Servers start round-robin from node D-1 downward while clients
+	// are pinned round-robin from node 0 upward. For the paper's
+	// symmetric configurations (D = C = S1, Figs. 8/14) this gives
+	// every client-server pair exactly the 1/C local-callee chance the
+	// paper states (the 4/3 sedentary mean); for the hot-spot
+	// configurations (D >> C, Figs. 12/16) it keeps servers off the
+	// client nodes, making the sedentary baseline flat.
+	placed := 0
+	mkObj := func(kind string, i int) *object {
+		node := (cfg.Nodes - 1 - placed) % cfg.Nodes
+		if node < 0 {
+			node += cfg.Nodes
+		}
+		placed++
+		o := &object{
+			id:   core.OID{Origin: core.NodeID(kind), Seq: uint64(i)},
+			node: node,
+			cond: w.k.NewCond(),
+		}
+		w.byOID[o.id] = o
+		return o
+	}
+	w.s1 = make([]*object, cfg.Servers1)
+	for i := range w.s1 {
+		w.s1[i] = mkObj("s1", i)
+		w.s1[i].alliance = core.AllianceID(i + 1)
+	}
+	w.s2 = make([]*object, cfg.Servers2)
+	for i := range w.s2 {
+		w.s2[i] = mkObj("s2", i)
+	}
+	// Working sets with wrap-around overlap; each set forms an
+	// attachment clique labelled with the first-layer server's
+	// alliance ("all server objects in one working set are attached
+	// together").
+	if cfg.Servers2 > 0 {
+		for i, s := range w.s1 {
+			a := i % cfg.Servers2
+			b := (i + 1) % cfg.Servers2
+			s.ws = []int{a, b}
+			al := s.alliance
+			w.attach.Attach(s.id, w.s2[a].id, al)
+			w.attach.Attach(s.id, w.s2[b].id, al)
+			w.attach.Attach(w.s2[a].id, w.s2[b].id, al)
+		}
+	}
+	for i := 0; i < cfg.Clients; i++ {
+		node := i % cfg.Nodes
+		rng := master.Fork(fmt.Sprintf("client-%d", i))
+		name := fmt.Sprintf("client-%d", i)
+		w.k.Spawn(name, func(p *des.Proc) { w.clientLoop(p, rng, node) })
+	}
+	return w
+}
+
+func (w *world) run() Result {
+	w.k.Run(-1)
+	w.k.Shutdown()
+	w.res.CommTimePerCall = w.comm.Mean()
+	w.res.CallDuration = w.callDur.Mean()
+	w.res.MigrationPerCall = w.migPer.Mean()
+	w.res.Calls = w.comm.N()
+	w.res.RelHalfWidth = w.comm.RelHalfWidth(z99)
+	w.res.SimTime = w.k.Now()
+	return w.res
+}
+
+// nodeName maps a node index to its policy-level identifier.
+func (w *world) nodeName(i int) core.NodeID { return w.nodeNames[i] }
+
+// effNode is the node an object is logically associated with: its
+// residence, or its transit target while migrating.
+func (w *world) effNode(o *object) int {
+	if o.inTransit {
+		return o.transit
+	}
+	return o.node
+}
+
+// waitResident blocks until o is not in transit.
+func (w *world) waitResident(p *des.Proc, o *object) {
+	for o.inTransit {
+		p.Wait(o.cond)
+	}
+}
+
+// waitAllResident blocks until every member is simultaneously resident.
+func (w *world) waitAllResident(p *des.Proc, members []*object) {
+	for {
+		all := true
+		for _, m := range members {
+			if m.inTransit {
+				p.Wait(m.cond)
+				all = false
+				break
+			}
+		}
+		if all {
+			return
+		}
+	}
+}
+
+// transfer moves objs to target as one batch of duration MigrationTime,
+// blocking the calling process for the transit.
+func (w *world) transfer(p *des.Proc, objs []*object, target int) {
+	w.beginTransit(objs, target)
+	p.Sleep(w.cfg.MigrationTime)
+	w.finishTransit(objs, target)
+}
+
+func (w *world) beginTransit(objs []*object, target int) {
+	for _, o := range objs {
+		o.inTransit = true
+		o.transit = target
+		o.node = -1
+	}
+	w.res.Migrations++
+	w.res.ObjectsMoved += int64(len(objs))
+}
+
+func (w *world) finishTransit(objs []*object, target int) {
+	for _, o := range objs {
+		o.inTransit = false
+		o.node = target
+		o.cond.Broadcast()
+	}
+}
+
+// closureObjects resolves the attachment closure of root for a move
+// issued in the given alliance.
+func (w *world) closureObjects(root *object, al core.AllianceID) []*object {
+	ids := w.attach.Closure(root.id, al)
+	out := make([]*object, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, w.byOID[id])
+	}
+	return out
+}
+
+// clientLoop is one client's life: sleep t_m, run a move-block, repeat
+// until the cell is done.
+func (w *world) clientLoop(p *des.Proc, rng *xrand.Stream, node int) {
+	for !w.done {
+		p.Sleep(rng.Exp(w.cfg.MeanInterBlock))
+		if w.done {
+			return
+		}
+		w.moveBlock(p, rng, node)
+	}
+}
+
+// moveBlock runs one move-block: move-request, N calls, end-request,
+// then records the block's samples.
+func (w *world) moveBlock(p *des.Proc, rng *xrand.Stream, node int) {
+	w.blockSeq++
+	block := core.BlockID(w.blockSeq)
+	root := w.s1[rng.Intn(len(w.s1))]
+	alliance := root.alliance
+
+	migCost := 0.0
+	// The move-request is one message to the object's current host
+	// (free when the object is local). The sedentary baseline models
+	// a system without migration support: no move-requests exist.
+	if w.cfg.Policy != core.PolicySedentary {
+		if w.effNode(root) != node {
+			d := rng.Exp(1)
+			p.Sleep(d)
+			migCost += d
+		}
+	}
+	moving := w.decideMove(p, root, node, block, alliance)
+	if len(moving) > 0 {
+		w.transfer(p, moving, node)
+		migCost += w.cfg.MigrationTime
+	}
+
+	n := rng.ExpCount(w.cfg.MeanCalls)
+	durs := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		p.Sleep(rng.Exp(w.cfg.MeanInterCall))
+		durs = append(durs, w.invoke(p, rng, node, root))
+	}
+
+	// The end-request applies to the whole working set: under
+	// placement it releases every member lock this block holds; under
+	// the dynamic policies it balances the root's counters (the
+	// closure is a singleton there). The root's decision carries the
+	// reinstantiation verdict.
+	end := core.EndRequest{From: w.nodeName(node), Block: block}
+	var e core.EndDecision
+	for _, m := range w.closureObjects(root, alliance) {
+		d := w.policy.OnEnd(&m.st, w.nodeName(w.effNode(m)), end)
+		if m == root {
+			e = d
+		}
+	}
+	if e.Migrate {
+		// Reinstantiation: the object leaves on the end-request. The
+		// transfer proceeds asynchronously (no client waits for it),
+		// but its cost is attributed to the block that triggered it.
+		// If any group member is already in transit the migration is
+		// skipped: the object is being handled by somebody else.
+		target := w.nodeIndex(e.MigrateTo)
+		group := w.closureObjects(root, alliance)
+		free := true
+		for _, m := range group {
+			if m.inTransit {
+				free = false
+				break
+			}
+		}
+		if free {
+			w.beginTransit(group, target)
+			w.k.Spawn("reinstantiate", func(tp *des.Proc) {
+				tp.Sleep(w.cfg.MigrationTime)
+				w.finishTransit(group, target)
+			})
+			migCost += w.cfg.MigrationTime
+		}
+	}
+
+	w.record(durs, migCost)
+}
+
+// decideMove interprets the move-request at the object's current host
+// and returns the batch to transfer (empty if no transfer happens).
+func (w *world) decideMove(p *des.Proc, root *object, node int, block core.BlockID, alliance core.AllianceID) []*object {
+	req := core.MoveRequest{From: w.nodeName(node), Block: block}
+	switch w.cfg.Policy {
+	case core.PolicySedentary:
+		dec := w.policy.OnMove(&root.st, w.nodeName(w.effNode(root)), req)
+		if dec.Action == core.ActionDeny {
+			w.res.MovesDenied++
+		} else {
+			w.res.MovesStayed++
+		}
+		return nil
+
+	case core.PolicyPlacement:
+		// A held lock denies immediately, even while the object is in
+		// transit (paper Fig. 4: the conflicting move returns the
+		// locked indication without waiting).
+		if root.st.Lock.Held && (root.st.Lock.Owner != req.From || root.st.Lock.Block != req.Block) {
+			w.res.MovesDenied++
+			return nil
+		}
+		// An unlocked object being dragged along inside another
+		// working set is "busy": the decision waits for residency.
+		w.waitResident(p, root)
+		dec := w.policy.OnMove(&root.st, w.nodeName(root.node), req)
+		if dec.Action == core.ActionDeny {
+			w.res.MovesDenied++
+			return nil
+		}
+		members := w.closureObjects(root, alliance)
+		// All-or-nothing: the batch moves only if every member is
+		// free (not in transit, not locked by another block).
+		for _, m := range members {
+			lockedByOther := m.st.Lock.Held &&
+				(m.st.Lock.Owner != req.From || m.st.Lock.Block != req.Block)
+			if m.inTransit || lockedByOther {
+				w.policy.Abort(&root.st, req)
+				w.res.MovesDenied++
+				return nil
+			}
+		}
+		// The placed working set is locked as a whole: attached
+		// objects are kept together for the duration of the block
+		// (unless the group-lock ablation is active).
+		if !w.cfg.DisableGroupLock {
+			states := make([]*core.ObjState, len(members))
+			for i, m := range members {
+				states[i] = &m.st
+			}
+			core.PlaceGroup(states, req.From, req.Block)
+		}
+		return w.finishGrant(dec, members, node)
+
+	default: // conventional and the two dynamic policies
+		w.waitResident(p, root)
+		dec := w.policy.OnMove(&root.st, w.nodeName(root.node), req)
+		if dec.Action == core.ActionDeny {
+			w.res.MovesDenied++
+			return nil
+		}
+		members := w.closureObjects(root, alliance)
+		// Conventional migration chases the working set until it can
+		// take all of it — even out of other blocks' hands.
+		w.waitAllResident(p, members)
+		return w.finishGrant(dec, members, node)
+	}
+}
+
+// finishGrant books the grant and returns the members that actually
+// need transferring (those not already at the target).
+func (w *world) finishGrant(dec core.MoveDecision, members []*object, node int) []*object {
+	if dec.Action == core.ActionStay {
+		w.res.MovesStayed++
+	} else {
+		w.res.MovesGranted++
+	}
+	moving := members[:0:0]
+	for _, m := range members {
+		if m.node != node {
+			moving = append(moving, m)
+		}
+	}
+	return moving
+}
+
+// invoke performs one top-level call from a client to a first-layer
+// server, including the nested second-layer call when working sets are
+// configured, and returns its duration.
+func (w *world) invoke(p *des.Proc, rng *xrand.Stream, clientNode int, obj *object) float64 {
+	start := p.Now()
+	w.waitResident(p, obj)
+	objNode := obj.node
+	remote := objNode != clientNode
+	if remote {
+		p.Sleep(rng.Exp(1)) // request message
+	}
+	if len(obj.ws) > 0 {
+		s2 := w.s2[obj.ws[rng.Intn(len(obj.ws))]]
+		w.waitResident(p, s2)
+		if s2.node != objNode {
+			p.Sleep(rng.Exp(1)) // nested request
+			p.Sleep(rng.Exp(1)) // nested reply
+		}
+	}
+	if remote {
+		p.Sleep(rng.Exp(1)) // reply message
+	}
+	return p.Now() - start
+}
+
+// record folds one block's samples into the estimators and checks the
+// stopping rule.
+func (w *world) record(durs []float64, migCost float64) {
+	if len(durs) == 0 {
+		return
+	}
+	per := migCost / float64(len(durs))
+	measured := false
+	for _, d := range durs {
+		if w.warmupLeft > 0 {
+			w.warmupLeft--
+			continue
+		}
+		w.comm.Add(d + per)
+		w.callDur.Add(d)
+		w.migPer.Add(per)
+		measured = true
+	}
+	if measured {
+		w.res.Blocks++
+	}
+	if w.done {
+		return
+	}
+	if w.comm.N() >= int64(w.cfg.MaxCalls) {
+		w.done = true
+		return
+	}
+	if w.cfg.CIRel > 0 &&
+		w.comm.Converged(z99, w.cfg.CIRel, int64(w.cfg.MinBatches)) {
+		w.res.Converged = true
+		w.done = true
+	}
+}
+
+// nodeIndex inverts nodeName. Policies only ever name nodes that
+// issued requests, so the lookup cannot fail for well-formed runs.
+func (w *world) nodeIndex(n core.NodeID) int {
+	for i, name := range w.nodeNames {
+		if name == n {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("sim: unknown node %q", n))
+}
