@@ -105,12 +105,12 @@ func (n *Node) edgeRequest(ctx context.Context, oid core.OID, kind wire.Kind, re
 				_, err = n.handleEdgeDel(ctx, r)
 			}
 			if to, moved := movedTo(err); moved {
-				n.reg.Learn(oid, to)
+				n.store.Learn(oid, to)
 				continue
 			}
 			return fromRemote(err)
 		}
-		target := n.reg.Hint(oid)
+		target := n.store.Hint(oid)
 		if target == n.id {
 			if n.selfHintRetry(oid) {
 				continue // an arrival raced the two lookups
@@ -123,11 +123,11 @@ func (n *Node) edgeRequest(ctx context.Context, oid core.OID, kind wire.Kind, re
 			return nil
 		}
 		if to, moved := movedTo(err); moved {
-			n.reg.Learn(oid, to)
+			n.store.Learn(oid, to)
 			continue
 		}
 		if isCode(err, wire.CodeNotFound) && target != oid.Origin {
-			n.reg.Invalidate(oid)
+			n.store.Invalidate(oid)
 			continue
 		}
 		return fromRemote(err)
@@ -146,15 +146,15 @@ func (n *Node) handleEdgeAdd(ctx context.Context, req *wire.EdgeAddReq) (*wire.E
 	if !ok {
 		return nil, n.whereabouts(req.Obj)
 	}
-	err := rec.edgeOp(ctx, func() *wire.RemoteError {
+	err := rec.EdgeOp(ctx, func() *wire.RemoteError {
 		// Each endpoint enforces its own degree constraint; the
 		// two-phase Attach gives the exclusive rule both sides.
 		if !core.AdmitAttachRule(n.attachMode, req.Obj, req.Other,
-			len(rec.edges), 0, len(rec.edges[req.Other]) > 0) {
+			rec.DegreeLocked(), 0, rec.PairedWithLocked(req.Other)) {
 			return wire.Errorf(wire.CodeExclusive,
 				"%s already has an attachment partner", req.Obj)
 		}
-		rec.addEdgeLocked(req.Other, req.Alliance)
+		rec.AddEdgeLocked(req.Other, req.Alliance)
 		return nil
 	})
 	if err != nil {
@@ -171,8 +171,8 @@ func (n *Node) handleEdgeDel(ctx context.Context, req *wire.EdgeDelReq) (*wire.E
 		return nil, n.whereabouts(req.Obj)
 	}
 	existed := false
-	err := rec.edgeOp(ctx, func() *wire.RemoteError {
-		existed = rec.delEdgeLocked(req.Other, req.Alliance)
+	err := rec.EdgeOp(ctx, func() *wire.RemoteError {
+		existed = rec.DelEdgeLocked(req.Other, req.Alliance)
 		return nil
 	})
 	if err != nil {
@@ -184,8 +184,8 @@ func (n *Node) handleEdgeDel(ctx context.Context, req *wire.EdgeDelReq) (*wire.E
 // handleEdges serves the adjacency of a hosted object.
 func (n *Node) handleEdges(req *wire.EdgesReq) (*wire.EdgesResp, error) {
 	rec, ok := n.record(req.Obj)
-	if !ok || rec.isGone() {
+	if !ok || rec.IsGone() {
 		return nil, n.whereabouts(req.Obj)
 	}
-	return &wire.EdgesResp{Edges: rec.edgeList()}, nil
+	return &wire.EdgesResp{Edges: rec.EdgeList()}, nil
 }

@@ -14,10 +14,15 @@ package objmig
 // stays in the minutes range.
 
 import (
+	"bytes"
 	"context"
+	"encoding/gob"
 	"fmt"
 	"testing"
 
+	"objmig/internal/core"
+	"objmig/internal/store"
+	"objmig/internal/wire"
 	"objmig/sim"
 )
 
@@ -253,6 +258,105 @@ func BenchmarkRuntimeMoveBlock(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// gobMarshal is the pre-refactor wire.Marshal — a fresh bytes.Buffer
+// and gob encoder per message — kept here as the codec baseline.
+func gobMarshal(v interface{}) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func gobUnmarshal(data []byte, v interface{}) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
+
+// codecBodies are the two hot wire bodies the codec satellite tracks:
+// the invocation request every call carries, and the snapshot every
+// migration batch is made of.
+func codecBodies() (*wire.InvokeReq, *wire.Snapshot) {
+	req := &wire.InvokeReq{
+		Obj:    core.OID{Origin: "node-0", Seq: 12345},
+		Method: "Add",
+		Arg:    []byte{1, 2, 3, 4, 5, 6, 7, 8},
+	}
+	snap := &wire.Snapshot{
+		ID:    core.OID{Origin: "node-0", Seq: 12345},
+		Type:  "bench",
+		State: bytes.Repeat([]byte{0xAB}, 64),
+		Edges: []wire.EdgeRec{
+			{Other: core.OID{Origin: "node-1", Seq: 7}, Alliance: 1},
+			{Other: core.OID{Origin: "node-2", Seq: 9}, Alliance: 2},
+		},
+	}
+	snap.Pol.Fixed = true
+	snap.Pol.Lock = core.LockState{Held: true, Owner: "node-3", Block: 4}
+	snap.Pol.OpenMoves = map[core.NodeID]int{"node-1": 2, "node-2": 1}
+	return req, snap
+}
+
+// BenchmarkRuntimeCodec compares the per-message gob baseline against
+// the pooled/fast-path codec behind wire.Marshal, on encode+decode
+// round trips of the two hot bodies.
+func BenchmarkRuntimeCodec(b *testing.B) {
+	req, snap := codecBodies()
+	run := func(name string, marshal func(interface{}) ([]byte, error),
+		unmarshal func([]byte, interface{}) error, in interface{}, out func() interface{}) {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				data, err := marshal(in)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := unmarshal(data, out()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	run("Invoke/gob", gobMarshal, gobUnmarshal, req, func() interface{} { return new(wire.InvokeReq) })
+	run("Invoke/pooled", wire.Marshal, wire.Unmarshal, req, func() interface{} { return new(wire.InvokeReq) })
+	run("Snapshot/gob", gobMarshal, gobUnmarshal, snap, func() interface{} { return new(wire.Snapshot) })
+	run("Snapshot/pooled", wire.Marshal, wire.Unmarshal, snap, func() interface{} { return new(wire.Snapshot) })
+}
+
+// BenchmarkRuntimeStoreParallel measures the sharded store under
+// parallel hot-path load: each goroutine spins over lookups, location
+// hints and invocation acquire/release on its own slice of a shared
+// object population. Before the sharding this serialised on one node
+// mutex.
+func BenchmarkRuntimeStoreParallel(b *testing.B) {
+	const oids = 4096
+	s := store.New("n0")
+	ids := make([]core.OID, oids)
+	for i := range ids {
+		ids[i] = core.OID{Origin: "n0", Seq: uint64(i + 1)}
+		if err := s.Add(store.NewRecord(ids[i], "bench", &benchState{})); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			id := ids[i%oids]
+			i++
+			rec, _ := s.Lookup(id)
+			if rec == nil {
+				b.Fatal("object lost")
+			}
+			if err := rec.Acquire(ctx); err != nil {
+				b.Fatal(err)
+			}
+			rec.Release()
+		}
+	})
 }
 
 // BenchmarkRuntimeWorkingSet measures the distributed closure walk over

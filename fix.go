@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"objmig/internal/core"
+	"objmig/internal/store"
 	"objmig/internal/wire"
 )
 
@@ -42,7 +43,7 @@ func (n *Node) IsFixed(ctx context.Context, ref Ref) (bool, error) {
 		if _, ok := n.hostedRecord(oid); ok {
 			resp, err := n.handleFix(req)
 			if to, moved := movedTo(err); moved {
-				n.reg.Learn(oid, to)
+				n.store.Learn(oid, to)
 				continue
 			}
 			if err != nil {
@@ -50,7 +51,7 @@ func (n *Node) IsFixed(ctx context.Context, ref Ref) (bool, error) {
 			}
 			return resp.Fixed, nil
 		}
-		target := n.reg.Hint(oid)
+		target := n.store.Hint(oid)
 		if target == n.id {
 			if n.selfHintRetry(oid) {
 				continue // an arrival raced the two lookups
@@ -63,11 +64,11 @@ func (n *Node) IsFixed(ctx context.Context, ref Ref) (bool, error) {
 			return resp.Fixed, nil
 		}
 		if to, moved := movedTo(err); moved {
-			n.reg.Learn(oid, to)
+			n.store.Learn(oid, to)
 			continue
 		}
 		if isCode(err, wire.CodeNotFound) && target != oid.Origin {
-			n.reg.Invalidate(oid)
+			n.store.Invalidate(oid)
 			continue
 		}
 		return false, fromRemote(err)
@@ -85,12 +86,12 @@ func (n *Node) fixRequest(ctx context.Context, oid core.OID, fix bool) error {
 		if _, ok := n.hostedRecord(oid); ok {
 			_, err := n.handleFix(req)
 			if to, moved := movedTo(err); moved {
-				n.reg.Learn(oid, to)
+				n.store.Learn(oid, to)
 				continue
 			}
 			return fromRemote(err)
 		}
-		target := n.reg.Hint(oid)
+		target := n.store.Hint(oid)
 		if target == n.id {
 			if n.selfHintRetry(oid) {
 				continue // an arrival raced the two lookups
@@ -103,11 +104,11 @@ func (n *Node) fixRequest(ctx context.Context, oid core.OID, fix bool) error {
 			return nil
 		}
 		if to, moved := movedTo(err); moved {
-			n.reg.Learn(oid, to)
+			n.store.Learn(oid, to)
 			continue
 		}
 		if isCode(err, wire.CodeNotFound) && target != oid.Origin {
-			n.reg.Invalidate(oid)
+			n.store.Invalidate(oid)
 			continue
 		}
 		return fromRemote(err)
@@ -121,19 +122,19 @@ func (n *Node) handleFix(req *wire.FixReq) (*wire.FixResp, error) {
 	if !ok {
 		return nil, n.whereabouts(req.Obj)
 	}
-	rec.mu.Lock()
-	defer rec.mu.Unlock()
-	if rec.status == recGone {
-		return nil, &wire.RemoteError{Code: wire.CodeMoved, Msg: req.Obj.String(), To: rec.movedTo}
+	rec.Mu.Lock()
+	defer rec.Mu.Unlock()
+	if rec.Status == store.StatusGone {
+		return nil, &wire.RemoteError{Code: wire.CodeMoved, Msg: req.Obj.String(), To: rec.MovedTo}
 	}
 	if req.Query {
-		return &wire.FixResp{Fixed: rec.pol.Fixed}, nil
+		return &wire.FixResp{Fixed: rec.Pol.Fixed}, nil
 	}
-	rec.pol.Fixed = req.Fix
+	rec.Pol.Fixed = req.Fix
 	outcome := "unfixed"
 	if req.Fix {
 		outcome = "fixed"
 	}
 	n.emit(Event{Kind: EventFix, Obj: Ref{OID: req.Obj}, Outcome: outcome})
-	return &wire.FixResp{Fixed: rec.pol.Fixed}, nil
+	return &wire.FixResp{Fixed: rec.Pol.Fixed}, nil
 }

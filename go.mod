@@ -1,0 +1,3 @@
+module objmig
+
+go 1.22

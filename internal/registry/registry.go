@@ -7,164 +7,69 @@
 // ([ChC91], [JLH+88]): a name-service lookup at the object's origin
 // plus forward addressing at former hosts. The simulation normalises
 // these costs away (Section 4.1); the live runtime implements them.
+//
+// Since the sharded-store refactor the three maps live inside
+// internal/store, striped by OID hash alongside the object records, so
+// a hot-path lookup touches a single shard. This package remains as a
+// thin location-only facade over that store: it pins down the location
+// semantics (and their tests) independently of the object table.
 package registry
 
 import (
-	"fmt"
-	"sync"
-
 	"objmig/internal/core"
+	"objmig/internal/store"
 )
 
-// Registry is a node-local location table. It is safe for concurrent
-// use.
+// Registry is a node-local location table backed by the sharded store.
+// It is safe for concurrent use.
 type Registry struct {
-	self core.NodeID
-
-	mu sync.Mutex
-	// home maps objects created by this node to their last reported
-	// location.
-	home map[core.OID]core.NodeID
-	// forwards maps objects that were hosted here and left to their
-	// next hop.
-	forwards map[core.OID]core.NodeID
-	// cache holds location hints for foreign objects.
-	cache map[core.OID]core.NodeID
+	s *store.Store
 }
 
 // New returns a Registry for the given node.
 func New(self core.NodeID) *Registry {
-	return &Registry{
-		self:     self,
-		home:     make(map[core.OID]core.NodeID),
-		forwards: make(map[core.OID]core.NodeID),
-		cache:    make(map[core.OID]core.NodeID),
-	}
+	return &Registry{s: store.New(self)}
 }
 
 // Created records that this node created the object and hosts it.
-func (r *Registry) Created(id core.OID) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.home[id] = r.self
-}
+func (r *Registry) Created(id core.OID) { r.s.Created(id) }
 
 // Arrived records that the object is now hosted here: any forwarding
 // pointer and stale hint is dropped, and the home index is updated when
 // this node is the origin.
-func (r *Registry) Arrived(id core.OID) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	delete(r.forwards, id)
-	delete(r.cache, id)
-	if id.Origin == r.self {
-		r.home[id] = r.self
-	}
-}
+func (r *Registry) Arrived(id core.OID) { r.s.Arrived(id) }
 
 // Departed records that the object left this node towards to: a
 // forwarding pointer replaces the local entry.
-func (r *Registry) Departed(id core.OID, to core.NodeID) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.forwards[id] = to
-	if id.Origin == r.self {
-		r.home[id] = to
-	}
-}
+func (r *Registry) Departed(id core.OID, to core.NodeID) { r.s.Departed(id, to) }
 
 // HomeUpdate records a (possibly delayed) report that objects created
 // here now live at the given node. Reports about foreign objects are
 // ignored.
-func (r *Registry) HomeUpdate(ids []core.OID, at core.NodeID) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for _, id := range ids {
-		if id.Origin != r.self {
-			continue
-		}
-		r.home[id] = at
-	}
-}
+func (r *Registry) HomeUpdate(ids []core.OID, at core.NodeID) { r.s.HomeUpdate(ids, at) }
 
 // Home returns the home-index entry for an object created here.
-func (r *Registry) Home(id core.OID) (core.NodeID, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	at, ok := r.home[id]
-	return at, ok
-}
+func (r *Registry) Home(id core.OID) (core.NodeID, bool) { return r.s.Home(id) }
 
 // Forward returns the forwarding pointer, if any.
-func (r *Registry) Forward(id core.OID) (core.NodeID, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	to, ok := r.forwards[id]
-	return to, ok
-}
+func (r *Registry) Forward(id core.OID) (core.NodeID, bool) { return r.s.Forward(id) }
 
 // Learn records fresher location knowledge for an object that is not
-// local. When a forwarding pointer exists it is updated in place — this
-// is the classic forward-addressing chain shortening: once we hear
-// where the object really is, our pointer skips the intermediate hops.
-func (r *Registry) Learn(id core.OID, at core.NodeID) {
-	if at == "" || at == r.self {
-		return
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.forwards[id]; ok {
-		r.forwards[id] = at
-		if id.Origin == r.self {
-			r.home[id] = at
-		}
-		return
-	}
-	r.cache[id] = at
-}
+// local. When a forwarding pointer exists it is updated in place — the
+// classic forward-addressing chain shortening.
+func (r *Registry) Learn(id core.OID, at core.NodeID) { r.s.Learn(id, at) }
 
 // Hint suggests where to try first for an object that is not local:
 // the freshest of forwarding pointer, home index, cache, falling back
 // to the object's origin node.
-func (r *Registry) Hint(id core.OID) core.NodeID {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if to, ok := r.forwards[id]; ok {
-		return to
-	}
-	if id.Origin == r.self {
-		if at, ok := r.home[id]; ok {
-			return at
-		}
-	}
-	if at, ok := r.cache[id]; ok {
-		return at
-	}
-	return id.Origin
-}
+func (r *Registry) Hint(id core.OID) core.NodeID { return r.s.Hint(id) }
 
 // Invalidate drops a cached hint that turned out to be wrong.
-func (r *Registry) Invalidate(id core.OID) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	delete(r.cache, id)
-}
+func (r *Registry) Invalidate(id core.OID) { r.s.Invalidate(id) }
 
 // Stats reports table sizes (for diagnostics and tests).
-func (r *Registry) Stats() (home, forwards, cache int) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.home), len(r.forwards), len(r.cache)
-}
+func (r *Registry) Stats() (home, forwards, cache int) { return r.s.LocStats() }
 
 // Debug renders everything the registry knows about one object
 // (diagnostics only).
-func (r *Registry) Debug(id core.OID) string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	h, hok := r.home[id]
-	f, fok := r.forwards[id]
-	c, cok := r.cache[id]
-	return fmt.Sprintf("self=%s home=%q(%v) fwd=%q(%v) cache=%q(%v)",
-		r.self, h, hok, f, fok, c, cok)
-}
+func (r *Registry) Debug(id core.OID) string { return r.s.Debug(id) }

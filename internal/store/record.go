@@ -1,0 +1,321 @@
+package store
+
+import (
+	"context"
+	"sync"
+
+	"objmig/internal/core"
+	"objmig/internal/wire"
+)
+
+// Status is the lifecycle of a hosted object record.
+type Status int
+
+const (
+	// StatusActive: the object lives here and accepts invocations.
+	StatusActive Status = iota + 1
+	// StatusPaused: the object is being linearised for migration; new
+	// invocations wait.
+	StatusPaused
+	// StatusGone: the object left; MovedTo names the next hop. The
+	// record persists as the forwarding pointer.
+	StatusGone
+)
+
+// Record is a hosted object: instance, policy state, attachment
+// adjacency and the monitor/pause machinery. The record's own mutex
+// serialises per-object state; the shard lock of the owning Store only
+// guards table membership. Lock order is shard table lock → Record.Mu →
+// shard location lock; Record.Mu may be taken with or without a shard
+// lock held, never the other way around.
+type Record struct {
+	ID       core.OID
+	TypeName string
+
+	Mu   sync.Mutex
+	cond *sync.Cond // broadcast on every status/busy transition
+
+	Inst    interface{}
+	Pol     core.ObjState
+	edges   map[core.OID]map[core.AllianceID]bool
+	Status  Status
+	Token   uint64      // pause token while StatusPaused
+	MovedTo core.NodeID // next hop while StatusGone
+	busy    bool        // an invocation is executing (objects are monitors)
+}
+
+// NewRecord returns a fresh active record hosting inst.
+func NewRecord(id core.OID, typeName string, inst interface{}) *Record {
+	r := &Record{
+		ID:       id,
+		TypeName: typeName,
+		Inst:     inst,
+		Status:   StatusActive,
+		edges:    make(map[core.OID]map[core.AllianceID]bool),
+	}
+	r.cond = sync.NewCond(&r.Mu)
+	return r
+}
+
+// Acquire waits until the object is free for an invocation and marks it
+// busy. It fails with a moved-error when the object leaves while
+// waiting, and respects context cancellation.
+func (r *Record) Acquire(ctx context.Context) error {
+	stop := context.AfterFunc(ctx, func() {
+		r.Mu.Lock()
+		r.cond.Broadcast()
+		r.Mu.Unlock()
+	})
+	defer stop()
+	r.Mu.Lock()
+	defer r.Mu.Unlock()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		switch {
+		case r.Status == StatusGone:
+			return &wire.RemoteError{Code: wire.CodeMoved, Msg: "object " + r.ID.String() + " moved", To: r.MovedTo}
+		case r.Status == StatusActive && !r.busy:
+			r.busy = true
+			return nil
+		}
+		r.cond.Wait()
+	}
+}
+
+// Release ends an invocation.
+func (r *Record) Release() {
+	r.Mu.Lock()
+	r.busy = false
+	r.cond.Broadcast()
+	r.Mu.Unlock()
+}
+
+// Pause transitions an active, idle object to StatusPaused for
+// migration token. It waits for a running invocation to drain but fails
+// immediately if the object is already paused or gone (pause never
+// waits on pause, so concurrent group migrations cannot deadlock).
+func (r *Record) Pause(ctx context.Context, token uint64) error {
+	stop := context.AfterFunc(ctx, func() {
+		r.Mu.Lock()
+		r.cond.Broadcast()
+		r.Mu.Unlock()
+	})
+	defer stop()
+	r.Mu.Lock()
+	defer r.Mu.Unlock()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		switch r.Status {
+		case StatusGone:
+			return &wire.RemoteError{Code: wire.CodeMoved, Msg: "object " + r.ID.String() + " moved", To: r.MovedTo}
+		case StatusPaused:
+			return wire.Errorf(wire.CodeDenied, "object %s is being migrated", r.ID)
+		case StatusActive:
+			if !r.busy {
+				r.Status = StatusPaused
+				r.Token = token
+				return nil
+			}
+		}
+		r.cond.Wait()
+	}
+}
+
+// Unpause rolls a pause back (migration aborted).
+func (r *Record) Unpause(token uint64) {
+	r.Mu.Lock()
+	if r.Status == StatusPaused && r.Token == token {
+		r.Status = StatusActive
+		r.Token = 0
+		r.cond.Broadcast()
+	}
+	r.Mu.Unlock()
+}
+
+// Depart finalises a migration: the record becomes a forwarding
+// pointer and all waiters are released (they will chase the object).
+// The onCommit hook, if non-nil, runs under the record lock just
+// before the flip — the node uses it to update its location tables
+// while the record still answers, so no reader ever observes
+// "record gone" and "location says here" at the same time.
+func (r *Record) Depart(token uint64, to core.NodeID, onCommit func()) bool {
+	r.Mu.Lock()
+	defer r.Mu.Unlock()
+	if r.Status != StatusPaused || r.Token != token {
+		return false
+	}
+	if onCommit != nil {
+		onCommit()
+	}
+	r.becomeStubLocked(to)
+	return true
+}
+
+// becomeStubLocked turns the record into a forwarding pointer towards
+// to, dropping the instance, and wakes every waiter. Caller holds Mu.
+func (r *Record) becomeStubLocked(to core.NodeID) {
+	r.Status = StatusGone
+	r.Token = 0
+	r.MovedTo = to
+	r.Inst = nil
+	r.edges = nil
+	r.cond.Broadcast()
+}
+
+// Snapshot linearises the object. Caller must hold the pause (the
+// record must be StatusPaused) — the instance cannot change
+// concurrently. encode is the object type's state encoder.
+func (r *Record) Snapshot(encode func(inst interface{}) ([]byte, error)) (wire.Snapshot, error) {
+	r.Mu.Lock()
+	defer r.Mu.Unlock()
+	state, err := encode(r.Inst)
+	if err != nil {
+		return wire.Snapshot{}, err
+	}
+	edges := make([]wire.EdgeRec, 0, len(r.edges))
+	for other, als := range r.edges {
+		for al := range als {
+			edges = append(edges, wire.EdgeRec{Other: other, Alliance: al})
+		}
+	}
+	sortEdgeRecs(edges)
+	return wire.Snapshot{
+		ID:    r.ID,
+		Type:  r.TypeName,
+		State: state,
+		Pol:   r.Pol.Clone(),
+		Edges: edges,
+	}, nil
+}
+
+// sortEdgeRecs orders edges canonically for deterministic wire images.
+func sortEdgeRecs(es []wire.EdgeRec) {
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && edgeLess(es[j], es[j-1]); j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+}
+
+func edgeLess(a, b wire.EdgeRec) bool {
+	if a.Other != b.Other {
+		return a.Other.Less(b.Other)
+	}
+	return a.Alliance < b.Alliance
+}
+
+// EdgeList returns the record's adjacency in canonical order.
+func (r *Record) EdgeList() []wire.EdgeRec {
+	r.Mu.Lock()
+	defer r.Mu.Unlock()
+	out := make([]wire.EdgeRec, 0, len(r.edges))
+	for other, als := range r.edges {
+		for al := range als {
+			out = append(out, wire.EdgeRec{Other: other, Alliance: al})
+		}
+	}
+	sortEdgeRecs(out)
+	return out
+}
+
+// Degree returns the number of distinct attachment partners.
+func (r *Record) Degree() int {
+	r.Mu.Lock()
+	defer r.Mu.Unlock()
+	return len(r.edges)
+}
+
+// DegreeLocked is Degree for callers already holding the record lock
+// (EdgeOp callbacks).
+func (r *Record) DegreeLocked() int { return len(r.edges) }
+
+// PairedWith reports whether the record has any edge to other.
+func (r *Record) PairedWith(other core.OID) bool {
+	r.Mu.Lock()
+	defer r.Mu.Unlock()
+	return len(r.edges[other]) > 0
+}
+
+// PairedWithLocked is PairedWith for callers already holding the record
+// lock (EdgeOp callbacks).
+func (r *Record) PairedWithLocked(other core.OID) bool {
+	return len(r.edges[other]) > 0
+}
+
+// AddEdge records half an attachment.
+func (r *Record) AddEdge(other core.OID, al core.AllianceID) {
+	r.Mu.Lock()
+	defer r.Mu.Unlock()
+	r.AddEdgeLocked(other, al)
+}
+
+// AddEdgeLocked is AddEdge under an already-held record lock.
+func (r *Record) AddEdgeLocked(other core.OID, al core.AllianceID) {
+	set, ok := r.edges[other]
+	if !ok {
+		set = make(map[core.AllianceID]bool)
+		r.edges[other] = set
+	}
+	set[al] = true
+}
+
+// DelEdge removes half an attachment, reporting whether it existed.
+func (r *Record) DelEdge(other core.OID, al core.AllianceID) bool {
+	r.Mu.Lock()
+	defer r.Mu.Unlock()
+	return r.DelEdgeLocked(other, al)
+}
+
+// DelEdgeLocked is DelEdge under an already-held record lock.
+func (r *Record) DelEdgeLocked(other core.OID, al core.AllianceID) bool {
+	set, ok := r.edges[other]
+	if !ok || !set[al] {
+		return false
+	}
+	delete(set, al)
+	if len(set) == 0 {
+		delete(r.edges, other)
+	}
+	return true
+}
+
+// EdgeOp runs an edge mutation atomically against a live record: it
+// waits out a migration pause (an edge added after the snapshot was
+// taken would be lost with the transfer), fails with a redirect when
+// the object has left, and otherwise runs op under the record lock.
+func (r *Record) EdgeOp(ctx context.Context, op func() *wire.RemoteError) error {
+	stop := context.AfterFunc(ctx, func() {
+		r.Mu.Lock()
+		r.cond.Broadcast()
+		r.Mu.Unlock()
+	})
+	defer stop()
+	r.Mu.Lock()
+	defer r.Mu.Unlock()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		switch r.Status {
+		case StatusGone:
+			return &wire.RemoteError{Code: wire.CodeMoved, Msg: "object " + r.ID.String() + " moved", To: r.MovedTo}
+		case StatusActive:
+			if re := op(); re != nil {
+				return re
+			}
+			return nil
+		}
+		r.cond.Wait()
+	}
+}
+
+// IsGone reports whether the record is a forwarding stub.
+func (r *Record) IsGone() bool {
+	r.Mu.Lock()
+	defer r.Mu.Unlock()
+	return r.Status == StatusGone
+}

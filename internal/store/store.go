@@ -1,0 +1,421 @@
+// Package store owns a node's object table and its location knowledge
+// behind one lock-striped shard design: object records, the home index
+// for objects the node created, the forwarding pointers for objects
+// that migrated away, and the hint cache for foreign objects all live
+// in the shard selected by the object's ID.
+//
+// The paper's live runtime decides migration at the object's current
+// host, so every invoke, locate, move and forward-chase funnels through
+// these tables. Striping them by OID hash gives the runtime per-object
+// concurrency on the hot path — a lookup touches exactly one shard —
+// while table-wide operations (close, stats, sweeps) iterate the shards
+// one at a time instead of stopping the world.
+//
+// The location scheme itself is unchanged from the paper's system model
+// ([ChC91], [JLH+88]): a name-service lookup at the object's origin
+// plus forward addressing at former hosts.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"objmig/internal/core"
+	"objmig/internal/wire"
+)
+
+// ShardCount is the number of lock stripes. A power of two so shard
+// selection is a mask, sized well above typical core counts so that
+// concurrent hot-path lookups rarely collide on a stripe.
+const ShardCount = 32
+
+// ErrClosed is returned by mutating operations after Close.
+var ErrClosed = errors.New("store: closed")
+
+// shard is one stripe: a slice of the object table plus the location
+// maps for the OIDs that hash here. The table lock and the location
+// lock are separate so a record may update location state while its own
+// mutex is held (forward-pointer commit) without inverting against
+// table scans that take the table lock first. Lock order:
+// tabMu → Record.Mu → locMu.
+type shard struct {
+	tabMu sync.RWMutex
+	objs  map[core.OID]*Record
+
+	locMu sync.Mutex
+	// home maps objects created by this node to their last reported
+	// location (authoritative, lazily updated).
+	home map[core.OID]core.NodeID
+	// forwards maps objects that were hosted here and left to their
+	// next hop.
+	forwards map[core.OID]core.NodeID
+	// cache holds location hints for foreign objects.
+	cache map[core.OID]core.NodeID
+}
+
+// Store is a node-local sharded object-and-location table. It is safe
+// for concurrent use.
+type Store struct {
+	self   core.NodeID
+	closed atomic.Bool
+	shards [ShardCount]shard
+}
+
+// New returns an empty Store for the given node.
+func New(self core.NodeID) *Store {
+	s := &Store{self: self}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.objs = make(map[core.OID]*Record)
+		sh.home = make(map[core.OID]core.NodeID)
+		sh.forwards = make(map[core.OID]core.NodeID)
+		sh.cache = make(map[core.OID]core.NodeID)
+	}
+	return s
+}
+
+// Self returns the owning node's identity.
+func (s *Store) Self() core.NodeID { return s.self }
+
+// ShardIndex maps an OID to its stripe (FNV-1a over origin and
+// sequence; exported for distribution tests).
+func ShardIndex(id core.OID) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(id.Origin); i++ {
+		h ^= uint64(id.Origin[i])
+		h *= prime64
+	}
+	seq := id.Seq
+	for i := 0; i < 8; i++ {
+		h ^= seq & 0xff
+		h *= prime64
+		seq >>= 8
+	}
+	return int(h & (ShardCount - 1))
+}
+
+func (s *Store) shardOf(id core.OID) *shard { return &s.shards[ShardIndex(id)] }
+
+// --- Object table ---
+
+// Add inserts a freshly created record and claims its home-index entry,
+// atomically within the record's shard. It fails after Close.
+func (s *Store) Add(rec *Record) error {
+	sh := s.shardOf(rec.ID)
+	sh.tabMu.Lock()
+	if s.closed.Load() {
+		sh.tabMu.Unlock()
+		return ErrClosed
+	}
+	sh.objs[rec.ID] = rec
+	sh.tabMu.Unlock()
+	sh.locMu.Lock()
+	sh.home[rec.ID] = s.self
+	sh.locMu.Unlock()
+	return nil
+}
+
+// Get looks a record up, forwarding stubs included.
+func (s *Store) Get(id core.OID) (*Record, bool) {
+	sh := s.shardOf(id)
+	sh.tabMu.RLock()
+	rec, ok := sh.objs[id]
+	sh.tabMu.RUnlock()
+	return rec, ok
+}
+
+// Hosted returns the record only when the object actually lives here
+// (active or paused). Forwarding stubs are excluded: client fast paths
+// must fall through to the hint chain instead of spinning on their own
+// stale stub.
+func (s *Store) Hosted(id core.OID) (*Record, bool) {
+	rec, ok := s.Get(id)
+	if !ok || rec.IsGone() {
+		return nil, false
+	}
+	return rec, true
+}
+
+// Lookup is the hot-path combination of Hosted and Hint: it resolves
+// the record if the object lives here, and otherwise the best location
+// hint — touching only the object's own shard.
+func (s *Store) Lookup(id core.OID) (*Record, core.NodeID) {
+	if rec, ok := s.Hosted(id); ok {
+		return rec, s.self
+	}
+	return nil, s.Hint(id)
+}
+
+// Range calls fn for every record until fn returns false. Each shard's
+// table is snapshotted under its own read lock; fn runs without any
+// shard lock held, so it may take record locks freely.
+func (s *Store) Range(fn func(*Record) bool) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.tabMu.RLock()
+		recs := make([]*Record, 0, len(sh.objs))
+		for _, rec := range sh.objs {
+			recs = append(recs, rec)
+		}
+		sh.tabMu.RUnlock()
+		for _, rec := range recs {
+			if !fn(rec) {
+				return
+			}
+		}
+	}
+}
+
+// HostedCount returns the number of live (non-forwarding) records.
+func (s *Store) HostedCount() int {
+	n := 0
+	s.Range(func(rec *Record) bool {
+		if !rec.IsGone() {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// InstallBatch registers arriving records as part of migration token.
+// The batch is all-or-nothing: either every record is installed (and
+// its location state updated to "here") or none is.
+//
+// An existing record may only be replaced if it is a forwarding stub
+// (the object is coming back) or was paused by this very migration (a
+// same-node reinstall). Replacing a record paused by a *different*
+// migration would orphan that migration's pause and duplicate the
+// object. The check-then-commit runs with every involved shard's table
+// lock held (acquired in ascending stripe order, so concurrent
+// installs cannot deadlock) and every replaced record's lock held
+// across the swap, which closes that race without any store-wide lock.
+func (s *Store) InstallBatch(recs []*Record, token uint64) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	// Lock the involved stripes in ascending order.
+	var involved [ShardCount]bool
+	for _, rec := range recs {
+		involved[ShardIndex(rec.ID)] = true
+	}
+	for i := range s.shards {
+		if involved[i] {
+			s.shards[i].tabMu.Lock()
+		}
+	}
+	unlockShards := func() {
+		for i := range s.shards {
+			if involved[i] {
+				s.shards[i].tabMu.Unlock()
+			}
+		}
+	}
+
+	// Check phase: verify every replaced record is replaceable, and
+	// hold its lock so its status cannot change before the commit.
+	olds := make([]*Record, len(recs))
+	var locked []*Record
+	unlockRecs := func() {
+		for _, o := range locked {
+			o.Mu.Unlock()
+		}
+	}
+	for i, rec := range recs {
+		old, exists := s.shardOf(rec.ID).objs[rec.ID]
+		if !exists {
+			continue
+		}
+		old.Mu.Lock()
+		locked = append(locked, old)
+		replaceable := old.Status == StatusGone ||
+			(old.Status == StatusPaused && old.Token == token)
+		if !replaceable {
+			unlockRecs()
+			unlockShards()
+			return wire.Errorf(wire.CodeDenied,
+				"object %s is live at %s (concurrent migration)", rec.ID, s.self)
+		}
+		olds[i] = old
+	}
+	// Commit phase: swap the records in and turn the replaced ones
+	// into wake-up markers pointing here.
+	for i, rec := range recs {
+		s.shardOf(rec.ID).objs[rec.ID] = rec
+		if old := olds[i]; old != nil {
+			old.becomeStubLocked(s.self)
+		}
+	}
+	unlockRecs()
+	unlockShards()
+	for _, rec := range recs {
+		s.Arrived(rec.ID)
+	}
+	return nil
+}
+
+// Close marks the store closed: no record may be added afterwards.
+// Lookups keep working so in-flight chases fail gracefully. The barrier
+// walks the stripes one at a time — no stop-the-world lock — and
+// guarantees that once Close returns, every Add either completed or
+// will observe the closed flag.
+func (s *Store) Close() {
+	s.closed.Store(true)
+	for i := range s.shards {
+		s.shards[i].tabMu.Lock()
+		s.shards[i].tabMu.Unlock() //nolint:staticcheck // empty section is the barrier
+	}
+}
+
+// --- Location tables ---
+
+// Created records that this node created the object and hosts it.
+func (s *Store) Created(id core.OID) {
+	sh := s.shardOf(id)
+	sh.locMu.Lock()
+	defer sh.locMu.Unlock()
+	sh.home[id] = s.self
+}
+
+// Arrived records that the object is now hosted here: any forwarding
+// pointer and stale hint is dropped, and the home index is updated when
+// this node is the origin.
+func (s *Store) Arrived(id core.OID) {
+	sh := s.shardOf(id)
+	sh.locMu.Lock()
+	defer sh.locMu.Unlock()
+	delete(sh.forwards, id)
+	delete(sh.cache, id)
+	if id.Origin == s.self {
+		sh.home[id] = s.self
+	}
+}
+
+// Departed records that the object left this node towards to: a
+// forwarding pointer replaces the local entry.
+func (s *Store) Departed(id core.OID, to core.NodeID) {
+	sh := s.shardOf(id)
+	sh.locMu.Lock()
+	defer sh.locMu.Unlock()
+	sh.forwards[id] = to
+	if id.Origin == s.self {
+		sh.home[id] = to
+	}
+}
+
+// HomeUpdate records a (possibly delayed) report that objects created
+// here now live at the given node. Reports about foreign objects are
+// ignored. Each object's shard is locked individually — a large batch
+// never stalls unrelated lookups.
+func (s *Store) HomeUpdate(ids []core.OID, at core.NodeID) {
+	for _, id := range ids {
+		if id.Origin != s.self {
+			continue
+		}
+		sh := s.shardOf(id)
+		sh.locMu.Lock()
+		sh.home[id] = at
+		sh.locMu.Unlock()
+	}
+}
+
+// Home returns the home-index entry for an object created here.
+func (s *Store) Home(id core.OID) (core.NodeID, bool) {
+	sh := s.shardOf(id)
+	sh.locMu.Lock()
+	defer sh.locMu.Unlock()
+	at, ok := sh.home[id]
+	return at, ok
+}
+
+// Forward returns the forwarding pointer, if any.
+func (s *Store) Forward(id core.OID) (core.NodeID, bool) {
+	sh := s.shardOf(id)
+	sh.locMu.Lock()
+	defer sh.locMu.Unlock()
+	to, ok := sh.forwards[id]
+	return to, ok
+}
+
+// Learn records fresher location knowledge for an object that is not
+// local. When a forwarding pointer exists it is updated in place — this
+// is the classic forward-addressing chain shortening: once we hear
+// where the object really is, our pointer skips the intermediate hops.
+func (s *Store) Learn(id core.OID, at core.NodeID) {
+	if at == "" || at == s.self {
+		return
+	}
+	sh := s.shardOf(id)
+	sh.locMu.Lock()
+	defer sh.locMu.Unlock()
+	if _, ok := sh.forwards[id]; ok {
+		sh.forwards[id] = at
+		if id.Origin == s.self {
+			sh.home[id] = at
+		}
+		return
+	}
+	sh.cache[id] = at
+}
+
+// Hint suggests where to try first for an object that is not local:
+// the freshest of forwarding pointer, home index, cache, falling back
+// to the object's origin node.
+func (s *Store) Hint(id core.OID) core.NodeID {
+	sh := s.shardOf(id)
+	sh.locMu.Lock()
+	defer sh.locMu.Unlock()
+	if to, ok := sh.forwards[id]; ok {
+		return to
+	}
+	if id.Origin == s.self {
+		if at, ok := sh.home[id]; ok {
+			return at
+		}
+	}
+	if at, ok := sh.cache[id]; ok {
+		return at
+	}
+	return id.Origin
+}
+
+// Invalidate drops a cached hint that turned out to be wrong.
+func (s *Store) Invalidate(id core.OID) {
+	sh := s.shardOf(id)
+	sh.locMu.Lock()
+	defer sh.locMu.Unlock()
+	delete(sh.cache, id)
+}
+
+// LocStats reports location-table sizes (for diagnostics and tests),
+// summed shard by shard.
+func (s *Store) LocStats() (home, forwards, cache int) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.locMu.Lock()
+		home += len(sh.home)
+		forwards += len(sh.forwards)
+		cache += len(sh.cache)
+		sh.locMu.Unlock()
+	}
+	return home, forwards, cache
+}
+
+// Debug renders everything the location tables know about one object
+// (diagnostics only).
+func (s *Store) Debug(id core.OID) string {
+	sh := s.shardOf(id)
+	sh.locMu.Lock()
+	defer sh.locMu.Unlock()
+	h, hok := sh.home[id]
+	f, fok := sh.forwards[id]
+	c, cok := sh.cache[id]
+	return fmt.Sprintf("self=%s home=%q(%v) fwd=%q(%v) cache=%q(%v)",
+		s.self, h, hok, f, fok, c, cok)
+}

@@ -1,0 +1,262 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"objmig/internal/core"
+	"objmig/internal/wire"
+)
+
+func oid(origin string, seq uint64) core.OID {
+	return core.OID{Origin: core.NodeID(origin), Seq: seq}
+}
+
+func TestAddGetHosted(t *testing.T) {
+	t.Parallel()
+	s := New("n1")
+	id := oid("n1", 1)
+	rec := NewRecord(id, "t", &testState{})
+	if err := s.Add(rec); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(id); !ok || got != rec {
+		t.Fatal("Get lost the record")
+	}
+	if got, ok := s.Hosted(id); !ok || got != rec {
+		t.Fatal("Hosted lost the record")
+	}
+	// Add claims the home-index entry in the same shard.
+	if at, ok := s.Home(id); !ok || at != "n1" {
+		t.Fatalf("home = %v, %v", at, ok)
+	}
+	// A departed record is excluded from Hosted but kept by Get.
+	if err := rec.Pause(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	rec.Depart(1, "n2", func() { s.Departed(id, "n2") })
+	if _, ok := s.Hosted(id); ok {
+		t.Fatal("Hosted returned a forwarding stub")
+	}
+	if _, ok := s.Get(id); !ok {
+		t.Fatal("Get dropped the forwarding stub")
+	}
+	if hint := s.Hint(id); hint != "n2" {
+		t.Fatalf("hint after depart = %v", hint)
+	}
+}
+
+func TestLookupSingleShard(t *testing.T) {
+	t.Parallel()
+	s := New("n1")
+	id := oid("n1", 1)
+	rec := NewRecord(id, "t", &testState{})
+	if err := s.Add(rec); err != nil {
+		t.Fatal(err)
+	}
+	if got, at := s.Lookup(id); got != rec || at != "n1" {
+		t.Fatalf("Lookup hosted = %v, %v", got, at)
+	}
+	foreign := oid("n9", 7)
+	if got, at := s.Lookup(foreign); got != nil || at != "n9" {
+		t.Fatalf("Lookup foreign = %v, %v (want origin fallback)", got, at)
+	}
+	s.Learn(foreign, "n3")
+	if _, at := s.Lookup(foreign); at != "n3" {
+		t.Fatalf("Lookup ignored learnt hint: %v", at)
+	}
+}
+
+// TestShardDistribution: OIDs minted the way nodes mint them (one
+// origin, sequential counters) must spread across many stripes, or the
+// striping buys nothing.
+func TestShardDistribution(t *testing.T) {
+	t.Parallel()
+	const n = 10000
+	var hits [ShardCount]int
+	for seq := uint64(1); seq <= n; seq++ {
+		hits[ShardIndex(oid("node-0", seq))]++
+	}
+	used := 0
+	for _, h := range hits {
+		if h > 0 {
+			used++
+		}
+	}
+	if used != ShardCount {
+		t.Fatalf("only %d/%d shards used", used, ShardCount)
+	}
+	// No stripe should hold more than 3x its fair share.
+	fair := n / ShardCount
+	for i, h := range hits {
+		if h > 3*fair {
+			t.Fatalf("shard %d holds %d of %d (fair share %d)", i, h, n, fair)
+		}
+	}
+}
+
+func TestInstallBatchReplacesOnlyStubsAndOwnPauses(t *testing.T) {
+	t.Parallel()
+	s := New("n1")
+	ctx := context.Background()
+
+	// A live record must veto the whole batch.
+	live := NewRecord(oid("n2", 1), "t", &testState{})
+	if err := s.Add(live); err != nil {
+		t.Fatal(err)
+	}
+	in := NewRecord(oid("n2", 1), "t", &testState{})
+	other := NewRecord(oid("n2", 2), "t", &testState{})
+	err := s.InstallBatch([]*Record{other, in}, 7)
+	if !isCode(err, wire.CodeDenied) {
+		t.Fatalf("install over live record: %v", err)
+	}
+	if _, ok := s.Get(oid("n2", 2)); ok {
+		t.Fatal("vetoed batch left a partial install")
+	}
+
+	// Paused by the same token: replaceable; the old record becomes a
+	// wake-up stub pointing here.
+	if err := live.Pause(ctx, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InstallBatch([]*Record{in, other}, 7); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Hosted(oid("n2", 1)); !ok || got != in {
+		t.Fatal("install did not swap the record in")
+	}
+	if !live.IsGone() {
+		t.Fatal("replaced record is not a stub")
+	}
+	live.Mu.Lock()
+	to := live.MovedTo
+	live.Mu.Unlock()
+	if to != "n1" {
+		t.Fatalf("replaced record points at %v, want here", to)
+	}
+}
+
+// TestStoreParallelStress hammers one store with the full hot-path mix
+// — create, invoke (acquire/release), migrate out (pause/depart),
+// forward-chase bookkeeping (learn/hint/invalidate) — across many
+// goroutines and OIDs. Run under -race this is the sharding's
+// correctness gate.
+func TestStoreParallelStress(t *testing.T) {
+	t.Parallel()
+	const (
+		workers = 16
+		oids    = 256
+		rounds  = 200
+	)
+	s := New("n1")
+	ctx := context.Background()
+	ids := make([]core.OID, oids)
+	for i := range ids {
+		ids[i] = oid("n1", uint64(i+1))
+		if err := s.Add(NewRecord(ids[i], "t", &testState{})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				id := ids[(w*rounds+r*7)%oids]
+				switch w % 4 {
+				case 0: // invoke
+					if rec, ok := s.Hosted(id); ok {
+						if err := rec.Acquire(ctx); err == nil {
+							rec.Release()
+						}
+					}
+				case 1: // migrate away and reinstall
+					token := uint64(w*rounds + r + 1)
+					if rec, ok := s.Hosted(id); ok {
+						if err := rec.Pause(ctx, token); err == nil {
+							rec.Depart(token, "n2", func() { s.Departed(id, "n2") })
+							back := NewRecord(id, "t", &testState{})
+							if err := s.InstallBatch([]*Record{back}, token); err != nil {
+								t.Errorf("reinstall %s: %v", id, err)
+							}
+						}
+					}
+				case 2: // forward-chase bookkeeping
+					s.Learn(id, core.NodeID(fmt.Sprintf("n%d", r%5+2)))
+					_ = s.Hint(id)
+					s.Invalidate(id)
+				case 3: // table-wide ops against the hot path
+					_ = s.HostedCount()
+					_, _, _ = s.LocStats()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Every object must still resolve: hosted here or forwarded.
+	for _, id := range ids {
+		if _, ok := s.Hosted(id); ok {
+			continue
+		}
+		if hint := s.Hint(id); hint == "" {
+			t.Fatalf("object %s lost", id)
+		}
+	}
+}
+
+// TestCloseWhileBusy closes the store while creators and readers are
+// mid-flight: no Add may land after Close returns, and lookups keep
+// answering so in-flight chases fail gracefully instead of panicking.
+func TestCloseWhileBusy(t *testing.T) {
+	t.Parallel()
+	s := New("n1")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var added sync.Map
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for seq := uint64(1); ; seq++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := oid(fmt.Sprintf("n1-%d", w), seq)
+				if err := s.Add(NewRecord(id, "t", &testState{})); err != nil {
+					if !errors.Is(err, ErrClosed) {
+						t.Errorf("Add: %v", err)
+					}
+					return
+				}
+				added.Store(id, true)
+				_, _ = s.Hosted(id)
+				_ = s.Hint(id)
+			}
+		}(w)
+	}
+	s.Close()
+	// The barrier guarantee: an Add started after Close returned must
+	// fail, immediately and forever.
+	if err := s.Add(NewRecord(oid("late", 1), "t", &testState{})); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Add after Close: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	// Everything that reported success is still findable.
+	added.Range(func(k, _ interface{}) bool {
+		if _, ok := s.Get(k.(core.OID)); !ok {
+			t.Errorf("record %v vanished", k)
+		}
+		return true
+	})
+	if _, ok := s.Get(oid("late", 1)); ok {
+		t.Fatal("failed Add left a record behind")
+	}
+}

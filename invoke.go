@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"objmig/internal/core"
+	"objmig/internal/store"
 	"objmig/internal/wire"
 )
 
@@ -27,15 +28,17 @@ func (n *Node) InvokeRaw(ctx context.Context, ref Ref, method string, arg []byte
 			case <-time.After(time.Millisecond):
 			}
 		}
-		if rec, ok := n.hostedRecord(oid); ok {
+		// One sharded lookup resolves both the hosted record and, when
+		// the object is elsewhere, the best location hint.
+		rec, target := n.store.Lookup(oid)
+		if rec != nil {
 			out, err := n.invokeLocal(ctx, rec, method, arg)
 			if to, moved := movedTo(err); moved {
-				n.reg.Learn(oid, to)
+				n.store.Learn(oid, to)
 				continue
 			}
 			return out, fromRemote(err)
 		}
-		target := n.reg.Hint(oid)
 		if target == n.id {
 			if n.selfHintRetry(oid) {
 				continue // an arrival raced the two lookups
@@ -47,27 +50,27 @@ func (n *Node) InvokeRaw(ctx context.Context, ref Ref, method string, arg []byte
 		err := n.call(ctx, target, wire.KInvoke,
 			&wire.InvokeReq{Obj: oid, Method: method, Arg: arg}, &resp)
 		if err == nil {
-			n.reg.Learn(oid, resp.At)
+			n.store.Learn(oid, resp.At)
 			return resp.Result, nil
 		}
 		if to, moved := movedTo(err); moved {
-			n.reg.Learn(oid, to)
+			n.store.Learn(oid, to)
 			continue
 		}
 		if isCode(err, wire.CodeNotFound) && target != oid.Origin {
 			// Stale hint: fall back towards the origin.
-			n.reg.Invalidate(oid)
+			n.store.Invalidate(oid)
 			continue
 		}
 		return nil, fromRemote(err)
 	}
 	recState := "no-record"
 	if rec, ok := n.record(oid); ok {
-		rec.mu.Lock()
-		recState = fmt.Sprintf("status=%d movedTo=%s", rec.status, rec.movedTo)
-		rec.mu.Unlock()
+		rec.Mu.Lock()
+		recState = fmt.Sprintf("status=%d movedTo=%s", rec.Status, rec.MovedTo)
+		rec.Mu.Unlock()
 	}
-	return nil, fmt.Errorf("%w: %s (retries exhausted; %s; %s)", ErrUnreachable, oid, recState, n.reg.Debug(oid))
+	return nil, fmt.Errorf("%w: %s (retries exhausted; %s; %s)", ErrUnreachable, oid, recState, n.store.Debug(oid))
 }
 
 // isCode reports whether err is a RemoteError with the given code.
@@ -102,28 +105,28 @@ func (n *Node) selfHintRetry(oid core.OID) bool {
 
 // invokeLocal executes a method on a hosted object, serialising
 // invocations per object and waiting out migrations in progress.
-func (n *Node) invokeLocal(ctx context.Context, rec *objRecord, method string, arg []byte) (out []byte, err error) {
-	if err := rec.acquire(ctx); err != nil {
+func (n *Node) invokeLocal(ctx context.Context, rec *store.Record, method string, arg []byte) (out []byte, err error) {
+	if err := rec.Acquire(ctx); err != nil {
 		return nil, err
 	}
-	defer rec.release()
-	t, ok := n.typeByName(rec.typeName)
+	defer rec.Release()
+	t, ok := n.typeByName(rec.TypeName)
 	if !ok {
-		return nil, wire.Errorf(wire.CodeUnknownType, "type %q not registered on %s", rec.typeName, n.id)
+		return nil, wire.Errorf(wire.CodeUnknownType, "type %q not registered on %s", rec.TypeName, n.id)
 	}
 	m, ok := t.method(method)
 	if !ok {
-		return nil, wire.Errorf(wire.CodeUnknownMethod, "%s.%s", rec.typeName, method)
+		return nil, wire.Errorf(wire.CodeUnknownMethod, "%s.%s", rec.TypeName, method)
 	}
 	defer func() {
 		if r := recover(); r != nil {
-			out, err = nil, fmt.Errorf("objmig: method %s.%s panicked: %v", rec.typeName, method, r)
+			out, err = nil, fmt.Errorf("objmig: method %s.%s panicked: %v", rec.TypeName, method, r)
 		}
 	}()
 	n.stats.invocationsServed.Add(1)
-	n.emit(Event{Kind: EventInvoke, Obj: Ref{OID: rec.id}, Outcome: method})
-	c := &Ctx{ctx: ctx, node: n, self: Ref{OID: rec.id}}
-	return m(c, rec.inst, arg)
+	n.emit(Event{Kind: EventInvoke, Obj: Ref{OID: rec.ID}, Outcome: method})
+	c := &Ctx{ctx: ctx, node: n, self: Ref{OID: rec.ID}}
+	return m(c, rec.Inst, arg)
 }
 
 // handleInvoke serves a remote invocation.
@@ -146,11 +149,11 @@ func (n *Node) handleInvoke(ctx context.Context, req *wire.InvokeReq) (*wire.Inv
 // whereabouts builds the error for an object this node does not host:
 // a redirect when anything points elsewhere, not-found otherwise.
 func (n *Node) whereabouts(oid core.OID) *wire.RemoteError {
-	if to, ok := n.reg.Forward(oid); ok && to != n.id {
+	if to, ok := n.store.Forward(oid); ok && to != n.id {
 		return &wire.RemoteError{Code: wire.CodeMoved, Msg: oid.String(), To: to}
 	}
 	if oid.Origin == n.id {
-		if at, ok := n.reg.Home(oid); ok && at != n.id {
+		if at, ok := n.store.Home(oid); ok && at != n.id {
 			return &wire.RemoteError{Code: wire.CodeMoved, Msg: oid.String(), To: at}
 		}
 	}
@@ -188,12 +191,13 @@ func (n *Node) Locate(ctx context.Context, ref Ref) (NodeID, error) {
 		if err := chasePause(ctx, attempt); err != nil {
 			return "", err
 		}
-		if _, ok := n.hostedRecord(oid); ok {
+		rec, hint := n.store.Lookup(oid)
+		if rec != nil {
 			return n.id, nil
 		}
 		target := next
 		if target == "" || target == n.id {
-			target = n.reg.Hint(oid)
+			target = hint
 		}
 		next = ""
 		if target == n.id {
@@ -206,21 +210,21 @@ func (n *Node) Locate(ctx context.Context, ref Ref) (NodeID, error) {
 		err := n.call(ctx, target, wire.KLocate, &wire.LocateReq{Obj: oid}, &resp)
 		if err != nil {
 			if to, moved := movedTo(err); moved {
-				n.reg.Learn(oid, to)
+				n.store.Learn(oid, to)
 				next = to
 				continue
 			}
 			if isCode(err, wire.CodeNotFound) && target != oid.Origin {
-				n.reg.Invalidate(oid)
+				n.store.Invalidate(oid)
 				continue
 			}
 			return "", fromRemote(err)
 		}
 		if resp.At == target {
-			n.reg.Learn(oid, resp.At)
+			n.store.Learn(oid, resp.At)
 			return resp.At, nil
 		}
-		n.reg.Learn(oid, resp.At)
+		n.store.Learn(oid, resp.At)
 		next = resp.At
 	}
 	return "", fmt.Errorf("%w: %s (locate)", ErrUnreachable, oid)

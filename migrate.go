@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"objmig/internal/core"
+	"objmig/internal/store"
 	"objmig/internal/wire"
 )
 
@@ -22,9 +23,9 @@ func (n *Node) edgesOf(ctx context.Context, oid core.OID) ([]wire.EdgeRec, NodeI
 			return nil, "", err
 		}
 		if rec, ok := n.hostedRecord(oid); ok {
-			return rec.edgeList(), n.id, nil
+			return rec.EdgeList(), n.id, nil
 		}
-		target := n.reg.Hint(oid)
+		target := n.store.Hint(oid)
 		if target == n.id {
 			if n.selfHintRetry(oid) {
 				continue // an arrival raced the two lookups
@@ -34,27 +35,20 @@ func (n *Node) edgesOf(ctx context.Context, oid core.OID) ([]wire.EdgeRec, NodeI
 		var resp wire.EdgesResp
 		err := n.call(ctx, target, wire.KEdges, &wire.EdgesReq{Obj: oid}, &resp)
 		if err == nil {
-			n.reg.Learn(oid, target)
+			n.store.Learn(oid, target)
 			return resp.Edges, target, nil
 		}
 		if to, moved := movedTo(err); moved {
-			n.reg.Learn(oid, to)
+			n.store.Learn(oid, to)
 			continue
 		}
 		if isCode(err, wire.CodeNotFound) && target != oid.Origin {
-			n.reg.Invalidate(oid)
+			n.store.Invalidate(oid)
 			continue
 		}
 		return nil, "", fromRemote(err)
 	}
 	return nil, "", fmt.Errorf("%w: %s (edges)", ErrUnreachable, oid)
-}
-
-// isGone reports whether the record is a forwarding stub.
-func (r *objRecord) isGone() bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.status == recGone
 }
 
 // closureOf walks the attachment graph from root and returns the
@@ -228,7 +222,7 @@ func (n *Node) notifyOrigins(ids []core.OID, at NodeID) {
 	}
 	for origin, objs := range byOrigin {
 		if origin == n.id {
-			n.reg.HomeUpdate(objs, at)
+			n.store.HomeUpdate(objs, at)
 			continue
 		}
 		if origin == at {
@@ -247,10 +241,10 @@ func (n *Node) notifyOrigins(ids []core.OID, at NodeID) {
 
 // handlePause pauses and snapshots local objects for a migration.
 func (n *Node) handlePause(ctx context.Context, req *wire.PauseReq) (*wire.PauseResp, error) {
-	var done []*objRecord
+	var done []*store.Record
 	rollback := func() {
 		for _, rec := range done {
-			rec.unpause(req.Token)
+			rec.Unpause(req.Token)
 		}
 	}
 	resp := &wire.PauseResp{}
@@ -260,7 +254,7 @@ func (n *Node) handlePause(ctx context.Context, req *wire.PauseReq) (*wire.Pause
 			rollback()
 			return nil, n.whereabouts(oid)
 		}
-		if err := rec.pause(ctx, req.Token); err != nil {
+		if err := rec.Pause(ctx, req.Token); err != nil {
 			rollback()
 			var re *wire.RemoteError
 			if errors.As(err, &re) {
@@ -269,12 +263,12 @@ func (n *Node) handlePause(ctx context.Context, req *wire.PauseReq) (*wire.Pause
 			return nil, wire.Errorf(wire.CodeDenied, "pause %s: %v", oid, err)
 		}
 		done = append(done, rec)
-		t, ok := n.typeByName(rec.typeName)
+		t, ok := n.typeByName(rec.TypeName)
 		if !ok {
 			rollback()
-			return nil, wire.Errorf(wire.CodeUnknownType, "type %q not registered at %s", rec.typeName, n.id)
+			return nil, wire.Errorf(wire.CodeUnknownType, "type %q not registered at %s", rec.TypeName, n.id)
 		}
-		snap, err := rec.snapshot(t)
+		snap, err := rec.Snapshot(t.encodeState)
 		if err != nil {
 			rollback()
 			return nil, wire.Errorf(wire.CodeInternal, "snapshot %s: %v", oid, err)
@@ -309,8 +303,8 @@ func (n *Node) commitLocal(req *wire.CommitReq) {
 			continue
 		}
 		oid := oid
-		rec.depart(req.Token, req.NewHome, func() {
-			n.reg.Departed(oid, req.NewHome)
+		rec.Depart(req.Token, req.NewHome, func() {
+			n.store.Departed(oid, req.NewHome)
 		})
 	}
 }
@@ -324,7 +318,7 @@ func (n *Node) handleAbort(req *wire.AbortReq) (*wire.AbortResp, error) {
 func (n *Node) abortLocal(req *wire.AbortReq) {
 	for _, oid := range req.Objs {
 		if rec, ok := n.hostedRecord(oid); ok {
-			rec.unpause(req.Token)
+			rec.Unpause(req.Token)
 		}
 	}
 }
@@ -364,12 +358,12 @@ func (n *Node) migrateRequest(ctx context.Context, req *wire.MigrateReq) (*wire.
 		if _, ok := n.hostedRecord(oid); ok {
 			resp, err := n.handleMigrate(ctx, req)
 			if to, moved := movedTo(err); moved {
-				n.reg.Learn(oid, to)
+				n.store.Learn(oid, to)
 				continue
 			}
 			return resp, fromRemote(err)
 		}
-		target := n.reg.Hint(oid)
+		target := n.store.Hint(oid)
 		if target == n.id {
 			if n.selfHintRetry(oid) {
 				continue // an arrival raced the two lookups
@@ -379,15 +373,15 @@ func (n *Node) migrateRequest(ctx context.Context, req *wire.MigrateReq) (*wire.
 		var resp wire.MigrateResp
 		err := n.call(ctx, target, wire.KMigrate, req, &resp)
 		if err == nil {
-			n.reg.Learn(oid, resp.At)
+			n.store.Learn(oid, resp.At)
 			return &resp, nil
 		}
 		if to, moved := movedTo(err); moved {
-			n.reg.Learn(oid, to)
+			n.store.Learn(oid, to)
 			continue
 		}
 		if isCode(err, wire.CodeNotFound) && target != oid.Origin {
-			n.reg.Invalidate(oid)
+			n.store.Invalidate(oid)
 			continue
 		}
 		return nil, fromRemote(err)
@@ -401,22 +395,22 @@ func (n *Node) handleMigrate(ctx context.Context, req *wire.MigrateReq) (*wire.M
 	if !ok {
 		return nil, n.whereabouts(req.Obj)
 	}
-	rec.mu.Lock()
-	if rec.status == recGone {
-		to := rec.movedTo
-		rec.mu.Unlock()
+	rec.Mu.Lock()
+	if rec.Status == store.StatusGone {
+		to := rec.MovedTo
+		rec.Mu.Unlock()
 		return nil, &wire.RemoteError{Code: wire.CodeMoved, Msg: req.Obj.String(), To: to}
 	}
-	if rec.pol.Fixed && !req.Fix {
-		rec.mu.Unlock()
+	if rec.Pol.Fixed && !req.Fix {
+		rec.Mu.Unlock()
 		return nil, wire.Errorf(wire.CodeFixed, "object %s is fixed at %s", req.Obj, n.id)
 	}
-	if rec.pol.Lock.Held {
-		owner := rec.pol.Lock.Owner
-		rec.mu.Unlock()
+	if rec.Pol.Lock.Held {
+		owner := rec.Pol.Lock.Owner
+		rec.Mu.Unlock()
 		return nil, wire.Errorf(wire.CodeDenied, "object %s is placed (locked by %s)", req.Obj, owner)
 	}
-	rec.mu.Unlock()
+	rec.Mu.Unlock()
 
 	members, err := n.closureOf(ctx, req.Obj, req.Alliance)
 	if err != nil {

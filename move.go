@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"objmig/internal/core"
+	"objmig/internal/store"
 	"objmig/internal/wire"
 )
 
@@ -101,7 +102,7 @@ func (n *Node) moveRequest(ctx context.Context, req *wire.MoveReq) (*moveOutcome
 		if _, ok := n.hostedRecord(oid); ok {
 			resp, err := n.handleMove(ctx, req)
 			if to, moved := movedTo(err); moved {
-				n.reg.Learn(oid, to)
+				n.store.Learn(oid, to)
 				continue
 			}
 			if err != nil {
@@ -109,7 +110,7 @@ func (n *Node) moveRequest(ctx context.Context, req *wire.MoveReq) (*moveOutcome
 			}
 			return &moveOutcome{resp: resp, prevAt: n.id}, nil
 		}
-		target := n.reg.Hint(oid)
+		target := n.store.Hint(oid)
 		if target == n.id {
 			if n.selfHintRetry(oid) {
 				continue // an arrival raced the two lookups
@@ -119,15 +120,15 @@ func (n *Node) moveRequest(ctx context.Context, req *wire.MoveReq) (*moveOutcome
 		var resp wire.MoveResp
 		err := n.call(ctx, target, wire.KMove, req, &resp)
 		if err == nil {
-			n.reg.Learn(oid, resp.At)
+			n.store.Learn(oid, resp.At)
 			return &moveOutcome{resp: &resp, prevAt: target}, nil
 		}
 		if to, moved := movedTo(err); moved {
-			n.reg.Learn(oid, to)
+			n.store.Learn(oid, to)
 			continue
 		}
 		if isCode(err, wire.CodeNotFound) && target != oid.Origin {
-			n.reg.Invalidate(oid)
+			n.store.Invalidate(oid)
 			continue
 		}
 		return nil, fromRemote(err)
@@ -170,23 +171,23 @@ func (n *Node) tryMove(ctx context.Context, req *wire.MoveReq) (_ *wire.MoveResp
 	}
 	coreReq := core.MoveRequest{From: req.From, Block: req.Block}
 
-	rec.mu.Lock()
-	if rec.status == recGone {
-		to := rec.movedTo
-		rec.mu.Unlock()
+	rec.Mu.Lock()
+	if rec.Status == store.StatusGone {
+		to := rec.MovedTo
+		rec.Mu.Unlock()
 		return nil, false, &wire.RemoteError{Code: wire.CodeMoved, Msg: req.Obj.String(), To: to}
 	}
-	if rec.status == recPaused {
+	if rec.Status == store.StatusPaused {
 		// Another migration is in flight. Placement denies (the
 		// object is spoken for); the chasing policies wait.
-		rec.mu.Unlock()
+		rec.Mu.Unlock()
 		if n.policy.Kind() == core.PolicyPlacement {
 			return &wire.MoveResp{Outcome: wire.MoveDenied, Reason: core.ReasonLocked, At: n.id}, false, nil
 		}
 		return nil, true, nil
 	}
-	dec := n.policy.OnMove(&rec.pol, n.id, coreReq)
-	rec.mu.Unlock()
+	dec := n.policy.OnMove(&rec.Pol, n.id, coreReq)
+	rec.Mu.Unlock()
 
 	if dec.Action == core.ActionDeny {
 		n.stats.movesDenied.Add(1)
@@ -250,10 +251,10 @@ func (n *Node) tryMove(ctx context.Context, req *wire.MoveReq) (_ *wire.MoveResp
 
 // moveAbort undoes the policy effects of a granted move whose transfer
 // failed.
-func (n *Node) moveAbort(rec *objRecord, req core.MoveRequest) {
-	rec.mu.Lock()
-	n.policy.Abort(&rec.pol, req)
-	rec.mu.Unlock()
+func (n *Node) moveAbort(rec *store.Record, req core.MoveRequest) {
+	rec.Mu.Lock()
+	n.policy.Abort(&rec.Pol, req)
+	rec.Mu.Unlock()
 }
 
 // endBlock closes a move-block. Following the paper, the end-request
@@ -281,12 +282,12 @@ func (n *Node) endBlock(ctx context.Context, ref Ref, al AllianceID, block core.
 		if _, ok := n.hostedRecord(oid); ok {
 			_, err := n.handleEnd(ctx, req)
 			if to, moved := movedTo(err); moved {
-				n.reg.Learn(oid, to)
+				n.store.Learn(oid, to)
 				continue
 			}
 			return fromRemote(err)
 		}
-		target := n.reg.Hint(oid)
+		target := n.store.Hint(oid)
 		if target == n.id {
 			if n.selfHintRetry(oid) {
 				continue // an arrival raced the two lookups
@@ -299,11 +300,11 @@ func (n *Node) endBlock(ctx context.Context, ref Ref, al AllianceID, block core.
 			return nil
 		}
 		if to, moved := movedTo(err); moved {
-			n.reg.Learn(oid, to)
+			n.store.Learn(oid, to)
 			continue
 		}
 		if isCode(err, wire.CodeNotFound) && target != oid.Origin {
-			n.reg.Invalidate(oid)
+			n.store.Invalidate(oid)
 			continue
 		}
 		return fromRemote(err)
@@ -319,15 +320,15 @@ func (n *Node) handleEnd(ctx context.Context, req *wire.EndReq) (*wire.EndResp, 
 	if !ok {
 		return nil, n.whereabouts(req.Obj)
 	}
-	rec.mu.Lock()
-	if rec.status == recGone {
-		to := rec.movedTo
-		rec.mu.Unlock()
+	rec.Mu.Lock()
+	if rec.Status == store.StatusGone {
+		to := rec.MovedTo
+		rec.Mu.Unlock()
 		return nil, &wire.RemoteError{Code: wire.CodeMoved, Msg: req.Obj.String(), To: to}
 	}
 	coreEnd := core.EndRequest{From: req.From, Block: req.Block}
-	dec := n.policy.OnEnd(&rec.pol, n.id, coreEnd)
-	rec.mu.Unlock()
+	dec := n.policy.OnEnd(&rec.Pol, n.id, coreEnd)
+	rec.Mu.Unlock()
 	n.stats.endRequests.Add(1)
 	endOutcome := "noop"
 	if dec.Unlocked {
@@ -351,9 +352,9 @@ func (n *Node) handleEnd(ctx context.Context, req *wire.EndReq) (*wire.EndResp, 
 				continue
 			}
 			if mrec, ok := n.hostedRecord(oid); ok {
-				mrec.mu.Lock()
-				n.policy.OnEnd(&mrec.pol, n.id, coreEnd)
-				mrec.mu.Unlock()
+				mrec.Mu.Lock()
+				n.policy.OnEnd(&mrec.Pol, n.id, coreEnd)
+				mrec.Mu.Unlock()
 			}
 		}
 	}

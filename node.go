@@ -2,14 +2,16 @@ package objmig
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"objmig/internal/core"
-	"objmig/internal/registry"
 	"objmig/internal/rpc"
+	"objmig/internal/store"
 	"objmig/internal/transport"
 	"objmig/internal/wire"
 )
@@ -75,6 +77,13 @@ type Config struct {
 
 // Node hosts distributed objects and executes the migration policies at
 // the current location of each object (paper Fig. 3).
+//
+// The node itself holds no object-table lock: records and location
+// state live in the lock-striped internal/store, so hot-path lookups
+// contend only on the addressed object's shard. The remaining node
+// state is either immutable after construction, atomic (ID counters,
+// the closed flag), or configuration guarded by cfgMu (registered
+// types, the peer address book).
 type Node struct {
 	id         NodeID
 	policy     core.MovePolicy
@@ -84,17 +93,17 @@ type Node struct {
 
 	server *rpc.Server
 	pool   *rpc.Pool
-	reg    *registry.Registry
+	store  *store.Store
 
-	mu     sync.Mutex
-	objs   map[core.OID]*objRecord
-	types  map[string]objectType
-	peers  map[NodeID]string
-	seq    uint64
-	block  uint64
-	token  uint64
-	allSeq uint32
-	closed bool
+	cfgMu sync.RWMutex
+	types map[string]objectType
+	peers map[NodeID]string
+
+	seq    atomic.Uint64 // object IDs minted here
+	block  atomic.Uint64 // move-block IDs
+	token  atomic.Uint64 // migration tokens
+	allSeq atomic.Uint32 // alliance IDs
+	closed atomic.Bool
 
 	stats nodeStats
 
@@ -143,8 +152,7 @@ func NewNode(cfg Config) (*Node, error) {
 		retries:    cfg.CallRetries,
 		observer:   cfg.Observer,
 		pool:       rpc.NewPool(cfg.Cluster.tr),
-		reg:        registry.New(cfg.ID),
-		objs:       make(map[core.OID]*objRecord),
+		store:      store.New(cfg.ID),
 		types:      make(map[string]objectType),
 		peers:      make(map[NodeID]string),
 	}
@@ -170,16 +178,16 @@ func (n *Node) AttachPolicy() AttachMode { return n.attachMode }
 
 // AddPeer teaches the node how to reach another node.
 func (n *Node) AddPeer(id NodeID, addr string) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.cfgMu.Lock()
+	defer n.cfgMu.Unlock()
 	n.peers[id] = addr
 }
 
 // addrOf resolves a node ID to a dial address. On local clusters the
 // ID is the address.
 func (n *Node) addrOf(id NodeID) string {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.cfgMu.RLock()
+	defer n.cfgMu.RUnlock()
 	if addr, ok := n.peers[id]; ok {
 		return addr
 	}
@@ -193,8 +201,8 @@ func (n *Node) RegisterType(t interface{ Name() string }) error {
 	if !ok {
 		return fmt.Errorf("objmig: %T is not an object type (use NewType)", t)
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.cfgMu.Lock()
+	defer n.cfgMu.Unlock()
 	if _, dup := n.types[ot.Name()]; dup {
 		return fmt.Errorf("objmig: type %q registered twice", ot.Name())
 	}
@@ -204,8 +212,8 @@ func (n *Node) RegisterType(t interface{ Name() string }) error {
 
 // typeByName looks a registered type up.
 func (n *Node) typeByName(name string) (objectType, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.cfgMu.RLock()
+	defer n.cfgMu.RUnlock()
 	t, ok := n.types[name]
 	return t, ok
 }
@@ -217,17 +225,14 @@ func (n *Node) Create(typeName string) (Ref, error) {
 	if !ok {
 		return Ref{}, fmt.Errorf("%w: %q", ErrUnknownType, typeName)
 	}
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
-		return Ref{}, ErrClosed
+	id := core.OID{Origin: n.id, Seq: n.seq.Add(1)}
+	rec := store.NewRecord(id, t.Name(), t.newInstance())
+	if err := n.store.Add(rec); err != nil {
+		if errors.Is(err, store.ErrClosed) {
+			return Ref{}, ErrClosed
+		}
+		return Ref{}, err
 	}
-	n.seq++
-	id := core.OID{Origin: n.id, Seq: n.seq}
-	rec := newObjRecord(id, t.Name(), t.newInstance())
-	n.objs[id] = rec
-	n.mu.Unlock()
-	n.reg.Created(id)
 	return Ref{OID: id}, nil
 }
 
@@ -236,47 +241,31 @@ func (n *Node) Create(typeName string) (Ref, error) {
 func (n *Node) NewAlliance() AllianceID {
 	h := fnv.New32a()
 	_, _ = h.Write([]byte(n.id))
-	n.mu.Lock()
-	n.allSeq++
-	seq := n.allSeq
-	n.mu.Unlock()
-	return AllianceID(uint64(h.Sum32())<<32 | uint64(seq))
+	return AllianceID(uint64(h.Sum32())<<32 | uint64(n.allSeq.Add(1)))
 }
 
 // nextBlock mints a node-unique move-block ID.
 func (n *Node) nextBlock() core.BlockID {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.block++
-	return core.BlockID(n.block)
+	return core.BlockID(n.block.Add(1))
 }
 
 // nextToken mints a node-unique migration token.
 func (n *Node) nextToken() uint64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.token++
-	return n.token
+	return n.token.Add(1)
 }
 
 // record looks up a hosted object.
-func (n *Node) record(id core.OID) (*objRecord, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	rec, ok := n.objs[id]
-	return rec, ok
+func (n *Node) record(id core.OID) (*store.Record, bool) {
+	return n.store.Get(id)
 }
 
 // Close shuts the node down: stops serving, closes client connections
 // and waits for background work.
 func (n *Node) Close() error {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
+	if !n.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	n.closed = true
-	n.mu.Unlock()
+	n.store.Close()
 	err := n.server.Close()
 	_ = n.pool.Close()
 	n.bg.Wait()
@@ -299,10 +288,7 @@ func (n *Node) call(ctx context.Context, to NodeID, kind wire.Kind, req, resp in
 
 // handle is the node's rpc.Handler: it dispatches inbound requests.
 func (n *Node) handle(ctx context.Context, kind wire.Kind, body []byte) ([]byte, error) {
-	n.mu.Lock()
-	closed := n.closed
-	n.mu.Unlock()
-	if closed {
+	if n.closed.Load() {
 		return nil, wire.Errorf(wire.CodeUnavailable, "node %s closed", n.id)
 	}
 	switch kind {
@@ -350,7 +336,7 @@ func (n *Node) handle(ctx context.Context, kind wire.Kind, body []byte) ([]byte,
 		})
 	case wire.KHomeUpdate:
 		return handleTyped(body, func(req *wire.HomeUpdate) (*wire.HomeUpdateResp, error) {
-			n.reg.HomeUpdate(req.Objs, req.At)
+			n.store.HomeUpdate(req.Objs, req.At)
 			return &wire.HomeUpdateResp{}, nil
 		})
 	case wire.KEdgeAdd:

@@ -41,20 +41,10 @@ type nodeStats struct {
 	objectsInstalled  atomic.Int64
 }
 
-// Stats returns a snapshot of the node's counters.
+// Stats returns a snapshot of the node's counters. The hosted-object
+// count walks the store shard by shard — no stop-the-world lock.
 func (n *Node) Stats() Stats {
-	n.mu.Lock()
-	recs := make([]*objRecord, 0, len(n.objs))
-	for _, rec := range n.objs {
-		recs = append(recs, rec)
-	}
-	n.mu.Unlock()
-	hosted := int64(0)
-	for _, rec := range recs {
-		if !rec.isGone() {
-			hosted++
-		}
-	}
+	hosted := int64(n.store.HostedCount())
 	return Stats{
 		InvocationsServed: n.stats.invocationsServed.Load(),
 		RemoteCallsSent:   n.stats.remoteCallsSent.Load(),

@@ -1,318 +1,33 @@
 package objmig
 
 import (
-	"context"
-	"sync"
+	"objmig/internal/store"
+	"objmig/internal/wire"
 
 	"objmig/internal/core"
-	"objmig/internal/wire"
 )
 
-// recStatus is the lifecycle of a hosted object record.
-type recStatus int
-
-const (
-	// recActive: the object lives here and accepts invocations.
-	recActive recStatus = iota + 1
-	// recPaused: the object is being linearised for migration; new
-	// invocations wait.
-	recPaused
-	// recGone: the object left; movedTo names the next hop. The
-	// record persists as the forwarding pointer.
-	recGone
-)
-
-// objRecord is a hosted object: instance, policy state, attachment
-// adjacency and the monitor/pause machinery.
-type objRecord struct {
-	id       core.OID
-	typeName string
-
-	mu   sync.Mutex
-	cond *sync.Cond // broadcast on every status/busy transition
-
-	inst    interface{}
-	pol     core.ObjState
-	edges   map[core.OID]map[core.AllianceID]bool
-	status  recStatus
-	token   uint64 // pause token while recPaused
-	movedTo NodeID // next hop while recGone
-	busy    bool   // an invocation is executing (objects are monitors)
-}
-
-func newObjRecord(id core.OID, typeName string, inst interface{}) *objRecord {
-	r := &objRecord{
-		id:       id,
-		typeName: typeName,
-		inst:     inst,
-		status:   recActive,
-		edges:    make(map[core.OID]map[core.AllianceID]bool),
-	}
-	r.cond = sync.NewCond(&r.mu)
-	return r
-}
-
-// acquire waits until the object is free for an invocation and marks it
-// busy. It fails with a moved-error when the object leaves while
-// waiting, and respects context cancellation.
-func (r *objRecord) acquire(ctx context.Context) error {
-	stop := context.AfterFunc(ctx, func() {
-		r.mu.Lock()
-		r.cond.Broadcast()
-		r.mu.Unlock()
-	})
-	defer stop()
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		switch {
-		case r.status == recGone:
-			return &wire.RemoteError{Code: wire.CodeMoved, Msg: "object " + r.id.String() + " moved", To: r.movedTo}
-		case r.status == recActive && !r.busy:
-			r.busy = true
-			return nil
-		}
-		r.cond.Wait()
-	}
-}
-
-// release ends an invocation.
-func (r *objRecord) release() {
-	r.mu.Lock()
-	r.busy = false
-	r.cond.Broadcast()
-	r.mu.Unlock()
-}
-
-// pause transitions an active, idle object to recPaused for migration
-// token. It waits for a running invocation to drain but fails
-// immediately if the object is already paused or gone (pause never
-// waits on pause, so concurrent group migrations cannot deadlock).
-func (r *objRecord) pause(ctx context.Context, token uint64) error {
-	stop := context.AfterFunc(ctx, func() {
-		r.mu.Lock()
-		r.cond.Broadcast()
-		r.mu.Unlock()
-	})
-	defer stop()
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		switch r.status {
-		case recGone:
-			return &wire.RemoteError{Code: wire.CodeMoved, Msg: "object " + r.id.String() + " moved", To: r.movedTo}
-		case recPaused:
-			return wire.Errorf(wire.CodeDenied, "object %s is being migrated", r.id)
-		case recActive:
-			if !r.busy {
-				r.status = recPaused
-				r.token = token
-				return nil
-			}
-		}
-		r.cond.Wait()
-	}
-}
-
-// unpause rolls a pause back (migration aborted).
-func (r *objRecord) unpause(token uint64) {
-	r.mu.Lock()
-	if r.status == recPaused && r.token == token {
-		r.status = recActive
-		r.token = 0
-		r.cond.Broadcast()
-	}
-	r.mu.Unlock()
-}
-
-// depart finalises a migration: the record becomes a forwarding
-// pointer and all waiters are released (they will chase the object).
-// The onCommit hook, if non-nil, runs under the record lock just
-// before the flip — the node uses it to update its location registry
-// while the record still answers, so no reader ever observes
-// "record gone" and "registry says here" at the same time.
-func (r *objRecord) depart(token uint64, to NodeID, onCommit func()) bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.status != recPaused || r.token != token {
-		return false
-	}
-	if onCommit != nil {
-		onCommit()
-	}
-	r.status = recGone
-	r.token = 0
-	r.movedTo = to
-	r.inst = nil
-	r.edges = nil
-	r.cond.Broadcast()
-	return true
-}
-
-// snapshotLocked linearises the object. Caller must hold the pause (the
-// record must be recPaused) — the instance cannot change concurrently.
-func (r *objRecord) snapshot(t objectType) (wire.Snapshot, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	state, err := t.encodeState(r.inst)
-	if err != nil {
-		return wire.Snapshot{}, err
-	}
-	edges := make([]wire.EdgeRec, 0, len(r.edges))
-	for other, als := range r.edges {
-		for al := range als {
-			edges = append(edges, wire.EdgeRec{Other: other, Alliance: al})
-		}
-	}
-	sortEdgeRecs(edges)
-	return wire.Snapshot{
-		ID:    r.id,
-		Type:  r.typeName,
-		State: state,
-		Pol:   r.pol.Clone(),
-		Edges: edges,
-	}, nil
-}
-
-// sortEdgeRecs orders edges canonically for deterministic wire images.
-func sortEdgeRecs(es []wire.EdgeRec) {
-	for i := 1; i < len(es); i++ {
-		for j := i; j > 0 && edgeLess(es[j], es[j-1]); j-- {
-			es[j], es[j-1] = es[j-1], es[j]
-		}
-	}
-}
-
-func edgeLess(a, b wire.EdgeRec) bool {
-	if a.Other != b.Other {
-		return a.Other.Less(b.Other)
-	}
-	return a.Alliance < b.Alliance
-}
-
-// edgeList returns the record's adjacency in canonical order.
-func (r *objRecord) edgeList() []wire.EdgeRec {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]wire.EdgeRec, 0, len(r.edges))
-	for other, als := range r.edges {
-		for al := range als {
-			out = append(out, wire.EdgeRec{Other: other, Alliance: al})
-		}
-	}
-	sortEdgeRecs(out)
-	return out
-}
-
-// degree returns the number of distinct attachment partners.
-func (r *objRecord) degree() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.edges)
-}
-
-// pairedWith reports whether the record has any edge to other.
-func (r *objRecord) pairedWith(other core.OID) bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.edges[other]) > 0
-}
-
-// addEdge records half an attachment.
-func (r *objRecord) addEdge(other core.OID, al core.AllianceID) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.addEdgeLocked(other, al)
-}
-
-func (r *objRecord) addEdgeLocked(other core.OID, al core.AllianceID) {
-	set, ok := r.edges[other]
-	if !ok {
-		set = make(map[core.AllianceID]bool)
-		r.edges[other] = set
-	}
-	set[al] = true
-}
-
-// delEdge removes half an attachment, reporting whether it existed.
-func (r *objRecord) delEdge(other core.OID, al core.AllianceID) bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.delEdgeLocked(other, al)
-}
-
-func (r *objRecord) delEdgeLocked(other core.OID, al core.AllianceID) bool {
-	set, ok := r.edges[other]
-	if !ok || !set[al] {
-		return false
-	}
-	delete(set, al)
-	if len(set) == 0 {
-		delete(r.edges, other)
-	}
-	return true
-}
-
-// edgeOp runs an edge mutation atomically against a live record: it
-// waits out a migration pause (an edge added after the snapshot was
-// taken would be lost with the transfer), fails with a redirect when
-// the object has left, and otherwise runs op under the record lock.
-func (r *objRecord) edgeOp(ctx context.Context, op func() *wire.RemoteError) error {
-	stop := context.AfterFunc(ctx, func() {
-		r.mu.Lock()
-		r.cond.Broadcast()
-		r.mu.Unlock()
-	})
-	defer stop()
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		switch r.status {
-		case recGone:
-			return &wire.RemoteError{Code: wire.CodeMoved, Msg: "object " + r.id.String() + " moved", To: r.movedTo}
-		case recActive:
-			if re := op(); re != nil {
-				return re
-			}
-			return nil
-		}
-		r.cond.Wait()
-	}
-}
+// The per-object record machinery (monitor locks, pause/depart
+// lifecycle, attachment adjacency) lives in internal/store together
+// with the lock-striped object table; this file keeps the node-level
+// glue: hosted-record resolution and batch installation.
 
 // hostedRecord returns the local record only when the object actually
 // lives here (active or paused). Forwarding stubs are excluded: client
 // fast paths must fall through to the hint chain instead of spinning on
 // their own stale stub.
-func (n *Node) hostedRecord(id core.OID) (*objRecord, bool) {
-	rec, ok := n.record(id)
-	if !ok || rec.isGone() {
-		return nil, false
-	}
-	return rec, true
+func (n *Node) hostedRecord(id core.OID) (*store.Record, bool) {
+	return n.store.Hosted(id)
 }
 
 // installBatch registers arriving objects from their snapshots, as part
 // of migration token. The batch is all-or-nothing: either every
-// snapshot is installed or none is.
-//
-// An existing record may only be replaced if it is a forwarding stub
-// (the object is coming back) or was paused by this very migration (a
-// same-node reinstall). Replacing a record paused by a *different*
-// migration would orphan that migration's pause and duplicate the
-// object — the check-then-commit under the node lock, holding every
-// replaced record's lock across the swap, closes that race.
+// snapshot is installed or none is — the sharded store's InstallBatch
+// performs the check-then-commit under the involved shards' locks (see
+// store.InstallBatch for the replaceability rule that prevents
+// concurrent migrations from duplicating an object).
 func (n *Node) installBatch(snaps []wire.Snapshot, token uint64) error {
-	recs := make([]*objRecord, len(snaps))
+	recs := make([]*store.Record, len(snaps))
 	for i, snap := range snaps {
 		t, ok := n.typeByName(snap.Type)
 		if !ok {
@@ -322,58 +37,18 @@ func (n *Node) installBatch(snaps []wire.Snapshot, token uint64) error {
 		if err != nil {
 			return wire.Errorf(wire.CodeInternal, "reinstall %s: %v", snap.ID, err)
 		}
-		rec := newObjRecord(snap.ID, snap.Type, inst)
-		rec.pol = snap.Pol
+		rec := store.NewRecord(snap.ID, snap.Type, inst)
+		rec.Pol = snap.Pol
 		for _, e := range snap.Edges {
-			rec.addEdge(e.Other, e.Alliance)
+			rec.AddEdge(e.Other, e.Alliance)
 		}
 		recs[i] = rec
 	}
-
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	// Check phase: verify every replaced record is replaceable, and
-	// hold its lock so its status cannot change before the commit.
-	olds := make([]*objRecord, len(snaps))
-	var locked []*objRecord
-	unlockAll := func() {
-		for _, o := range locked {
-			o.mu.Unlock()
-		}
+	if err := n.store.InstallBatch(recs, token); err != nil {
+		return err
 	}
-	for i, snap := range snaps {
-		old, exists := n.objs[snap.ID]
-		if !exists {
-			continue
-		}
-		old.mu.Lock()
-		locked = append(locked, old)
-		replaceable := old.status == recGone ||
-			(old.status == recPaused && old.token == token)
-		if !replaceable {
-			unlockAll()
-			return wire.Errorf(wire.CodeDenied,
-				"object %s is live at %s (concurrent migration)", snap.ID, n.id)
-		}
-		olds[i] = old
-	}
-	// Commit phase: swap the records in and turn the replaced ones
-	// into wake-up markers pointing here.
-	for i, snap := range snaps {
-		n.objs[snap.ID] = recs[i]
-		if old := olds[i]; old != nil {
-			old.status = recGone
-			old.token = 0
-			old.movedTo = n.id
-			old.inst = nil
-			old.edges = nil
-			old.cond.Broadcast()
-		}
-	}
-	unlockAll()
 	installed := make([]Ref, len(snaps))
 	for i, snap := range snaps {
-		n.reg.Arrived(snap.ID)
 		installed[i] = Ref{OID: snap.ID}
 	}
 	n.stats.objectsInstalled.Add(int64(len(snaps)))

@@ -1,209 +1,10 @@
 package objmig
 
 import (
-	"context"
 	"errors"
 	"sync"
 	"testing"
-	"time"
-
-	"objmig/internal/core"
-	"objmig/internal/wire"
 )
-
-func testRecord() *objRecord {
-	return newObjRecord(core.OID{Origin: "n", Seq: 1}, "counter", &counterState{})
-}
-
-func TestRecordAcquireRelease(t *testing.T) {
-	t.Parallel()
-	rec := testRecord()
-	ctx := context.Background()
-	if err := rec.acquire(ctx); err != nil {
-		t.Fatal(err)
-	}
-	// A second acquirer must wait until release.
-	done := make(chan error, 1)
-	go func() {
-		done <- rec.acquire(ctx)
-	}()
-	select {
-	case <-done:
-		t.Fatal("second acquire did not wait")
-	case <-time.After(20 * time.Millisecond):
-	}
-	rec.release()
-	select {
-	case err := <-done:
-		if err != nil {
-			t.Fatal(err)
-		}
-	case <-time.After(2 * time.Second):
-		t.Fatal("second acquire never woke")
-	}
-	rec.release()
-}
-
-func TestRecordAcquireRespectsContext(t *testing.T) {
-	t.Parallel()
-	rec := testRecord()
-	if err := rec.acquire(context.Background()); err != nil {
-		t.Fatal(err)
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
-	defer cancel()
-	if err := rec.acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
-		t.Fatalf("err = %v, want deadline", err)
-	}
-	rec.release()
-}
-
-func TestRecordPauseSemantics(t *testing.T) {
-	t.Parallel()
-	rec := testRecord()
-	ctx := context.Background()
-	if err := rec.pause(ctx, 7); err != nil {
-		t.Fatal(err)
-	}
-	// Pause never waits on pause: a concurrent migration fails fast.
-	if err := rec.pause(ctx, 8); !isCode(err, wire.CodeDenied) {
-		t.Fatalf("double pause: %v, want denied", err)
-	}
-	// Unpause with the wrong token is ignored.
-	rec.unpause(99)
-	if err := rec.pause(ctx, 9); !isCode(err, wire.CodeDenied) {
-		t.Fatal("wrong-token unpause released the pause")
-	}
-	rec.unpause(7)
-	if err := rec.pause(ctx, 10); err != nil {
-		t.Fatalf("pause after unpause: %v", err)
-	}
-}
-
-func TestRecordPauseWaitsForActiveInvocation(t *testing.T) {
-	t.Parallel()
-	rec := testRecord()
-	ctx := context.Background()
-	if err := rec.acquire(ctx); err != nil {
-		t.Fatal(err)
-	}
-	done := make(chan error, 1)
-	go func() { done <- rec.pause(ctx, 1) }()
-	select {
-	case <-done:
-		t.Fatal("pause did not wait for the busy invocation")
-	case <-time.After(20 * time.Millisecond):
-	}
-	rec.release()
-	if err := <-done; err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestRecordDepartReleasesWaiters(t *testing.T) {
-	t.Parallel()
-	rec := testRecord()
-	ctx := context.Background()
-	if err := rec.pause(ctx, 3); err != nil {
-		t.Fatal(err)
-	}
-	var wg sync.WaitGroup
-	errs := make(chan error, 4)
-	for i := 0; i < 4; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			errs <- rec.acquire(ctx)
-		}()
-	}
-	time.Sleep(20 * time.Millisecond)
-	if !rec.depart(3, "elsewhere", nil) {
-		t.Fatal("depart failed")
-	}
-	wg.Wait()
-	close(errs)
-	for err := range errs {
-		var re *wire.RemoteError
-		if !errors.As(err, &re) || re.Code != wire.CodeMoved || re.To != "elsewhere" {
-			t.Fatalf("waiter got %v, want moved-to-elsewhere", err)
-		}
-	}
-	if !rec.isGone() {
-		t.Fatal("record not gone after depart")
-	}
-}
-
-func TestRecordDepartTokenMismatch(t *testing.T) {
-	t.Parallel()
-	rec := testRecord()
-	if rec.depart(5, "x", nil) {
-		t.Fatal("depart succeeded without a pause")
-	}
-	if err := rec.pause(context.Background(), 5); err != nil {
-		t.Fatal(err)
-	}
-	if rec.depart(6, "x", nil) {
-		t.Fatal("depart succeeded with the wrong token")
-	}
-	if !rec.depart(5, "x", nil) {
-		t.Fatal("depart failed with the right token")
-	}
-}
-
-func TestRecordEdgeBookkeeping(t *testing.T) {
-	t.Parallel()
-	rec := testRecord()
-	o1 := core.OID{Origin: "n", Seq: 2}
-	o2 := core.OID{Origin: "n", Seq: 3}
-	rec.addEdge(o1, 1)
-	rec.addEdge(o1, 2)
-	rec.addEdge(o2, 1)
-	if rec.degree() != 2 {
-		t.Fatalf("degree = %d, want 2 partners", rec.degree())
-	}
-	if !rec.pairedWith(o1) || rec.pairedWith(core.OID{Origin: "n", Seq: 9}) {
-		t.Fatal("pairedWith mismatch")
-	}
-	edges := rec.edgeList()
-	if len(edges) != 3 {
-		t.Fatalf("edges = %v", edges)
-	}
-	// Canonical order: (o1,1), (o1,2), (o2,1).
-	if edges[0].Alliance != 1 || edges[1].Alliance != 2 || edges[2].Other != o2 {
-		t.Fatalf("edge order = %v", edges)
-	}
-	if !rec.delEdge(o1, 1) || rec.delEdge(o1, 1) {
-		t.Fatal("delEdge idempotence broken")
-	}
-	if rec.degree() != 2 {
-		t.Fatalf("degree after partial del = %d", rec.degree())
-	}
-	rec.delEdge(o1, 2)
-	if rec.degree() != 1 {
-		t.Fatalf("degree = %d, want 1", rec.degree())
-	}
-}
-
-func TestSnapshotCarriesPolicyState(t *testing.T) {
-	t.Parallel()
-	rec := testRecord()
-	rec.pol.Fixed = true
-	rec.pol.Lock = core.LockState{Held: true, Owner: "w", Block: 9}
-	rec.addEdge(core.OID{Origin: "n", Seq: 2}, 4)
-	snap, err := rec.snapshot(newCounterType())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !snap.Pol.Fixed || !snap.Pol.Lock.Held || snap.Pol.Lock.Owner != "w" {
-		t.Fatalf("policy state lost: %+v", snap.Pol)
-	}
-	if len(snap.Edges) != 1 || snap.Edges[0].Alliance != 4 {
-		t.Fatalf("edges lost: %v", snap.Edges)
-	}
-	if snap.Type != "counter" {
-		t.Fatalf("type = %q", snap.Type)
-	}
-}
 
 // TestMigrationAbortRollsBack: when the admission check vetoes a group
 // migration, every member must be unpaused and usable.
