@@ -17,6 +17,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"objmig"
 )
@@ -87,6 +88,19 @@ func parsePolicy(s string) (objmig.PolicyKind, error) {
 	}
 }
 
+// parseAutopilotPolicy accepts the two dynamic strategies the
+// autopilot can score with.
+func parseAutopilotPolicy(s string) (objmig.PolicyKind, error) {
+	switch s {
+	case "compare-nodes":
+		return objmig.PolicyCompareNodes, nil
+	case "compare-reinstantiate":
+		return objmig.PolicyCompareReinstantiate, nil
+	default:
+		return 0, fmt.Errorf("unknown autopilot policy %q (want compare-nodes or compare-reinstantiate)", s)
+	}
+}
+
 func parseAttach(s string) (objmig.AttachMode, error) {
 	switch s {
 	case "unrestricted":
@@ -114,6 +128,23 @@ func run() int {
 		attach = flag.String("attach", "a-transitive",
 			"attachment mode: unrestricted, a-transitive, exclusive")
 		create = flag.Int("create", 0, "create this many kv objects at startup")
+
+		autopilot = flag.Bool("autopilot", false,
+			"observe access affinity and migrate hosted objects towards their heaviest callers")
+		apInterval = flag.Duration("autopilot-interval", 0,
+			"autopilot scan period (0 = default 50ms)")
+		apPolicy = flag.String("autopilot-policy", "compare-nodes",
+			"autopilot scoring rule: compare-nodes, compare-reinstantiate")
+		apMin = flag.Int64("autopilot-min", 0,
+			"minimum observed accesses before an object is considered (0 = default 16)")
+		apHysteresis = flag.Float64("autopilot-hysteresis", 0,
+			"leader-vs-rival pressure ratio required to migrate (0 = default 2)")
+		apCooldown = flag.Duration("autopilot-cooldown", 0,
+			"per-object minimum time between autopilot migrations (0 = default 10x interval)")
+		apBudget = flag.Int("autopilot-budget", 0,
+			"max group migrations per scan tick (0 = default 4)")
+		apDecay = flag.Int("autopilot-decay-every", 0,
+			"halve affinity counters every N scans (0 = default 8, negative disables decay)")
 	)
 	flag.Var(peers, "peer", "peer address as id=addr (repeatable)")
 	flag.Parse()
@@ -124,6 +155,11 @@ func run() int {
 		return 2
 	}
 	att, err := parseAttach(*attach)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "objmig-node:", err)
+		return 2
+	}
+	appol, err := parseAutopilotPolicy(*apPolicy)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "objmig-node:", err)
 		return 2
@@ -146,8 +182,24 @@ func run() int {
 		return 1
 	}
 
-	fmt.Printf("node %s listening on %s (policy %v, attach %v)\n",
-		node.ID(), node.Addr(), node.Policy(), node.AttachPolicy())
+	if *autopilot {
+		err := node.EnableAutopilot(objmig.AutopilotConfig{
+			Interval:      *apInterval,
+			Policy:        appol,
+			MinTotal:      *apMin,
+			Hysteresis:    *apHysteresis,
+			Cooldown:      *apCooldown,
+			BudgetPerTick: *apBudget,
+			DecayEvery:    *apDecay,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "objmig-node:", err)
+			return 1
+		}
+	}
+
+	fmt.Printf("node %s listening on %s (policy %v, attach %v, autopilot %v)\n",
+		node.ID(), node.Addr(), node.Policy(), node.AttachPolicy(), *autopilot)
 	for i := 0; i < *create; i++ {
 		ref, err := node.Create("kv")
 		if err != nil {
@@ -159,9 +211,32 @@ func run() int {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
+	if *autopilot {
+		// Periodically report what the autopilot sees and does.
+		ticker := time.NewTicker(10 * time.Second)
+		defer ticker.Stop()
+	loop:
+		for {
+			select {
+			case <-sig:
+				break loop
+			case <-ticker.C:
+				st := node.Stats()
+				fmt.Printf("autopilot: %d scans, %d migrations (%d objects), %d deferred; tracking %d hot objects\n",
+					st.AutopilotScans, st.AutopilotMigrations, st.AutopilotObjectsMoved,
+					st.AutopilotDeferred, len(node.Affinity()))
+			}
+		}
+	} else {
+		<-sig
+	}
 	st := node.Stats()
 	fmt.Printf("shutting down: served %d invocations, granted %d moves, hosted %d objects\n",
 		st.InvocationsServed, st.MovesGranted, st.ObjectsHosted)
+	if *autopilot {
+		fmt.Printf("autopilot total: %d migrations carrying %d objects, %d deferred, %d home-update batches for %d advisories\n",
+			st.AutopilotMigrations, st.AutopilotObjectsMoved, st.AutopilotDeferred,
+			st.HomeUpdateBatches, st.HomeUpdatesQueued)
+	}
 	return 0
 }

@@ -28,6 +28,25 @@ func TestParsePolicy(t *testing.T) {
 	}
 }
 
+func TestParseAutopilotPolicy(t *testing.T) {
+	t.Parallel()
+	cases := map[string]objmig.PolicyKind{
+		"compare-nodes":         objmig.PolicyCompareNodes,
+		"compare-reinstantiate": objmig.PolicyCompareReinstantiate,
+	}
+	for in, want := range cases {
+		got, err := parseAutopilotPolicy(in)
+		if err != nil || got != want {
+			t.Errorf("parseAutopilotPolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	for _, bad := range []string{"placement", "sedentary", "bogus"} {
+		if _, err := parseAutopilotPolicy(bad); err == nil {
+			t.Errorf("parseAutopilotPolicy accepted %q", bad)
+		}
+	}
+}
+
 func TestParseAttach(t *testing.T) {
 	t.Parallel()
 	cases := map[string]objmig.AttachMode{

@@ -25,6 +25,10 @@ const (
 	EventFix
 	// EventAttach: an attachment half-edge was added or removed here.
 	EventAttach
+	// EventAutopilot: the autopilot migrated an object group towards
+	// its heaviest caller (Obj is the elected object, Target the
+	// destination, Objects the full group that travelled).
+	EventAutopilot
 )
 
 // String names the kind.
@@ -44,6 +48,8 @@ func (k EventKind) String() string {
 		return "fix"
 	case EventAttach:
 		return "attach"
+	case EventAutopilot:
+		return "autopilot"
 	default:
 		return "unknown"
 	}

@@ -1,0 +1,50 @@
+package affinity
+
+import (
+	"testing"
+
+	"objmig/internal/core"
+)
+
+// BenchmarkAffinityRecord measures the steady-state hot-path cost of
+// recording one access (object and caller already known). The
+// autopilot's contract is ≤100ns and zero allocations per invoke; the
+// allocation half is also asserted by TestRecordZeroAllocSteadyState.
+func BenchmarkAffinityRecord(b *testing.B) {
+	tr := New("n0")
+	tr.SetEnabled(true)
+	o := core.OID{Origin: "n0", Seq: 42}
+	tr.Record(o, "n1")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Record(o, "n1")
+	}
+}
+
+// BenchmarkAffinityRecordDisabled measures the cost every invoke pays
+// on nodes that never enable the autopilot.
+func BenchmarkAffinityRecordDisabled(b *testing.B) {
+	tr := New("n0")
+	o := core.OID{Origin: "n0", Seq: 42}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Record(o, "n1")
+	}
+}
+
+// BenchmarkAffinityRecordParallel measures contended recording on one
+// hot object from many goroutines (the autopilot's target workload).
+func BenchmarkAffinityRecordParallel(b *testing.B) {
+	tr := New("n0")
+	tr.SetEnabled(true)
+	o := core.OID{Origin: "n0", Seq: 42}
+	tr.Record(o, "n1")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			tr.Record(o, "n1")
+		}
+	})
+}

@@ -49,6 +49,29 @@ func SortOIDs(ids []OID) {
 	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
 }
 
+// HashOID hashes an OID (FNV-1a over the origin bytes and the
+// sequence) — the shared basis for lock-stripe selection wherever
+// per-object state is sharded (the object store, the affinity
+// tracker). Callers mask the result down to their stripe count.
+func HashOID(id OID) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(id.Origin); i++ {
+		h ^= uint64(id.Origin[i])
+		h *= prime64
+	}
+	seq := id.Seq
+	for i := 0; i < 8; i++ {
+		h ^= seq & 0xff
+		h *= prime64
+		seq >>= 8
+	}
+	return h
+}
+
 // AllianceID identifies an alliance, the dynamic cooperation context of
 // Section 3.4. NoAlliance labels attachments issued outside any alliance
 // and moves issued without a cooperation context.

@@ -79,25 +79,10 @@ func New(self core.NodeID) *Store {
 // Self returns the owning node's identity.
 func (s *Store) Self() core.NodeID { return s.self }
 
-// ShardIndex maps an OID to its stripe (FNV-1a over origin and
-// sequence; exported for distribution tests).
+// ShardIndex maps an OID to its stripe (the shared core.HashOID,
+// masked; exported for distribution tests).
 func ShardIndex(id core.OID) int {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for i := 0; i < len(id.Origin); i++ {
-		h ^= uint64(id.Origin[i])
-		h *= prime64
-	}
-	seq := id.Seq
-	for i := 0; i < 8; i++ {
-		h ^= seq & 0xff
-		h *= prime64
-		seq >>= 8
-	}
-	return int(h & (ShardCount - 1))
+	return int(core.HashOID(id) & (ShardCount - 1))
 }
 
 func (s *Store) shardOf(id core.OID) *shard { return &s.shards[ShardIndex(id)] }
@@ -150,6 +135,38 @@ func (s *Store) Lookup(id core.OID) (*Record, core.NodeID) {
 		return rec, s.self
 	}
 	return nil, s.Hint(id)
+}
+
+// GetBatch resolves many records at once, grouping the lookups by
+// shard so each involved stripe lock is taken exactly once — the batch
+// counterpart of Get for large commit/abort sets, where a per-OID walk
+// would pay one lock round trip per object. The result aligns with
+// ids; missing objects yield nil entries.
+func (s *Store) GetBatch(ids []core.OID) []*Record {
+	out := make([]*Record, len(ids))
+	if len(ids) == 0 {
+		return out
+	}
+	// Bucket the positions per shard first, so each stripe lock is
+	// held only for its own objects' lookups.
+	var perShard [ShardCount][]int
+	for i, id := range ids {
+		sh := ShardIndex(id)
+		perShard[sh] = append(perShard[sh], i)
+	}
+	for sh := range perShard {
+		idxs := perShard[sh]
+		if len(idxs) == 0 {
+			continue
+		}
+		st := &s.shards[sh]
+		st.tabMu.RLock()
+		for _, i := range idxs {
+			out[i] = st.objs[ids[i]]
+		}
+		st.tabMu.RUnlock()
+	}
+	return out
 }
 
 // Range calls fn for every record until fn returns false. Each shard's

@@ -49,6 +49,42 @@ func TestAddGetHosted(t *testing.T) {
 	}
 }
 
+// TestGetBatch: the shard-grouped batch lookup must agree with Get,
+// align with its input, and report missing objects as nil.
+func TestGetBatch(t *testing.T) {
+	t.Parallel()
+	s := New("n1")
+	const n = 100 // spans many shards
+	ids := make([]core.OID, 0, n+2)
+	for i := 0; i < n; i++ {
+		id := oid("n1", uint64(i+1))
+		if err := s.Add(NewRecord(id, "t", &testState{})); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Interleave two objects the store has never seen.
+	ids = append(ids, oid("ghost", 1))
+	ids = append(ids[:50:50], append([]core.OID{oid("ghost", 2)}, ids[50:]...)...)
+
+	got := s.GetBatch(ids)
+	if len(got) != len(ids) {
+		t.Fatalf("GetBatch returned %d records for %d ids", len(got), len(ids))
+	}
+	for i, id := range ids {
+		want, _ := s.Get(id)
+		if got[i] != want {
+			t.Fatalf("GetBatch[%d] (%v) = %v, want %v", i, id, got[i], want)
+		}
+		if id.Origin == "ghost" && got[i] != nil {
+			t.Fatalf("ghost id %v resolved to %v", id, got[i])
+		}
+	}
+	if len(s.GetBatch(nil)) != 0 {
+		t.Fatal("GetBatch(nil) not empty")
+	}
+}
+
 func TestLookupSingleShard(t *testing.T) {
 	t.Parallel()
 	s := New("n1")

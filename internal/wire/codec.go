@@ -3,10 +3,11 @@ package wire
 // The codec behind Marshal/Unmarshal. Two layers:
 //
 //   - A hand-rolled binary fast path for the high-frequency bodies —
-//     invoke, locate and home-update traffic plus the snapshots that
-//     make up every migration batch. These encode to
-//     [tag][varint-framed fields] with zero reflection and no
-//     per-message encoder state.
+//     invoke, locate and home-update traffic, the snapshots that make
+//     up every migration batch, and the move/end/migrate control
+//     bodies that heat up once the autopilot issues migrations
+//     continuously. These encode to [tag][varint-framed fields] with
+//     zero reflection and no per-message encoder state.
 //   - A pooled gob fallback for everything else (control-plane bodies
 //     and remote errors), prefixed with tagGob. The per-message
 //     bytes.Buffer and bytes.Reader come from sync.Pools; gob's
@@ -41,6 +42,12 @@ const (
 	tagSnapshot
 	tagPauseResp
 	tagInstallReq
+	tagMoveReq
+	tagMoveResp
+	tagEndReq
+	tagEndResp
+	tagMigrateReq
+	tagMigrateResp
 )
 
 // --- Pooled gob fallback ---
@@ -144,11 +151,12 @@ func appendSnapshotBody(b []byte, s *Snapshot) []byte {
 func marshalFast(v interface{}) (data []byte, ok bool) {
 	switch m := v.(type) {
 	case *InvokeReq:
-		b := make([]byte, 0, 24+len(m.Obj.Origin)+len(m.Method)+len(m.Arg))
+		b := make([]byte, 0, 32+len(m.Obj.Origin)+len(m.Method)+len(m.Arg)+len(m.From))
 		b = append(b, tagInvokeReq)
 		b = appendOID(b, m.Obj)
 		b = appendStr(b, m.Method)
-		return appendByteSlice(b, m.Arg), true
+		b = appendByteSlice(b, m.Arg)
+		return appendStr(b, string(m.From)), true
 	case InvokeReq:
 		return marshalFast(&m)
 	case *InvokeResp:
@@ -171,10 +179,17 @@ func marshalFast(v interface{}) (data []byte, ok bool) {
 	case LocateResp:
 		return marshalFast(&m)
 	case *HomeUpdate:
-		b := make([]byte, 0, 16+16*len(m.Objs)+len(m.At))
+		b := make([]byte, 0, 16+16*len(m.Objs)+len(m.At)+24*len(m.Aff))
 		b = append(b, tagHomeUpdate)
 		b = appendOIDs(b, m.Objs)
-		return appendStr(b, string(m.At)), true
+		b = appendStr(b, string(m.At))
+		b = appendUvarint(b, uint64(len(m.Aff)))
+		for _, o := range m.Aff {
+			b = appendOID(b, o.Obj)
+			b = appendStr(b, string(o.From))
+			b = appendVarint(b, o.Count)
+		}
+		return b, true
 	case HomeUpdate:
 		return marshalFast(&m)
 	case *HomeUpdateResp:
@@ -206,6 +221,58 @@ func marshalFast(v interface{}) (data []byte, ok bool) {
 		}
 		return appendUvarint(b, m.Token), true
 	case InstallReq:
+		return marshalFast(&m)
+	case *MoveReq:
+		b := make([]byte, 0, 32+len(m.Obj.Origin)+len(m.From))
+		b = append(b, tagMoveReq)
+		b = appendOID(b, m.Obj)
+		b = appendStr(b, string(m.From))
+		b = appendUvarint(b, uint64(m.Block))
+		return appendUvarint(b, uint64(m.Alliance)), true
+	case MoveReq:
+		return marshalFast(&m)
+	case *MoveResp:
+		b := make([]byte, 0, 24+len(m.At)+16*len(m.Moved))
+		b = append(b, tagMoveResp)
+		b = appendVarint(b, int64(m.Outcome))
+		b = appendVarint(b, int64(m.Reason))
+		b = appendStr(b, string(m.At))
+		return appendOIDs(b, m.Moved), true
+	case MoveResp:
+		return marshalFast(&m)
+	case *EndReq:
+		b := make([]byte, 0, 32+len(m.Obj.Origin)+len(m.From)+16*len(m.Members))
+		b = append(b, tagEndReq)
+		b = appendOID(b, m.Obj)
+		b = appendStr(b, string(m.From))
+		b = appendUvarint(b, uint64(m.Block))
+		b = appendUvarint(b, uint64(m.Alliance))
+		return appendOIDs(b, m.Members), true
+	case EndReq:
+		return marshalFast(&m)
+	case *EndResp:
+		b := make([]byte, 0, 8+len(m.At))
+		b = append(b, tagEndResp)
+		b = appendBool(b, m.Unlocked)
+		b = appendBool(b, m.Migrated)
+		return appendStr(b, string(m.At)), true
+	case EndResp:
+		return marshalFast(&m)
+	case *MigrateReq:
+		b := make([]byte, 0, 24+len(m.Obj.Origin)+len(m.Target))
+		b = append(b, tagMigrateReq)
+		b = appendOID(b, m.Obj)
+		b = appendStr(b, string(m.Target))
+		b = appendUvarint(b, uint64(m.Alliance))
+		return appendBool(b, m.Fix), true
+	case MigrateReq:
+		return marshalFast(&m)
+	case *MigrateResp:
+		b := make([]byte, 0, 8+len(m.At)+16*len(m.Moved))
+		b = append(b, tagMigrateResp)
+		b = appendStr(b, string(m.At))
+		return appendOIDs(b, m.Moved), true
+	case MigrateResp:
 		return marshalFast(&m)
 	}
 	return nil, false
@@ -342,6 +409,26 @@ func (r *reader) snapshotBody(s *Snapshot) {
 	}
 }
 
+func (r *reader) affinityObs() []AffinityObs {
+	n := r.uvarint()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if n > uint64(len(r.data)-r.pos) { // each entry takes ≥ 4 bytes
+		r.fail()
+		return nil
+	}
+	out := make([]AffinityObs, 0, n)
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		var o AffinityObs
+		o.Obj = r.oid()
+		o.From = core.NodeID(r.str())
+		o.Count = r.varint()
+		out = append(out, o)
+	}
+	return out
+}
+
 func (r *reader) snapshots() []Snapshot {
 	n := r.uvarint()
 	if r.err != nil || n == 0 {
@@ -369,6 +456,7 @@ func unmarshalFast(tag byte, data []byte, v interface{}) error {
 		out.Obj = r.oid()
 		out.Method = r.str()
 		out.Arg = r.byteSlice()
+		out.From = core.NodeID(r.str())
 	case *InvokeResp:
 		if tag != tagInvokeResp {
 			return tagMismatch(tag, v)
@@ -391,6 +479,7 @@ func unmarshalFast(tag byte, data []byte, v interface{}) error {
 		}
 		out.Objs = r.oids()
 		out.At = core.NodeID(r.str())
+		out.Aff = r.affinityObs()
 	case *HomeUpdateResp:
 		if tag != tagHomeUpdateResp {
 			return tagMismatch(tag, v)
@@ -411,6 +500,52 @@ func unmarshalFast(tag byte, data []byte, v interface{}) error {
 		}
 		out.Snapshots = r.snapshots()
 		out.Token = r.uvarint()
+	case *MoveReq:
+		if tag != tagMoveReq {
+			return tagMismatch(tag, v)
+		}
+		out.Obj = r.oid()
+		out.From = core.NodeID(r.str())
+		out.Block = core.BlockID(r.uvarint())
+		out.Alliance = core.AllianceID(r.uvarint())
+	case *MoveResp:
+		if tag != tagMoveResp {
+			return tagMismatch(tag, v)
+		}
+		out.Outcome = MoveOutcome(r.varint())
+		out.Reason = core.DenyReason(r.varint())
+		out.At = core.NodeID(r.str())
+		out.Moved = r.oids()
+	case *EndReq:
+		if tag != tagEndReq {
+			return tagMismatch(tag, v)
+		}
+		out.Obj = r.oid()
+		out.From = core.NodeID(r.str())
+		out.Block = core.BlockID(r.uvarint())
+		out.Alliance = core.AllianceID(r.uvarint())
+		out.Members = r.oids()
+	case *EndResp:
+		if tag != tagEndResp {
+			return tagMismatch(tag, v)
+		}
+		out.Unlocked = r.bool()
+		out.Migrated = r.bool()
+		out.At = core.NodeID(r.str())
+	case *MigrateReq:
+		if tag != tagMigrateReq {
+			return tagMismatch(tag, v)
+		}
+		out.Obj = r.oid()
+		out.Target = core.NodeID(r.str())
+		out.Alliance = core.AllianceID(r.uvarint())
+		out.Fix = r.bool()
+	case *MigrateResp:
+		if tag != tagMigrateResp {
+			return tagMismatch(tag, v)
+		}
+		out.At = core.NodeID(r.str())
+		out.Moved = r.oids()
 	default:
 		return fmt.Errorf("wire: unmarshal %T: unrecognised body (tag %d)", v, tag)
 	}

@@ -24,15 +24,24 @@ func fastBodies() []interface{} {
 		Edges: []EdgeRec{{Other: oid2, Alliance: 3}, {Other: oid1, Alliance: 0}},
 	}
 	return []interface{}{
-		&InvokeReq{Obj: oid1, Method: "Add", Arg: []byte{1, 2, 3}},
+		&InvokeReq{Obj: oid1, Method: "Add", Arg: []byte{1, 2, 3}, From: "n7"},
 		&InvokeResp{Result: []byte{4, 5}, At: "n2"},
 		&LocateReq{Obj: oid2},
 		&LocateResp{At: "n5"},
-		&HomeUpdate{Objs: []core.OID{oid1, oid2}, At: "n4"},
+		&HomeUpdate{Objs: []core.OID{oid1, oid2}, At: "n4", Aff: []AffinityObs{
+			{Obj: oid1, From: "n7", Count: 12},
+			{Obj: oid2, From: "n8", Count: 1},
+		}},
 		&HomeUpdateResp{},
 		&snap,
 		&PauseResp{Snapshots: []Snapshot{snap, {ID: oid2, Type: "t"}}},
 		&InstallReq{Snapshots: []Snapshot{snap}, Token: 99},
+		&MoveReq{Obj: oid1, From: "n2", Block: 7, Alliance: 3},
+		&MoveResp{Outcome: MoveMigrated, Reason: core.ReasonLocked, At: "n2", Moved: []core.OID{oid1, oid2}},
+		&EndReq{Obj: oid1, From: "n2", Block: 7, Alliance: 3, Members: []core.OID{oid1, oid2}},
+		&EndResp{Unlocked: true, Migrated: true, At: "n9"},
+		&MigrateReq{Obj: oid2, Target: "n5", Alliance: 1, Fix: true},
+		&MigrateResp{At: "n5", Moved: []core.OID{oid2}},
 	}
 }
 
@@ -151,15 +160,20 @@ func TestTagMismatch(t *testing.T) {
 // pooled gob layer and round-trips.
 func TestGobFallbackStillWorks(t *testing.T) {
 	t.Parallel()
-	in := &MoveReq{Obj: core.OID{Origin: "n", Seq: 3}, From: "n2", Block: 4, Alliance: 5}
+	in := &EdgeAddReq{
+		Obj:      core.OID{Origin: "n", Seq: 3},
+		Other:    core.OID{Origin: "n2", Seq: 4},
+		Alliance: 5,
+		Mode:     core.AttachExclusive,
+	}
 	data, err := Marshal(in)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if data[0] != tagGob {
-		t.Fatalf("MoveReq took tag %d, want gob fallback", data[0])
+		t.Fatalf("EdgeAddReq took tag %d, want gob fallback", data[0])
 	}
-	var out MoveReq
+	var out EdgeAddReq
 	if err := Unmarshal(data, &out); err != nil {
 		t.Fatal(err)
 	}

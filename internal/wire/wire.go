@@ -145,11 +145,13 @@ type Snapshot struct {
 // --- Request/response bodies ---
 
 // InvokeReq asks the receiving node to execute a method on a hosted
-// object.
+// object. From names the calling node so the host's affinity tracker
+// can attribute the access pressure.
 type InvokeReq struct {
 	Obj    core.OID
 	Method string
 	Arg    []byte
+	From   core.NodeID
 }
 
 // InvokeResp returns the encoded result and the node that executed the
@@ -269,11 +271,23 @@ type AbortReq struct {
 // AbortResp acknowledges the rollback.
 type AbortResp struct{}
 
+// AffinityObs is one observed (object, caller, count) access-pressure
+// sample, gossiped alongside home updates when objects migrate so the
+// origin's affinity tracker keeps warm knowledge of who uses what.
+type AffinityObs struct {
+	Obj   core.OID
+	From  core.NodeID
+	Count int64
+}
+
 // HomeUpdate tells an origin node where its objects now live. It is
 // advisory: lookups fall back to forwarding chains when it is lost.
+// Aff piggy-backs the departing host's affinity observations for the
+// moved objects (best-effort gossip; may be empty).
 type HomeUpdate struct {
 	Objs []core.OID
 	At   core.NodeID
+	Aff  []AffinityObs
 }
 
 // HomeUpdateResp acknowledges the update.

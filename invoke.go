@@ -32,6 +32,7 @@ func (n *Node) InvokeRaw(ctx context.Context, ref Ref, method string, arg []byte
 		// the object is elsewhere, the best location hint.
 		rec, target := n.store.Lookup(oid)
 		if rec != nil {
+			n.aff.RecordLocal(oid)
 			out, err := n.invokeLocal(ctx, rec, method, arg)
 			if to, moved := movedTo(err); moved {
 				n.store.Learn(oid, to)
@@ -48,7 +49,7 @@ func (n *Node) InvokeRaw(ctx context.Context, ref Ref, method string, arg []byte
 		var resp wire.InvokeResp
 		n.stats.remoteCallsSent.Add(1)
 		err := n.call(ctx, target, wire.KInvoke,
-			&wire.InvokeReq{Obj: oid, Method: method, Arg: arg}, &resp)
+			&wire.InvokeReq{Obj: oid, Method: method, Arg: arg, From: n.id}, &resp)
 		if err == nil {
 			n.store.Learn(oid, resp.At)
 			return resp.Result, nil
@@ -129,11 +130,18 @@ func (n *Node) invokeLocal(ctx context.Context, rec *store.Record, method string
 	return m(c, rec.Inst, arg)
 }
 
-// handleInvoke serves a remote invocation.
+// handleInvoke serves a remote invocation, attributing the access to
+// the calling node in the affinity tracker.
 func (n *Node) handleInvoke(ctx context.Context, req *wire.InvokeReq) (*wire.InvokeResp, error) {
 	rec, ok := n.record(req.Obj)
 	if !ok {
 		return nil, n.whereabouts(req.Obj)
+	}
+	// Attribute pressure only for objects actually served here: a
+	// forwarding stub answering misdirected calls must not accumulate
+	// phantom counts that would poison a later return of the object.
+	if n.aff.Enabled() && !rec.IsGone() {
+		n.aff.Record(req.Obj, req.From)
 	}
 	out, err := n.invokeLocal(ctx, rec, req.Method, req.Arg)
 	if err != nil {

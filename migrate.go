@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"objmig/internal/affinity"
 	"objmig/internal/core"
 	"objmig/internal/store"
 	"objmig/internal/wire"
@@ -181,6 +182,15 @@ func (n *Node) migrateGroup(ctx context.Context, members map[core.OID]NodeID, ta
 		}
 	}
 
+	// The objects are leaving this node: lift the coordinator's
+	// affinity observations now (commit drops them) so they can ride
+	// the origin advisories as gossip. A same-node transfer keeps its
+	// counters.
+	var obs []affinity.Obs
+	if target != n.id {
+		obs = n.aff.Take(ids)
+	}
+
 	// Phase 3: commit forwarding pointers at the old hosts. The
 	// target's own paused records were replaced by the installation.
 	for _, h := range hosts {
@@ -201,8 +211,8 @@ func (n *Node) migrateGroup(ctx context.Context, members map[core.OID]NodeID, ta
 		}
 	}
 
-	// Phase 4: advise the origins (asynchronous, best effort).
-	n.notifyOrigins(ids, target)
+	// Phase 4: advise the origins (asynchronous, batched, best effort).
+	n.notifyOrigins(ids, target, obs)
 	n.stats.migrationsOut.Add(1)
 	n.stats.objectsMovedOut.Add(int64(len(ids)))
 	moved := make([]Ref, len(ids))
@@ -213,29 +223,48 @@ func (n *Node) migrateGroup(ctx context.Context, members map[core.OID]NodeID, ta
 	return ids, nil
 }
 
-// notifyOrigins sends home updates for the moved objects to their
-// origin nodes in the background.
-func (n *Node) notifyOrigins(ids []core.OID, at NodeID) {
+// notifyOrigins queues home updates for the moved objects towards
+// their origin nodes. Remote origins go through the home-update
+// batcher, which coalesces advisories across migrations into
+// time/size-bounded HomeUpdate RPCs and piggy-backs the coordinator's
+// affinity observations as gossip.
+func (n *Node) notifyOrigins(ids []core.OID, at NodeID, obs []affinity.Obs) {
 	byOrigin := make(map[NodeID][]core.OID)
 	for _, oid := range ids {
 		byOrigin[oid.Origin] = append(byOrigin[oid.Origin], oid)
 	}
+	var affByOrigin map[NodeID][]wire.AffinityObs
+	if len(obs) > 0 {
+		affByOrigin = make(map[NodeID][]wire.AffinityObs)
+		for _, o := range obs {
+			affByOrigin[o.Obj.Origin] = append(affByOrigin[o.Obj.Origin],
+				wire.AffinityObs{Obj: o.Obj, From: o.From, Count: o.Count})
+		}
+	}
 	for origin, objs := range byOrigin {
 		if origin == n.id {
+			// This node is the origin: update the home index directly
+			// and fold the lifted observations straight back in — the
+			// same warm-affinity knowledge a remote origin would merge
+			// from the gossip.
 			n.store.HomeUpdate(objs, at)
+			n.mergeAffinityGossip(affByOrigin[origin])
 			continue
 		}
 		if origin == at {
-			continue // installation already updated the target's tables
+			// Installation already updated the target's tables, but
+			// the lifted observations must still travel — the object
+			// converging onto its creator is the autopilot's most
+			// common outcome, and the new host should start warm. Send
+			// a gossip-only batch.
+			if aff := affByOrigin[origin]; len(aff) > 0 {
+				n.stats.homeUpdatesQueued.Add(1)
+				n.homeBatch.enqueue(origin, at, nil, aff)
+			}
+			continue
 		}
-		origin, objs := origin, objs
-		n.spawn(func() {
-			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-			defer cancel()
-			var resp wire.HomeUpdateResp
-			_ = n.call(ctx, origin, wire.KHomeUpdate,
-				&wire.HomeUpdate{Objs: objs, At: at}, &resp)
-		})
+		n.stats.homeUpdatesQueued.Add(1)
+		n.homeBatch.enqueue(origin, at, objs, affByOrigin[origin])
 	}
 }
 
@@ -296,16 +325,58 @@ func (n *Node) handleCommit(req *wire.CommitReq) (*wire.CommitResp, error) {
 	return &wire.CommitResp{}, nil
 }
 
+// commitLocal finalises departures: one shard-grouped batch lookup
+// resolves every record (each stripe lock is taken once, not once per
+// OID), then each record flips to a forwarding stub. The host's
+// affinity observations for the departed objects are lifted and
+// forwarded to the objects' origins as gossip — in a multi-host group
+// migration the coordinator can only gossip its own counters, so each
+// departing host ships its own.
 func (n *Node) commitLocal(req *wire.CommitReq) {
-	for _, oid := range req.Objs {
-		rec, ok := n.record(oid)
-		if !ok {
+	recs := n.store.GetBatch(req.Objs)
+	var departed []core.OID
+	for i, rec := range recs {
+		if rec == nil {
 			continue
 		}
-		oid := oid
-		rec.Depart(req.Token, req.NewHome, func() {
+		oid := req.Objs[i]
+		if rec.Depart(req.Token, req.NewHome, func() {
 			n.store.Departed(oid, req.NewHome)
-		})
+		}) {
+			departed = append(departed, oid)
+		}
+	}
+	if len(departed) > 0 {
+		n.gossipDeparted(departed, req.NewHome)
+	}
+}
+
+// gossipDeparted lifts this host's observations for objects that just
+// departed towards at and routes them to the objects' origins as
+// gossip-only advisories (the migration coordinator sends the actual
+// home updates). On the coordinator itself this is a no-op: its
+// observations were already Taken before the commit phase.
+func (n *Node) gossipDeparted(ids []core.OID, at NodeID) {
+	obs := n.aff.Take(ids)
+	if len(obs) == 0 {
+		// Nothing to gossip; still forget the entries (Take skips the
+		// deletes when the tracker is disabled).
+		n.aff.Drop(ids)
+		return
+	}
+	byOrigin := make(map[NodeID][]wire.AffinityObs)
+	for _, o := range obs {
+		byOrigin[o.Obj.Origin] = append(byOrigin[o.Obj.Origin],
+			wire.AffinityObs{Obj: o.Obj, From: o.From, Count: o.Count})
+	}
+	for origin, aff := range byOrigin {
+		if origin == n.id {
+			// This host is the origin: keep the knowledge warm locally.
+			n.mergeAffinityGossip(aff)
+			continue
+		}
+		n.stats.homeUpdatesQueued.Add(1)
+		n.homeBatch.enqueue(origin, at, nil, aff)
 	}
 }
 
@@ -315,9 +386,12 @@ func (n *Node) handleAbort(req *wire.AbortReq) (*wire.AbortResp, error) {
 	return &wire.AbortResp{}, nil
 }
 
+// abortLocal rolls pauses back with one shard-grouped batch lookup.
+// Unpause itself checks status and token, so stubs and strangers are
+// naturally ignored.
 func (n *Node) abortLocal(req *wire.AbortReq) {
-	for _, oid := range req.Objs {
-		if rec, ok := n.hostedRecord(oid); ok {
+	for _, rec := range n.store.GetBatch(req.Objs) {
+		if rec != nil {
 			rec.Unpause(req.Token)
 		}
 	}

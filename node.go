@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"objmig/internal/affinity"
 	"objmig/internal/core"
 	"objmig/internal/rpc"
 	"objmig/internal/store"
@@ -95,6 +96,11 @@ type Node struct {
 	pool   *rpc.Pool
 	store  *store.Store
 
+	aff       *affinity.Tracker
+	homeBatch *homeBatcher
+	apMu      sync.Mutex
+	ap        *autopilot
+
 	cfgMu sync.RWMutex
 	types map[string]objectType
 	peers map[NodeID]string
@@ -153,12 +159,14 @@ func NewNode(cfg Config) (*Node, error) {
 		observer:   cfg.Observer,
 		pool:       rpc.NewPool(cfg.Cluster.tr),
 		store:      store.New(cfg.ID),
+		aff:        affinity.New(cfg.ID),
 		types:      make(map[string]objectType),
 		peers:      make(map[NodeID]string),
 	}
 	for id, addr := range cfg.Peers {
 		n.peers[id] = addr
 	}
+	n.homeBatch = newHomeBatcher(n)
 	n.server = rpc.Serve(l, n.handle)
 	return n, nil
 }
@@ -259,12 +267,17 @@ func (n *Node) record(id core.OID) (*store.Record, bool) {
 	return n.store.Get(id)
 }
 
-// Close shuts the node down: stops serving, closes client connections
-// and waits for background work.
+// Close shuts the node down: stops the autopilot, flushes batched home
+// updates, stops serving, closes client connections and waits for
+// background work. The autopilot goes first — its in-flight scan is
+// cancelled — and the home-update flush runs while the RPC pool is
+// still open so final advisories can leave.
 func (n *Node) Close() error {
 	if !n.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	n.DisableAutopilot()
+	n.homeBatch.close()
 	n.store.Close()
 	err := n.server.Close()
 	_ = n.pool.Close()
@@ -337,6 +350,7 @@ func (n *Node) handle(ctx context.Context, kind wire.Kind, body []byte) ([]byte,
 	case wire.KHomeUpdate:
 		return handleTyped(body, func(req *wire.HomeUpdate) (*wire.HomeUpdateResp, error) {
 			n.store.HomeUpdate(req.Objs, req.At)
+			n.mergeAffinityGossip(req.Aff)
 			return &wire.HomeUpdateResp{}, nil
 		})
 	case wire.KEdgeAdd:

@@ -26,6 +26,19 @@ type Stats struct {
 	ObjectsInstalled int64
 	// ObjectsHosted is the number of live (non-forwarding) records.
 	ObjectsHosted int64
+	// AutopilotScans counts autopilot scan ticks; AutopilotMigrations
+	// the group migrations it issued, AutopilotObjectsMoved the
+	// objects those carried, and AutopilotDeferred the candidates a
+	// cooldown, veto or failed transfer pushed back.
+	AutopilotScans        int64
+	AutopilotMigrations   int64
+	AutopilotObjectsMoved int64
+	AutopilotDeferred     int64
+	// HomeUpdatesQueued counts per-origin advisories handed to the
+	// home-update batcher; HomeUpdateBatches the coalesced RPCs it
+	// actually sent. Queued/Batches is the coalescing ratio.
+	HomeUpdatesQueued int64
+	HomeUpdateBatches int64
 }
 
 // nodeStats is the internal atomic counterpart of Stats.
@@ -39,6 +52,13 @@ type nodeStats struct {
 	migrationsOut     atomic.Int64
 	objectsMovedOut   atomic.Int64
 	objectsInstalled  atomic.Int64
+
+	autopilotScans        atomic.Int64
+	autopilotMigrations   atomic.Int64
+	autopilotObjectsMoved atomic.Int64
+	autopilotDeferred     atomic.Int64
+	homeUpdatesQueued     atomic.Int64
+	homeUpdateBatches     atomic.Int64
 }
 
 // Stats returns a snapshot of the node's counters. The hosted-object
@@ -56,5 +76,12 @@ func (n *Node) Stats() Stats {
 		ObjectsMovedOut:   n.stats.objectsMovedOut.Load(),
 		ObjectsInstalled:  n.stats.objectsInstalled.Load(),
 		ObjectsHosted:     hosted,
+
+		AutopilotScans:        n.stats.autopilotScans.Load(),
+		AutopilotMigrations:   n.stats.autopilotMigrations.Load(),
+		AutopilotObjectsMoved: n.stats.autopilotObjectsMoved.Load(),
+		AutopilotDeferred:     n.stats.autopilotDeferred.Load(),
+		HomeUpdatesQueued:     n.stats.homeUpdatesQueued.Load(),
+		HomeUpdateBatches:     n.stats.homeUpdateBatches.Load(),
 	}
 }
