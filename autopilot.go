@@ -352,14 +352,12 @@ func (a *autopilot) migrate(ctx context.Context, obj core.OID, target NodeID) ([
 	if err != nil {
 		return nil, err
 	}
-	admit := func(snaps []wire.Snapshot) error {
-		for _, s := range snaps {
-			if s.Pol.Lock.Held {
-				return wire.Errorf(wire.CodeDenied, "autopilot: member %s is placed", s.ID)
-			}
-			if s.Pol.Fixed {
-				return wire.Errorf(wire.CodeFixed, "autopilot: member %s is fixed", s.ID)
-			}
+	admit := func(s *wire.Snapshot) error {
+		if s.Pol.Lock.Held {
+			return wire.Errorf(wire.CodeDenied, "autopilot: member %s is placed", s.ID)
+		}
+		if s.Pol.Fixed {
+			return wire.Errorf(wire.CodeFixed, "autopilot: member %s is fixed", s.ID)
 		}
 		return nil
 	}

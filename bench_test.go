@@ -18,6 +18,7 @@ import (
 	"context"
 	"encoding/gob"
 	"fmt"
+	"math"
 	"testing"
 
 	"objmig/internal/core"
@@ -357,6 +358,94 @@ func BenchmarkRuntimeStoreParallel(b *testing.B) {
 			rec.Release()
 		}
 	})
+}
+
+// blobState is the large-object specimen for the streaming-migration
+// benchmark: a payload worth chunking.
+type blobState struct {
+	Blob []byte
+}
+
+func newBlobType() *Type[blobState] {
+	t := NewType[blobState]("blob")
+	HandleFunc(t, "Fill", func(c *Ctx, s *blobState, size int) (int, error) {
+		s.Blob = bytes.Repeat([]byte{0x5A}, size)
+		return len(s.Blob), nil
+	})
+	return t
+}
+
+// BenchmarkMigrateLargeGroup migrates a 64-object × 1 MiB working set
+// back and forth between two nodes and compares the streamed transfer
+// (default 256 KiB chunks) against a monolithic configuration that
+// ships the whole group in one frame. The reported max-chunk-B metric
+// is the coordinator's largest single InstallChunk frame — with
+// chunking it stays near max(ChunkBytes, one object) regardless of the
+// group, while the monolithic configuration buffers the entire group
+// (~64 MiB); B/op shows the corresponding allocation drop.
+func BenchmarkMigrateLargeGroup(b *testing.B) {
+	const (
+		groupSize  = 64
+		objectSize = 1 << 20
+	)
+	run := func(b *testing.B, chunkBytes int) {
+		cl := NewLocalCluster()
+		bt := newBlobType()
+		mk := func(id NodeID) *Node {
+			n, err := NewNode(Config{ID: id, Cluster: cl, Migrate: MigrateConfig{ChunkBytes: chunkBytes}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := n.RegisterType(bt); err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { _ = n.Close() })
+			return n
+		}
+		a, c := mk("a"), mk("b")
+		ctx := context.Background()
+		root, err := a.Create("blob")
+		if err != nil {
+			b.Fatal(err)
+		}
+		group := []Ref{root}
+		for i := 1; i < groupSize; i++ {
+			m, err := a.Create("blob")
+			if err != nil {
+				b.Fatal(err)
+			}
+			group = append(group, m)
+			if err := a.Attach(ctx, root, m, NoAlliance); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, m := range group {
+			if _, err := Call[int, int](ctx, a, m, "Fill", objectSize); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := a.Migrate(ctx, root, "b"); err != nil {
+				b.Fatal(err)
+			}
+			if err := a.Migrate(ctx, root, "a"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		maxChunk := a.Stats().StreamMaxChunkBytes
+		if s := c.Stats().StreamMaxChunkBytes; s > maxChunk {
+			maxChunk = s
+		}
+		b.ReportMetric(float64(maxChunk), "max-chunk-B")
+		if hosted := a.Stats().ObjectsHosted; hosted != groupSize {
+			b.Fatalf("group fragmented: %d of %d objects back home", hosted, groupSize)
+		}
+	}
+	b.Run("streamed-256KiB", func(b *testing.B) { run(b, DefaultChunkBytes) })
+	b.Run("monolithic", func(b *testing.B) { run(b, math.MaxInt) })
 }
 
 // BenchmarkRuntimeWorkingSet measures the distributed closure walk over

@@ -29,6 +29,12 @@ const (
 	// its heaviest caller (Obj is the elected object, Target the
 	// destination, Objects the full group that travelled).
 	EventAutopilot
+	// EventMigrateStream: a streaming group-migration session changed
+	// state. At the target, Outcome is "begin", "commit", "abort" or
+	// "expire" and Bytes counts the staged snapshot bytes; at the
+	// coordinator, Outcome is "streamed" and Bytes counts the bytes
+	// forwarded in InstallChunk frames.
+	EventMigrateStream
 )
 
 // String names the kind.
@@ -50,6 +56,8 @@ func (k EventKind) String() string {
 		return "attach"
 	case EventAutopilot:
 		return "autopilot"
+	case EventMigrateStream:
+		return "migrate-stream"
 	default:
 		return "unknown"
 	}
@@ -65,6 +73,7 @@ type Event struct {
 	Target  NodeID // destination (migrations) or requester (moves)
 	Outcome string // granted / stayed / denied / fixed / unfixed / ...
 	Objects []Ref  // batch members (migrations, installs)
+	Bytes   int64  // snapshot bytes (streaming migration events)
 	Time    time.Time
 }
 
@@ -79,6 +88,9 @@ func (e Event) String() string {
 	}
 	if len(e.Objects) > 0 {
 		s += fmt.Sprintf(" (%d objects)", len(e.Objects))
+	}
+	if e.Bytes > 0 {
+		s += fmt.Sprintf(" (%d bytes)", e.Bytes)
 	}
 	return s
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"objmig"
 )
@@ -62,6 +63,61 @@ func Example() {
 	// Output:
 	// after remote deposit: 100
 	// after migration and deposit: 150
+}
+
+// ExampleNode_EnableAutopilot shows affinity-driven self-placement: no
+// migration primitive is ever called, yet the object converges onto
+// the node that uses it.
+func ExampleNode_EnableAutopilot() {
+	ctx := context.Background()
+	cluster := objmig.NewLocalCluster()
+	mk := func(id objmig.NodeID) *objmig.Node {
+		n, err := objmig.NewNode(objmig.Config{ID: id, Cluster: cluster})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := n.RegisterType(newAccountType()); err != nil {
+			log.Fatal(err)
+		}
+		return n
+	}
+	bank, branch := mk("bank"), mk("branch")
+	defer func() { _ = bank.Close(); _ = branch.Close() }()
+
+	acct, err := bank.Create("account")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The autopilot watches per-caller access pressure on the objects
+	// this node hosts and migrates them towards dominant callers.
+	if err := bank.EnableAutopilot(objmig.AutopilotConfig{
+		Interval: 2 * time.Millisecond,
+		MinTotal: 8,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// All traffic comes from the branch…
+	for i := 0; i < 64; i++ {
+		if _, err := objmig.Call[int, int](ctx, branch, acct, "Deposit", 1); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// …so the account migrates there on its own.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		at, err := bank.Locate(ctx, acct)
+		if err == nil && at == "branch" {
+			fmt.Println("account converged at:", at)
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("autopilot did not converge")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Output:
+	// account converged at: branch
 }
 
 // ExampleNode_Move shows a move-block under transient placement: the

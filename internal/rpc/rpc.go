@@ -31,8 +31,18 @@ const (
 )
 
 // ErrPeerClosed is returned by calls whose peer shut down before a
-// response arrived.
+// response arrived. The request may or may not have been processed
+// remotely — callers that care about exactly-once effects must treat
+// it as ambiguous.
 var ErrPeerClosed = errors.New("rpc: peer closed")
+
+// ErrDialFailed marks calls that failed before a connection existed:
+// the request was definitely never delivered.
+var ErrDialFailed = errors.New("rpc: dial failed")
+
+// ErrSendFailed marks calls whose frame could not be handed to the
+// connection: the request was definitely never delivered.
+var ErrSendFailed = errors.New("rpc: send failed")
 
 // Handler processes one inbound request and returns the response body.
 // Returning a *wire.RemoteError preserves the error code across the
@@ -99,7 +109,7 @@ func (p *Peer) Call(ctx context.Context, kind wire.Kind, body []byte) ([]byte, e
 	copy(frame[10:], body)
 	if err := p.conn.Send(frame); err != nil {
 		p.forget(id)
-		return nil, fmt.Errorf("rpc: send: %w", err)
+		return nil, fmt.Errorf("%w: %v", ErrSendFailed, err)
 	}
 
 	select {
@@ -347,7 +357,7 @@ func (p *Pool) get(addr string) (*Peer, error) {
 
 	conn, err := p.tr.Dial(addr)
 	if err != nil {
-		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+		return nil, fmt.Errorf("%w: %s: %v", ErrDialFailed, addr, err)
 	}
 	peer := NewPeer(conn, nil)
 

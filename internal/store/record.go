@@ -125,15 +125,19 @@ func (r *Record) Pause(ctx context.Context, token uint64) error {
 	}
 }
 
-// Unpause rolls a pause back (migration aborted).
-func (r *Record) Unpause(token uint64) {
+// Unpause rolls a pause back (migration aborted or its lease expired),
+// reporting whether this call actually resumed the object. Stubs,
+// active records and pauses under a different token are left alone.
+func (r *Record) Unpause(token uint64) bool {
 	r.Mu.Lock()
+	defer r.Mu.Unlock()
 	if r.Status == StatusPaused && r.Token == token {
 		r.Status = StatusActive
 		r.Token = 0
 		r.cond.Broadcast()
+		return true
 	}
-	r.Mu.Unlock()
+	return false
 }
 
 // Depart finalises a migration: the record becomes a forwarding

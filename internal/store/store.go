@@ -11,6 +11,13 @@
 // while table-wide operations (close, stats, sweeps) iterate the shards
 // one at a time instead of stopping the world.
 //
+// Arriving migration groups install through InstallBatch: a
+// check-then-commit under the involved shards' locks that swaps every
+// record in (or none), which is what lets the streamed migration path
+// stage chunks freely and still install the whole group as a unit at
+// commit. Installable is its advisory twin for early conflict checks
+// while chunks are staged.
+//
 // The location scheme itself is unchanged from the paper's system model
 // ([ChC91], [JLH+88]): a name-service lookup at the object's origin
 // plus forward addressing at former hosts.
@@ -275,6 +282,31 @@ func (s *Store) InstallBatch(recs []*Record, token uint64) error {
 		s.Arrived(rec.ID)
 	}
 	return nil
+}
+
+// Installable is the advisory twin of InstallBatch's replaceability
+// check, used while a streaming migration stages chunks: it reports
+// whether installing id as part of migration token would currently be
+// admissible. A live local record that is neither a forwarding stub nor
+// paused by this very token dooms the session, and catching that at
+// staging time aborts the stream early instead of at commit. Advisory
+// only — the state can change before commit, and InstallBatch re-checks
+// authoritatively under the shard locks.
+func (s *Store) Installable(id core.OID, token uint64) error {
+	sh := s.shardOf(id)
+	sh.tabMu.RLock()
+	old, exists := sh.objs[id]
+	sh.tabMu.RUnlock()
+	if !exists {
+		return nil
+	}
+	old.Mu.Lock()
+	defer old.Mu.Unlock()
+	if old.Status == StatusGone || (old.Status == StatusPaused && old.Token == token) {
+		return nil
+	}
+	return wire.Errorf(wire.CodeDenied,
+		"object %s is live at %s (concurrent migration)", id, s.self)
 }
 
 // Close marks the store closed: no record may be added afterwards.

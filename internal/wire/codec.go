@@ -48,6 +48,12 @@ const (
 	tagEndResp
 	tagMigrateReq
 	tagMigrateResp
+	tagMigrateBeginReq
+	tagMigrateBeginResp
+	tagInstallChunkReq
+	tagInstallChunkResp
+	tagInstallCommitReq
+	tagInstallCommitResp
 )
 
 // --- Pooled gob fallback ---
@@ -209,7 +215,7 @@ func marshalFast(v interface{}) (data []byte, ok bool) {
 		for i := range m.Snapshots {
 			b = appendSnapshotBody(b, &m.Snapshots[i])
 		}
-		return b, true
+		return appendOIDs(b, m.Pending), true
 	case PauseResp:
 		return marshalFast(&m)
 	case *InstallReq:
@@ -219,7 +225,8 @@ func marshalFast(v interface{}) (data []byte, ok bool) {
 		for i := range m.Snapshots {
 			b = appendSnapshotBody(b, &m.Snapshots[i])
 		}
-		return appendUvarint(b, m.Token), true
+		b = appendUvarint(b, m.Token)
+		return appendStr(b, string(m.From)), true
 	case InstallReq:
 		return marshalFast(&m)
 	case *MoveReq:
@@ -273,6 +280,50 @@ func marshalFast(v interface{}) (data []byte, ok bool) {
 		b = appendStr(b, string(m.At))
 		return appendOIDs(b, m.Moved), true
 	case MigrateResp:
+		return marshalFast(&m)
+	case *MigrateBeginReq:
+		b := make([]byte, 0, 24+len(m.From)+16*len(m.Objs))
+		b = append(b, tagMigrateBeginReq)
+		b = appendUvarint(b, m.Token)
+		b = appendStr(b, string(m.From))
+		return appendOIDs(b, m.Objs), true
+	case MigrateBeginReq:
+		return marshalFast(&m)
+	case *MigrateBeginResp:
+		return []byte{tagMigrateBeginResp}, true
+	case MigrateBeginResp:
+		return []byte{tagMigrateBeginResp}, true
+	case *InstallChunkReq:
+		b := make([]byte, 0, 32+len(m.From))
+		b = append(b, tagInstallChunkReq)
+		b = appendUvarint(b, m.Token)
+		b = appendStr(b, string(m.From))
+		b = appendUvarint(b, m.Seq)
+		b = appendUvarint(b, uint64(len(m.Snapshots)))
+		for i := range m.Snapshots {
+			b = appendSnapshotBody(b, &m.Snapshots[i])
+		}
+		return b, true
+	case InstallChunkReq:
+		return marshalFast(&m)
+	case *InstallChunkResp:
+		b := make([]byte, 0, 8)
+		b = append(b, tagInstallChunkResp)
+		return appendVarint(b, int64(m.Staged)), true
+	case InstallChunkResp:
+		return marshalFast(&m)
+	case *InstallCommitReq:
+		b := make([]byte, 0, 16+len(m.From))
+		b = append(b, tagInstallCommitReq)
+		b = appendUvarint(b, m.Token)
+		return appendStr(b, string(m.From)), true
+	case InstallCommitReq:
+		return marshalFast(&m)
+	case *InstallCommitResp:
+		b := make([]byte, 0, 8)
+		b = append(b, tagInstallCommitResp)
+		return appendVarint(b, int64(m.Installed)), true
+	case InstallCommitResp:
 		return marshalFast(&m)
 	}
 	return nil, false
@@ -494,12 +545,14 @@ func unmarshalFast(tag byte, data []byte, v interface{}) error {
 			return tagMismatch(tag, v)
 		}
 		out.Snapshots = r.snapshots()
+		out.Pending = r.oids()
 	case *InstallReq:
 		if tag != tagInstallReq {
 			return tagMismatch(tag, v)
 		}
 		out.Snapshots = r.snapshots()
 		out.Token = r.uvarint()
+		out.From = core.NodeID(r.str())
 	case *MoveReq:
 		if tag != tagMoveReq {
 			return tagMismatch(tag, v)
@@ -546,6 +599,41 @@ func unmarshalFast(tag byte, data []byte, v interface{}) error {
 		}
 		out.At = core.NodeID(r.str())
 		out.Moved = r.oids()
+	case *MigrateBeginReq:
+		if tag != tagMigrateBeginReq {
+			return tagMismatch(tag, v)
+		}
+		out.Token = r.uvarint()
+		out.From = core.NodeID(r.str())
+		out.Objs = r.oids()
+	case *MigrateBeginResp:
+		if tag != tagMigrateBeginResp {
+			return tagMismatch(tag, v)
+		}
+	case *InstallChunkReq:
+		if tag != tagInstallChunkReq {
+			return tagMismatch(tag, v)
+		}
+		out.Token = r.uvarint()
+		out.From = core.NodeID(r.str())
+		out.Seq = r.uvarint()
+		out.Snapshots = r.snapshots()
+	case *InstallChunkResp:
+		if tag != tagInstallChunkResp {
+			return tagMismatch(tag, v)
+		}
+		out.Staged = int(r.varint())
+	case *InstallCommitReq:
+		if tag != tagInstallCommitReq {
+			return tagMismatch(tag, v)
+		}
+		out.Token = r.uvarint()
+		out.From = core.NodeID(r.str())
+	case *InstallCommitResp:
+		if tag != tagInstallCommitResp {
+			return tagMismatch(tag, v)
+		}
+		out.Installed = int(r.varint())
 	default:
 		return fmt.Errorf("wire: unmarshal %T: unrecognised body (tag %d)", v, tag)
 	}

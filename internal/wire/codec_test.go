@@ -34,8 +34,14 @@ func fastBodies() []interface{} {
 		}},
 		&HomeUpdateResp{},
 		&snap,
-		&PauseResp{Snapshots: []Snapshot{snap, {ID: oid2, Type: "t"}}},
+		&PauseResp{Snapshots: []Snapshot{snap, {ID: oid2, Type: "t"}}, Pending: []core.OID{oid1}},
 		&InstallReq{Snapshots: []Snapshot{snap}, Token: 99},
+		&MigrateBeginReq{Token: 99, From: "n1", Objs: []core.OID{oid1, oid2}},
+		&MigrateBeginResp{},
+		&InstallChunkReq{Token: 99, From: "n1", Seq: 3, Snapshots: []Snapshot{snap}},
+		&InstallChunkResp{Staged: 5},
+		&InstallCommitReq{Token: 99, From: "n1"},
+		&InstallCommitResp{Installed: 17},
 		&MoveReq{Obj: oid1, From: "n2", Block: 7, Alliance: 3},
 		&MoveResp{Outcome: MoveMigrated, Reason: core.ReasonLocked, At: "n2", Moved: []core.OID{oid1, oid2}},
 		&EndReq{Obj: oid1, From: "n2", Block: 7, Alliance: 3, Members: []core.OID{oid1, oid2}},

@@ -6,10 +6,18 @@
 // model describes (Section 3.1): a snapshot carries the object's state,
 // its migration-policy state (locks, counters, the fixed flag) and its
 // attachment edges, so policy decisions survive the move.
+//
+// Group migration moves state as a bounded stream rather than one
+// monolithic blob: the coordinator opens a session at the target
+// (MigrateBegin), forwards snapshots in size-bounded InstallChunk
+// frames, and commits atomically with InstallCommit. See
+// docs/protocol.md for the full message catalogue, the fast-path/gob
+// split, and the compatibility rules.
 package wire
 
 import (
 	"fmt"
+	"time"
 
 	"objmig/internal/core"
 )
@@ -33,6 +41,9 @@ const (
 	KEdges
 	KFix
 	KPing
+	KMigrateBegin
+	KInstallChunk
+	KInstallCommit
 	kMax
 )
 
@@ -43,7 +54,8 @@ func (k Kind) String() string {
 		KLocate: "locate", KPause: "pause", KInstall: "install",
 		KCommit: "commit", KAbort: "abort", KHomeUpdate: "home-update",
 		KEdgeAdd: "edge-add", KEdgeDel: "edge-del", KEdges: "edges",
-		KFix: "fix", KPing: "ping",
+		KFix: "fix", KPing: "ping", KMigrateBegin: "migrate-begin",
+		KInstallChunk: "install-chunk", KInstallCommit: "install-commit",
 	}
 	if k >= 1 && int(k) < len(names) && names[k] != "" {
 		return names[k]
@@ -142,6 +154,21 @@ type Snapshot struct {
 	Edges []EdgeRec
 }
 
+// SnapshotSize estimates the snapshot's encoded fast-path size in
+// bytes. Pause budgeting (PauseReq.MaxBytes) and the coordinator's
+// chunk accounting both use this estimate, so "bytes per chunk" means
+// the same thing on both ends without encoding anything twice.
+func SnapshotSize(s *Snapshot) int {
+	n := 32 + len(s.ID.Origin) + len(s.Type) + len(s.State) + len(s.Pol.Lock.Owner)
+	for _, e := range s.Edges {
+		n += 16 + len(e.Other.Origin)
+	}
+	for k := range s.Pol.OpenMoves {
+		n += 16 + len(k)
+	}
+	return n
+}
+
 // --- Request/response bodies ---
 
 // InvokeReq asks the receiving node to execute a method on a hosted
@@ -233,39 +260,121 @@ type LocateResp struct{ At core.NodeID }
 
 // PauseReq asks a node to pause and snapshot the listed local objects
 // as part of group migration Token.
+//
+// MaxBytes, when positive, bounds the cumulative encoded snapshot size
+// of one response: the host pauses and snapshots objects in request
+// order and stops once the budget is exceeded, returning the untouched
+// rest as PauseResp.Pending (at least one object is always processed,
+// so oversized objects still make progress). The coordinator re-issues
+// the request with the pending tail until it drains — this is what
+// keeps a streamed group migration's per-frame footprint bounded by
+// the chunk size rather than the working-set size.
+//
+// Lease, when positive, arms a pause lease at the host: if neither a
+// commit nor an abort for (From, Token) arrives within the lease, the
+// host resolves the migration's outcome by asking Target where a
+// member lives (the install is atomic, so one member answers for the
+// whole group) — departing the objects when the install committed and
+// resuming them when it did not. From names the coordinator (leases,
+// like staging sessions, are keyed per coordinator because tokens are
+// only node-unique); Target names the migration target the lease
+// recovery will consult.
 type PauseReq struct {
-	Objs  []core.OID
-	Token uint64
+	Objs     []core.OID
+	Token    uint64
+	MaxBytes int64
+	Lease    time.Duration
+	From     core.NodeID
+	Target   core.NodeID
 }
 
-// PauseResp carries the snapshots of the paused objects.
-type PauseResp struct{ Snapshots []Snapshot }
+// PauseResp carries the snapshots of the paused objects. Pending lists
+// the requested objects the host did not pause because the response
+// hit the PauseReq.MaxBytes budget; the coordinator must re-request
+// them (or abort the migration).
+type PauseResp struct {
+	Snapshots []Snapshot
+	Pending   []core.OID
+}
 
-// InstallReq delivers snapshots to the target node of a migration.
+// InstallReq delivers snapshots to the target node of a migration in
+// one shot. Small groups — one source host, everything within a single
+// chunk budget — take this path (one frame instead of a
+// begin/chunk/commit session); larger or multi-host groups stream.
+// From names the coordinator so the target can disarm the matching
+// pause lease when it hosted some of the group itself.
 type InstallReq struct {
 	Snapshots []Snapshot
 	Token     uint64
+	From      core.NodeID
 }
 
 // InstallResp acknowledges installation.
 type InstallResp struct{}
 
+// MigrateBeginReq opens a streaming migration session at the target:
+// snapshots arriving in InstallChunk frames for (From, Token) are
+// staged in a session buffer and installed atomically only when the
+// coordinator commits. Objs is the full expected member set, so the
+// commit can verify that no chunk was lost. A session that sees no
+// traffic for the target's configured TTL is discarded (coordinator
+// crash mid-stream leaves the target clean).
+type MigrateBeginReq struct {
+	Token uint64
+	From  core.NodeID // the coordinator; sessions are keyed (From, Token)
+	Objs  []core.OID
+}
+
+// MigrateBeginResp acknowledges the session.
+type MigrateBeginResp struct{}
+
+// InstallChunkReq delivers one size-bounded slice of a streaming
+// migration's snapshots to the target's session buffer. Chunks carry
+// disjoint member subsets, so their arrival order does not matter; Seq
+// numbers them for diagnostics.
+type InstallChunkReq struct {
+	Token     uint64
+	From      core.NodeID
+	Seq       uint64
+	Snapshots []Snapshot
+}
+
+// InstallChunkResp acknowledges a chunk; Staged is the total number of
+// objects staged in the session so far.
+type InstallChunkResp struct{ Staged int }
+
+// InstallCommitReq closes a streaming migration session: the target
+// verifies every expected member was staged and installs the whole
+// group in one shard-aware atomic batch.
+type InstallCommitReq struct {
+	Token uint64
+	From  core.NodeID
+}
+
+// InstallCommitResp reports the number of objects installed.
+type InstallCommitResp struct{ Installed int }
+
 // CommitReq tells the old hosts that the move is complete: replace the
 // paused entries with forwarding pointers to NewHome and release
-// waiters.
+// waiters. From names the coordinator, disarming the matching pause
+// lease.
 type CommitReq struct {
 	Objs    []core.OID
 	NewHome core.NodeID
 	Token   uint64
+	From    core.NodeID
 }
 
 // CommitResp acknowledges the commit.
 type CommitResp struct{}
 
-// AbortReq rolls a pause back (the migration failed elsewhere).
+// AbortReq rolls a pause back (the migration failed elsewhere). At the
+// migration target it additionally discards the streaming session
+// staged for (From, Token), if one exists.
 type AbortReq struct {
 	Objs  []core.OID
 	Token uint64
+	From  core.NodeID
 }
 
 // AbortResp acknowledges the rollback.

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"objmig/internal/core"
 )
@@ -120,10 +121,16 @@ func TestAllBodiesRoundTrip(t *testing.T) {
 		&MigrateResp{At: "n3", Moved: []core.OID{oid}},
 		&LocateReq{Obj: oid},
 		&LocateResp{At: "n9"},
-		&PauseReq{Objs: []core.OID{oid}, Token: 8},
-		&PauseResp{Snapshots: []Snapshot{{ID: oid, Type: "t"}}},
+		&PauseReq{Objs: []core.OID{oid}, Token: 8, MaxBytes: 1 << 20, Lease: 30 * time.Second, From: "n2", Target: "n3"},
+		&PauseResp{Snapshots: []Snapshot{{ID: oid, Type: "t"}}, Pending: []core.OID{oid}},
 		&InstallReq{Snapshots: []Snapshot{{ID: oid}}, Token: 8},
 		&InstallResp{},
+		&MigrateBeginReq{Token: 8, From: "n1", Objs: []core.OID{oid}},
+		&MigrateBeginResp{},
+		&InstallChunkReq{Token: 8, From: "n1", Seq: 1, Snapshots: []Snapshot{{ID: oid, Type: "t"}}},
+		&InstallChunkResp{Staged: 1},
+		&InstallCommitReq{Token: 8, From: "n1"},
+		&InstallCommitResp{Installed: 1},
 		&CommitReq{Objs: []core.OID{oid}, NewHome: "n3", Token: 8},
 		&CommitResp{},
 		&AbortReq{Objs: []core.OID{oid}, Token: 8},

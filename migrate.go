@@ -5,10 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"objmig/internal/affinity"
 	"objmig/internal/core"
+	"objmig/internal/rpc"
 	"objmig/internal/store"
 	"objmig/internal/wire"
 )
@@ -93,22 +96,40 @@ func sortedOIDs(members map[core.OID]NodeID) []core.OID {
 	return out
 }
 
-// migrateGroup transfers the member objects to target as one batch:
-// pause everywhere, collect snapshots, admission check, mutate, install
-// at the target, commit forwarding pointers, notify origins.
+// migrateGroup transfers the member objects to target as one batch,
+// picking the cheapest transfer shape:
 //
-//   - admit inspects the paused snapshots and may veto the migration
-//     (transient placement's all-or-nothing working-set rule).
-//   - mutate edits each snapshot before installation (placement group
-//     locks, refix).
+//   - A group on a single host whose snapshots fit one chunk budget
+//     moves with a one-shot InstallReq — one frame to the target, the
+//     pre-streaming message count. This is the common case (autopilot
+//     moves of small closures, single objects).
 //
-// On any failure before installation the pauses are rolled back and the
-// system is unchanged.
+//   - Anything bigger streams: a staging session at the target
+//     (MigrateBegin), hosts paused concurrently in chunk-bounded
+//     sub-batches, each sub-batch forwarded as an InstallChunk the
+//     moment it arrives, and one atomic InstallCommit — the target
+//     installs the whole group in one shard-aware swap only at
+//     commit, so the coordinator never materialises more than about
+//     one chunk per host and the "group moves as a unit" invariant is
+//     preserved.
+//
+//   - admit inspects each paused snapshot as it arrives and may veto
+//     the migration (transient placement's all-or-nothing working-set
+//     rule). Any single veto aborts the whole group before commit.
+//
+//   - mutate edits each snapshot before it is shipped (placement
+//     group locks, refix).
+//
+// On any failure before the install commit the pauses are rolled
+// back, the target's session is discarded, and the system is
+// unchanged. Every exit path aborts every host that may hold a pause
+// — including veto exits after only some hosts responded.
 func (n *Node) migrateGroup(ctx context.Context, members map[core.OID]NodeID, target NodeID,
-	admit func([]wire.Snapshot) error, mutate func(*wire.Snapshot)) ([]core.OID, error) {
+	admit func(*wire.Snapshot) error, mutate func(*wire.Snapshot)) ([]core.OID, error) {
 
 	token := n.nextToken()
 	ids := sortedOIDs(members)
+	start := time.Now()
 
 	// Group members by host, hosts in deterministic order.
 	byHost := make(map[NodeID][]core.OID)
@@ -122,65 +143,249 @@ func (n *Node) migrateGroup(ctx context.Context, members map[core.OID]NodeID, ta
 	}
 	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
 
-	// Phase 1: pause and snapshot at every host.
-	var snapshots []wire.Snapshot
-	paused := make(map[NodeID][]core.OID)
-	abort := func() {
-		for h, objs := range paused {
-			if h == n.id {
-				n.abortLocal(&wire.AbortReq{Objs: objs, Token: token})
-				continue
-			}
-			actx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-			var resp wire.AbortResp
-			_ = n.call(actx, h, wire.KAbort, &wire.AbortReq{Objs: objs, Token: token}, &resp)
-			cancel()
-		}
-	}
-	for _, h := range hosts {
-		req := &wire.PauseReq{Objs: byHost[h], Token: token}
-		var resp *wire.PauseResp
-		var err error
-		if h == n.id {
-			resp, err = n.handlePause(ctx, req)
-		} else {
-			resp = &wire.PauseResp{}
-			err = n.call(ctx, h, wire.KPause, req, resp)
+	// One-shot fast path: a single-host group is paused first; if
+	// everything fit the chunk budget there is nothing to stream — one
+	// InstallReq moves the group. A failure (or admission veto) aborts
+	// the lone host and nothing else exists to clean up.
+	var primed *wire.PauseResp
+	if len(hosts) == 1 {
+		h := hosts[0]
+		resp, err := n.pauseBatch(ctx, h, byHost[h], token, target)
+		if err == nil {
+			err = admitMutateBatch(resp.Snapshots, admit, mutate)
 		}
 		if err != nil {
-			abort()
+			n.sessionAbort(h, byHost[h], token)
 			return nil, err
 		}
-		paused[h] = byHost[h]
-		snapshots = append(snapshots, resp.Snapshots...)
+		if len(resp.Pending) == 0 {
+			// Same half-lease guard as the streamed commit below: a
+			// pause that crawled (busy drain) must not push the install
+			// into a race with the sources' lease recovery.
+			if lease := n.migrate.PauseLease; lease > 0 && time.Since(start) > lease/2 {
+				n.sessionAbort(h, byHost[h], token)
+				return nil, wire.Errorf(wire.CodeDenied,
+					"migration %d consumed over half the %v pause lease; aborted to stay clear of the sources' lease recovery", token, lease)
+			}
+			if err := n.installOneShot(ctx, target, resp.Snapshots, token); err != nil {
+				// The install is the point of no return: only a definite
+				// answer from the target proves it did not happen. An
+				// ambiguous transport failure leaves the sources paused
+				// for their lease to resolve (see the commit below).
+				if definiteFailure(err) || n.migrate.PauseLease <= 0 {
+					n.sessionAbort(h, byHost[h], token)
+				}
+				return nil, err
+			}
+			return n.finishGroupMigration(ctx, ids, byHost, hosts, target, token, 0)
+		}
+		primed = resp // bigger than one chunk: stream it below
 	}
 
-	if admit != nil {
-		if err := admit(snapshots); err != nil {
+	// Streamed path. Open the staging session at the target before
+	// pausing anything further: an unreachable target fails the
+	// migration with minimal cleanup.
+	if err := n.sessionBegin(ctx, target, token, ids); err != nil {
+		if primed != nil {
+			n.sessionAbort(hosts[0], byHost[hosts[0]], token)
+		}
+		return nil, err
+	}
+
+	// abort rolls the whole transfer back: resume every host that may
+	// hold a pause (Unpause is token-checked and idempotent, so hosts
+	// or objects that never paused ignore it) and discard the target's
+	// staged session. Chunk/commit failures may already have dropped
+	// the session; the extra abort is a no-op then.
+	abort := func() {
+		for _, h := range hosts {
+			n.sessionAbort(h, byHost[h], token)
+		}
+		if _, isHost := byHost[target]; !isHost {
+			n.sessionAbort(target, nil, token)
+		}
+	}
+
+	// Phase 1: pause and stream, hosts in parallel. Each host worker
+	// drains its host in chunk-bounded pause sub-batches and forwards
+	// every sub-batch to the target as one InstallChunk. The first
+	// error cancels the others.
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		failMu   sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		failMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		failMu.Unlock()
+	}
+	var seq atomic.Uint64
+	var bytesOut atomic.Int64
+	var wg sync.WaitGroup
+	for _, h := range hosts {
+		wg.Add(1)
+		go func(h NodeID) {
+			defer wg.Done()
+			pending := byHost[h]
+			var batch []wire.Snapshot
+			if primed != nil && h == hosts[0] {
+				// The fast-path probe already paused and admitted the
+				// first sub-batch; ship it as the first chunk.
+				batch, pending = primed.Snapshots, primed.Pending
+			}
+			for len(batch) > 0 || len(pending) > 0 {
+				if err := sctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				if batch == nil {
+					resp, err := n.pauseBatch(sctx, h, pending, token, target)
+					if err != nil {
+						fail(err)
+						return
+					}
+					if len(resp.Snapshots) == 0 {
+						fail(wire.Errorf(wire.CodeInternal, "pause at %s made no progress", h))
+						return
+					}
+					if err := admitMutateBatch(resp.Snapshots, admit, mutate); err != nil {
+						fail(err)
+						return
+					}
+					batch, pending = resp.Snapshots, resp.Pending
+				}
+				b, err := n.sessionChunk(sctx, target, token, seq.Add(1), batch)
+				if err != nil {
+					fail(err)
+					return
+				}
+				bytesOut.Add(b)
+				batch = nil
+			}
+		}(h)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		abort()
+		return nil, firstErr
+	}
+
+	// Lease guard: committing close to the pause lease's edge could
+	// race the sources' lease machinery and duplicate objects. A
+	// transfer that burned more than half the lease aborts instead.
+	if lease := n.migrate.PauseLease; lease > 0 && time.Since(start) > lease/2 {
+		abort()
+		return nil, wire.Errorf(wire.CodeDenied,
+			"migration %d consumed over half the %v pause lease; aborted to stay clear of the sources' lease recovery", token, lease)
+	}
+
+	// Phase 2: atomic install of the staged group at the target. This
+	// is the point of no return, so the failure's nature matters: a
+	// definite answer from the target (a RemoteError — the request was
+	// processed and refused) proves nothing installed, and aborting is
+	// safe. An ambiguous transport failure (lost ack, expired context)
+	// leaves the outcome unknown — the target may well have installed
+	// the group — so the sources are left paused for their leases to
+	// resolve against the target: commit finished locally if the
+	// install happened, resume if it did not. Blind-aborting here
+	// would resume sources whose state may be live at the target — the
+	// exact duplication the lease machinery exists to prevent. Only
+	// when leases are disabled is the blind abort the lesser evil
+	// (nothing else would ever unpause the sources).
+	if err := n.sessionCommit(ctx, target, token); err != nil {
+		if definiteFailure(err) || n.migrate.PauseLease <= 0 {
 			abort()
-			return nil, err
 		}
+		return nil, err
 	}
-	if mutate != nil {
-		for i := range snapshots {
-			mutate(&snapshots[i])
-		}
-	}
+	return n.finishGroupMigration(ctx, ids, byHost, hosts, target, token, bytesOut.Load())
+}
 
-	// Phase 2: install at the target.
-	ireq := &wire.InstallReq{Snapshots: snapshots, Token: token}
+// definiteFailure reports whether err proves the request had no remote
+// effect: an authoritative refusal from the remote (the request was
+// received, processed and answered), or a delivery failure from before
+// the request ever left (dial or send). Everything else — a lost ack,
+// an expired context, a connection that died mid-call — is ambiguous:
+// the remote may have processed the request.
+func definiteFailure(err error) bool {
+	var re *wire.RemoteError
+	return errors.As(err, &re) ||
+		errors.Is(err, rpc.ErrDialFailed) ||
+		errors.Is(err, rpc.ErrSendFailed)
+}
+
+// pauseBatch pauses one chunk-bounded sub-batch of a migration at a
+// host (locally or over the wire).
+func (n *Node) pauseBatch(ctx context.Context, h NodeID, objs []core.OID, token uint64, target NodeID) (*wire.PauseResp, error) {
+	req := &wire.PauseReq{
+		Objs: objs, Token: token,
+		MaxBytes: int64(n.migrate.ChunkBytes), Lease: n.migrate.PauseLease,
+		From: n.id, Target: target,
+	}
+	if h == n.id {
+		return n.handlePause(ctx, req)
+	}
+	resp := &wire.PauseResp{}
+	if err := n.call(ctx, h, wire.KPause, req, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// admitMutateBatch runs the per-snapshot admission and mutation hooks
+// over one pause sub-batch; the first veto wins.
+func admitMutateBatch(snaps []wire.Snapshot, admit func(*wire.Snapshot) error, mutate func(*wire.Snapshot)) error {
+	for i := range snaps {
+		if admit != nil {
+			if err := admit(&snaps[i]); err != nil {
+				return err
+			}
+		}
+		if mutate != nil {
+			mutate(&snaps[i])
+		}
+	}
+	return nil
+}
+
+// installOneShot delivers a small group to the target in a single
+// InstallReq. The frame counts towards the same transfer gauges as
+// streamed chunks, so StreamMaxChunkBytes always reports the
+// coordinator's true peak migration-frame size.
+func (n *Node) installOneShot(ctx context.Context, target NodeID, snaps []wire.Snapshot, token uint64) error {
+	var bytes int64
+	for i := range snaps {
+		bytes += int64(wire.SnapshotSize(&snaps[i]))
+	}
+	req := &wire.InstallReq{Snapshots: snaps, Token: token, From: n.id}
 	if target == n.id {
-		if _, err := n.handleInstall(ireq); err != nil {
-			abort()
-			return nil, err
+		if _, err := n.handleInstall(req); err != nil {
+			return err
 		}
 	} else {
-		var iresp wire.InstallResp
-		if err := n.call(ctx, target, wire.KInstall, ireq, &iresp); err != nil {
-			abort()
-			return nil, err
+		var resp wire.InstallResp
+		if err := n.call(ctx, target, wire.KInstall, req, &resp); err != nil {
+			return err
 		}
 	}
+	n.stats.streamChunksOut.Add(1)
+	n.stats.streamBytesOut.Add(bytes)
+	maxInt64(&n.stats.streamMaxChunkBytes, bytes)
+	return nil
+}
+
+// finishGroupMigration is the shared tail of both transfer shapes,
+// entered once the group is durably installed at the target: lift the
+// coordinator's affinity observations, commit forwarding pointers at
+// the old hosts, advise the origins, account and announce. streamed is
+// the stream's snapshot byte count (zero for one-shot transfers).
+func (n *Node) finishGroupMigration(ctx context.Context, ids []core.OID, byHost map[NodeID][]core.OID,
+	hosts []NodeID, target NodeID, token uint64, streamed int64) ([]core.OID, error) {
 
 	// The objects are leaving this node: lift the coordinator's
 	// affinity observations now (commit drops them) so they can ride
@@ -193,22 +398,31 @@ func (n *Node) migrateGroup(ctx context.Context, members map[core.OID]NodeID, ta
 
 	// Phase 3: commit forwarding pointers at the old hosts. The
 	// target's own paused records were replaced by the installation.
+	// A host that cannot be reached is retried in the background, and
+	// its pause lease resolves the outcome against the target as the
+	// backstop — the remaining hosts still get their commit now.
+	var commitErr error
 	for _, h := range hosts {
 		if h == target {
 			continue
 		}
-		req := &wire.CommitReq{Objs: byHost[h], NewHome: target, Token: token}
+		req := &wire.CommitReq{Objs: byHost[h], NewHome: target, Token: token, From: n.id}
 		if h == n.id {
 			n.commitLocal(req)
 			continue
 		}
 		var resp wire.CommitResp
 		if err := n.call(ctx, h, wire.KCommit, req, &resp); err != nil {
-			// The objects are installed at the target; the stale host
-			// keeps paused stubs until it learns better. Report the
-			// partial failure.
-			return ids, fmt.Errorf("objmig: commit at %s failed (objects are at %s): %w", h, target, err)
+			n.retryCommit(h, req)
+			if commitErr == nil {
+				commitErr = fmt.Errorf("objmig: commit at %s failed (objects are at %s): %w", h, target, err)
+			}
 		}
+	}
+	if commitErr != nil {
+		// The objects are installed at the target; report the partial
+		// failure.
+		return ids, commitErr
 	}
 
 	// Phase 4: advise the origins (asynchronous, batched, best effort).
@@ -219,8 +433,92 @@ func (n *Node) migrateGroup(ctx context.Context, members map[core.OID]NodeID, ta
 	for i, id := range ids {
 		moved[i] = Ref{OID: id}
 	}
+	if streamed > 0 {
+		n.emit(Event{Kind: EventMigrateStream, Target: target, Outcome: "streamed",
+			Bytes: streamed, Objects: moved})
+	}
 	n.emit(Event{Kind: EventMigration, Target: target, Objects: moved})
 	return ids, nil
+}
+
+// sessionBegin opens the streaming session at the target.
+func (n *Node) sessionBegin(ctx context.Context, target NodeID, token uint64, ids []core.OID) error {
+	req := &wire.MigrateBeginReq{Token: token, From: n.id, Objs: ids}
+	if target == n.id {
+		_, err := n.handleMigrateBegin(req)
+		return err
+	}
+	var resp wire.MigrateBeginResp
+	return n.call(ctx, target, wire.KMigrateBegin, req, &resp)
+}
+
+// sessionChunk forwards one sub-batch of snapshots to the target's
+// session and returns the snapshot bytes it carried.
+func (n *Node) sessionChunk(ctx context.Context, target NodeID, token, seq uint64, snaps []wire.Snapshot) (int64, error) {
+	var bytes int64
+	for i := range snaps {
+		bytes += int64(wire.SnapshotSize(&snaps[i]))
+	}
+	req := &wire.InstallChunkReq{Token: token, From: n.id, Seq: seq, Snapshots: snaps}
+	var err error
+	if target == n.id {
+		_, err = n.handleInstallChunk(req)
+	} else {
+		var resp wire.InstallChunkResp
+		err = n.call(ctx, target, wire.KInstallChunk, req, &resp)
+	}
+	if err != nil {
+		return 0, err
+	}
+	n.stats.streamChunksOut.Add(1)
+	n.stats.streamBytesOut.Add(bytes)
+	maxInt64(&n.stats.streamMaxChunkBytes, bytes)
+	return bytes, nil
+}
+
+// sessionCommit asks the target to install the staged group.
+func (n *Node) sessionCommit(ctx context.Context, target NodeID, token uint64) error {
+	req := &wire.InstallCommitReq{Token: token, From: n.id}
+	if target == n.id {
+		_, err := n.handleInstallCommit(req)
+		return err
+	}
+	var resp wire.InstallCommitResp
+	return n.call(ctx, target, wire.KInstallCommit, req, &resp)
+}
+
+// retryCommit keeps delivering a commit whose first attempt failed:
+// the install is already durable at the target, so the old host must
+// eventually learn it. Bounded — after the retries give up, the host's
+// pause lease resolves the outcome against the target on its own.
+func (n *Node) retryCommit(h NodeID, req *wire.CommitReq) {
+	n.spawn(func() {
+		for attempt := 0; attempt < 10 && !n.closed.Load(); attempt++ {
+			time.Sleep(500 * time.Millisecond)
+			actx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			var resp wire.CommitResp
+			err := n.call(actx, h, wire.KCommit, req, &resp)
+			cancel()
+			if err == nil {
+				return
+			}
+		}
+	})
+}
+
+// sessionAbort rolls one host (or the target's session) back, best
+// effort, on a fresh context — the migration's own context may already
+// be cancelled.
+func (n *Node) sessionAbort(h NodeID, objs []core.OID, token uint64) {
+	req := &wire.AbortReq{Objs: objs, Token: token, From: n.id}
+	if h == n.id {
+		n.abortLocal(req)
+		return
+	}
+	actx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var resp wire.AbortResp
+	_ = n.call(actx, h, wire.KAbort, req, &resp)
 }
 
 // notifyOrigins queues home updates for the moved objects towards
@@ -269,6 +567,16 @@ func (n *Node) notifyOrigins(ids []core.OID, at NodeID, obs []affinity.Obs) {
 }
 
 // handlePause pauses and snapshots local objects for a migration.
+//
+// With a positive MaxBytes the response is size-bounded: objects are
+// paused and snapshotted in request order until the cumulative encoded
+// size exceeds the budget, and the untouched rest is returned as
+// Pending for the coordinator to re-request — one pause sub-batch
+// becomes one streamed chunk. At least one object is always processed
+// so oversized objects cannot stall the stream. A failure rolls back
+// only this call's pauses; earlier sub-batches of the same token stay
+// paused and are covered by the coordinator's abort (and, should the
+// coordinator be gone, by the pause lease).
 func (n *Node) handlePause(ctx context.Context, req *wire.PauseReq) (*wire.PauseResp, error) {
 	var done []*store.Record
 	rollback := func() {
@@ -277,7 +585,12 @@ func (n *Node) handlePause(ctx context.Context, req *wire.PauseReq) (*wire.Pause
 		}
 	}
 	resp := &wire.PauseResp{}
-	for _, oid := range req.Objs {
+	var bytes int64
+	for i, oid := range req.Objs {
+		if req.MaxBytes > 0 && bytes >= req.MaxBytes {
+			resp.Pending = req.Objs[i:]
+			break
+		}
 		rec, ok := n.record(oid)
 		if !ok {
 			rollback()
@@ -302,19 +615,36 @@ func (n *Node) handlePause(ctx context.Context, req *wire.PauseReq) (*wire.Pause
 			rollback()
 			return nil, wire.Errorf(wire.CodeInternal, "snapshot %s: %v", oid, err)
 		}
+		bytes += int64(wire.SnapshotSize(&snap))
 		resp.Snapshots = append(resp.Snapshots, snap)
+	}
+	if req.Lease > 0 && len(done) > 0 {
+		covered := make([]core.OID, len(done))
+		for i, rec := range done {
+			covered[i] = rec.ID
+		}
+		n.armPauseLease(sessionKey{from: req.From, token: req.Token}, req.Target, covered, req.Lease)
 	}
 	return resp, nil
 }
 
-// handleInstall reinstantiates migrated objects locally, atomically.
+// handleInstall reinstantiates migrated objects locally, atomically
+// (the one-shot transfer shape; see migrateGroup).
 func (n *Node) handleInstall(req *wire.InstallReq) (*wire.InstallResp, error) {
+	if req.From != "" && n.migrationAborted(sessionKey{from: req.From, token: req.Token}) {
+		return nil, wire.Errorf(wire.CodeDenied, "migration %d from %s was aborted", req.Token, req.From)
+	}
 	if err := n.installBatch(req.Snapshots, req.Token); err != nil {
 		var re *wire.RemoteError
 		if errors.As(err, &re) {
 			return nil, re
 		}
 		return nil, wire.Errorf(wire.CodeInternal, "install: %v", err)
+	}
+	// Members that were paused *here* (the target hosted the group
+	// itself) were just replaced; disarm their lease.
+	if req.From != "" {
+		n.cancelPauseLease(sessionKey{from: req.From, token: req.Token})
 	}
 	return &wire.InstallResp{}, nil
 }
@@ -333,6 +663,7 @@ func (n *Node) handleCommit(req *wire.CommitReq) (*wire.CommitResp, error) {
 // migration the coordinator can only gossip its own counters, so each
 // departing host ships its own.
 func (n *Node) commitLocal(req *wire.CommitReq) {
+	n.cancelPauseLease(sessionKey{from: req.From, token: req.Token})
 	recs := n.store.GetBatch(req.Objs)
 	var departed []core.OID
 	for i, rec := range recs {
@@ -388,8 +719,17 @@ func (n *Node) handleAbort(req *wire.AbortReq) (*wire.AbortResp, error) {
 
 // abortLocal rolls pauses back with one shard-grouped batch lookup.
 // Unpause itself checks status and token, so stubs and strangers are
-// naturally ignored.
+// naturally ignored. The pause lease is disarmed, a staging session
+// the aborting coordinator opened here (this node was the migration
+// target) is discarded, and the migration's abort fence goes up so an
+// install frame still in flight cannot land afterwards.
 func (n *Node) abortLocal(req *wire.AbortReq) {
+	key := sessionKey{from: req.From, token: req.Token}
+	n.cancelPauseLease(key)
+	if req.From != "" {
+		n.dropSession(key, "abort")
+		n.abortFence(key)
+	}
 	for _, rec := range n.store.GetBatch(req.Objs) {
 		if rec != nil {
 			rec.Unpause(req.Token)
@@ -490,14 +830,12 @@ func (n *Node) handleMigrate(ctx context.Context, req *wire.MigrateReq) (*wire.M
 	if err != nil {
 		return nil, wire.Errorf(wire.CodeInternal, "%v", err)
 	}
-	admit := func(snaps []wire.Snapshot) error {
-		for _, s := range snaps {
-			if s.Pol.Lock.Held {
-				return wire.Errorf(wire.CodeDenied, "working-set member %s is placed", s.ID)
-			}
-			if s.Pol.Fixed && !(req.Fix && s.ID == req.Obj) {
-				return wire.Errorf(wire.CodeFixed, "working-set member %s is fixed", s.ID)
-			}
+	admit := func(s *wire.Snapshot) error {
+		if s.Pol.Lock.Held {
+			return wire.Errorf(wire.CodeDenied, "working-set member %s is placed", s.ID)
+		}
+		if s.Pol.Fixed && !(req.Fix && s.ID == req.Obj) {
+			return wire.Errorf(wire.CodeFixed, "working-set member %s is fixed", s.ID)
 		}
 		return nil
 	}

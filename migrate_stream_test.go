@@ -1,0 +1,612 @@
+package objmig
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"objmig/internal/core"
+	"objmig/internal/rpc"
+	"objmig/internal/wire"
+)
+
+// eventually polls cond until it holds or the deadline passes.
+func eventually(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("condition not reached within %v: %s", d, msg)
+}
+
+// TestStreamedGroupMigration: a multi-host group whose snapshots do not
+// fit one chunk migrates as a stream of several InstallChunk frames and
+// still moves as a unit — every member arrives, every value survives,
+// and no staging session is left behind on any node.
+func TestStreamedGroupMigration(t *testing.T) {
+	t.Parallel()
+	ctx := ctxShort(t)
+	// ChunkBytes of 1 forces one snapshot per pause sub-batch and per
+	// chunk: the smallest possible stream granularity.
+	nodes := testCluster(t, 3, Config{Migrate: MigrateConfig{ChunkBytes: 1}})
+	root := mustCreate(t, nodes[0])
+	members := []Ref{root}
+	for i := 0; i < 4; i++ {
+		m := mustCreate(t, nodes[0])
+		members = append(members, m)
+	}
+	// One member lives on another host, so the stream spans hosts.
+	remote := mustCreate(t, nodes[1])
+	members = append(members, remote)
+	for _, m := range members[1:] {
+		if err := nodes[0].Attach(ctx, root, m, NoAlliance); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, m := range members {
+		if _, err := Call[int, int](ctx, nodes[0], m, "Add", 10+i); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := nodes[0].Migrate(ctx, root, "n2"); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, m := range members {
+		if at := whereIs(t, ctx, nodes[0], m); at != "n2" {
+			t.Fatalf("member %d at %v, want n2", i, at)
+		}
+		v, err := Call[struct{}, int](ctx, nodes[0], m, "Get", struct{}{})
+		if err != nil || v != 10+i {
+			t.Fatalf("member %d value %d (%v), want %d", i, v, err, 10+i)
+		}
+	}
+	st := nodes[0].Stats()
+	if st.StreamChunksOut < int64(len(members)-1) {
+		t.Fatalf("coordinator streamed %d chunks for a %d-member group at 1-byte chunking", st.StreamChunksOut, len(members))
+	}
+	if st.StreamBytesOut == 0 {
+		t.Fatal("no streamed bytes counted")
+	}
+	tgt := nodes[2].Stats()
+	if tgt.StreamSessionsOpened != 1 {
+		t.Fatalf("target opened %d sessions, want 1", tgt.StreamSessionsOpened)
+	}
+	if tgt.StreamChunksIn != st.StreamChunksOut {
+		t.Fatalf("target staged %d chunks, coordinator sent %d", tgt.StreamChunksIn, st.StreamChunksOut)
+	}
+	for i, n := range nodes {
+		if c := n.sessionCount(); c != 0 {
+			t.Fatalf("node %d holds %d staging sessions after a committed migration", i, c)
+		}
+	}
+}
+
+// TestMigrateVetoResumesAllHosts: when the admission check vetoes a
+// group migration after some hosts have already paused and answered,
+// every paused object on every host must be resumed — a veto must never
+// strand a remote member in the paused state.
+func TestMigrateVetoResumesAllHosts(t *testing.T) {
+	t.Parallel()
+	ctx := ctxShort(t)
+	nodes := testCluster(t, 3, Config{})
+	root := mustCreate(t, nodes[0])
+	near := mustCreate(t, nodes[0])
+	far := mustCreate(t, nodes[1]) // second host: the veto crosses nodes
+	for _, m := range []Ref{near, far} {
+		if err := nodes[0].Attach(ctx, root, m, NoAlliance); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fixing the remote member makes the per-snapshot admission check
+	// veto the whole group.
+	if err := nodes[1].Fix(ctx, far); err != nil {
+		t.Fatal(err)
+	}
+
+	err := nodes[0].Migrate(ctx, root, "n2")
+	if !errors.Is(err, ErrFixed) {
+		t.Fatalf("migration with a fixed member: %v, want ErrFixed", err)
+	}
+
+	// Every member must answer promptly — a stranded pause would block
+	// the invocation until the test context dies.
+	checkCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	for i, m := range []Ref{root, near, far} {
+		if _, err := Call[int, int](checkCtx, nodes[0], m, "Add", 1); err != nil {
+			t.Fatalf("member %d unusable after vetoed migration: %v", i, err)
+		}
+	}
+	// And nothing moved or was left staged.
+	for i, m := range []Ref{root, near} {
+		if at := whereIs(t, ctx, nodes[0], m); at != "n0" {
+			t.Fatalf("member %d at %v after vetoed migration, want n0", i, at)
+		}
+	}
+	if at := whereIs(t, ctx, nodes[0], far); at != "n1" {
+		t.Fatalf("fixed member at %v, want n1", at)
+	}
+	for i, n := range nodes {
+		if c := n.sessionCount(); c != 0 {
+			t.Fatalf("node %d holds %d staging sessions after vetoed migration", i, c)
+		}
+	}
+}
+
+// TestMigrateTargetMissingTypeAborts: a target that cannot host the
+// group's type fails the stream at chunk-staging time, and the sources
+// resume as if nothing happened.
+func TestMigrateTargetMissingTypeAborts(t *testing.T) {
+	t.Parallel()
+	ctx := ctxShort(t)
+	cl := NewLocalCluster()
+	src, err := NewNode(Config{ID: "src", Cluster: cl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.RegisterType(newCounterType()); err != nil {
+		t.Fatal(err)
+	}
+	bare, err := NewNode(Config{ID: "bare", Cluster: cl}) // no types registered
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = src.Close(); _ = bare.Close() })
+
+	ref, err := src.Create("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Call[int, int](ctx, src, ref, "Add", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Migrate(ctx, ref, "bare"); !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("migration to type-less node: %v, want ErrUnknownType", err)
+	}
+	if v, err := Call[struct{}, int](ctx, src, ref, "Get", struct{}{}); err != nil || v != 3 {
+		t.Fatalf("object unusable after aborted stream: %d, %v", v, err)
+	}
+	if c := bare.sessionCount(); c != 0 {
+		t.Fatalf("failed stream left %d sessions at the target", c)
+	}
+}
+
+// TestPauseMaxBytesBoundsResponse: handlePause honours the byte budget,
+// returning the overflow as Pending and always making progress.
+func TestPauseMaxBytesBoundsResponse(t *testing.T) {
+	t.Parallel()
+	ctx := ctxShort(t)
+	nodes := testCluster(t, 1, Config{})
+	n := nodes[0]
+	objs := make([]core.OID, 10)
+	for i := range objs {
+		objs[i] = mustCreate(t, n).OID
+	}
+	resp, err := n.handlePause(ctx, &wire.PauseReq{Objs: objs, Token: 42, MaxBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Snapshots) != 1 {
+		t.Fatalf("1-byte budget returned %d snapshots, want 1", len(resp.Snapshots))
+	}
+	if len(resp.Pending) != 9 {
+		t.Fatalf("pending %d, want 9", len(resp.Pending))
+	}
+	// Unbounded request drains the pending tail.
+	resp2, err := n.handlePause(ctx, &wire.PauseReq{Objs: resp.Pending, Token: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp2.Snapshots) != 9 || len(resp2.Pending) != 0 {
+		t.Fatalf("unbounded follow-up: %d snapshots, %d pending", len(resp2.Snapshots), len(resp2.Pending))
+	}
+	n.abortLocal(&wire.AbortReq{Objs: objs, Token: 42})
+	for _, oid := range objs {
+		if _, err := Call[int, int](ctx, n, Ref{OID: oid}, "Add", 1); err != nil {
+			t.Fatalf("object %s not resumed: %v", oid, err)
+		}
+	}
+}
+
+// TestStreamSessionExpiryAndPauseLease: a coordinator that dies
+// mid-stream must leave the target clean (the staging session expires,
+// nothing is installed) and the sources resumed (the pause lease
+// fires). The test plays the coordinator by hand and simply stops
+// after the first chunk.
+func TestStreamSessionExpiryAndPauseLease(t *testing.T) {
+	t.Parallel()
+	ctx := ctxShort(t)
+	nodes := testCluster(t, 2, Config{
+		Migrate: MigrateConfig{SessionTTL: 100 * time.Millisecond, PauseLease: 150 * time.Millisecond},
+	})
+	src, tgt := nodes[0], nodes[1]
+	o1, o2 := mustCreate(t, src), mustCreate(t, src)
+	if _, err := Call[int, int](ctx, src, o1, "Add", 7); err != nil {
+		t.Fatal(err)
+	}
+
+	// The ghost coordinator: begin, pause with a lease, one chunk, die.
+	const token = 777
+	if _, err := tgt.handleMigrateBegin(&wire.MigrateBeginReq{
+		Token: token, From: "ghost", Objs: []core.OID{o1.OID, o2.OID},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := src.handlePause(ctx, &wire.PauseReq{
+		Objs: []core.OID{o1.OID, o2.OID}, Token: token, Lease: 150 * time.Millisecond,
+		From: "ghost", Target: "n1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Snapshots) != 2 {
+		t.Fatalf("paused %d objects, want 2", len(resp.Snapshots))
+	}
+	if _, err := tgt.handleInstallChunk(&wire.InstallChunkReq{
+		Token: token, From: "ghost", Seq: 1, Snapshots: resp.Snapshots[:1],
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// …the coordinator is dead. Nobody commits, nobody aborts.
+
+	eventually(t, 5*time.Second, func() bool { return tgt.sessionCount() == 0 },
+		"target staging session never expired")
+	if st := tgt.Stats(); st.StreamSessionsExpired != 1 {
+		t.Fatalf("StreamSessionsExpired = %d, want 1", st.StreamSessionsExpired)
+	}
+	if hosted := tgt.Stats().ObjectsHosted; hosted != 0 {
+		t.Fatalf("target hosts %d objects from an expired session, want 0", hosted)
+	}
+	eventually(t, 5*time.Second, func() bool {
+		cctx, cancel := context.WithTimeout(ctx, 250*time.Millisecond)
+		defer cancel()
+		_, e1 := Call[struct{}, int](cctx, src, o1, "Get", struct{}{})
+		_, e2 := Call[struct{}, int](cctx, src, o2, "Get", struct{}{})
+		return e1 == nil && e2 == nil
+	}, "paused sources never resumed after the lease")
+	if v, err := Call[struct{}, int](ctx, src, o1, "Get", struct{}{}); err != nil || v != 7 {
+		t.Fatalf("value after lease resume: %d, %v, want 7", v, err)
+	}
+	if st := src.Stats(); st.PauseLeasesExpired != 1 {
+		t.Fatalf("PauseLeasesExpired = %d, want 1", st.PauseLeasesExpired)
+	}
+}
+
+// TestPauseLeaseResolvesCommittedMigration: the dangerous half of
+// coordinator death — it dies *after* the target committed the install
+// but before the sources received their commit. Blindly resuming would
+// leave the object live in two places; the lease must instead discover
+// the commit by asking the target and finish the departure locally.
+func TestPauseLeaseResolvesCommittedMigration(t *testing.T) {
+	t.Parallel()
+	ctx := ctxShort(t)
+	nodes := testCluster(t, 2, Config{
+		Migrate: MigrateConfig{SessionTTL: 10 * time.Second, PauseLease: 150 * time.Millisecond},
+	})
+	src, tgt := nodes[0], nodes[1]
+	o1, o2 := mustCreate(t, src), mustCreate(t, src)
+	if _, err := Call[int, int](ctx, src, o1, "Add", 7); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ghost coordinator: full stream + target commit, then death
+	// before the sources' CommitReq.
+	const token = 888
+	if _, err := tgt.handleMigrateBegin(&wire.MigrateBeginReq{
+		Token: token, From: "ghost", Objs: []core.OID{o1.OID, o2.OID},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := src.handlePause(ctx, &wire.PauseReq{
+		Objs: []core.OID{o1.OID, o2.OID}, Token: token, Lease: 150 * time.Millisecond,
+		From: "ghost", Target: "n1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tgt.handleInstallChunk(&wire.InstallChunkReq{
+		Token: token, From: "ghost", Seq: 1, Snapshots: resp.Snapshots,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tgt.handleInstallCommit(&wire.InstallCommitReq{Token: token, From: "ghost"}); err != nil {
+		t.Fatal(err)
+	}
+	// …the coordinator dies here: src never hears the commit.
+
+	// The lease fires, asks n1, learns the install committed, and
+	// departs the local records — one live copy, at the target.
+	eventually(t, 5*time.Second, func() bool {
+		rec, ok := src.record(o1.OID)
+		return ok && rec.IsGone()
+	}, "source records never departed after a committed-but-unacked migration")
+	if v, err := Call[struct{}, int](ctx, src, o1, "Get", struct{}{}); err != nil || v != 7 {
+		t.Fatalf("value after lease-resolved commit: %d, %v, want 7", v, err)
+	}
+	for _, o := range []Ref{o1, o2} {
+		if at := whereIs(t, ctx, src, o); at != "n1" {
+			t.Fatalf("object %s at %v after lease-resolved commit, want n1", o.OID, at)
+		}
+	}
+	if hosted := src.Stats().ObjectsHosted; hosted != 0 {
+		t.Fatalf("source still hosts %d objects (duplicate live copies)", hosted)
+	}
+	if st := src.Stats(); st.PauseLeasesExpired != 1 {
+		t.Fatalf("PauseLeasesExpired = %d, want 1", st.PauseLeasesExpired)
+	}
+}
+
+// TestPauseLeaseKeyedPerCoordinator: two coordinators minting the same
+// token must not share (or cancel) each other's leases at a common
+// source host.
+func TestPauseLeaseKeyedPerCoordinator(t *testing.T) {
+	t.Parallel()
+	ctx := ctxShort(t)
+	nodes := testCluster(t, 2, Config{})
+	src := nodes[0]
+	oA, oB := mustCreate(t, src), mustCreate(t, src)
+
+	const token = 5 // same token from two different "coordinators"
+	if _, err := src.handlePause(ctx, &wire.PauseReq{
+		Objs: []core.OID{oA.OID}, Token: token, Lease: 10 * time.Second, From: "coordA", Target: "n1",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.handlePause(ctx, &wire.PauseReq{
+		Objs: []core.OID{oB.OID}, Token: token, Lease: 150 * time.Millisecond, From: "coordB", Target: "n1",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// coordA commits nothing and aborts: only oA may resume, and only
+	// coordA's lease is disarmed.
+	src.abortLocal(&wire.AbortReq{Objs: []core.OID{oA.OID}, Token: token, From: "coordA"})
+	if _, err := Call[int, int](ctx, src, oA, "Add", 1); err != nil {
+		t.Fatalf("coordA's object not resumed by coordA's abort: %v", err)
+	}
+	// coordB's lease must still be armed and fire on its own schedule.
+	eventually(t, 5*time.Second, func() bool {
+		cctx, cancel := context.WithTimeout(ctx, 250*time.Millisecond)
+		defer cancel()
+		_, err := Call[int, int](cctx, src, oB, "Add", 1)
+		return err == nil
+	}, "coordB's lease was clobbered by coordA's abort")
+}
+
+// TestCoordinatorCloseMidStreamLeavesClusterClean: the integrated
+// version of the chaos scenario — the coordinator node is closed while
+// a streamed migration is in flight on a slow network. Whatever the
+// race's outcome (aborted, leased back, or completed), the cluster must
+// settle clean: the surviving source's member answers again and no node
+// is left holding a staging session.
+func TestCoordinatorCloseMidStreamLeavesClusterClean(t *testing.T) {
+	t.Parallel()
+	ctx := ctxShort(t)
+	cl := NewLocalCluster()
+	mcfg := MigrateConfig{
+		ChunkBytes: 1, // chunk per object: many frames, long stream
+		SessionTTL: 200 * time.Millisecond,
+		PauseLease: 400 * time.Millisecond,
+	}
+	var beginMu sync.Mutex
+	began := false
+	mk := func(id NodeID, obs Observer) *Node {
+		n, err := NewNode(Config{ID: id, Cluster: cl, Migrate: mcfg, Observer: obs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.RegisterType(newCounterType()); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	tgt := mk("tgt", func(e Event) {
+		if e.Kind == EventMigrateStream && e.Outcome == "begin" {
+			beginMu.Lock()
+			began = true
+			beginMu.Unlock()
+		}
+	})
+	coord := mk("coord", nil)
+	src := mk("src", nil)
+	t.Cleanup(func() { _ = coord.Close(); _ = src.Close(); _ = tgt.Close() })
+
+	root, err := coord.Create("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	group := []Ref{root}
+	for i := 0; i < 16; i++ {
+		m, err := coord.Create("counter")
+		if err != nil {
+			t.Fatal(err)
+		}
+		group = append(group, m)
+	}
+	survivor, err := src.Create("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	group = append(group, survivor)
+	for _, m := range group[1:] {
+		if err := coord.Attach(ctx, root, m, NoAlliance); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Call[int, int](ctx, src, survivor, "Add", 5); err != nil {
+		t.Fatal(err)
+	}
+
+	cl.SetLatency(2 * time.Millisecond)
+	migDone := make(chan error, 1)
+	go func() {
+		mctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		migDone <- coord.Migrate(mctx, root, "tgt")
+	}()
+	eventually(t, 5*time.Second, func() bool {
+		beginMu.Lock()
+		defer beginMu.Unlock()
+		return began
+	}, "migration never opened a session at the target")
+	time.Sleep(10 * time.Millisecond) // let a few chunks through
+	_ = coord.Close()                 // the coordinator dies mid-stream
+	<-migDone
+	cl.SetLatency(0)
+
+	// The surviving source's member must answer again — resumed by
+	// abort or lease, or installed at the target; any of those, but
+	// never stuck paused.
+	eventually(t, 5*time.Second, func() bool {
+		cctx, cancel := context.WithTimeout(ctx, 250*time.Millisecond)
+		defer cancel()
+		v, err := Call[struct{}, int](cctx, src, survivor, "Get", struct{}{})
+		return err == nil && v == 5
+	}, "surviving source's member stuck after coordinator death")
+	// And no staging session outlives the crash anywhere.
+	eventually(t, 5*time.Second, func() bool {
+		return tgt.sessionCount() == 0 && src.sessionCount() == 0
+	}, "staging session survived the coordinator's death")
+}
+
+// TestStreamedMigrationConcurrentWithInvocations: streaming pause
+// sub-batches interleave with live traffic; updates must neither be
+// lost nor duplicated across the transfer.
+func TestStreamedMigrationConcurrentWithInvocations(t *testing.T) {
+	t.Parallel()
+	ctx := ctxShort(t)
+	nodes := testCluster(t, 3, Config{Migrate: MigrateConfig{ChunkBytes: 1}})
+	root := mustCreate(t, nodes[0])
+	members := []Ref{root}
+	for i := 0; i < 7; i++ {
+		m := mustCreate(t, nodes[0])
+		members = append(members, m)
+		if err := nodes[0].Attach(ctx, root, m, NoAlliance); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	var adds atomic.Int64
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				m := (w + i) % len(members)
+				if _, err := Call[int, int](ctx, nodes[1], members[m], "Add", 1); err == nil {
+					adds.Add(1)
+				}
+			}
+		}(w)
+	}
+	// One migration in the middle of the traffic.
+	time.Sleep(5 * time.Millisecond)
+	if err := nodes[0].Migrate(ctx, root, "n2"); err != nil && !errors.Is(err, ErrDenied) {
+		t.Fatalf("migration under load: %v", err)
+	}
+	wg.Wait()
+	// Sum of all member values must equal the successful adds: nothing
+	// lost to the pause window, nothing duplicated by the install.
+	total := int64(0)
+	for _, m := range members {
+		v, err := Call[struct{}, int](ctx, nodes[0], m, "Get", struct{}{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += int64(v)
+	}
+	if total != adds.Load() {
+		t.Fatalf("sum of values %d != successful adds %d (lost or duplicated updates)", total, adds.Load())
+	}
+}
+
+// TestStreamAbortDiscardsSession: an explicit abort with the
+// coordinator's identity removes the staged session.
+func TestStreamAbortDiscardsSession(t *testing.T) {
+	t.Parallel()
+	nodes := testCluster(t, 1, Config{})
+	n := nodes[0]
+	oid := mustCreate(t, n).OID
+	if _, err := n.handleMigrateBegin(&wire.MigrateBeginReq{Token: 9, From: "ghost", Objs: []core.OID{oid}}); err != nil {
+		t.Fatal(err)
+	}
+	if n.sessionCount() != 1 {
+		t.Fatal("session not opened")
+	}
+	n.abortLocal(&wire.AbortReq{Token: 9, From: "ghost"})
+	if n.sessionCount() != 0 {
+		t.Fatal("abort left the session staged")
+	}
+	// A commit for the aborted session must fail, not install.
+	if _, err := n.handleInstallCommit(&wire.InstallCommitReq{Token: 9, From: "ghost"}); err == nil {
+		t.Fatal("commit of an aborted session succeeded")
+	}
+	// The abort fence blocks frames that were still in flight: a late
+	// one-shot install and a late session re-open must both be refused,
+	// or the resumed source and the install would duplicate the object.
+	late := wire.Snapshot{ID: core.OID{Origin: "ghost", Seq: 1}, Type: "counter"}
+	if _, err := n.handleInstall(&wire.InstallReq{Snapshots: []wire.Snapshot{late}, Token: 9, From: "ghost"}); err == nil {
+		t.Fatal("late install landed after the abort fence")
+	}
+	if _, err := n.handleMigrateBegin(&wire.MigrateBeginReq{Token: 9, From: "ghost", Objs: []core.OID{oid}}); err == nil {
+		t.Fatal("session re-opened through the abort fence")
+	}
+}
+
+// TestDefiniteFailureClassification: only provably-undelivered or
+// provably-refused requests count as definite; everything ambiguous
+// must defer to the lease machinery.
+func TestDefiniteFailureClassification(t *testing.T) {
+	t.Parallel()
+	definite := []error{
+		wire.Errorf(wire.CodeDenied, "no"),
+		fmt.Errorf("wrapped: %w", &wire.RemoteError{Code: wire.CodeNotFound, Msg: "x"}),
+		fmt.Errorf("%w: n9: no listener", rpc.ErrDialFailed),
+		fmt.Errorf("%w: conn gone", rpc.ErrSendFailed),
+	}
+	for _, err := range definite {
+		if !definiteFailure(err) {
+			t.Errorf("%v classified ambiguous, want definite", err)
+		}
+	}
+	ambiguous := []error{
+		context.DeadlineExceeded,
+		context.Canceled,
+		rpc.ErrPeerClosed,
+		fmt.Errorf("%w: read reset", rpc.ErrPeerClosed),
+		errors.New("some transport mishap"),
+	}
+	for _, err := range ambiguous {
+		if definiteFailure(err) {
+			t.Errorf("%v classified definite, want ambiguous", err)
+		}
+	}
+}
+
+// TestMigrateConfigDefaults: the zero config selects the documented
+// defaults.
+func TestMigrateConfigDefaults(t *testing.T) {
+	t.Parallel()
+	c := MigrateConfig{}.withDefaults()
+	if c.ChunkBytes != DefaultChunkBytes {
+		t.Fatalf("ChunkBytes default %d, want %d", c.ChunkBytes, DefaultChunkBytes)
+	}
+	if c.SessionTTL != 30*time.Second || c.PauseLease != 30*time.Second {
+		t.Fatalf("TTL/lease defaults %v/%v, want 30s/30s", c.SessionTTL, c.PauseLease)
+	}
+	// Negative values survive (explicit "disabled").
+	d := MigrateConfig{ChunkBytes: -1, SessionTTL: -1, PauseLease: -1}.withDefaults()
+	if d.ChunkBytes != -1 || d.SessionTTL != -1 || d.PauseLease != -1 {
+		t.Fatalf("negative settings overridden: %+v", d)
+	}
+	_ = fmt.Sprintf("%v", c)
+}

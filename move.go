@@ -202,16 +202,14 @@ func (n *Node) tryMove(ctx context.Context, req *wire.MoveReq) (_ *wire.MoveResp
 		return nil, false, wire.Errorf(wire.CodeInternal, "%v", err)
 	}
 	placement := n.policy.Kind() == core.PolicyPlacement
-	admit := func(snaps []wire.Snapshot) error {
-		for _, s := range snaps {
-			lockedByOther := s.Pol.Lock.Held &&
-				(s.Pol.Lock.Owner != req.From || s.Pol.Lock.Block != req.Block)
-			if lockedByOther {
-				return wire.Errorf(wire.CodeDenied, "working-set member %s is placed", s.ID)
-			}
-			if s.Pol.Fixed && s.ID != req.Obj {
-				return wire.Errorf(wire.CodeFixed, "working-set member %s is fixed", s.ID)
-			}
+	admit := func(s *wire.Snapshot) error {
+		lockedByOther := s.Pol.Lock.Held &&
+			(s.Pol.Lock.Owner != req.From || s.Pol.Lock.Block != req.Block)
+		if lockedByOther {
+			return wire.Errorf(wire.CodeDenied, "working-set member %s is placed", s.ID)
+		}
+		if s.Pol.Fixed && s.ID != req.Obj {
+			return wire.Errorf(wire.CodeFixed, "working-set member %s is fixed", s.ID)
 		}
 		return nil
 	}

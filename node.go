@@ -70,6 +70,10 @@ type Config struct {
 	// budget only matters when migrations churn faster than the
 	// 1ms-per-attempt chase can follow.
 	CallRetries int
+	// Migrate tunes the streaming group-migration transfer (chunk
+	// size, staging-session TTL, pause lease). The zero value selects
+	// the documented defaults; see MigrateConfig.
+	Migrate MigrateConfig
 	// Observer, when non-nil, receives runtime events (invocations,
 	// move decisions, migrations, ...) synchronously. Observers must
 	// be fast and must not call back into the node.
@@ -90,11 +94,18 @@ type Node struct {
 	policy     core.MovePolicy
 	attachMode core.AttachMode
 	retries    int
+	migrate    MigrateConfig
 	observer   Observer
 
 	server *rpc.Server
 	pool   *rpc.Pool
 	store  *store.Store
+
+	sessMu   sync.Mutex
+	sessions map[sessionKey]*migSession
+	tombs    map[sessionKey]time.Time // abort fences; see abortFence
+	leaseMu  sync.Mutex
+	leases   map[sessionKey]*pauseLease
 
 	aff       *affinity.Tracker
 	homeBatch *homeBatcher
@@ -105,11 +116,12 @@ type Node struct {
 	types map[string]objectType
 	peers map[NodeID]string
 
-	seq    atomic.Uint64 // object IDs minted here
-	block  atomic.Uint64 // move-block IDs
-	token  atomic.Uint64 // migration tokens
-	allSeq atomic.Uint32 // alliance IDs
-	closed atomic.Bool
+	seq       atomic.Uint64 // object IDs minted here
+	block     atomic.Uint64 // move-block IDs
+	token     atomic.Uint64 // migration tokens (low half; see nextToken)
+	tokenBase uint64        // node-identity half of migration tokens
+	allSeq    atomic.Uint32 // alliance IDs
+	closed    atomic.Bool
 
 	stats nodeStats
 
@@ -156,16 +168,23 @@ func NewNode(cfg Config) (*Node, error) {
 		policy:     core.PolicyFor(cfg.Policy),
 		attachMode: cfg.Attach,
 		retries:    cfg.CallRetries,
+		migrate:    cfg.Migrate.withDefaults(),
 		observer:   cfg.Observer,
 		pool:       rpc.NewPool(cfg.Cluster.tr),
 		store:      store.New(cfg.ID),
 		aff:        affinity.New(cfg.ID),
 		types:      make(map[string]objectType),
 		peers:      make(map[NodeID]string),
+		sessions:   make(map[sessionKey]*migSession),
+		tombs:      make(map[sessionKey]time.Time),
+		leases:     make(map[sessionKey]*pauseLease),
 	}
 	for id, addr := range cfg.Peers {
 		n.peers[id] = addr
 	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(n.id))
+	n.tokenBase = uint64(h.Sum32()) << 32
 	n.homeBatch = newHomeBatcher(n)
 	n.server = rpc.Serve(l, n.handle)
 	return n, nil
@@ -257,9 +276,22 @@ func (n *Node) nextBlock() core.BlockID {
 	return core.BlockID(n.block.Add(1))
 }
 
-// nextToken mints a node-unique migration token.
+// nextToken mints a migration token that is unique across the cluster,
+// not just per coordinator: the high 32 bits identify this node (same
+// scheme as NewAlliance), the low 32 bits count locally. Pause,
+// commit, abort and install all match records by bare token value, so
+// two coordinators concurrently migrating overlapping sets must never
+// mint the same number — a straggling abort from one would otherwise
+// unpause objects the other had just paused under the colliding token,
+// resuming a source whose snapshot is mid-install and duplicating the
+// object. Residual risk, as with NewAlliance: two node IDs may hash to
+// the same 32 bits, in which case the colliding pair additionally
+// needs aligned counters and an overlapping migration on a shared host
+// to misfire; deployments naming thousands of nodes should derive IDs
+// that hash distinctly (or carry the coordinator ID in the record, the
+// full fix).
 func (n *Node) nextToken() uint64 {
-	return n.token.Add(1)
+	return n.tokenBase | (n.token.Add(1) & 0xFFFFFFFF)
 }
 
 // record looks up a hosted object.
@@ -281,6 +313,8 @@ func (n *Node) Close() error {
 	n.store.Close()
 	err := n.server.Close()
 	_ = n.pool.Close()
+	n.closeSessions()
+	n.closePauseLeases()
 	n.bg.Wait()
 	return err
 }
@@ -338,6 +372,18 @@ func (n *Node) handle(ctx context.Context, kind wire.Kind, body []byte) ([]byte,
 	case wire.KInstall:
 		return handleTyped(body, func(req *wire.InstallReq) (*wire.InstallResp, error) {
 			return n.handleInstall(req)
+		})
+	case wire.KMigrateBegin:
+		return handleTyped(body, func(req *wire.MigrateBeginReq) (*wire.MigrateBeginResp, error) {
+			return n.handleMigrateBegin(req)
+		})
+	case wire.KInstallChunk:
+		return handleTyped(body, func(req *wire.InstallChunkReq) (*wire.InstallChunkResp, error) {
+			return n.handleInstallChunk(req)
+		})
+	case wire.KInstallCommit:
+		return handleTyped(body, func(req *wire.InstallCommitReq) (*wire.InstallCommitResp, error) {
+			return n.handleInstallCommit(req)
 		})
 	case wire.KCommit:
 		return handleTyped(body, func(req *wire.CommitReq) (*wire.CommitResp, error) {

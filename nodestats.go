@@ -39,6 +39,28 @@ type Stats struct {
 	// actually sent. Queued/Batches is the coalescing ratio.
 	HomeUpdatesQueued int64
 	HomeUpdateBatches int64
+	// StreamChunksOut / StreamBytesOut count the migration payload
+	// frames this node shipped as a coordinator — InstallChunk frames
+	// of streamed transfers and one-shot InstallReq frames alike — and
+	// the snapshot bytes they carried; StreamMaxChunkBytes is the
+	// largest single frame, the coordinator's peak per-frame
+	// buffering. With chunking enabled it stays bounded by
+	// MigrateConfig.ChunkBytes plus one snapshot.
+	StreamChunksOut     int64
+	StreamBytesOut      int64
+	StreamMaxChunkBytes int64
+	// StreamChunksIn / StreamBytesIn count chunks staged here as a
+	// migration target; StreamSessionsOpened / StreamSessionsExpired
+	// count staging sessions opened and discarded by the TTL janitor
+	// (an expiry means a coordinator died or stalled mid-stream).
+	StreamChunksIn        int64
+	StreamBytesIn         int64
+	StreamSessionsOpened  int64
+	StreamSessionsExpired int64
+	// PauseLeasesExpired counts pause leases that fired: migrations
+	// whose coordinator neither committed nor aborted within the lease,
+	// auto-resumed by this host.
+	PauseLeasesExpired int64
 }
 
 // nodeStats is the internal atomic counterpart of Stats.
@@ -59,6 +81,25 @@ type nodeStats struct {
 	autopilotDeferred     atomic.Int64
 	homeUpdatesQueued     atomic.Int64
 	homeUpdateBatches     atomic.Int64
+
+	streamChunksOut       atomic.Int64
+	streamBytesOut        atomic.Int64
+	streamMaxChunkBytes   atomic.Int64
+	streamChunksIn        atomic.Int64
+	streamBytesIn         atomic.Int64
+	streamSessionsOpened  atomic.Int64
+	streamSessionsExpired atomic.Int64
+	pauseLeasesExpired    atomic.Int64
+}
+
+// maxInt64 raises g to v if v is larger (CAS max for gauge counters).
+func maxInt64(g *atomic.Int64, v int64) {
+	for {
+		cur := g.Load()
+		if v <= cur || g.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // Stats returns a snapshot of the node's counters. The hosted-object
@@ -83,5 +124,14 @@ func (n *Node) Stats() Stats {
 		AutopilotDeferred:     n.stats.autopilotDeferred.Load(),
 		HomeUpdatesQueued:     n.stats.homeUpdatesQueued.Load(),
 		HomeUpdateBatches:     n.stats.homeUpdateBatches.Load(),
+
+		StreamChunksOut:       n.stats.streamChunksOut.Load(),
+		StreamBytesOut:        n.stats.streamBytesOut.Load(),
+		StreamMaxChunkBytes:   n.stats.streamMaxChunkBytes.Load(),
+		StreamChunksIn:        n.stats.streamChunksIn.Load(),
+		StreamBytesIn:         n.stats.streamBytesIn.Load(),
+		StreamSessionsOpened:  n.stats.streamSessionsOpened.Load(),
+		StreamSessionsExpired: n.stats.streamSessionsExpired.Load(),
+		PauseLeasesExpired:    n.stats.pauseLeasesExpired.Load(),
 	}
 }

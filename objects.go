@@ -20,6 +20,26 @@ func (n *Node) hostedRecord(id core.OID) (*store.Record, bool) {
 	return n.store.Hosted(id)
 }
 
+// decodeSnapshot reinstantiates one linearised object as a fresh local
+// record: type lookup, state decode, policy state and attachment edges.
+// Used by the one-shot install path and by streamed chunk staging.
+func (n *Node) decodeSnapshot(snap *wire.Snapshot) (*store.Record, error) {
+	t, ok := n.typeByName(snap.Type)
+	if !ok {
+		return nil, wire.Errorf(wire.CodeUnknownType, "node %s cannot host type %q", n.id, snap.Type)
+	}
+	inst, err := t.decodeState(snap.State)
+	if err != nil {
+		return nil, wire.Errorf(wire.CodeInternal, "reinstall %s: %v", snap.ID, err)
+	}
+	rec := store.NewRecord(snap.ID, snap.Type, inst)
+	rec.Pol = snap.Pol
+	for _, e := range snap.Edges {
+		rec.AddEdge(e.Other, e.Alliance)
+	}
+	return rec, nil
+}
+
 // installBatch registers arriving objects from their snapshots, as part
 // of migration token. The batch is all-or-nothing: either every
 // snapshot is installed or none is — the sharded store's InstallBatch
@@ -28,19 +48,10 @@ func (n *Node) hostedRecord(id core.OID) (*store.Record, bool) {
 // concurrent migrations from duplicating an object).
 func (n *Node) installBatch(snaps []wire.Snapshot, token uint64) error {
 	recs := make([]*store.Record, len(snaps))
-	for i, snap := range snaps {
-		t, ok := n.typeByName(snap.Type)
-		if !ok {
-			return wire.Errorf(wire.CodeUnknownType, "node %s cannot host type %q", n.id, snap.Type)
-		}
-		inst, err := t.decodeState(snap.State)
+	for i := range snaps {
+		rec, err := n.decodeSnapshot(&snaps[i])
 		if err != nil {
-			return wire.Errorf(wire.CodeInternal, "reinstall %s: %v", snap.ID, err)
-		}
-		rec := store.NewRecord(snap.ID, snap.Type, inst)
-		rec.Pol = snap.Pol
-		for _, e := range snap.Edges {
-			rec.AddEdge(e.Other, e.Alliance)
+			return err
 		}
 		recs[i] = rec
 	}

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# check-docs.sh — keep docs/ and README honest.
+#
+# Two checks, both grep-based and dependency-free:
+#
+#  1. Link check: every relative markdown link in docs/*.md and
+#     README.md must point at a file (or file#anchor) that exists.
+#  2. Symbol check: every backticked Go identifier mentioned in the
+#     docs — qualified names like `wire.Snapshot` / `Node.Migrate` and
+#     multi-hump exported CamelCase names like `AutopilotConfig` —
+#     must still exist somewhere in the repo's .go files.
+#
+# Run from the repository root: ./scripts/check-docs.sh
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+docs=(README.md docs/*.md)
+
+# --- 1. Relative link check -------------------------------------------------
+# Fenced code blocks are stripped first: Go generics (`Call[int,
+# int](ctx, …)`) would otherwise parse as markdown links.
+strip_fences() { awk '/^```/{infence=!infence; next} !infence' "$1"; }
+
+for f in "${docs[@]}"; do
+  # Markdown links: [text](target). Skip absolute URLs and pure anchors.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    base_dir=$(dirname "$f")
+    if [ ! -e "$path" ] && [ ! -e "$base_dir/$path" ]; then
+      echo "BROKEN LINK: $f -> $target"
+      fail=1
+    fi
+  done < <(strip_fences "$f" | grep -o '\[[^]]*\]([^)]*)' | sed 's/.*(\(.*\))/\1/')
+done
+
+# --- 2. Exported-symbol check ----------------------------------------------
+# Collect backticked tokens that look like Go identifiers.
+symbols=$(grep -ho '`[A-Za-z][A-Za-z0-9_.]*`' "${docs[@]}" | tr -d '`' | sort -u)
+
+for sym in $symbols; do
+  case "$sym" in
+    # Qualified name: pkg.Ident or Type.Method — check the part after
+    # the last dot (must look exported).
+    *.*)
+      ident="${sym##*.}"
+      case "$ident" in
+        [A-Z]*) ;;
+        *) continue ;;
+      esac
+      ;;
+    # Bare name: only check exported CamelCase with at least two humps
+    # (so `KiB`, `Go`, `TCP` and prose words never false-positive).
+    *)
+      if ! echo "$sym" | grep -Eq '^[A-Z][a-z0-9]{2,}[A-Z][A-Za-z0-9]*$'; then
+        continue
+      fi
+      ident="$sym"
+      ;;
+  esac
+  if ! grep -rq --include='*.go' "$ident" .; then
+    echo "STALE SYMBOL: \`$sym\` named in docs but $ident not found in any .go file"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs check FAILED"
+  exit 1
+fi
+echo "docs check OK"
