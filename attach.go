@@ -92,10 +92,7 @@ func (n *Node) edgeDel(ctx context.Context, obj, other core.OID, al core.Allianc
 
 // edgeRequest chases obj's host and delivers an edge mutation there.
 func (n *Node) edgeRequest(ctx context.Context, oid core.OID, kind wire.Kind, req interface{}) error {
-	for attempt := 0; attempt < n.retries; attempt++ {
-		if err := chasePause(ctx, attempt); err != nil {
-			return err
-		}
+	for c := n.newChase(); c.next(ctx); {
 		if _, ok := n.hostedRecord(oid); ok {
 			var err error
 			switch r := req.(type) {
@@ -131,6 +128,9 @@ func (n *Node) edgeRequest(ctx context.Context, oid core.OID, kind wire.Kind, re
 			continue
 		}
 		return fromRemote(err)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	return fmt.Errorf("%w: %s (attach)", ErrUnreachable, oid)
 }

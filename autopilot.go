@@ -367,17 +367,17 @@ func (a *autopilot) migrate(ctx context.Context, obj core.OID, target NodeID) ([
 // AffinityCaller is one remote caller's observed pressure in
 // Node.Affinity's report.
 type AffinityCaller struct {
-	Node  NodeID
-	Count int64
+	Node  NodeID // the calling node
+	Count int64  // decayed invocation count attributed to it
 }
 
 // ObjectAffinity is one object's observed access pressure at this
 // node: local serves plus remote callers in descending order.
 type ObjectAffinity struct {
-	Obj     Ref
-	Local   int64
-	Total   int64
-	Callers []AffinityCaller
+	Obj     Ref              // the observed object
+	Local   int64            // serves for local callers
+	Total   int64            // local plus all remote pressure
+	Callers []AffinityCaller // remote callers, heaviest first
 }
 
 // Affinity reports the node's current affinity observations (objects

@@ -300,8 +300,13 @@ func codecBodies() (*wire.InvokeReq, *wire.Snapshot) {
 }
 
 // BenchmarkRuntimeCodec compares the per-message gob baseline against
-// the pooled/fast-path codec behind wire.Marshal, on encode+decode
-// round trips of the two hot bodies.
+// the fast-path codec behind wire.Marshal, on encode+decode round
+// trips of the two hot bodies. The append sub-benchmarks measure the
+// zero-copy path the rpc layer actually runs — wire.MarshalAppend into
+// a reused frame buffer — whose remaining allocs/op are pure decode
+// output (the strings, byte slices and maps handed to the caller).
+// CI guards every sub-benchmark's allocs/op against
+// scripts/alloc-budget.txt (see scripts/check-allocs.sh).
 func BenchmarkRuntimeCodec(b *testing.B) {
 	req, snap := codecBodies()
 	run := func(name string, marshal func(interface{}) ([]byte, error),
@@ -319,10 +324,27 @@ func BenchmarkRuntimeCodec(b *testing.B) {
 			}
 		})
 	}
+	runAppend := func(name string, in interface{}, out func() interface{}) {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var buf []byte
+			for i := 0; i < b.N; i++ {
+				var err error
+				if buf, err = wire.MarshalAppend(buf[:0], in); err != nil {
+					b.Fatal(err)
+				}
+				if err := wire.Unmarshal(buf, out()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 	run("Invoke/gob", gobMarshal, gobUnmarshal, req, func() interface{} { return new(wire.InvokeReq) })
 	run("Invoke/pooled", wire.Marshal, wire.Unmarshal, req, func() interface{} { return new(wire.InvokeReq) })
+	runAppend("Invoke/append", req, func() interface{} { return new(wire.InvokeReq) })
 	run("Snapshot/gob", gobMarshal, gobUnmarshal, snap, func() interface{} { return new(wire.Snapshot) })
 	run("Snapshot/pooled", wire.Marshal, wire.Unmarshal, snap, func() interface{} { return new(wire.Snapshot) })
+	runAppend("Snapshot/append", snap, func() interface{} { return new(wire.Snapshot) })
 }
 
 // BenchmarkRuntimeStoreParallel measures the sharded store under

@@ -67,14 +67,14 @@ func (k EventKind) String() string {
 // emitted synchronously on the hot path: observers must be fast and
 // must not call back into the node.
 type Event struct {
-	Kind    EventKind
-	Node    NodeID // the node the event happened on
-	Obj     Ref    // primary object (zero for pure batch events)
-	Target  NodeID // destination (migrations) or requester (moves)
-	Outcome string // granted / stayed / denied / fixed / unfixed / ...
-	Objects []Ref  // batch members (migrations, installs)
-	Bytes   int64  // snapshot bytes (streaming migration events)
-	Time    time.Time
+	Kind    EventKind // what happened (see the EventKind constants)
+	Node    NodeID    // the node the event happened on
+	Obj     Ref       // primary object (zero for pure batch events)
+	Target  NodeID    // destination (migrations) or requester (moves)
+	Outcome string    // granted / stayed / denied / fixed / unfixed / ...
+	Objects []Ref     // batch members (migrations, installs)
+	Bytes   int64     // snapshot bytes (streaming migration events)
+	Time    time.Time // when the node emitted the event
 }
 
 // String renders the event compactly for logs.

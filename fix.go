@@ -36,10 +36,7 @@ func (n *Node) Refix(ctx context.Context, ref Ref, target NodeID) error {
 func (n *Node) IsFixed(ctx context.Context, ref Ref) (bool, error) {
 	oid := ref.OID
 	req := &wire.FixReq{Obj: oid, Query: true}
-	for attempt := 0; attempt < n.retries; attempt++ {
-		if err := chasePause(ctx, attempt); err != nil {
-			return false, err
-		}
+	for c := n.newChase(); c.next(ctx); {
 		if _, ok := n.hostedRecord(oid); ok {
 			resp, err := n.handleFix(req)
 			if to, moved := movedTo(err); moved {
@@ -73,16 +70,16 @@ func (n *Node) IsFixed(ctx context.Context, ref Ref) (bool, error) {
 		}
 		return false, fromRemote(err)
 	}
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
 	return false, fmt.Errorf("%w: %s (fixed?)", ErrUnreachable, oid)
 }
 
 // fixRequest chases the object and flips its fixed flag at the host.
 func (n *Node) fixRequest(ctx context.Context, oid core.OID, fix bool) error {
 	req := &wire.FixReq{Obj: oid, Fix: fix}
-	for attempt := 0; attempt < n.retries; attempt++ {
-		if err := chasePause(ctx, attempt); err != nil {
-			return err
-		}
+	for c := n.newChase(); c.next(ctx); {
 		if _, ok := n.hostedRecord(oid); ok {
 			_, err := n.handleFix(req)
 			if to, moved := movedTo(err); moved {
@@ -112,6 +109,9 @@ func (n *Node) fixRequest(ctx context.Context, oid core.OID, fix bool) error {
 			continue
 		}
 		return fromRemote(err)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	return fmt.Errorf("%w: %s (fix)", ErrUnreachable, oid)
 }

@@ -156,17 +156,17 @@ func (c *counters) add(from core.NodeID, delta int64) {
 
 // CallerLoad is one remote caller's observed pressure on an object.
 type CallerLoad struct {
-	Node  core.NodeID
-	Count int64
+	Node  core.NodeID // the calling node
+	Count int64       // decayed invocation count attributed to it
 }
 
 // ObjLoad is the tracker's view of one object: local serves, remote
 // callers in descending pressure order, and the total.
 type ObjLoad struct {
-	Obj     core.OID
-	Local   int64
-	Callers []CallerLoad
-	Total   int64
+	Obj     core.OID     // the observed object
+	Local   int64        // serves for local callers
+	Callers []CallerLoad // remote callers, heaviest first
+	Total   int64        // local plus all remote pressure
 }
 
 // load snapshots one counter block.
@@ -253,9 +253,9 @@ func (t *Tracker) Decay() {
 // Obs is one transferable (object, caller, count) observation — the
 // gossip currency piggy-backed on home updates when objects migrate.
 type Obs struct {
-	Obj   core.OID
-	From  core.NodeID
-	Count int64
+	Obj   core.OID    // the observed object
+	From  core.NodeID // the caller the pressure is attributed to
+	Count int64       // decayed invocation count at lift time
 }
 
 // Take removes the listed objects from the tracker and returns their

@@ -150,6 +150,7 @@ const (
 type DenyReason int
 
 const (
+	// ReasonNone: the move was not denied.
 	ReasonNone DenyReason = iota
 	// ReasonPolicy: the policy never migrates (sedentary).
 	ReasonPolicy

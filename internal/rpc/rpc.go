@@ -10,7 +10,17 @@
 //
 // direction 0 carries a request ([1B kind][body]); direction 1 a
 // successful response ([body]); direction 2 a failed response
-// (gob-encoded wire.RemoteError).
+// (an encoded wire.RemoteError).
+//
+// Frames are pooled (internal/framebuf), and messages are encoded
+// exactly once: Call and serve reserve the frame header up front in a
+// pooled buffer and hand the codec the tail (wire.MarshalAppend), so
+// the marshalled body is never copied into a second allocation. Sent
+// frames return to the pool as soon as the transport has taken them
+// (Conn.Send does not retain its argument); received frames return to
+// the pool after dispatch — which is safe because wire.Unmarshal fully
+// copies every field it decodes. See docs/wire-format.md for the
+// byte-level layout and the complete ownership rules.
 package rpc
 
 import (
@@ -20,6 +30,7 @@ import (
 	"fmt"
 	"sync"
 
+	"objmig/internal/framebuf"
 	"objmig/internal/transport"
 	"objmig/internal/wire"
 )
@@ -28,6 +39,12 @@ const (
 	dirRequest = 0
 	dirOK      = 1
 	dirErr     = 2
+
+	// hdrLen is the frame header (direction + call ID); requests carry
+	// one extra kind byte, making reqHdrLen the offset of a request
+	// body within its frame.
+	hdrLen    = 9
+	reqHdrLen = hdrLen + 1
 )
 
 // ErrPeerClosed is returned by calls whose peer shut down before a
@@ -44,10 +61,18 @@ var ErrDialFailed = errors.New("rpc: dial failed")
 // connection: the request was definitely never delivered.
 var ErrSendFailed = errors.New("rpc: send failed")
 
-// Handler processes one inbound request and returns the response body.
+// Handler processes one inbound request and appends its encoded
+// response body to dst (normally via wire.MarshalAppend), returning
+// the extended slice. dst arrives with the frame header already
+// reserved; the handler must only append. body is only valid until the
+// handler returns — the frame it points into is recycled afterwards —
+// so the handler must fully decode it (wire.Unmarshal copies) and must
+// not retain it.
+//
 // Returning a *wire.RemoteError preserves the error code across the
-// wire; any other error is wrapped as CodeInternal.
-type Handler func(ctx context.Context, kind wire.Kind, body []byte) ([]byte, error)
+// wire; any other error is wrapped as CodeInternal. On error the
+// response bytes appended so far are discarded.
+type Handler func(ctx context.Context, kind wire.Kind, body, dst []byte) ([]byte, error)
 
 // Peer manages one connection: concurrent outbound calls and inbound
 // request dispatch.
@@ -66,9 +91,30 @@ type Peer struct {
 	wg sync.WaitGroup
 }
 
+// callResult carries one response frame (or a local failure) from the
+// read loop to the blocked caller, which decodes it and recycles the
+// frame.
 type callResult struct {
-	body []byte
-	err  error
+	frame []byte // whole pooled frame; recycled by finish
+	body  []byte // payload within frame
+	isErr bool   // dirErr: body is an encoded wire.RemoteError
+	err   error  // local failure (peer shut down); no frame attached
+}
+
+// finish decodes the response into resp (skipped when resp is nil) and
+// recycles the frame.
+func (r callResult) finish(resp interface{}) error {
+	if r.err != nil {
+		return r.err
+	}
+	var err error
+	if r.isErr {
+		err = decodeError(r.body)
+	} else if resp != nil {
+		err = wire.Unmarshal(r.body, resp)
+	}
+	framebuf.Put(r.frame)
+	return err
 }
 
 // NewPeer wraps a connection. handler may be nil for client-only peers
@@ -88,36 +134,48 @@ func NewPeer(conn transport.Conn, handler Handler) *Peer {
 	return p
 }
 
-// Call sends a request and blocks for its response, the context's
-// cancellation, or peer shutdown.
-func (p *Peer) Call(ctx context.Context, kind wire.Kind, body []byte) ([]byte, error) {
+// Call encodes req into a pooled frame, sends it, and blocks for the
+// response (decoded into resp, which may be nil to discard it), the
+// context's cancellation, or peer shutdown. The request is marshalled
+// exactly once, directly behind the reserved frame header; the frame
+// returns to the pool as soon as the transport has taken it.
+func (p *Peer) Call(ctx context.Context, kind wire.Kind, req, resp interface{}) error {
 	ch := make(chan callResult, 1)
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
-		return nil, ErrPeerClosed
+		return ErrPeerClosed
 	}
 	p.nextID++
 	id := p.nextID
 	p.pending[id] = ch
 	p.mu.Unlock()
 
-	frame := make([]byte, 1+8+1+len(body))
-	frame[0] = dirRequest
-	binary.BigEndian.PutUint64(frame[1:9], id)
-	frame[9] = byte(kind)
-	copy(frame[10:], body)
-	if err := p.conn.Send(frame); err != nil {
+	frame := framebuf.Get(reqHdrLen + 64)
+	frame, err := wire.MarshalAppend(frame[:reqHdrLen], req)
+	if err != nil {
+		framebuf.Put(frame)
 		p.forget(id)
-		return nil, fmt.Errorf("%w: %v", ErrSendFailed, err)
+		return err
+	}
+	// The header is filled in after the body: MarshalAppend may have
+	// grown the frame into a new backing array.
+	frame[0] = dirRequest
+	binary.BigEndian.PutUint64(frame[1:hdrLen], id)
+	frame[hdrLen] = byte(kind)
+	err = p.conn.Send(frame)
+	framebuf.Put(frame)
+	if err != nil {
+		p.forget(id)
+		return fmt.Errorf("%w: %v", ErrSendFailed, err)
 	}
 
 	select {
 	case r := <-ch:
-		return r.body, r.err
+		return r.finish(resp)
 	case <-ctx.Done():
 		p.forget(id)
-		return nil, ctx.Err()
+		return ctx.Err()
 	}
 }
 
@@ -129,7 +187,10 @@ func (p *Peer) forget(id uint64) {
 }
 
 // readLoop receives frames until the connection dies, dispatching
-// requests and completing pending calls.
+// requests and completing pending calls. Every received frame is
+// recycled exactly once: by the serve goroutine after its handler
+// returns, by the blocked caller after it decodes the response, or
+// right here when nobody wants it.
 func (p *Peer) readLoop() {
 	defer p.wg.Done()
 	for {
@@ -138,77 +199,80 @@ func (p *Peer) readLoop() {
 			p.failAll(err)
 			return
 		}
-		if len(frame) < 9 {
+		if len(frame) < hdrLen {
+			framebuf.Put(frame)
 			p.failAll(fmt.Errorf("rpc: short frame (%d bytes)", len(frame)))
 			return
 		}
 		dir := frame[0]
-		id := binary.BigEndian.Uint64(frame[1:9])
-		payload := frame[9:]
+		id := binary.BigEndian.Uint64(frame[1:hdrLen])
+		payload := frame[hdrLen:]
 		switch dir {
 		case dirRequest:
 			if len(payload) < 1 {
+				framebuf.Put(frame)
 				continue
 			}
 			kind := wire.Kind(payload[0])
 			body := payload[1:]
 			p.wg.Add(1)
-			go func() {
+			go func(frame []byte) {
 				defer p.wg.Done()
 				p.serve(id, kind, body)
-			}()
+				framebuf.Put(frame) // body (an alias) is dead once serve returns
+			}(frame)
 		case dirOK, dirErr:
 			p.mu.Lock()
 			ch, ok := p.pending[id]
 			delete(p.pending, id)
 			p.mu.Unlock()
 			if !ok {
-				continue // caller gave up (context cancelled)
+				framebuf.Put(frame) // caller gave up (context cancelled)
+				continue
 			}
-			if dir == dirOK {
-				ch <- callResult{body: payload}
-			} else {
-				ch <- callResult{err: decodeError(payload)}
-			}
+			ch <- callResult{frame: frame, body: payload, isErr: dir == dirErr}
+		default:
+			framebuf.Put(frame)
 		}
 	}
 }
 
-// serve runs the handler for one request and sends the response.
+// serve runs the handler for one request, encoding the response
+// straight into a pooled frame behind its reserved header.
 func (p *Peer) serve(id uint64, kind wire.Kind, body []byte) {
-	var (
-		res []byte
-		err error
-	)
+	frame := framebuf.Get(hdrLen + 64)
+	frame = frame[:hdrLen]
+	var err error
 	if p.handler == nil {
 		err = wire.Errorf(wire.CodeBadRequest, "peer does not serve requests")
 	} else if !kind.Valid() {
 		err = wire.Errorf(wire.CodeBadRequest, "unknown request kind %d", kind)
 	} else {
-		res, err = p.handler(p.ctx, kind, body)
+		var out []byte
+		if out, err = p.handler(p.ctx, kind, body, frame); err == nil && out != nil {
+			frame = out
+		}
 	}
-	var frame []byte
 	if err != nil {
 		var re *wire.RemoteError
 		if !errors.As(err, &re) {
 			re = wire.Errorf(wire.CodeInternal, "%v", err)
 		}
-		enc, mErr := wire.Marshal(re)
-		if mErr != nil {
-			enc, _ = wire.Marshal(wire.Errorf(wire.CodeInternal, "unencodable error"))
+		// Rewind past anything a failing handler appended and encode
+		// the error instead.
+		var mErr error
+		if frame, mErr = wire.MarshalAppend(frame[:hdrLen], re); mErr != nil {
+			frame, _ = wire.MarshalAppend(frame[:hdrLen], wire.Errorf(wire.CodeInternal, "unencodable error"))
 		}
-		frame = make([]byte, 9+len(enc))
 		frame[0] = dirErr
-		copy(frame[9:], enc)
 	} else {
-		frame = make([]byte, 9+len(res))
 		frame[0] = dirOK
-		copy(frame[9:], res)
 	}
-	binary.BigEndian.PutUint64(frame[1:9], id)
+	binary.BigEndian.PutUint64(frame[1:hdrLen], id)
 	// A send failure means the connection is dying; the read loop
 	// will fail all pending calls, nothing more to do here.
 	_ = p.conn.Send(frame)
+	framebuf.Put(frame)
 }
 
 // decodeError reconstructs the remote error from a dirErr payload.
@@ -329,18 +393,19 @@ func NewPool(tr transport.Transport) *Pool {
 	return &Pool{tr: tr, conns: make(map[string]*Peer)}
 }
 
-// Call sends one request to addr, dialling if needed. Dead peers are
-// evicted and re-dialled on the next call.
-func (p *Pool) Call(ctx context.Context, addr string, kind wire.Kind, body []byte) ([]byte, error) {
+// Call sends one request to addr, dialling if needed, and decodes the
+// response into resp (nil discards it). Dead peers are evicted and
+// re-dialled on the next call.
+func (p *Pool) Call(ctx context.Context, addr string, kind wire.Kind, req, resp interface{}) error {
 	peer, err := p.get(addr)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	res, err := peer.Call(ctx, kind, body)
+	err = peer.Call(ctx, kind, req, resp)
 	if errors.Is(err, ErrPeerClosed) {
 		p.evict(addr, peer)
 	}
-	return res, err
+	return err
 }
 
 func (p *Pool) get(addr string) (*Peer, error) {

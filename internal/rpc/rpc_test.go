@@ -1,21 +1,29 @@
 package rpc
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sync"
 	"testing"
 	"time"
 
+	"objmig/internal/core"
 	"objmig/internal/transport"
 	"objmig/internal/wire"
 )
 
-// echoHandler replies with the request body; kind KPing with payload
-// "fail" returns a typed error; "slow" blocks until the context dies.
-func echoHandler(ctx context.Context, kind wire.Kind, body []byte) ([]byte, error) {
-	switch string(body) {
+// echoHandler replies with the request payload; payload "fail" returns
+// a typed error; "boom" a plain error; "slow" blocks until the context
+// dies.
+func echoHandler(ctx context.Context, kind wire.Kind, body, dst []byte) ([]byte, error) {
+	var req wire.PingReq
+	if err := wire.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	switch req.Payload {
 	case "fail":
 		return nil, wire.Errorf(wire.CodeFixed, "nope")
 	case "boom":
@@ -24,8 +32,15 @@ func echoHandler(ctx context.Context, kind wire.Kind, body []byte) ([]byte, erro
 		<-ctx.Done()
 		return nil, ctx.Err()
 	default:
-		return body, nil
+		return wire.MarshalAppend(dst, wire.PingResp{Payload: req.Payload})
 	}
+}
+
+// ping round-trips one payload through the pool.
+func ping(pool *Pool, addr, payload string) (string, error) {
+	var resp wire.PingResp
+	err := pool.Call(context.Background(), addr, wire.KPing, &wire.PingReq{Payload: payload}, &resp)
+	return resp.Payload, err
 }
 
 // pipe builds a served listener and a pool on a fresh in-memory
@@ -49,11 +64,11 @@ func pipe(t *testing.T, h Handler) (*Server, *Pool, string) {
 func TestCallRoundTrip(t *testing.T) {
 	t.Parallel()
 	_, pool, addr := pipe(t, echoHandler)
-	res, err := pool.Call(context.Background(), addr, wire.KPing, []byte("hello"))
+	res, err := ping(pool, addr, "hello")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if string(res) != "hello" {
+	if res != "hello" {
 		t.Fatalf("res = %q", res)
 	}
 }
@@ -61,7 +76,7 @@ func TestCallRoundTrip(t *testing.T) {
 func TestTypedErrorCrossesWire(t *testing.T) {
 	t.Parallel()
 	_, pool, addr := pipe(t, echoHandler)
-	_, err := pool.Call(context.Background(), addr, wire.KPing, []byte("fail"))
+	_, err := ping(pool, addr, "fail")
 	var re *wire.RemoteError
 	if !errors.As(err, &re) {
 		t.Fatalf("error %v is not a RemoteError", err)
@@ -74,7 +89,7 @@ func TestTypedErrorCrossesWire(t *testing.T) {
 func TestPlainErrorBecomesInternal(t *testing.T) {
 	t.Parallel()
 	_, pool, addr := pipe(t, echoHandler)
-	_, err := pool.Call(context.Background(), addr, wire.KPing, []byte("boom"))
+	_, err := ping(pool, addr, "boom")
 	var re *wire.RemoteError
 	if !errors.As(err, &re) || re.Code != wire.CodeInternal {
 		t.Fatalf("error = %v", err)
@@ -91,12 +106,12 @@ func TestConcurrentCalls(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			msg := fmt.Sprintf("msg-%d", i)
-			res, err := pool.Call(context.Background(), addr, wire.KPing, []byte(msg))
+			res, err := ping(pool, addr, msg)
 			if err != nil {
 				errs <- err
 				return
 			}
-			if string(res) != msg {
+			if res != msg {
 				errs <- fmt.Errorf("mismatched response %q for %q", res, msg)
 			}
 		}(i)
@@ -114,7 +129,7 @@ func TestContextCancellation(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	_, err := pool.Call(ctx, addr, wire.KPing, []byte("slow"))
+	err := pool.Call(ctx, addr, wire.KPing, &wire.PingReq{Payload: "slow"}, nil)
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want deadline exceeded", err)
 	}
@@ -122,8 +137,8 @@ func TestContextCancellation(t *testing.T) {
 		t.Fatal("cancellation took far too long")
 	}
 	// The peer must still work for subsequent calls.
-	res, err := pool.Call(context.Background(), addr, wire.KPing, []byte("after"))
-	if err != nil || string(res) != "after" {
+	res, err := ping(pool, addr, "after")
+	if err != nil || res != "after" {
 		t.Fatalf("call after cancellation: %q, %v", res, err)
 	}
 }
@@ -133,7 +148,7 @@ func TestServerCloseFailsPendingCalls(t *testing.T) {
 	srv, pool, addr := pipe(t, echoHandler)
 	done := make(chan error, 1)
 	go func() {
-		_, err := pool.Call(context.Background(), addr, wire.KPing, []byte("slow"))
+		_, err := ping(pool, addr, "slow")
 		done <- err
 	}()
 	time.Sleep(50 * time.Millisecond)
@@ -159,12 +174,12 @@ func TestPoolRedialsAfterPeerDeath(t *testing.T) {
 	pool := NewPool(tr)
 	defer pool.Close()
 
-	if _, err := pool.Call(context.Background(), "svc", wire.KPing, []byte("a")); err != nil {
+	if _, err := ping(pool, "svc", "a"); err != nil {
 		t.Fatal(err)
 	}
 	_ = srv.Close()
 	// First call after death may fail while the dead peer is evicted.
-	_, _ = pool.Call(context.Background(), "svc", wire.KPing, []byte("b"))
+	_, _ = ping(pool, "svc", "b")
 
 	l2, err := tr.Listen("svc")
 	if err != nil {
@@ -174,8 +189,8 @@ func TestPoolRedialsAfterPeerDeath(t *testing.T) {
 	defer srv2.Close()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		res, err := pool.Call(context.Background(), "svc", wire.KPing, []byte("c"))
-		if err == nil && string(res) == "c" {
+		res, err := ping(pool, "svc", "c")
+		if err == nil && res == "c" {
 			return
 		}
 		if time.Now().After(deadline) {
@@ -209,7 +224,7 @@ func TestClientOnlyPeerRejectsRequests(t *testing.T) {
 	serverSide := NewPeer(<-conns, echoHandler)
 	defer serverSide.Close()
 
-	_, err = serverSide.Call(context.Background(), wire.KPing, []byte("x"))
+	err = serverSide.Call(context.Background(), wire.KPing, &wire.PingReq{Payload: "x"}, nil)
 	var re *wire.RemoteError
 	if !errors.As(err, &re) || re.Code != wire.CodeBadRequest {
 		t.Fatalf("err = %v, want CodeBadRequest", err)
@@ -219,7 +234,7 @@ func TestClientOnlyPeerRejectsRequests(t *testing.T) {
 func TestInvalidKindRejected(t *testing.T) {
 	t.Parallel()
 	_, pool, addr := pipe(t, echoHandler)
-	_, err := pool.Call(context.Background(), addr, wire.Kind(99), []byte("x"))
+	err := pool.Call(context.Background(), addr, wire.Kind(99), &wire.PingReq{Payload: "x"}, nil)
 	var re *wire.RemoteError
 	if !errors.As(err, &re) || re.Code != wire.CodeBadRequest {
 		t.Fatalf("err = %v, want CodeBadRequest", err)
@@ -230,7 +245,7 @@ func TestPoolCloseRejectsCalls(t *testing.T) {
 	t.Parallel()
 	_, pool, addr := pipe(t, echoHandler)
 	_ = pool.Close()
-	if _, err := pool.Call(context.Background(), addr, wire.KPing, nil); !errors.Is(err, ErrPeerClosed) {
+	if _, err := ping(pool, addr, "x"); !errors.Is(err, ErrPeerClosed) {
 		t.Fatalf("err = %v, want ErrPeerClosed", err)
 	}
 }
@@ -248,9 +263,185 @@ func TestCallsOverTCP(t *testing.T) {
 	defer pool.Close()
 	for i := 0; i < 20; i++ {
 		msg := fmt.Sprintf("tcp-%d", i)
-		res, err := pool.Call(context.Background(), l.Addr(), wire.KPing, []byte(msg))
-		if err != nil || string(res) != msg {
+		res, err := ping(pool, l.Addr(), msg)
+		if err != nil || res != msg {
 			t.Fatalf("call %d: %q, %v", i, res, err)
 		}
+	}
+}
+
+// TestNilResponseBody: a handler returning (nil, nil) sends an empty
+// success payload instead of crashing the serve goroutine; callers
+// that discard the response (resp == nil) see plain success.
+func TestNilResponseBody(t *testing.T) {
+	t.Parallel()
+	_, pool, addr := pipe(t, func(ctx context.Context, kind wire.Kind, body, dst []byte) ([]byte, error) {
+		return nil, nil
+	})
+	if err := pool.Call(context.Background(), addr, wire.KPing, &wire.PingReq{}, nil); err != nil {
+		t.Fatalf("nil-body call failed: %v", err)
+	}
+	// Asking to decode an empty body is the caller's error, reported
+	// cleanly.
+	var resp wire.PingResp
+	if err := pool.Call(context.Background(), addr, wire.KPing, &wire.PingReq{}, &resp); err == nil {
+		t.Fatal("decoding an empty body unexpectedly succeeded")
+	}
+}
+
+// --- Frame-recycling stress ---
+
+// checksum is the integrity check of the reuse stress test: any
+// use-after-recycle corruption of a pooled frame flips payload bytes
+// and breaks it.
+func checksum(b []byte) uint32 {
+	h := fnv.New32a()
+	_, _ = h.Write(b)
+	return h.Sum32()
+}
+
+// payloadFor deterministically fills a payload from a seed, so both
+// ends of a call can regenerate the exact expected bytes.
+func payloadFor(seed, n int) []byte {
+	b := make([]byte, n)
+	x := uint32(seed)*2654435761 + 12345
+	for i := range b {
+		x = x*1664525 + 1013904223
+		b[i] = byte(x >> 24)
+	}
+	return b
+}
+
+// stressHandler verifies the request checksum and answers with a fresh
+// deterministic payload (seed+1) plus its checksum. KInvoke exercises
+// the fast-path codec, KPing the gob fallback; payload "err" exercises
+// the error frame path.
+func stressHandler(ctx context.Context, kind wire.Kind, body, dst []byte) ([]byte, error) {
+	switch kind {
+	case wire.KInvoke:
+		var req wire.InvokeReq
+		if err := wire.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		if req.Method != fmt.Sprint(checksum(req.Arg)) {
+			return nil, wire.Errorf(wire.CodeBadRequest, "request checksum mismatch (%d bytes)", len(req.Arg))
+		}
+		out := payloadFor(int(req.Obj.Seq)+1, len(req.Arg))
+		return wire.MarshalAppend(dst, &wire.InvokeResp{Result: out, At: core.NodeID(fmt.Sprint(checksum(out)))})
+	case wire.KPing:
+		var req wire.PingReq
+		if err := wire.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		if req.Payload == "err" {
+			return nil, wire.Errorf(wire.CodeDenied, "requested error")
+		}
+		return wire.MarshalAppend(dst, wire.PingResp{Payload: req.Payload})
+	default:
+		return nil, wire.Errorf(wire.CodeBadRequest, "kind %v", kind)
+	}
+}
+
+// stressCalls hammers one peer with mixed-size checksummed calls.
+// Every response is regenerated independently and compared
+// byte-for-byte, so a frame recycled while still referenced — by
+// either end, in either direction — shows up as a checksum or payload
+// mismatch (and usually as a race-detector report first).
+func stressCalls(t *testing.T, p *Peer, worker, iters int) {
+	t.Helper()
+	sizes := []int{0, 7, 100, 600, 5000, 70000, 300000}
+	for i := 0; i < iters; i++ {
+		seed := worker*1_000_000 + i*2
+		switch i % 5 {
+		case 4: // gob fallback body
+			var resp wire.PingResp
+			msg := fmt.Sprintf("gob-%d", seed)
+			if i%10 == 9 {
+				err := p.Call(context.Background(), wire.KPing, &wire.PingReq{Payload: "err"}, &resp)
+				var re *wire.RemoteError
+				if !errors.As(err, &re) || re.Code != wire.CodeDenied {
+					t.Errorf("worker %d call %d: err = %v, want CodeDenied", worker, i, err)
+					return
+				}
+				continue
+			}
+			if err := p.Call(context.Background(), wire.KPing, &wire.PingReq{Payload: msg}, &resp); err != nil || resp.Payload != msg {
+				t.Errorf("worker %d call %d: %q, %v", worker, i, resp.Payload, err)
+				return
+			}
+		default: // fast-path body, mixed sizes
+			n := sizes[(worker+i)%len(sizes)]
+			arg := payloadFor(seed, n)
+			req := &wire.InvokeReq{
+				Obj:    core.OID{Origin: "stress", Seq: uint64(seed)},
+				Method: fmt.Sprint(checksum(arg)),
+				Arg:    arg,
+			}
+			var resp wire.InvokeResp
+			if err := p.Call(context.Background(), wire.KInvoke, req, &resp); err != nil {
+				t.Errorf("worker %d call %d (%d bytes): %v", worker, i, n, err)
+				return
+			}
+			want := payloadFor(seed+1, n)
+			if string(resp.At) != fmt.Sprint(checksum(resp.Result)) || !bytes.Equal(resp.Result, want) {
+				t.Errorf("worker %d call %d (%d bytes): response corrupted", worker, i, n)
+				return
+			}
+		}
+	}
+}
+
+// TestFrameReuseStress drives concurrent calls in both directions over
+// one connection — every frame drawn from and returned to the shared
+// pool — and checks payload integrity end to end. Run with -race, this
+// is the buffer-ownership regression test for the zero-copy pipeline:
+// a frame recycled early (or written after Put) corrupts a checksummed
+// payload or trips the race detector.
+func TestFrameReuseStress(t *testing.T) {
+	t.Parallel()
+	for _, tc := range []struct {
+		name string
+		tr   transport.Transport
+	}{
+		{"mem", transport.NewNetwork().Transport()},
+		{"tcp", transport.TCP{}},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			l, err := tc.tr.Listen("")
+			if err != nil {
+				t.Fatal(err)
+			}
+			conns := make(chan transport.Conn, 1)
+			go func() {
+				c, err := l.Accept()
+				if err == nil {
+					conns <- c
+				}
+			}()
+			dialed, err := tc.tr.Dial(l.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := NewPeer(dialed, stressHandler)
+			b := NewPeer(<-conns, stressHandler)
+			defer a.Close()
+			defer b.Close()
+			_ = l.Close()
+
+			const workers, iters = 6, 120
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				for _, p := range []*Peer{a, b} {
+					wg.Add(1)
+					go func(p *Peer, w int) {
+						defer wg.Done()
+						stressCalls(t, p, w, iters)
+					}(p, w)
+				}
+			}
+			wg.Wait()
+		})
 	}
 }

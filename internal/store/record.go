@@ -29,16 +29,16 @@ const (
 // shard location lock; Record.Mu may be taken with or without a shard
 // lock held, never the other way around.
 type Record struct {
-	ID       core.OID
-	TypeName string
+	ID       core.OID // the object's cluster-unique identity
+	TypeName string   // registered type that reinstantiates the object
 
-	Mu   sync.Mutex
+	Mu   sync.Mutex // guards every mutable field below
 	cond *sync.Cond // broadcast on every status/busy transition
 
-	Inst    interface{}
-	Pol     core.ObjState
+	Inst    interface{}   // the live user instance
+	Pol     core.ObjState // migration-policy state (locks, fixed flag)
 	edges   map[core.OID]map[core.AllianceID]bool
-	Status  Status
+	Status  Status      // live, paused or gone
 	Token   uint64      // pause token while StatusPaused
 	MovedTo core.NodeID // next hop while StatusGone
 	busy    bool        // an invocation is executing (objects are monitors)

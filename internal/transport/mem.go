@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"objmig/internal/framebuf"
 )
 
 // Network is an in-process fabric of memTransport endpoints. Each test
@@ -136,8 +138,10 @@ func (c *memConn) Send(frame []byte) error {
 			return ErrClosed
 		}
 	}
-	// Copy the frame: the caller may reuse its buffer.
-	cp := make([]byte, len(frame))
+	// Copy the frame — the caller may reuse its buffer the moment Send
+	// returns — into a pooled buffer the receiver recycles after
+	// dispatch, closing the reuse loop without per-frame garbage.
+	cp := framebuf.Get(len(frame))[:len(frame)]
 	copy(cp, frame)
 	select {
 	case c.out <- cp:

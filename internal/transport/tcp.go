@@ -7,6 +7,8 @@ import (
 	"io"
 	"net"
 	"sync"
+
+	"objmig/internal/framebuf"
 )
 
 // maxFrame bounds a single frame (16 MiB): large enough for any batch
@@ -111,8 +113,11 @@ func (t *tcpConn) Recv() ([]byte, error) {
 	if n > maxFrame {
 		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
 	}
-	frame := make([]byte, n)
+	// Pooled receive buffer; ownership passes to the caller, which
+	// recycles it after dispatch (see Conn).
+	frame := framebuf.Get(int(n))[:n]
 	if _, err := io.ReadFull(t.r, frame); err != nil {
+		framebuf.Put(frame)
 		return nil, err
 	}
 	return frame, nil

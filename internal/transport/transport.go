@@ -11,12 +11,23 @@ import "errors"
 var ErrClosed = errors.New("transport: closed")
 
 // Conn is a reliable, ordered, frame-oriented duplex connection. Send
-// and Recv are safe for one concurrent sender and one concurrent
-// receiver; Close may be called from any goroutine and unblocks both.
+// and Recv are safe for any number of concurrent senders and one
+// concurrent receiver; Close may be called from any goroutine and
+// unblocks both.
+//
+// Buffer ownership follows the pooled-frame pipeline (see
+// internal/framebuf and docs/wire-format.md): Send does not retain its
+// argument — the caller may reuse or recycle the frame the moment Send
+// returns — and Recv's result is owned by the caller, which should
+// recycle it (framebuf.Put) once fully consumed. Implementations draw
+// their receive-side buffers from the frame pool so steady-state
+// traffic allocates no per-frame garbage.
 type Conn interface {
-	// Send transmits one frame.
+	// Send transmits one frame. The frame remains the caller's: the
+	// implementation copies or writes it out before returning.
 	Send(frame []byte) error
-	// Recv blocks for the next frame.
+	// Recv blocks for the next frame. The returned slice is owned by
+	// the caller.
 	Recv() ([]byte, error)
 	// Close tears the connection down. It is idempotent.
 	Close() error

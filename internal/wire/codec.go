@@ -1,6 +1,6 @@
 package wire
 
-// The codec behind Marshal/Unmarshal. Two layers:
+// The codec behind Marshal/MarshalAppend/Unmarshal. Two layers:
 //
 //   - A hand-rolled binary fast path for the high-frequency bodies —
 //     invoke, locate and home-update traffic, the snapshots that make
@@ -8,12 +8,18 @@ package wire
 //     bodies that heat up once the autopilot issues migrations
 //     continuously. These encode to [tag][varint-framed fields] with
 //     zero reflection and no per-message encoder state.
-//   - A pooled gob fallback for everything else (control-plane bodies
-//     and remote errors), prefixed with tagGob. The per-message
-//     bytes.Buffer and bytes.Reader come from sync.Pools; gob's
-//     encoder/decoder objects themselves cannot be reused across
-//     independent messages (each stream re-sends type descriptors), so
-//     the fallback pools the buffers around them.
+//   - A gob fallback for everything else (control-plane bodies and
+//     remote errors), prefixed with tagGob. Gob's encoder/decoder
+//     objects cannot be reused across independent messages (each
+//     stream re-sends type descriptors), so the fallback encodes
+//     through a throwaway encoder; the decode side pools its
+//     bytes.Reader.
+//
+// Both layers are append-style: encoders extend the destination slice
+// in place, so the rpc layer can reserve a frame header and have the
+// body land directly behind it in the same (pooled) buffer — a message
+// is encoded exactly once, into its final frame. See MarshalAppend in
+// wire.go for the buffer-ownership rules.
 //
 // A gob stream's first byte is a positive segment length, so tagGob = 0
 // can never collide with a legacy un-prefixed message. Both layers sit
@@ -29,6 +35,7 @@ import (
 	"sync"
 
 	"objmig/internal/core"
+	"objmig/internal/framebuf"
 )
 
 const (
@@ -56,23 +63,27 @@ const (
 	tagInstallCommitResp
 )
 
-// --- Pooled gob fallback ---
+// --- Gob fallback ---
 
-var encBufPool = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+// sliceWriter adapts an append target to io.Writer so gob can encode
+// directly into the tail of a frame buffer.
+type sliceWriter struct{ b []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
 var decReaderPool = sync.Pool{New: func() interface{} { return new(bytes.Reader) }}
 
-func marshalGob(v interface{}) ([]byte, error) {
-	buf := encBufPool.Get().(*bytes.Buffer)
-	buf.Reset()
-	buf.WriteByte(tagGob)
-	if err := gob.NewEncoder(buf).Encode(v); err != nil {
-		encBufPool.Put(buf)
-		return nil, fmt.Errorf("wire: marshal %T: %w", v, err)
+func marshalGobAppend(dst []byte, v interface{}) ([]byte, error) {
+	w := sliceWriter{b: append(dst, tagGob)}
+	if err := gob.NewEncoder(&w).Encode(v); err != nil {
+		// Leave dst exactly as handed in: a failed encode must not
+		// publish half a body into a frame the caller will reuse.
+		return dst, fmt.Errorf("wire: marshal %T: %w", v, err)
 	}
-	out := make([]byte, buf.Len())
-	copy(out, buf.Bytes())
-	encBufPool.Put(buf)
-	return out, nil
+	return w.b, nil
 }
 
 func unmarshalGob(data []byte, v interface{}) error {
@@ -88,6 +99,23 @@ func unmarshalGob(data []byte, v interface{}) error {
 }
 
 // --- Fast-path encoding ---
+
+// grow ensures dst has room for n more bytes, reallocating at most
+// once (append's geometric growth would copy the prefix repeatedly
+// while a large body trickles in). The replacement buffer comes from
+// the frame pool, so a bulk body outgrowing the small frame the rpc
+// layer starts from lands in a recyclable buffer — whoever Puts the
+// final frame returns the big allocation to the pool. The outgrown
+// buffer is left to the garbage collector: dst stays the caller's
+// under the append contract, so grow must never recycle it.
+func grow(dst []byte, n int) []byte {
+	if cap(dst)-len(dst) >= n {
+		return dst
+	}
+	out := framebuf.Get(len(dst) + n)[:len(dst)]
+	copy(out, dst)
+	return out
+}
 
 func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
 
@@ -152,40 +180,68 @@ func appendSnapshotBody(b []byte, s *Snapshot) []byte {
 	return b
 }
 
-// marshalFast encodes the known hot-path bodies; ok=false falls back to
-// gob. Both pointer and value forms are accepted, mirroring gob.
-func marshalFast(v interface{}) (data []byte, ok bool) {
+// snapshotsSize estimates the encoded size of a snapshot batch (a grow
+// hint, not a bound).
+func snapshotsSize(snaps []Snapshot) int {
+	n := 0
+	for i := range snaps {
+		n += SnapshotSize(&snaps[i])
+	}
+	return n
+}
+
+// oidsSize estimates the encoded size of an OID list, origin strings
+// included — a flat per-entry constant would undershoot for realistic
+// node-ID lengths and force a second, non-pooled reallocation
+// mid-encode.
+func oidsSize(ids []core.OID) int {
+	n := 10
+	for i := range ids {
+		n += 12 + len(ids[i].Origin)
+	}
+	return n
+}
+
+// marshalFastAppend appends the encoding of a known hot-path body to
+// dst; ok=false means the body has no fast path and the caller falls
+// back to gob. Both pointer and value forms are accepted, mirroring
+// gob. Bodies that can carry bulk payloads pre-grow dst once, so even
+// a megabyte-sized snapshot chunk lands in its frame with at most one
+// reallocation.
+func marshalFastAppend(dst []byte, v interface{}) (data []byte, ok bool) {
 	switch m := v.(type) {
 	case *InvokeReq:
-		b := make([]byte, 0, 32+len(m.Obj.Origin)+len(m.Method)+len(m.Arg)+len(m.From))
+		b := grow(dst, 32+len(m.Obj.Origin)+len(m.Method)+len(m.Arg)+len(m.From))
 		b = append(b, tagInvokeReq)
 		b = appendOID(b, m.Obj)
 		b = appendStr(b, m.Method)
 		b = appendByteSlice(b, m.Arg)
 		return appendStr(b, string(m.From)), true
 	case InvokeReq:
-		return marshalFast(&m)
+		return marshalFastAppend(dst, &m)
 	case *InvokeResp:
-		b := make([]byte, 0, 16+len(m.Result)+len(m.At))
+		b := grow(dst, 16+len(m.Result)+len(m.At))
 		b = append(b, tagInvokeResp)
 		b = appendByteSlice(b, m.Result)
 		return appendStr(b, string(m.At)), true
 	case InvokeResp:
-		return marshalFast(&m)
+		return marshalFastAppend(dst, &m)
 	case *LocateReq:
-		b := make([]byte, 0, 16+len(m.Obj.Origin))
-		b = append(b, tagLocateReq)
+		b := append(dst, tagLocateReq)
 		return appendOID(b, m.Obj), true
 	case LocateReq:
-		return marshalFast(&m)
+		return marshalFastAppend(dst, &m)
 	case *LocateResp:
-		b := make([]byte, 0, 8+len(m.At))
-		b = append(b, tagLocateResp)
+		b := append(dst, tagLocateResp)
 		return appendStr(b, string(m.At)), true
 	case LocateResp:
-		return marshalFast(&m)
+		return marshalFastAppend(dst, &m)
 	case *HomeUpdate:
-		b := make([]byte, 0, 16+16*len(m.Objs)+len(m.At)+24*len(m.Aff))
+		hint := 16 + oidsSize(m.Objs) + len(m.At)
+		for _, o := range m.Aff {
+			hint += 24 + len(o.Obj.Origin) + len(o.From)
+		}
+		b := grow(dst, hint)
 		b = append(b, tagHomeUpdate)
 		b = appendOIDs(b, m.Objs)
 		b = appendStr(b, string(m.At))
@@ -197,19 +253,19 @@ func marshalFast(v interface{}) (data []byte, ok bool) {
 		}
 		return b, true
 	case HomeUpdate:
-		return marshalFast(&m)
+		return marshalFastAppend(dst, &m)
 	case *HomeUpdateResp:
-		return []byte{tagHomeUpdateResp}, true
+		return append(dst, tagHomeUpdateResp), true
 	case HomeUpdateResp:
-		return []byte{tagHomeUpdateResp}, true
+		return append(dst, tagHomeUpdateResp), true
 	case *Snapshot:
-		b := make([]byte, 0, 64+len(m.State))
+		b := grow(dst, 1+SnapshotSize(m))
 		b = append(b, tagSnapshot)
 		return appendSnapshotBody(b, m), true
 	case Snapshot:
-		return marshalFast(&m)
+		return marshalFastAppend(dst, &m)
 	case *PauseResp:
-		b := make([]byte, 0, 16)
+		b := grow(dst, 16+snapshotsSize(m.Snapshots)+oidsSize(m.Pending))
 		b = append(b, tagPauseResp)
 		b = appendUvarint(b, uint64(len(m.Snapshots)))
 		for i := range m.Snapshots {
@@ -217,9 +273,9 @@ func marshalFast(v interface{}) (data []byte, ok bool) {
 		}
 		return appendOIDs(b, m.Pending), true
 	case PauseResp:
-		return marshalFast(&m)
+		return marshalFastAppend(dst, &m)
 	case *InstallReq:
-		b := make([]byte, 0, 24)
+		b := grow(dst, 24+len(m.From)+snapshotsSize(m.Snapshots))
 		b = append(b, tagInstallReq)
 		b = appendUvarint(b, uint64(len(m.Snapshots)))
 		for i := range m.Snapshots {
@@ -228,73 +284,67 @@ func marshalFast(v interface{}) (data []byte, ok bool) {
 		b = appendUvarint(b, m.Token)
 		return appendStr(b, string(m.From)), true
 	case InstallReq:
-		return marshalFast(&m)
+		return marshalFastAppend(dst, &m)
 	case *MoveReq:
-		b := make([]byte, 0, 32+len(m.Obj.Origin)+len(m.From))
-		b = append(b, tagMoveReq)
+		b := append(dst, tagMoveReq)
 		b = appendOID(b, m.Obj)
 		b = appendStr(b, string(m.From))
 		b = appendUvarint(b, uint64(m.Block))
 		return appendUvarint(b, uint64(m.Alliance)), true
 	case MoveReq:
-		return marshalFast(&m)
+		return marshalFastAppend(dst, &m)
 	case *MoveResp:
-		b := make([]byte, 0, 24+len(m.At)+16*len(m.Moved))
-		b = append(b, tagMoveResp)
+		b := append(dst, tagMoveResp)
 		b = appendVarint(b, int64(m.Outcome))
 		b = appendVarint(b, int64(m.Reason))
 		b = appendStr(b, string(m.At))
 		return appendOIDs(b, m.Moved), true
 	case MoveResp:
-		return marshalFast(&m)
+		return marshalFastAppend(dst, &m)
 	case *EndReq:
-		b := make([]byte, 0, 32+len(m.Obj.Origin)+len(m.From)+16*len(m.Members))
-		b = append(b, tagEndReq)
+		b := append(dst, tagEndReq)
 		b = appendOID(b, m.Obj)
 		b = appendStr(b, string(m.From))
 		b = appendUvarint(b, uint64(m.Block))
 		b = appendUvarint(b, uint64(m.Alliance))
 		return appendOIDs(b, m.Members), true
 	case EndReq:
-		return marshalFast(&m)
+		return marshalFastAppend(dst, &m)
 	case *EndResp:
-		b := make([]byte, 0, 8+len(m.At))
-		b = append(b, tagEndResp)
+		b := append(dst, tagEndResp)
 		b = appendBool(b, m.Unlocked)
 		b = appendBool(b, m.Migrated)
 		return appendStr(b, string(m.At)), true
 	case EndResp:
-		return marshalFast(&m)
+		return marshalFastAppend(dst, &m)
 	case *MigrateReq:
-		b := make([]byte, 0, 24+len(m.Obj.Origin)+len(m.Target))
-		b = append(b, tagMigrateReq)
+		b := append(dst, tagMigrateReq)
 		b = appendOID(b, m.Obj)
 		b = appendStr(b, string(m.Target))
 		b = appendUvarint(b, uint64(m.Alliance))
 		return appendBool(b, m.Fix), true
 	case MigrateReq:
-		return marshalFast(&m)
+		return marshalFastAppend(dst, &m)
 	case *MigrateResp:
-		b := make([]byte, 0, 8+len(m.At)+16*len(m.Moved))
-		b = append(b, tagMigrateResp)
+		b := append(dst, tagMigrateResp)
 		b = appendStr(b, string(m.At))
 		return appendOIDs(b, m.Moved), true
 	case MigrateResp:
-		return marshalFast(&m)
+		return marshalFastAppend(dst, &m)
 	case *MigrateBeginReq:
-		b := make([]byte, 0, 24+len(m.From)+16*len(m.Objs))
+		b := grow(dst, 24+len(m.From)+oidsSize(m.Objs))
 		b = append(b, tagMigrateBeginReq)
 		b = appendUvarint(b, m.Token)
 		b = appendStr(b, string(m.From))
 		return appendOIDs(b, m.Objs), true
 	case MigrateBeginReq:
-		return marshalFast(&m)
+		return marshalFastAppend(dst, &m)
 	case *MigrateBeginResp:
-		return []byte{tagMigrateBeginResp}, true
+		return append(dst, tagMigrateBeginResp), true
 	case MigrateBeginResp:
-		return []byte{tagMigrateBeginResp}, true
+		return append(dst, tagMigrateBeginResp), true
 	case *InstallChunkReq:
-		b := make([]byte, 0, 32+len(m.From))
+		b := grow(dst, 32+len(m.From)+snapshotsSize(m.Snapshots))
 		b = append(b, tagInstallChunkReq)
 		b = appendUvarint(b, m.Token)
 		b = appendStr(b, string(m.From))
@@ -305,28 +355,25 @@ func marshalFast(v interface{}) (data []byte, ok bool) {
 		}
 		return b, true
 	case InstallChunkReq:
-		return marshalFast(&m)
+		return marshalFastAppend(dst, &m)
 	case *InstallChunkResp:
-		b := make([]byte, 0, 8)
-		b = append(b, tagInstallChunkResp)
+		b := append(dst, tagInstallChunkResp)
 		return appendVarint(b, int64(m.Staged)), true
 	case InstallChunkResp:
-		return marshalFast(&m)
+		return marshalFastAppend(dst, &m)
 	case *InstallCommitReq:
-		b := make([]byte, 0, 16+len(m.From))
-		b = append(b, tagInstallCommitReq)
+		b := append(dst, tagInstallCommitReq)
 		b = appendUvarint(b, m.Token)
 		return appendStr(b, string(m.From)), true
 	case InstallCommitReq:
-		return marshalFast(&m)
+		return marshalFastAppend(dst, &m)
 	case *InstallCommitResp:
-		b := make([]byte, 0, 8)
-		b = append(b, tagInstallCommitResp)
+		b := append(dst, tagInstallCommitResp)
 		return appendVarint(b, int64(m.Installed)), true
 	case InstallCommitResp:
-		return marshalFast(&m)
+		return marshalFastAppend(dst, &m)
 	}
-	return nil, false
+	return dst, false
 }
 
 // --- Fast-path decoding ---

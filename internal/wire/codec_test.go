@@ -214,3 +214,63 @@ func TestSnapshotDeterministicEncoding(t *testing.T) {
 		}
 	}
 }
+
+// TestMarshalAppendPrefix: MarshalAppend must extend dst in place,
+// leaving the existing prefix intact, and the appended bytes must
+// equal a fresh Marshal of the same body — for fast-path and gob
+// bodies alike. This is the contract internal/rpc relies on when it
+// reserves a frame header and hands the codec the tail.
+func TestMarshalAppendPrefix(t *testing.T) {
+	t.Parallel()
+	bodies := append(fastBodies(),
+		&EdgeAddReq{Obj: core.OID{Origin: "n", Seq: 3}, Other: core.OID{Origin: "n2", Seq: 4}}, // gob fallback
+	)
+	for _, in := range bodies {
+		fresh, err := Marshal(in)
+		if err != nil {
+			t.Fatalf("marshal %T: %v", in, err)
+		}
+		prefix := []byte{0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x01, 0x02, 0x03, 0x04, 0x05}
+		out, err := MarshalAppend(append([]byte(nil), prefix...), in)
+		if err != nil {
+			t.Fatalf("marshal-append %T: %v", in, err)
+		}
+		if !reflect.DeepEqual(out[:len(prefix)], prefix) {
+			t.Fatalf("%T: MarshalAppend clobbered the reserved prefix", in)
+		}
+		if !reflect.DeepEqual(out[len(prefix):], fresh) {
+			t.Fatalf("%T: appended body differs from fresh Marshal", in)
+		}
+	}
+}
+
+// TestMarshalAppendReusesCapacity: encoding into a buffer with enough
+// spare capacity must not reallocate — the zero-copy guarantee that
+// lets a pooled frame be reused across calls.
+func TestMarshalAppendReusesCapacity(t *testing.T) {
+	t.Parallel()
+	in := &InvokeReq{Obj: core.OID{Origin: "n", Seq: 1}, Method: "m", Arg: make([]byte, 256)}
+	buf := make([]byte, 10, 4096)
+	out, err := MarshalAppend(buf, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != &buf[0] {
+		t.Fatal("MarshalAppend reallocated despite sufficient capacity")
+	}
+}
+
+// TestMarshalAppendErrorLeavesDst: a failed encode must return dst
+// unchanged — no partial body may be published into a frame the
+// caller will send or recycle.
+func TestMarshalAppendErrorLeavesDst(t *testing.T) {
+	t.Parallel()
+	dst := []byte{1, 2, 3}
+	out, err := MarshalAppend(dst, make(chan int)) // gob cannot encode channels
+	if err == nil {
+		t.Fatal("encoding a channel succeeded")
+	}
+	if !reflect.DeepEqual(out, []byte{1, 2, 3}) {
+		t.Fatalf("failed encode left dst = %v", out)
+	}
+}

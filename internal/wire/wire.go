@@ -1,6 +1,11 @@
-// Package wire defines the message vocabulary of the live runtime: the
-// gob-encoded request and response bodies exchanged between nodes, and
-// the error representation that crosses the wire.
+// Package wire defines the message vocabulary of the live runtime —
+// the request and response bodies exchanged between nodes and the
+// error representation that crosses the wire — together with the
+// append-style codec that puts them on the wire: a hand-rolled binary
+// fast path for the high-frequency bodies and a gob fallback for the
+// rest, both encoding directly into the caller's buffer
+// (MarshalAppend) so a message becomes exactly one copy in exactly one
+// frame.
 //
 // Objects are linearised for transfer exactly as the paper's system
 // model describes (Section 3.1): a snapshot carries the object's state,
@@ -11,8 +16,9 @@
 // monolithic blob: the coordinator opens a session at the target
 // (MigrateBegin), forwards snapshots in size-bounded InstallChunk
 // frames, and commits atomically with InstallCommit. See
-// docs/protocol.md for the full message catalogue, the fast-path/gob
-// split, and the compatibility rules.
+// docs/protocol.md for the full message catalogue and compatibility
+// rules, and docs/wire-format.md for the byte-level layouts and the
+// buffer-ownership rules of the zero-copy pipeline.
 package wire
 
 import (
@@ -25,6 +31,9 @@ import (
 // Kind discriminates request bodies.
 type Kind uint8
 
+// The request kinds, one per protocol exchange. See docs/protocol.md
+// for the catalogue; numbers are append-only (new kinds go immediately
+// before kMax, existing constants never renumber).
 const (
 	KInvoke Kind = iota + 1
 	KMove
@@ -66,17 +75,40 @@ func (k Kind) String() string {
 // Valid reports whether k is a known kind.
 func (k Kind) Valid() bool { return k >= KInvoke && k < kMax }
 
-// Marshal encodes a message body: a hand-rolled binary fast path for
-// the high-frequency bodies (invoke, locate, home-update, snapshots),
-// pooled gob for the rest. See codec.go.
+// Marshal encodes a message body into a fresh buffer: a hand-rolled
+// binary fast path for the high-frequency bodies (invoke, locate,
+// home-update, snapshots and the migration control bodies), gob for
+// the rest. Prefer MarshalAppend on hot paths — it writes into a
+// caller-supplied buffer instead of allocating one per message.
 func Marshal(v interface{}) ([]byte, error) {
-	if data, ok := marshalFast(v); ok {
+	return MarshalAppend(nil, v)
+}
+
+// MarshalAppend appends the encoding of a message body to dst and
+// returns the extended slice, growing it as needed (like append, the
+// result may share dst's backing array or be a reallocation — always
+// use the returned slice). The message is encoded exactly once, in
+// place: fast-path bodies append their fields directly, the gob
+// fallback streams into the tail. This is what lets internal/rpc
+// reserve a frame header in a pooled buffer and land the body right
+// behind it with no intermediate copy.
+//
+// Ownership: dst remains the caller's. On error the returned slice is
+// dst unchanged — no partial body is ever published into a buffer the
+// caller will send or recycle.
+func MarshalAppend(dst []byte, v interface{}) ([]byte, error) {
+	if data, ok := marshalFastAppend(dst, v); ok {
 		return data, nil
 	}
-	return marshalGob(v)
+	return marshalGobAppend(dst, v)
 }
 
 // Unmarshal decodes a message body into v (a pointer).
+//
+// Ownership: Unmarshal copies every variable-length field out of data
+// — the decoded value never aliases the input. Callers may therefore
+// recycle the frame that carried data (framebuf.Put in the rpc layer)
+// the moment Unmarshal returns.
 func Unmarshal(data []byte, v interface{}) error {
 	if len(data) == 0 {
 		return fmt.Errorf("wire: unmarshal %T: empty body", v)
@@ -92,6 +124,7 @@ func Unmarshal(data []byte, v interface{}) error {
 type ErrCode int
 
 const (
+	// CodeInternal: an unclassified failure inside the remote node.
 	CodeInternal ErrCode = iota + 1
 	// CodeNotFound: the addressed object is unknown at the target and
 	// the target has no forwarding pointer for it.
@@ -200,6 +233,9 @@ type MoveReq struct {
 // MoveOutcome mirrors core.MoveAction across the wire.
 type MoveOutcome int
 
+// The move-request verdicts: denied outright, granted without
+// migration (the object stays and the block runs remotely), or
+// granted with migration.
 const (
 	MoveDenied MoveOutcome = iota + 1
 	MoveStayed

@@ -19,15 +19,7 @@ func (n *Node) InvokeRaw(ctx context.Context, ref Ref, method string, arg []byte
 		return nil, fmt.Errorf("%w: zero reference", ErrNotFound)
 	}
 	oid := ref.OID
-	for attempt := 0; attempt < n.retries; attempt++ {
-		if attempt > 0 {
-			// The object is on the move; give the transfer a moment.
-			select {
-			case <-ctx.Done():
-				return nil, ctx.Err()
-			case <-time.After(time.Millisecond):
-			}
-		}
+	for c := n.newChase(); c.next(ctx); {
 		// One sharded lookup resolves both the hosted record and, when
 		// the object is elsewhere, the best location hint.
 		rec, target := n.store.Lookup(oid)
@@ -65,13 +57,16 @@ func (n *Node) InvokeRaw(ctx context.Context, ref Ref, method string, arg []byte
 		}
 		return nil, fromRemote(err)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	recState := "no-record"
 	if rec, ok := n.record(oid); ok {
 		rec.Mu.Lock()
 		recState = fmt.Sprintf("status=%d movedTo=%s", rec.Status, rec.MovedTo)
 		rec.Mu.Unlock()
 	}
-	return nil, fmt.Errorf("%w: %s (retries exhausted; %s; %s)", ErrUnreachable, oid, recState, n.store.Debug(oid))
+	return nil, fmt.Errorf("%w: %s (chase budget exhausted; %s; %s)", ErrUnreachable, oid, recState, n.store.Debug(oid))
 }
 
 // isCode reports whether err is a RemoteError with the given code.
@@ -80,17 +75,59 @@ func isCode(err error, code wire.ErrCode) bool {
 	return errors.As(err, &re) && re.Code == code
 }
 
-// chasePause briefly backs off between location-chasing attempts so
-// in-flight transfers can land before the next try.
-func chasePause(ctx context.Context, attempt int) error {
-	if attempt == 0 {
-		return ctx.Err()
+// chase is the adaptive retry budget of one location chase. A chase
+// normally terminates within a handful of hops, and the attempt budget
+// (Config.CallRetries) covers that common case cheaply. But a fixed
+// attempt count alone is a wall-clock budget in disguise — 32 attempts
+// at 1 ms apart is ~32 ms — and under heavy migration ping-pong (or on
+// a starved single-CPU box) a single transfer can take longer than
+// that, so a correct chase could exhaust its budget while the object
+// was merely in flight. The deadline (Config.ChaseDeadline) closes
+// that hole: a chase keeps retrying until BOTH the attempt budget and
+// the deadline are spent, so churn stretches the chase instead of
+// failing it, while the deadline still guarantees termination.
+type chase struct {
+	n        *Node
+	attempt  int
+	deadline time.Time // zero when ChaseDeadline is disabled
+}
+
+// newChase starts a chase budget for one logical operation.
+func (n *Node) newChase() chase {
+	c := chase{n: n}
+	if d := n.chaseDeadline; d > 0 {
+		c.deadline = time.Now().Add(d)
 	}
+	return c
+}
+
+// next reports whether another attempt may run, backing off briefly
+// between attempts so in-flight transfers can land before the next
+// try (long chases stretch the pause — by then the object is clearly
+// mid-transfer and tight polling only adds load). It returns false
+// when the budget is spent or the context is done; callers
+// distinguish the two via ctx.Err().
+func (c *chase) next(ctx context.Context) bool {
+	if c.attempt == 0 {
+		c.attempt++
+		return ctx.Err() == nil
+	}
+	if c.attempt >= c.n.retries && (c.deadline.IsZero() || !time.Now().Before(c.deadline)) {
+		return false
+	}
+	d := time.Millisecond
+	switch {
+	case c.attempt >= 256:
+		d = 8 * time.Millisecond
+	case c.attempt >= 64:
+		d = 4 * time.Millisecond
+	}
+	c.attempt++
 	select {
 	case <-ctx.Done():
-		return ctx.Err()
-	case <-time.After(time.Millisecond):
-		return nil
+		return false
+	case <-time.After(d):
+		return true
 	}
 }
 
@@ -195,10 +232,7 @@ func (n *Node) handleLocate(req *wire.LocateReq) (*wire.LocateResp, error) {
 func (n *Node) Locate(ctx context.Context, ref Ref) (NodeID, error) {
 	oid := ref.OID
 	next := NodeID("")
-	for attempt := 0; attempt < n.retries; attempt++ {
-		if err := chasePause(ctx, attempt); err != nil {
-			return "", err
-		}
+	for c := n.newChase(); c.next(ctx); {
 		rec, hint := n.store.Lookup(oid)
 		if rec != nil {
 			return n.id, nil
@@ -234,6 +268,9 @@ func (n *Node) Locate(ctx context.Context, ref Ref) (NodeID, error) {
 		}
 		n.store.Learn(oid, resp.At)
 		next = resp.At
+	}
+	if err := ctx.Err(); err != nil {
+		return "", err
 	}
 	return "", fmt.Errorf("%w: %s (locate)", ErrUnreachable, oid)
 }

@@ -22,10 +22,7 @@ import (
 // attempts can point back at ourselves while the registry already
 // knows better.
 func (n *Node) edgesOf(ctx context.Context, oid core.OID) ([]wire.EdgeRec, NodeID, error) {
-	for attempt := 0; attempt < n.retries; attempt++ {
-		if err := chasePause(ctx, attempt); err != nil {
-			return nil, "", err
-		}
+	for c := n.newChase(); c.next(ctx); {
 		if rec, ok := n.hostedRecord(oid); ok {
 			return rec.EdgeList(), n.id, nil
 		}
@@ -51,6 +48,9 @@ func (n *Node) edgesOf(ctx context.Context, oid core.OID) ([]wire.EdgeRec, NodeI
 			continue
 		}
 		return nil, "", fromRemote(err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, "", err
 	}
 	return nil, "", fmt.Errorf("%w: %s (edges)", ErrUnreachable, oid)
 }
@@ -765,10 +765,7 @@ func (n *Node) MigrateToObject(ctx context.Context, ref, with Ref) error {
 // migrate primitive.
 func (n *Node) migrateRequest(ctx context.Context, req *wire.MigrateReq) (*wire.MigrateResp, error) {
 	oid := req.Obj
-	for attempt := 0; attempt < n.retries; attempt++ {
-		if err := chasePause(ctx, attempt); err != nil {
-			return nil, err
-		}
+	for c := n.newChase(); c.next(ctx); {
 		if _, ok := n.hostedRecord(oid); ok {
 			resp, err := n.handleMigrate(ctx, req)
 			if to, moved := movedTo(err); moved {
@@ -799,6 +796,9 @@ func (n *Node) migrateRequest(ctx context.Context, req *wire.MigrateReq) (*wire.
 			continue
 		}
 		return nil, fromRemote(err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return nil, fmt.Errorf("%w: %s (migrate)", ErrUnreachable, oid)
 }

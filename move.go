@@ -95,10 +95,7 @@ type moveOutcome struct {
 // move-request there.
 func (n *Node) moveRequest(ctx context.Context, req *wire.MoveReq) (*moveOutcome, error) {
 	oid := req.Obj
-	for attempt := 0; attempt < n.retries; attempt++ {
-		if err := chasePause(ctx, attempt); err != nil {
-			return nil, err
-		}
+	for c := n.newChase(); c.next(ctx); {
 		if _, ok := n.hostedRecord(oid); ok {
 			resp, err := n.handleMove(ctx, req)
 			if to, moved := movedTo(err); moved {
@@ -132,6 +129,9 @@ func (n *Node) moveRequest(ctx context.Context, req *wire.MoveReq) (*moveOutcome
 			continue
 		}
 		return nil, fromRemote(err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return nil, fmt.Errorf("%w: %s (move)", ErrUnreachable, oid)
 }
@@ -273,10 +273,7 @@ func (n *Node) endBlock(ctx context.Context, ref Ref, al AllianceID, block core.
 	}
 	// Dynamic policies: chase the object.
 	oid := ref.OID
-	for attempt := 0; attempt < n.retries; attempt++ {
-		if err := chasePause(ctx, attempt); err != nil {
-			return err
-		}
+	for c := n.newChase(); c.next(ctx); {
 		if _, ok := n.hostedRecord(oid); ok {
 			_, err := n.handleEnd(ctx, req)
 			if to, moved := movedTo(err); moved {
@@ -306,6 +303,9 @@ func (n *Node) endBlock(ctx context.Context, ref Ref, al AllianceID, block core.
 			continue
 		}
 		return fromRemote(err)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	return fmt.Errorf("%w: %s (end)", ErrUnreachable, oid)
 }

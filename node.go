@@ -65,11 +65,21 @@ type Config struct {
 	// Peers maps node IDs to dial addresses (needed on TCP clusters;
 	// local clusters address peers by ID automatically).
 	Peers map[NodeID]string
-	// CallRetries bounds redirect-chasing per call. Defaults to 32.
-	// A chase normally terminates within a handful of hops; the
-	// budget only matters when migrations churn faster than the
-	// 1ms-per-attempt chase can follow.
+	// CallRetries is the attempt half of the redirect-chasing budget:
+	// a chase may always make this many attempts, deadline or not.
+	// Defaults to 32. A chase normally terminates within a handful of
+	// hops; see ChaseDeadline for what happens when migrations churn
+	// faster than the chase can follow.
 	CallRetries int
+	// ChaseDeadline is the wall-clock half of the redirect-chasing
+	// budget: once CallRetries attempts are spent, a chase keeps
+	// retrying (with a gently growing backoff) until the deadline
+	// passes, so a chase racing heavy migration ping-pong waits the
+	// churn out instead of reporting ErrUnreachable while the object
+	// is merely in flight. Defaults to 2s; negative disables the
+	// extension (the attempt budget alone bounds the chase). The
+	// call's context still cancels a chase at any time.
+	ChaseDeadline time.Duration
 	// Migrate tunes the streaming group-migration transfer (chunk
 	// size, staging-session TTL, pause lease). The zero value selects
 	// the documented defaults; see MigrateConfig.
@@ -90,12 +100,13 @@ type Config struct {
 // the closed flag), or configuration guarded by cfgMu (registered
 // types, the peer address book).
 type Node struct {
-	id         NodeID
-	policy     core.MovePolicy
-	attachMode core.AttachMode
-	retries    int
-	migrate    MigrateConfig
-	observer   Observer
+	id            NodeID
+	policy        core.MovePolicy
+	attachMode    core.AttachMode
+	retries       int
+	chaseDeadline time.Duration
+	migrate       MigrateConfig
+	observer      Observer
 
 	server *rpc.Server
 	pool   *rpc.Pool
@@ -151,6 +162,9 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.CallRetries <= 0 {
 		cfg.CallRetries = 32
 	}
+	if cfg.ChaseDeadline == 0 {
+		cfg.ChaseDeadline = 2 * time.Second
+	}
 	listen := cfg.ListenAddr
 	if listen == "" {
 		if cfg.Cluster.mem != nil {
@@ -164,20 +178,21 @@ func NewNode(cfg Config) (*Node, error) {
 		return nil, fmt.Errorf("objmig: listen: %w", err)
 	}
 	n := &Node{
-		id:         cfg.ID,
-		policy:     core.PolicyFor(cfg.Policy),
-		attachMode: cfg.Attach,
-		retries:    cfg.CallRetries,
-		migrate:    cfg.Migrate.withDefaults(),
-		observer:   cfg.Observer,
-		pool:       rpc.NewPool(cfg.Cluster.tr),
-		store:      store.New(cfg.ID),
-		aff:        affinity.New(cfg.ID),
-		types:      make(map[string]objectType),
-		peers:      make(map[NodeID]string),
-		sessions:   make(map[sessionKey]*migSession),
-		tombs:      make(map[sessionKey]time.Time),
-		leases:     make(map[sessionKey]*pauseLease),
+		id:            cfg.ID,
+		policy:        core.PolicyFor(cfg.Policy),
+		attachMode:    cfg.Attach,
+		retries:       cfg.CallRetries,
+		chaseDeadline: cfg.ChaseDeadline,
+		migrate:       cfg.Migrate.withDefaults(),
+		observer:      cfg.Observer,
+		pool:          rpc.NewPool(cfg.Cluster.tr),
+		store:         store.New(cfg.ID),
+		aff:           affinity.New(cfg.ID),
+		types:         make(map[string]objectType),
+		peers:         make(map[NodeID]string),
+		sessions:      make(map[sessionKey]*migSession),
+		tombs:         make(map[sessionKey]time.Time),
+		leases:        make(map[sessionKey]*pauseLease),
 	}
 	for id, addr := range cfg.Peers {
 		n.peers[id] = addr
@@ -319,22 +334,18 @@ func (n *Node) Close() error {
 	return err
 }
 
-// call performs one RPC to another node, translating remote errors.
-// The raw wire error is preserved for movedTo inspection by callers.
+// call performs one RPC to another node. Marshalling happens inside
+// the rpc layer — the request is encoded exactly once, straight into a
+// pooled frame — and the raw wire error is preserved for movedTo
+// inspection by callers.
 func (n *Node) call(ctx context.Context, to NodeID, kind wire.Kind, req, resp interface{}) error {
-	body, err := wire.Marshal(req)
-	if err != nil {
-		return err
-	}
-	out, err := n.pool.Call(ctx, n.addrOf(to), kind, body)
-	if err != nil {
-		return err
-	}
-	return wire.Unmarshal(out, resp)
+	return n.pool.Call(ctx, n.addrOf(to), kind, req, resp)
 }
 
-// handle is the node's rpc.Handler: it dispatches inbound requests.
-func (n *Node) handle(ctx context.Context, kind wire.Kind, body []byte) ([]byte, error) {
+// handle is the node's rpc.Handler: it dispatches inbound requests and
+// appends the encoded response to dst (the pooled response frame, with
+// its header already reserved).
+func (n *Node) handle(ctx context.Context, kind wire.Kind, body, dst []byte) ([]byte, error) {
 	if n.closed.Load() {
 		return nil, wire.Errorf(wire.CodeUnavailable, "node %s closed", n.id)
 	}
@@ -344,75 +355,75 @@ func (n *Node) handle(ctx context.Context, kind wire.Kind, body []byte) ([]byte,
 		if err := wire.Unmarshal(body, &req); err != nil {
 			return nil, wire.Errorf(wire.CodeBadRequest, "%v", err)
 		}
-		return wire.Marshal(wire.PingResp{Payload: req.Payload})
+		return wire.MarshalAppend(dst, wire.PingResp{Payload: req.Payload})
 	case wire.KInvoke:
-		return handleTyped(body, func(req *wire.InvokeReq) (*wire.InvokeResp, error) {
+		return handleTyped(body, dst, func(req *wire.InvokeReq) (*wire.InvokeResp, error) {
 			return n.handleInvoke(ctx, req)
 		})
 	case wire.KLocate:
-		return handleTyped(body, func(req *wire.LocateReq) (*wire.LocateResp, error) {
+		return handleTyped(body, dst, func(req *wire.LocateReq) (*wire.LocateResp, error) {
 			return n.handleLocate(req)
 		})
 	case wire.KMove:
-		return handleTyped(body, func(req *wire.MoveReq) (*wire.MoveResp, error) {
+		return handleTyped(body, dst, func(req *wire.MoveReq) (*wire.MoveResp, error) {
 			return n.handleMove(ctx, req)
 		})
 	case wire.KEnd:
-		return handleTyped(body, func(req *wire.EndReq) (*wire.EndResp, error) {
+		return handleTyped(body, dst, func(req *wire.EndReq) (*wire.EndResp, error) {
 			return n.handleEnd(ctx, req)
 		})
 	case wire.KMigrate:
-		return handleTyped(body, func(req *wire.MigrateReq) (*wire.MigrateResp, error) {
+		return handleTyped(body, dst, func(req *wire.MigrateReq) (*wire.MigrateResp, error) {
 			return n.handleMigrate(ctx, req)
 		})
 	case wire.KPause:
-		return handleTyped(body, func(req *wire.PauseReq) (*wire.PauseResp, error) {
+		return handleTyped(body, dst, func(req *wire.PauseReq) (*wire.PauseResp, error) {
 			return n.handlePause(ctx, req)
 		})
 	case wire.KInstall:
-		return handleTyped(body, func(req *wire.InstallReq) (*wire.InstallResp, error) {
+		return handleTyped(body, dst, func(req *wire.InstallReq) (*wire.InstallResp, error) {
 			return n.handleInstall(req)
 		})
 	case wire.KMigrateBegin:
-		return handleTyped(body, func(req *wire.MigrateBeginReq) (*wire.MigrateBeginResp, error) {
+		return handleTyped(body, dst, func(req *wire.MigrateBeginReq) (*wire.MigrateBeginResp, error) {
 			return n.handleMigrateBegin(req)
 		})
 	case wire.KInstallChunk:
-		return handleTyped(body, func(req *wire.InstallChunkReq) (*wire.InstallChunkResp, error) {
+		return handleTyped(body, dst, func(req *wire.InstallChunkReq) (*wire.InstallChunkResp, error) {
 			return n.handleInstallChunk(req)
 		})
 	case wire.KInstallCommit:
-		return handleTyped(body, func(req *wire.InstallCommitReq) (*wire.InstallCommitResp, error) {
+		return handleTyped(body, dst, func(req *wire.InstallCommitReq) (*wire.InstallCommitResp, error) {
 			return n.handleInstallCommit(req)
 		})
 	case wire.KCommit:
-		return handleTyped(body, func(req *wire.CommitReq) (*wire.CommitResp, error) {
+		return handleTyped(body, dst, func(req *wire.CommitReq) (*wire.CommitResp, error) {
 			return n.handleCommit(req)
 		})
 	case wire.KAbort:
-		return handleTyped(body, func(req *wire.AbortReq) (*wire.AbortResp, error) {
+		return handleTyped(body, dst, func(req *wire.AbortReq) (*wire.AbortResp, error) {
 			return n.handleAbort(req)
 		})
 	case wire.KHomeUpdate:
-		return handleTyped(body, func(req *wire.HomeUpdate) (*wire.HomeUpdateResp, error) {
+		return handleTyped(body, dst, func(req *wire.HomeUpdate) (*wire.HomeUpdateResp, error) {
 			n.store.HomeUpdate(req.Objs, req.At)
 			n.mergeAffinityGossip(req.Aff)
 			return &wire.HomeUpdateResp{}, nil
 		})
 	case wire.KEdgeAdd:
-		return handleTyped(body, func(req *wire.EdgeAddReq) (*wire.EdgeAddResp, error) {
+		return handleTyped(body, dst, func(req *wire.EdgeAddReq) (*wire.EdgeAddResp, error) {
 			return n.handleEdgeAdd(ctx, req)
 		})
 	case wire.KEdgeDel:
-		return handleTyped(body, func(req *wire.EdgeDelReq) (*wire.EdgeDelResp, error) {
+		return handleTyped(body, dst, func(req *wire.EdgeDelReq) (*wire.EdgeDelResp, error) {
 			return n.handleEdgeDel(ctx, req)
 		})
 	case wire.KEdges:
-		return handleTyped(body, func(req *wire.EdgesReq) (*wire.EdgesResp, error) {
+		return handleTyped(body, dst, func(req *wire.EdgesReq) (*wire.EdgesResp, error) {
 			return n.handleEdges(req)
 		})
 	case wire.KFix:
-		return handleTyped(body, func(req *wire.FixReq) (*wire.FixResp, error) {
+		return handleTyped(body, dst, func(req *wire.FixReq) (*wire.FixResp, error) {
 			return n.handleFix(req)
 		})
 	default:
@@ -420,9 +431,10 @@ func (n *Node) handle(ctx context.Context, kind wire.Kind, body []byte) ([]byte,
 	}
 }
 
-// handleTyped decodes the request, runs the handler and encodes the
-// response.
-func handleTyped[Req, Resp any](body []byte, fn func(*Req) (*Resp, error)) ([]byte, error) {
+// handleTyped decodes the request, runs the handler and appends the
+// encoded response to dst. The request body is fully copied by
+// Unmarshal, so the caller may recycle its frame once this returns.
+func handleTyped[Req, Resp any](body, dst []byte, fn func(*Req) (*Resp, error)) ([]byte, error) {
 	req := new(Req)
 	if err := wire.Unmarshal(body, req); err != nil {
 		return nil, wire.Errorf(wire.CodeBadRequest, "%v", err)
@@ -431,7 +443,7 @@ func handleTyped[Req, Resp any](body []byte, fn func(*Req) (*Resp, error)) ([]by
 	if err != nil {
 		return nil, err
 	}
-	return wire.Marshal(resp)
+	return wire.MarshalAppend(dst, resp)
 }
 
 // spawn runs fn in a tracked background goroutine (never fire-and-

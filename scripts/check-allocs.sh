@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# check-allocs.sh — alloc-regression guard for the wire codec.
+#
+# Runs BenchmarkRuntimeCodec with -benchmem and fails if any
+# sub-benchmark reports more allocs/op than its ceiling in
+# scripts/alloc-budget.txt. The fast-path budgets are exact (their
+# allocation counts are deterministic — the append variants allocate
+# only decode output); the gob baselines get headroom for stdlib
+# drift. Lowering a number after an optimisation is encouraged;
+# raising one is a reviewed decision.
+#
+# Run from the repository root: ./scripts/check-allocs.sh
+set -u
+cd "$(dirname "$0")/.."
+
+budget_file=scripts/alloc-budget.txt
+out=$(go test -run '^$' -bench 'BenchmarkRuntimeCodec' -benchmem -benchtime 200x . 2>&1)
+status=$?
+echo "$out"
+if [ "$status" -ne 0 ]; then
+  echo "alloc check FAILED (benchmark did not run)"
+  exit 1
+fi
+
+fail=0
+while read -r name budget; do
+  case "$name" in '' | '#'*) continue ;; esac
+  # Benchmark lines append a -GOMAXPROCS suffix to the name; allocs/op
+  # is the value immediately preceding the "allocs/op" unit column.
+  actual=$(echo "$out" | awk -v n="$name" '
+    $1 ~ "^"n"(-[0-9]+)?$" { for (i = 1; i <= NF; i++) if ($i == "allocs/op") print $(i-1) }')
+  if [ -z "$actual" ]; then
+    echo "ALLOC GUARD: benchmark $name missing from output"
+    fail=1
+    continue
+  fi
+  if [ "$actual" -gt "$budget" ]; then
+    echo "ALLOC REGRESSION: $name reports $actual allocs/op, budget is $budget"
+    fail=1
+  fi
+done <"$budget_file"
+
+if [ "$fail" -ne 0 ]; then
+  echo "alloc check FAILED"
+  exit 1
+fi
+echo "alloc check OK"

@@ -6,9 +6,12 @@
 #  1. Link check: every relative markdown link in docs/*.md and
 #     README.md must point at a file (or file#anchor) that exists.
 #  2. Symbol check: every backticked Go identifier mentioned in the
-#     docs — qualified names like `wire.Snapshot` / `Node.Migrate` and
-#     multi-hump exported CamelCase names like `AutopilotConfig` —
-#     must still exist somewhere in the repo's .go files.
+#     docs — qualified names like `wire.Snapshot` / `Node.Migrate`,
+#     multi-hump exported CamelCase names like `AutopilotConfig`, and
+#     unexported camelCase names like `tagGob` (wire-format.md
+#     documents byte-level internals, so internal identifiers are
+#     load-bearing documentation too) — must still exist somewhere in
+#     the repo's .go files.
 #
 # Run from the repository root: ./scripts/check-docs.sh
 set -u
@@ -53,10 +56,13 @@ for sym in $symbols; do
         *) continue ;;
       esac
       ;;
-    # Bare name: only check exported CamelCase with at least two humps
-    # (so `KiB`, `Go`, `TCP` and prose words never false-positive).
+    # Bare name: check exported CamelCase with at least two humps (so
+    # `KiB`, `Go`, `TCP` and prose words never false-positive), and
+    # unexported camelCase with a hump (`tagGob`, `dirRequest`,
+    # `maxFrame`) — all-lowercase words are prose and skipped.
     *)
-      if ! echo "$sym" | grep -Eq '^[A-Z][a-z0-9]{2,}[A-Z][A-Za-z0-9]*$'; then
+      if ! echo "$sym" | grep -Eq '^[A-Z][a-z0-9]{2,}[A-Z][A-Za-z0-9]*$' &&
+        ! echo "$sym" | grep -Eq '^[a-z][a-z0-9]+[A-Z][A-Za-z0-9]*$'; then
         continue
       fi
       ident="$sym"

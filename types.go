@@ -60,7 +60,7 @@ const (
 // comparable, gob-encodable (they may be stored inside object state)
 // and stable across migrations.
 type Ref struct {
-	OID core.OID
+	OID core.OID // the object's cluster-unique identity (origin, seq)
 }
 
 // String renders the reference as origin/seq.
