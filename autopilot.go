@@ -36,6 +36,7 @@ import (
 
 	"objmig/internal/affinity"
 	"objmig/internal/core"
+	"objmig/internal/placement"
 	"objmig/internal/wire"
 )
 
@@ -149,6 +150,7 @@ func (n *Node) EnableAutopilot(cfg AutopilotConfig) error {
 		cooldown: make(map[core.OID]time.Time),
 	}
 	n.ap = ap
+	n.affUsers++
 	n.aff.SetEnabled(true)
 	n.spawn(ap.run)
 	return nil
@@ -165,8 +167,12 @@ func (n *Node) DisableAutopilot() {
 	if ap != nil {
 		// Inside the critical section, so a concurrent re-enable's
 		// SetEnabled(true) cannot be overwritten after it installs
-		// its daemon.
-		n.aff.SetEnabled(false)
+		// its daemon. The tracker stays on while the placement daemon
+		// still feeds on it.
+		n.affUsers--
+		if n.affUsers <= 0 {
+			n.aff.SetEnabled(false)
+		}
 	}
 	n.apMu.Unlock()
 	if ap == nil {
@@ -224,15 +230,16 @@ func (a *autopilot) tick() {
 	// out a full migration timeout.
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	watch := make(chan struct{})
-	defer close(watch)
-	go func() {
-		select {
-		case <-a.stop:
-			cancel()
-		case <-watch:
-		}
-	}()
+	defer cancelOnStop(a.stop, cancel)()
+
+	// With placement enabled the election routes through the engine:
+	// group-scored, load-discounted, overload-vetoed. Without it the
+	// classic per-object election below runs unchanged.
+	pl := n.placementDaemonRef()
+	if pl != nil {
+		n.stats.placementScans.Add(1)
+	}
+	visited := make(map[core.OID]bool)
 
 	budget := a.cfg.BudgetPerTick
 	for _, h := range hot {
@@ -241,6 +248,17 @@ func (a *autopilot) tick() {
 		}
 		if _, hosted := n.store.Hosted(h.Obj); !hosted {
 			continue // gossip about an object somebody else hosts
+		}
+		if pl != nil {
+			if h.Obj.Origin == n.id && len(h.Callers) == 0 {
+				// Origin-accumulated gossip with no remote pressure at
+				// all: nothing to elect (mirrors the classic path).
+				continue
+			}
+			if !visited[h.Obj] && a.electGroup(ctx, pl, h.Obj, visited) {
+				budget--
+			}
+			continue
 		}
 		target, ok := a.elect(h)
 		if !ok {
@@ -277,6 +295,68 @@ func (a *autopilot) tick() {
 		n.emit(Event{Kind: EventAutopilot, Obj: Ref{OID: h.Obj}, Target: target,
 			Outcome: "migrate", Objects: refs})
 	}
+}
+
+// electGroup is the engine-backed election: the candidate's attachment
+// closure is resolved first, its affinity aggregated per caller node,
+// and the placement engine scores the closure as a unit against the
+// cluster load view — so one hot member cannot drag a group whose
+// combined affinity points elsewhere, and an overloaded target is
+// vetoed before a single pause is issued. Every scored member is
+// marked visited so a tick never re-scores the same closure through
+// another hot member. Reports whether a migration was issued.
+func (a *autopilot) electGroup(ctx context.Context, d *placementDaemon, root core.OID, visited map[core.OID]bool) bool {
+	n := a.node
+	if a.onCooldown(root, time.Now()) {
+		n.stats.autopilotDeferred.Add(1)
+		return false
+	}
+	members, err := n.closureOf(ctx, root, a.cfg.Alliance)
+	if err != nil {
+		a.setCooldown(root, time.Now())
+		n.stats.autopilotDeferred.Add(1)
+		return false
+	}
+	for oid := range members {
+		visited[oid] = true
+	}
+	opt := d.cfg.engineOptions()
+	opt.Hysteresis = a.cfg.Hysteresis
+	opt.RequireMajority = a.cfg.Policy == PolicyCompareReinstantiate
+	dec, ok := placement.Score(n.groupAffinity(members), d.view, opt)
+	if !ok {
+		// Declined: re-deriving the closure every tick for a group
+		// that keeps scoring "stay" is wasted (possibly remote) work.
+		// Back off for a fraction of the full cooldown so fresh
+		// pressure can still flip the verdict quickly.
+		short := a.cfg.Cooldown / 4
+		if short < a.cfg.Interval {
+			short = a.cfg.Interval
+		}
+		a.setCooldownUntil(root, time.Now().Add(short))
+		return false
+	}
+	moved, err := n.migrateClosureSoft(ctx, members, dec.Target)
+	if err != nil {
+		a.setCooldown(root, time.Now())
+		n.stats.autopilotDeferred.Add(1)
+		return false
+	}
+	n.stats.autopilotMigrations.Add(1)
+	n.stats.autopilotObjectsMoved.Add(int64(len(moved)))
+	n.stats.placementMigrations.Add(1)
+	n.stats.placementObjectsMoved.Add(int64(len(moved)))
+	now := time.Now()
+	refs := make([]Ref, len(moved))
+	for i, oid := range moved {
+		a.setCooldown(oid, now)
+		refs[i] = Ref{OID: oid}
+	}
+	n.emit(Event{Kind: EventAutopilot, Obj: Ref{OID: root}, Target: dec.Target,
+		Outcome: "migrate", Objects: refs})
+	n.emit(Event{Kind: EventPlacement, Obj: Ref{OID: root}, Target: dec.Target,
+		Outcome: "migrate", Objects: refs})
+	return true
 }
 
 // elect applies the configured comparing strategy to one object's
@@ -322,8 +402,14 @@ func (a *autopilot) onCooldown(obj core.OID, now time.Time) bool {
 
 // setCooldown stamps the object's next earliest migration.
 func (a *autopilot) setCooldown(obj core.OID, now time.Time) {
+	a.setCooldownUntil(obj, now.Add(a.cfg.Cooldown))
+}
+
+// setCooldownUntil stamps an explicit deadline (the engine's short
+// declined-score back-off uses a fraction of the full cooldown).
+func (a *autopilot) setCooldownUntil(obj core.OID, until time.Time) {
 	a.mu.Lock()
-	a.cooldown[obj] = now.Add(a.cfg.Cooldown)
+	a.cooldown[obj] = until
 	a.mu.Unlock()
 }
 

@@ -345,6 +345,22 @@ func BenchmarkRuntimeCodec(b *testing.B) {
 	run("Snapshot/gob", gobMarshal, gobUnmarshal, snap, func() interface{} { return new(wire.Snapshot) })
 	run("Snapshot/pooled", wire.Marshal, wire.Unmarshal, snap, func() interface{} { return new(wire.Snapshot) })
 	runAppend("Snapshot/append", snap, func() interface{} { return new(wire.Snapshot) })
+	// The load-gossip heartbeat body: ships every Heartbeat per peer,
+	// so its append path must stay as lean as the invoke one.
+	load := &wire.LoadGossipReq{Load: wire.NodeLoad{
+		Node: "node-0", Objects: 4096, Bytes: 1 << 28, RateMilli: 125_000, Capacity: 8192, Seq: 99,
+	}}
+	run("Load/gob", gobMarshal, gobUnmarshal, load, func() interface{} { return new(wire.LoadGossipReq) })
+	run("Load/pooled", wire.Marshal, wire.Unmarshal, load, func() interface{} { return new(wire.LoadGossipReq) })
+	runAppend("Load/append", load, func() interface{} { return new(wire.LoadGossipReq) })
+	// HomeUpdate with a piggybacked sample: the decode allocates the
+	// optional NodeLoad plus its node string on top of the OID list.
+	hu := &wire.HomeUpdate{
+		Objs: []core.OID{{Origin: "node-0", Seq: 1}, {Origin: "node-0", Seq: 2}},
+		At:   "node-1",
+		Load: &load.Load,
+	}
+	runAppend("HomeUpdateLoad/append", hu, func() interface{} { return new(wire.HomeUpdate) })
 }
 
 // BenchmarkRuntimeStoreParallel measures the sharded store under

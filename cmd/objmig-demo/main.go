@@ -14,6 +14,13 @@
 // the autopilot off and once with it on. The autopilot observes the
 // access affinity and moves the hot objects to their dominant caller,
 // collapsing that caller's remote-call volume.
+//
+// A fourth scenario demonstrates the placement engine: the same skewed
+// workload, but the dominant caller is a small node already at its
+// object capacity. The affinity-only autopilot piles the hot objects
+// onto it anyway; with placement enabled the overload veto keeps every
+// one of them off the full node and the engine settles them on the
+// runner-up caller instead.
 package main
 
 import (
@@ -212,6 +219,103 @@ func autopilotScenario(latency time.Duration, withAutopilot bool) error {
 	return nil
 }
 
+// placementScenario runs the 90/10 skewed workload against a capped
+// hot node: hot-app advertises Capacity 2 and already hosts two
+// ballast objects, so it is full before the first migration. Without
+// placement the autopilot converges the service objects onto it
+// regardless; with placement the overload veto holds (zero objects
+// land on hot-app) and the engine settles the objects on the
+// runner-up caller.
+func placementScenario(latency time.Duration, withPlacement bool) error {
+	cluster := objmig.NewLocalCluster()
+	cluster.SetLatency(latency)
+	var nodes []*objmig.Node
+	for _, id := range []objmig.NodeID{"server", "hot-app", "cold-app"} {
+		cfg := objmig.Config{ID: id, Cluster: cluster}
+		if id == "hot-app" {
+			cfg.Capacity = 2 // a small node: full once its ballast is in
+		}
+		n, err := objmig.NewNode(cfg)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = n.Close() }()
+		if err := n.RegisterType(newServiceType()); err != nil {
+			return err
+		}
+		err = n.EnableAutopilot(objmig.AutopilotConfig{
+			Interval:   20 * time.Millisecond,
+			MinTotal:   12,
+			Hysteresis: 1.5,
+		})
+		if err != nil {
+			return err
+		}
+		if withPlacement {
+			err := n.EnablePlacement(objmig.PlacementConfig{
+				Heartbeat:  50 * time.Millisecond,
+				Hysteresis: 1.5,
+			})
+			if err != nil {
+				return err
+			}
+		}
+		nodes = append(nodes, n)
+	}
+	server, hotApp, coldApp := nodes[0], nodes[1], nodes[2]
+
+	// Ballast: the small node starts exactly at capacity.
+	for i := 0; i < 2; i++ {
+		if _, err := hotApp.Create("service"); err != nil {
+			return err
+		}
+	}
+	const objects = 4
+	refs := make([]objmig.Ref, objects)
+	for i := range refs {
+		ref, err := server.Create("service")
+		if err != nil {
+			return err
+		}
+		refs[i] = ref
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	for round := 0; round < 40; round++ {
+		for _, ref := range refs {
+			for i := 0; i < 9; i++ {
+				if _, err := objmig.Call[struct{}, int](ctx, hotApp, ref, "Work", struct{}{}); err != nil {
+					return err
+				}
+			}
+			if _, err := objmig.Call[struct{}, int](ctx, coldApp, ref, "Work", struct{}{}); err != nil {
+				return err
+			}
+		}
+	}
+	time.Sleep(300 * time.Millisecond) // let stragglers settle
+
+	where := map[objmig.NodeID]int{}
+	for _, ref := range refs {
+		if at, err := server.Locate(ctx, ref); err == nil {
+			where[at]++
+		}
+	}
+	var vetoes int64
+	for _, n := range nodes {
+		vetoes += n.Stats().PlacementVetoes
+	}
+	fmt.Printf("--- placement %-3v: %d/%d objects on the full hot-app (capacity 2), %d on cold-app, %d on server; %d target-side vetoes ---\n",
+		withPlacement, where[hotApp.ID()], objects, where[coldApp.ID()], where[server.ID()], vetoes)
+	if withPlacement {
+		for _, l := range server.LoadView() {
+			fmt.Printf("    server's view: %-8s objects=%-3d capacity=%d\n", l.Node, l.Objects, l.Capacity)
+		}
+	}
+	return nil
+}
+
 func main() {
 	const (
 		latency = 2 * time.Millisecond
@@ -242,4 +346,15 @@ func main() {
 	fmt.Println("With the autopilot on, nodes observe per-caller access affinity and migrate")
 	fmt.Println("hot objects to their dominant caller on their own — the live-runtime twin of")
 	fmt.Println("the paper's dynamic compare-the-nodes policies.")
+	fmt.Println()
+	fmt.Println("objmig-demo: placement — the dominant caller is a small node already at capacity")
+	for _, on := range []bool{false, true} {
+		if err := placementScenario(latency, on); err != nil {
+			fmt.Fprintln(os.Stderr, "objmig-demo:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Println("Affinity alone piles the hot objects onto the full node; the placement engine's")
+	fmt.Println("overload veto (gossiped load coordinator-side, authoritative counts target-side)")
+	fmt.Println("keeps them off it and settles them on the runner-up caller instead.")
 }

@@ -145,6 +145,19 @@ func run() int {
 			"max group migrations per scan tick (0 = default 4)")
 		apDecay = flag.Int("autopilot-decay-every", 0,
 			"halve affinity counters every N scans (0 = default 8, negative disables decay)")
+
+		capacity = flag.Int64("capacity", 0,
+			"advertised object capacity, enforced by the placement admission veto (0 = uncapped)")
+		placement = flag.Bool("placement", false,
+			"gossip load samples and place objects with the load-aware, group-scored engine")
+		plHeartbeat = flag.Duration("placement-heartbeat", 0,
+			"load-gossip heartbeat period (0 = default 500ms, negative disables)")
+		plOriginPass = flag.Duration("placement-origin-pass", 0,
+			"origin pre-placement scan period (0 = default 1s, negative disables)")
+		plOverload = flag.Float64("placement-overload-ratio", 0,
+			"utilisation above which a node is vetoed as a migration target (0 = default 1)")
+		plHysteresis = flag.Float64("placement-hysteresis", 0,
+			"winner-vs-rival score ratio required to move a group (0 = default 2)")
 	)
 	flag.Var(peers, "peer", "peer address as id=addr (repeatable)")
 	flag.Parse()
@@ -171,6 +184,7 @@ func run() int {
 		Policy:     pol,
 		Attach:     att,
 		Peers:      peers,
+		Capacity:   *capacity,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "objmig-node:", err)
@@ -198,8 +212,21 @@ func run() int {
 		}
 	}
 
-	fmt.Printf("node %s listening on %s (policy %v, attach %v, autopilot %v)\n",
-		node.ID(), node.Addr(), node.Policy(), node.AttachPolicy(), *autopilot)
+	if *placement {
+		err := node.EnablePlacement(objmig.PlacementConfig{
+			Heartbeat:     *plHeartbeat,
+			OriginPass:    *plOriginPass,
+			OverloadRatio: *plOverload,
+			Hysteresis:    *plHysteresis,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "objmig-node:", err)
+			return 1
+		}
+	}
+
+	fmt.Printf("node %s listening on %s (policy %v, attach %v, autopilot %v, placement %v, capacity %d)\n",
+		node.ID(), node.Addr(), node.Policy(), node.AttachPolicy(), *autopilot, *placement, *capacity)
 	for i := 0; i < *create; i++ {
 		ref, err := node.Create("kv")
 		if err != nil {
@@ -211,8 +238,8 @@ func run() int {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	if *autopilot {
-		// Periodically report what the autopilot sees and does.
+	if *autopilot || *placement {
+		// Periodically report what the optimiser daemons see and do.
 		ticker := time.NewTicker(10 * time.Second)
 		defer ticker.Stop()
 	loop:
@@ -222,9 +249,17 @@ func run() int {
 				break loop
 			case <-ticker.C:
 				st := node.Stats()
-				fmt.Printf("autopilot: %d scans, %d migrations (%d objects), %d deferred; tracking %d hot objects\n",
-					st.AutopilotScans, st.AutopilotMigrations, st.AutopilotObjectsMoved,
-					st.AutopilotDeferred, len(node.Affinity()))
+				if *autopilot {
+					fmt.Printf("autopilot: %d scans, %d migrations (%d objects), %d deferred; tracking %d hot objects\n",
+						st.AutopilotScans, st.AutopilotMigrations, st.AutopilotObjectsMoved,
+						st.AutopilotDeferred, len(node.Affinity()))
+				}
+				if *placement {
+					fmt.Printf("placement: %d scans, %d migrations (%d objects), %d vetoes; gossip %d out / %d in, view of %d nodes\n",
+						st.PlacementScans, st.PlacementMigrations, st.PlacementObjectsMoved,
+						st.PlacementVetoes, st.LoadGossipSent, st.LoadGossipReceived,
+						len(node.LoadView()))
+				}
 			}
 		}
 	} else {
@@ -237,6 +272,11 @@ func run() int {
 		fmt.Printf("autopilot total: %d migrations carrying %d objects, %d deferred, %d home-update batches for %d advisories\n",
 			st.AutopilotMigrations, st.AutopilotObjectsMoved, st.AutopilotDeferred,
 			st.HomeUpdateBatches, st.HomeUpdatesQueued)
+	}
+	if *placement {
+		fmt.Printf("placement total: %d migrations carrying %d objects, %d vetoes, %d load samples out / %d in\n",
+			st.PlacementMigrations, st.PlacementObjectsMoved, st.PlacementVetoes,
+			st.LoadGossipSent, st.LoadGossipReceived)
 	}
 	return 0
 }

@@ -35,6 +35,15 @@ const (
 	// coordinator, Outcome is "streamed" and Bytes counts the bytes
 	// forwarded in InstallChunk frames.
 	EventMigrateStream
+	// EventPlacement: the placement engine acted here. Outcome
+	// "migrate" (the autopilot's group-scored election) or "origin"
+	// (the origin pre-placement pass) announce an engine-driven group
+	// migration — Obj is the scored root, Target the elected node and
+	// Objects the full attachment closure that travelled as a unit.
+	// Outcome "veto" reports a migration this node refused as a target
+	// because admitting the group would push it past its capacity
+	// (Objects lists the refused members, Target the coordinator).
+	EventPlacement
 )
 
 // String names the kind.
@@ -58,6 +67,8 @@ func (k EventKind) String() string {
 		return "autopilot"
 	case EventMigrateStream:
 		return "migrate-stream"
+	case EventPlacement:
+		return "placement"
 	default:
 		return "unknown"
 	}

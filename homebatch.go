@@ -198,15 +198,21 @@ func (b *homeBatcher) send(key homeKey, p *homePending) {
 	b.n.spawn(func() { b.sendNow(key, p, 5*time.Second) })
 }
 
-// sendNow performs the RPC synchronously (best effort).
+// sendNow performs the RPC synchronously (best effort). With placement
+// enabled the batch carries the sender's load sample out and folds the
+// origin's sample from the response in — home-update traffic doubles
+// as load gossip.
 func (b *homeBatcher) sendNow(key homeKey, p *homePending, timeout time.Duration) {
 	n := b.n
 	n.stats.homeUpdateBatches.Add(1)
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	var resp wire.HomeUpdateResp
-	_ = n.call(ctx, key.origin, wire.KHomeUpdate,
-		&wire.HomeUpdate{Objs: p.objs, At: key.at, Aff: p.aff}, &resp)
+	err := n.call(ctx, key.origin, wire.KHomeUpdate,
+		&wire.HomeUpdate{Objs: p.objs, At: key.at, Aff: p.aff, Load: n.cachedLoadSample()}, &resp)
+	if err == nil {
+		n.observeLoad(resp.Load)
+	}
 }
 
 // close flushes pending batches and stops the loop. Safe to call once,

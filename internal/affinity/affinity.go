@@ -211,6 +211,32 @@ func (t *Tracker) Hot(min int64) []ObjLoad {
 	return out
 }
 
+// CallerNodes returns the distinct remote caller nodes observed
+// across all tracked objects, sorted. This is the load-gossip
+// heartbeat's peer-discovery query: unlike Hot it builds no
+// per-object snapshots — one set accumulation over the stripes.
+func (t *Tracker) CallerNodes() []core.NodeID {
+	seen := make(map[core.NodeID]bool)
+	for i := range t.stripes {
+		st := &t.stripes[i]
+		st.mu.RLock()
+		for _, c := range st.objs {
+			if m := c.remote.Load(); m != nil {
+				for node := range *m {
+					seen[node] = true
+				}
+			}
+		}
+		st.mu.RUnlock()
+	}
+	out := make([]core.NodeID, 0, len(seen))
+	for node := range seen {
+		out = append(out, node)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Load returns the tracker's view of a single object.
 func (t *Tracker) Load(obj core.OID) ObjLoad {
 	st := &t.stripes[stripeIndex(obj)]

@@ -1,0 +1,322 @@
+// Package placement is the cluster placement engine: a decaying view
+// of per-node load/capacity samples (fed by the load-gossip protocol)
+// plus a pure scoring core that elects the best node for an attachment
+// closure as a unit.
+//
+// The engine closes the gap the affinity tracker leaves open: affinity
+// says *who wants* an object, but nothing about whether the wanting
+// node can take it. Placement decisions therefore combine three
+// signals, all three of which the live runtime shares across its
+// migration decision points (the autopilot's election, the origin
+// pre-placement pass, and target-side migration admission):
+//
+//   - Aggregate affinity: the closure's pressure is summed per
+//     candidate node, so one hot member cannot drag a group whose
+//     combined affinity points elsewhere.
+//   - Load headroom: a candidate's score is discounted by its
+//     projected utilisation — objects hosted plus the incoming group,
+//     over its configured capacity — faded by the sample's age.
+//   - Overload veto: a candidate whose projected utilisation exceeds
+//     the overload ratio is excluded outright, however hot its
+//     affinity. The same predicate runs target-side in migration
+//     admission (with the target's authoritative local counts), so a
+//     coordinator with a stale view is back-pressured rather than
+//     trusted.
+//
+// See docs/placement.md for the scoring formula and its rationale.
+package placement
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"objmig/internal/core"
+)
+
+// Sample is one node's load/capacity observation — the engine's twin
+// of wire.NodeLoad, kept dependency-free of the wire layer.
+type Sample struct {
+	Node      core.NodeID // the sampled node
+	Objects   int64       // live hosted objects
+	Bytes     int64       // approximate resident state bytes
+	RateMilli int64       // smoothed invocations/second ×1000
+	Capacity  int64       // configured object capacity; 0 = uncapped
+	Seq       uint64      // sender-monotonic sample ordering
+}
+
+// View is a node's decaying picture of its peers' load. Samples
+// arrive from the load-gossip heartbeat and the HomeUpdate piggyback;
+// each is stamped on arrival and fades with age — the headroom
+// discount weakens linearly over the TTL and a sample older than the
+// TTL is treated as absent (and pruned). Safe for concurrent use.
+type View struct {
+	ttl time.Duration
+
+	mu    sync.Mutex
+	peers map[core.NodeID]viewEntry
+}
+
+type viewEntry struct {
+	s  Sample
+	at time.Time
+}
+
+// DefaultTTL is the default freshness window of a view entry.
+const DefaultTTL = 5 * time.Second
+
+// NewView returns an empty view whose entries expire after ttl
+// (DefaultTTL when ttl <= 0).
+func NewView(ttl time.Duration) *View {
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	return &View{ttl: ttl, peers: make(map[core.NodeID]viewEntry)}
+}
+
+// TTL returns the view's freshness window.
+func (v *View) TTL() time.Duration { return v.ttl }
+
+// Observe folds one sample in. Per node only the highest Seq wins, so
+// reordered gossip (a heartbeat overtaking a piggybacked sample) never
+// rolls the view backwards; an equal-Seq re-observation refreshes the
+// stamp.
+func (v *View) Observe(s Sample) {
+	if s.Node == "" {
+		return
+	}
+	v.mu.Lock()
+	if cur, ok := v.peers[s.Node]; !ok || s.Seq >= cur.s.Seq {
+		v.peers[s.Node] = viewEntry{s: s, at: time.Now()}
+	}
+	v.mu.Unlock()
+}
+
+// Get returns the node's sample and its age, if a fresh one is known.
+// Stale entries (older than the TTL) are pruned and reported absent.
+func (v *View) Get(node core.NodeID) (Sample, time.Duration, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	e, ok := v.peers[node]
+	if !ok {
+		return Sample{}, 0, false
+	}
+	age := time.Since(e.at)
+	if age > v.ttl {
+		delete(v.peers, node)
+		return Sample{}, 0, false
+	}
+	return e.s, age, true
+}
+
+// Nodes lists the nodes with fresh samples, sorted for determinism.
+func (v *View) Nodes() []core.NodeID {
+	v.mu.Lock()
+	out := make([]core.NodeID, 0, len(v.peers))
+	now := time.Now()
+	for node, e := range v.peers {
+		if now.Sub(e.at) > v.ttl {
+			delete(v.peers, node)
+			continue
+		}
+		out = append(out, node)
+	}
+	v.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Snapshot returns every fresh sample, sorted by node (operators,
+// tests).
+func (v *View) Snapshot() []Sample {
+	out := make([]Sample, 0)
+	for _, node := range v.Nodes() {
+		if s, _, ok := v.Get(node); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Group is the aggregate affinity of one attachment closure, the
+// scoring input. The closure is scored — and moves — as a unit: a
+// Decision names exactly one target for every member.
+type Group struct {
+	Self    core.NodeID           // the node currently hosting the closure
+	Members int                   // closure size in objects
+	Bytes   int64                 // approximate resident bytes of the closure
+	Local   int64                 // pressure served for callers on Self
+	PerNode map[core.NodeID]int64 // aggregate remote pressure per caller node
+}
+
+// Total returns the group's total observed pressure.
+func (g Group) Total() int64 {
+	t := g.Local
+	for _, c := range g.PerNode {
+		t += c
+	}
+	return t
+}
+
+// Options tunes a Score call. The zero value selects the defaults.
+type Options struct {
+	// Hysteresis is how many times the winner's discounted score must
+	// exceed the strongest rival (the discounted local score or the
+	// runner-up candidate) before moving is worth its cost. Values
+	// below 1 are raised to 1; zero selects the default 2.
+	Hysteresis float64
+	// OverloadRatio is the veto threshold: a candidate whose projected
+	// utilisation (hosted objects plus the incoming group, over its
+	// capacity) exceeds this is excluded. Zero selects the default 1.
+	OverloadRatio float64
+	// LoadDiscount scales how strongly utilisation discounts a
+	// candidate's affinity score. Zero selects the default 1; negative
+	// disables the discount (pure affinity with veto only).
+	LoadDiscount float64
+	// RequireMajority additionally demands the winner hold a strict
+	// majority of the group's total pressure — the paper's
+	// compare-and-reinstantiate rule lifted to group scoring.
+	RequireMajority bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Hysteresis == 0 {
+		o.Hysteresis = 2
+	} else if o.Hysteresis < 1 {
+		o.Hysteresis = 1
+	}
+	if o.OverloadRatio == 0 {
+		o.OverloadRatio = 1
+	}
+	if o.LoadDiscount == 0 {
+		o.LoadDiscount = 1
+	} else if o.LoadDiscount < 0 {
+		o.LoadDiscount = 0
+	}
+	return o
+}
+
+// Decision is the engine's verdict for one group.
+type Decision struct {
+	Target   core.NodeID   // elected node (ok=true only)
+	Score    float64       // the winner's discounted score
+	RunnerUp float64       // the strongest rival's discounted score
+	Vetoed   []core.NodeID // candidates excluded by the overload veto
+}
+
+// Utilisation returns a node's projected utilisation if incoming more
+// objects landed on it: (objects + incoming) / capacity. Uncapped
+// nodes (capacity <= 0) report 0.
+func Utilisation(s Sample, incoming int) float64 {
+	if s.Capacity <= 0 {
+		return 0
+	}
+	return float64(s.Objects+int64(incoming)) / float64(s.Capacity)
+}
+
+// Overloaded reports the veto predicate: projected utilisation
+// strictly above ratio. This is the exact check migration admission
+// runs target-side with its authoritative local counts (ratio <= 0
+// selects the default 1).
+func Overloaded(s Sample, incoming int, ratio float64) bool {
+	if ratio <= 0 {
+		ratio = 1
+	}
+	return Utilisation(s, incoming) > ratio
+}
+
+// Score elects the best node for the group, or reports (ok=false)
+// that it should stay put. The formula, per candidate node c:
+//
+//	util(c)  = (objects(c) + |group|) / capacity(c)   (0 when uncapped)
+//	fresh(c) = 1 − age(c)/TTL                          (clamped to [0,1])
+//	weight(c) = 1 / (1 + LoadDiscount · util(c) · fresh(c))
+//	score(c)  = affinity(c) · weight(c)
+//
+// Candidates with util(c) > OverloadRatio are vetoed outright
+// (regardless of freshness — a fresh-enough sample is the veto's
+// evidence; absent samples cannot veto). The group's current host is
+// scored the same way on its Local pressure, but with incoming 0 —
+// its hosted count already contains the group — and it is never
+// vetoed into moving: an overloaded host's local score is merely
+// discounted, so a closure its own traffic dominates stays put. The
+// winner must strictly beat, and exceed by the hysteresis factor,
+// the strongest rival — the discounted local score or the runner-up
+// candidate — mirroring the autopilot's per-object election. Ties
+// break towards the lexically smaller node so identical inputs
+// always elect identically.
+func Score(g Group, v *View, opt Options) (Decision, bool) {
+	opt = opt.withDefaults()
+	var dec Decision
+
+	// discount returns the headroom weight of a node whose sample is
+	// known; incoming is the group size for candidates and 0 for the
+	// current host (which already counts the group among its objects).
+	discount := func(s Sample, age time.Duration, incoming int) float64 {
+		fresh := 1 - float64(age)/float64(v.TTL())
+		if fresh < 0 {
+			fresh = 0
+		}
+		return 1 / (1 + opt.LoadDiscount*Utilisation(s, incoming)*fresh)
+	}
+
+	// Deterministic candidate order.
+	cands := make([]core.NodeID, 0, len(g.PerNode))
+	for node := range g.PerNode {
+		if node != g.Self {
+			cands = append(cands, node)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+
+	var best, second float64
+	var bestNode core.NodeID
+	for _, node := range cands {
+		aff := g.PerNode[node]
+		if aff <= 0 {
+			continue
+		}
+		w := 1.0 // unknown load: pure affinity, no veto evidence
+		if s, age, ok := v.Get(node); ok {
+			if Overloaded(s, g.Members, opt.OverloadRatio) {
+				dec.Vetoed = append(dec.Vetoed, node)
+				continue
+			}
+			w = discount(s, age, g.Members)
+		}
+		score := float64(aff) * w
+		if score > best {
+			second = best
+			best, bestNode = score, node
+		} else if score > second {
+			second = score
+		}
+	}
+	if bestNode == "" {
+		return dec, false
+	}
+
+	localW := 1.0
+	if s, age, ok := v.Get(g.Self); ok {
+		localW = discount(s, age, 0)
+	}
+	localScore := float64(g.Local) * localW
+	rival := math.Max(localScore, second)
+
+	dec.Target, dec.Score, dec.RunnerUp = bestNode, best, rival
+	// Strict domination plus hysteresis, exactly like the autopilot's
+	// per-object election (leader must beat every rival, scaled).
+	if best <= rival || best < opt.Hysteresis*rival {
+		return dec, false
+	}
+	if opt.RequireMajority {
+		// Clear majority over the *raw* pressure — the discount decides
+		// where to go, the majority rule decides whether going is
+		// justified at all.
+		if 2*g.PerNode[bestNode] <= g.Total() {
+			return dec, false
+		}
+	}
+	return dec, true
+}

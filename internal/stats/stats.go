@@ -1,7 +1,9 @@
-// Package stats provides the statistics machinery used by the
-// simulation harness: running moments (Welford), batch-means confidence
-// intervals and the paper's stopping rule (relative confidence-interval
-// half-width of 1% at probability p = 0.99).
+// Package stats provides the statistics machinery shared by the
+// simulation harness and the live runtime: running moments (Welford),
+// batch-means confidence intervals and the paper's stopping rule
+// (relative confidence-interval half-width of 1% at probability
+// p = 0.99), plus the EWMA rate smoother behind the load-gossip
+// invoke-rate samples.
 package stats
 
 import "math"
@@ -138,3 +140,40 @@ func (e *Estimator) Reset() {
 	e.batches = Welford{}
 	e.all = Welford{}
 }
+
+// EWMA is an exponentially weighted moving average — the smoother
+// behind a node's gossiped invoke-rate sample. The first observation
+// seeds the average; each later one folds in with weight alpha, so a
+// traffic burst raises the reported rate quickly while a lull decays
+// it geometrically instead of zeroing it. Not safe for concurrent use;
+// the owning sampler serialises observations.
+type EWMA struct {
+	alpha  float64
+	value  float64
+	seeded bool
+}
+
+// DefaultEWMAAlpha is the default smoothing factor.
+const DefaultEWMAAlpha = 0.3
+
+// NewEWMA returns a smoother with the given factor in (0, 1]; values
+// outside that range select DefaultEWMAAlpha.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		alpha = DefaultEWMAAlpha
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds one sample in and returns the updated average.
+func (e *EWMA) Observe(x float64) float64 {
+	if !e.seeded {
+		e.value, e.seeded = x, true
+		return x
+	}
+	e.value += e.alpha * (x - e.value)
+	return e.value
+}
+
+// Value returns the current average (0 before any observation).
+func (e *EWMA) Value() float64 { return e.value }

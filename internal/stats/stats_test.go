@@ -176,3 +176,33 @@ func TestZ99Value(t *testing.T) {
 		t.Fatalf("Z99 inconsistent: erf = %v", math.Erf(Z99/math.Sqrt2))
 	}
 }
+
+func TestEWMA(t *testing.T) {
+	t.Parallel()
+	e := NewEWMA(0.5)
+	if e.Value() != 0 {
+		t.Fatal("unseeded EWMA must report 0")
+	}
+	if got := e.Observe(10); got != 10 {
+		t.Fatalf("first observation must seed: %v", got)
+	}
+	if got := e.Observe(0); !almostEqual(got, 5, 1e-12) {
+		t.Fatalf("alpha 0.5 step: %v, want 5", got)
+	}
+	if got := e.Observe(5); !almostEqual(got, 5, 1e-12) {
+		t.Fatalf("steady input must hold: %v", got)
+	}
+	// A lull decays geometrically, never zeroing in one step.
+	e2 := NewEWMA(0.3)
+	e2.Observe(100)
+	if got := e2.Observe(0); got <= 0 || got >= 100 {
+		t.Fatalf("decay out of range: %v", got)
+	}
+	// Out-of-range alphas select the default.
+	if d := NewEWMA(-1); d.alpha != DefaultEWMAAlpha {
+		t.Fatalf("alpha clamp: %v", d.alpha)
+	}
+	if d := NewEWMA(2); d.alpha != DefaultEWMAAlpha {
+		t.Fatalf("alpha clamp: %v", d.alpha)
+	}
+}

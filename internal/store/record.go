@@ -31,6 +31,12 @@ const (
 type Record struct {
 	ID       core.OID // the object's cluster-unique identity
 	TypeName string   // registered type that reinstantiates the object
+	// StateBytes approximates the instance's resident size: the
+	// encoded snapshot-state length at install time (zero for locally
+	// created objects that never migrated). Set once before the record
+	// is published into a Store and immutable afterwards, so readers
+	// need no lock; it feeds the node's load-gossip byte gauge.
+	StateBytes int64
 
 	Mu   sync.Mutex // guards every mutable field below
 	cond *sync.Cond // broadcast on every status/busy transition

@@ -208,6 +208,20 @@ func (s *Store) HostedCount() int {
 	return n
 }
 
+// HostedStats returns the live record count together with the
+// approximate resident state bytes (the sum of Record.StateBytes) in
+// one shard walk — the node's load-gossip sample source.
+func (s *Store) HostedStats() (count, bytes int64) {
+	s.Range(func(rec *Record) bool {
+		if !rec.IsGone() {
+			count++
+			bytes += rec.StateBytes
+		}
+		return true
+	})
+	return count, bytes
+}
+
 // InstallBatch registers arriving records as part of migration token.
 // The batch is all-or-nothing: either every record is installed (and
 // its location state updated to "here") or none is.

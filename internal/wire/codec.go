@@ -61,6 +61,8 @@ const (
 	tagInstallChunkResp
 	tagInstallCommitReq
 	tagInstallCommitResp
+	tagLoadGossipReq
+	tagLoadGossipResp
 )
 
 // --- Gob fallback ---
@@ -141,6 +143,25 @@ func appendBool(b []byte, v bool) []byte {
 func appendOID(b []byte, id core.OID) []byte {
 	b = appendStr(b, string(id.Origin))
 	return appendUvarint(b, id.Seq)
+}
+
+// appendNodeLoad encodes one load sample (~7 varints plus the node
+// name; loadSize is its grow hint).
+func appendNodeLoad(b []byte, l *NodeLoad) []byte {
+	b = appendStr(b, string(l.Node))
+	b = appendVarint(b, l.Objects)
+	b = appendVarint(b, l.Bytes)
+	b = appendVarint(b, l.RateMilli)
+	b = appendVarint(b, l.Capacity)
+	return appendUvarint(b, l.Seq)
+}
+
+// loadSize estimates the encoded size of a load sample.
+func loadSize(l *NodeLoad) int {
+	if l == nil {
+		return 1
+	}
+	return 48 + len(l.Node)
 }
 
 func appendOIDs(b []byte, ids []core.OID) []byte {
@@ -237,7 +258,7 @@ func marshalFastAppend(dst []byte, v interface{}) (data []byte, ok bool) {
 	case LocateResp:
 		return marshalFastAppend(dst, &m)
 	case *HomeUpdate:
-		hint := 16 + oidsSize(m.Objs) + len(m.At)
+		hint := 16 + oidsSize(m.Objs) + len(m.At) + loadSize(m.Load)
 		for _, o := range m.Aff {
 			hint += 24 + len(o.Obj.Origin) + len(o.From)
 		}
@@ -251,13 +272,23 @@ func marshalFastAppend(dst []byte, v interface{}) (data []byte, ok bool) {
 			b = appendStr(b, string(o.From))
 			b = appendVarint(b, o.Count)
 		}
+		b = appendBool(b, m.Load != nil)
+		if m.Load != nil {
+			b = appendNodeLoad(b, m.Load)
+		}
 		return b, true
 	case HomeUpdate:
 		return marshalFastAppend(dst, &m)
 	case *HomeUpdateResp:
-		return append(dst, tagHomeUpdateResp), true
+		b := grow(dst, 2+loadSize(m.Load))
+		b = append(b, tagHomeUpdateResp)
+		b = appendBool(b, m.Load != nil)
+		if m.Load != nil {
+			b = appendNodeLoad(b, m.Load)
+		}
+		return b, true
 	case HomeUpdateResp:
-		return append(dst, tagHomeUpdateResp), true
+		return marshalFastAppend(dst, &m)
 	case *Snapshot:
 		b := grow(dst, 1+SnapshotSize(m))
 		b = append(b, tagSnapshot)
@@ -371,6 +402,18 @@ func marshalFastAppend(dst []byte, v interface{}) (data []byte, ok bool) {
 		b := append(dst, tagInstallCommitResp)
 		return appendVarint(b, int64(m.Installed)), true
 	case InstallCommitResp:
+		return marshalFastAppend(dst, &m)
+	case *LoadGossipReq:
+		b := grow(dst, 1+loadSize(&m.Load))
+		b = append(b, tagLoadGossipReq)
+		return appendNodeLoad(b, &m.Load), true
+	case LoadGossipReq:
+		return marshalFastAppend(dst, &m)
+	case *LoadGossipResp:
+		b := grow(dst, 1+loadSize(&m.Load))
+		b = append(b, tagLoadGossipResp)
+		return appendNodeLoad(b, &m.Load), true
+	case LoadGossipResp:
 		return marshalFastAppend(dst, &m)
 	}
 	return dst, false
@@ -507,6 +550,25 @@ func (r *reader) snapshotBody(s *Snapshot) {
 	}
 }
 
+func (r *reader) nodeLoad(l *NodeLoad) {
+	l.Node = core.NodeID(r.str())
+	l.Objects = r.varint()
+	l.Bytes = r.varint()
+	l.RateMilli = r.varint()
+	l.Capacity = r.varint()
+	l.Seq = r.uvarint()
+}
+
+// optNodeLoad decodes a presence-flagged load sample (nil when absent).
+func (r *reader) optNodeLoad() *NodeLoad {
+	if !r.bool() || r.err != nil {
+		return nil
+	}
+	l := new(NodeLoad)
+	r.nodeLoad(l)
+	return l
+}
+
 func (r *reader) affinityObs() []AffinityObs {
 	n := r.uvarint()
 	if r.err != nil || n == 0 {
@@ -578,10 +640,12 @@ func unmarshalFast(tag byte, data []byte, v interface{}) error {
 		out.Objs = r.oids()
 		out.At = core.NodeID(r.str())
 		out.Aff = r.affinityObs()
+		out.Load = r.optNodeLoad()
 	case *HomeUpdateResp:
 		if tag != tagHomeUpdateResp {
 			return tagMismatch(tag, v)
 		}
+		out.Load = r.optNodeLoad()
 	case *Snapshot:
 		if tag != tagSnapshot {
 			return tagMismatch(tag, v)
@@ -681,6 +745,16 @@ func unmarshalFast(tag byte, data []byte, v interface{}) error {
 			return tagMismatch(tag, v)
 		}
 		out.Installed = int(r.varint())
+	case *LoadGossipReq:
+		if tag != tagLoadGossipReq {
+			return tagMismatch(tag, v)
+		}
+		r.nodeLoad(&out.Load)
+	case *LoadGossipResp:
+		if tag != tagLoadGossipResp {
+			return tagMismatch(tag, v)
+		}
+		r.nodeLoad(&out.Load)
 	default:
 		return fmt.Errorf("wire: unmarshal %T: unrecognised body (tag %d)", v, tag)
 	}

@@ -23,6 +23,7 @@ func fastBodies() []interface{} {
 		},
 		Edges: []EdgeRec{{Other: oid2, Alliance: 3}, {Other: oid1, Alliance: 0}},
 	}
+	load := NodeLoad{Node: "n9", Objects: 120, Bytes: 1 << 20, RateMilli: 2500, Capacity: 256, Seq: 31}
 	return []interface{}{
 		&InvokeReq{Obj: oid1, Method: "Add", Arg: []byte{1, 2, 3}, From: "n7"},
 		&InvokeResp{Result: []byte{4, 5}, At: "n2"},
@@ -31,8 +32,11 @@ func fastBodies() []interface{} {
 		&HomeUpdate{Objs: []core.OID{oid1, oid2}, At: "n4", Aff: []AffinityObs{
 			{Obj: oid1, From: "n7", Count: 12},
 			{Obj: oid2, From: "n8", Count: 1},
-		}},
+		}, Load: &load},
 		&HomeUpdateResp{},
+		&HomeUpdateResp{Load: &load},
+		&LoadGossipReq{Load: load},
+		&LoadGossipResp{Load: NodeLoad{Node: "n0", Seq: 1}},
 		&snap,
 		&PauseResp{Snapshots: []Snapshot{snap, {ID: oid2, Type: "t"}}, Pending: []core.OID{oid1}},
 		&InstallReq{Snapshots: []Snapshot{snap}, Token: 99},

@@ -53,6 +53,7 @@ const (
 	KMigrateBegin
 	KInstallChunk
 	KInstallCommit
+	KLoadGossip
 	kMax
 )
 
@@ -65,6 +66,7 @@ func (k Kind) String() string {
 		KEdgeAdd: "edge-add", KEdgeDel: "edge-del", KEdges: "edges",
 		KFix: "fix", KPing: "ping", KMigrateBegin: "migrate-begin",
 		KInstallChunk: "install-chunk", KInstallCommit: "install-commit",
+		KLoadGossip: "load-gossip",
 	}
 	if k >= 1 && int(k) < len(names) && names[k] != "" {
 		return names[k]
@@ -425,18 +427,62 @@ type AffinityObs struct {
 	Count int64
 }
 
+// NodeLoad is one node's load/capacity sample — the currency of the
+// cluster load-gossip protocol behind the placement engine. Samples
+// piggyback on HomeUpdate request/response bodies and travel on the
+// low-rate load-gossip heartbeat, so every placement-enabled node
+// converges on a decaying view of its peers.
+type NodeLoad struct {
+	// Node is the sampled node (the sender of a piggybacked sample).
+	Node core.NodeID
+	// Objects is the node's live (non-forwarding) hosted-object count.
+	Objects int64
+	// Bytes approximates the resident state bytes of hosted objects
+	// (snapshot sizes at install time; locally created objects count
+	// zero until they migrate once).
+	Bytes int64
+	// RateMilli is the node's smoothed invocation-serve rate in
+	// milli-invocations per second (an EWMA; see stats.EWMA).
+	RateMilli int64
+	// Capacity is the node's configured object capacity
+	// (Config.Capacity); 0 means uncapped.
+	Capacity int64
+	// Seq orders samples from the same node: receivers keep the
+	// highest Seq and ignore stragglers.
+	Seq uint64
+}
+
 // HomeUpdate tells an origin node where its objects now live. It is
 // advisory: lookups fall back to forwarding chains when it is lost.
 // Aff piggy-backs the departing host's affinity observations for the
-// moved objects (best-effort gossip; may be empty).
+// moved objects (best-effort gossip; may be empty). Load, when
+// non-nil, piggy-backs the sender's current load sample for the
+// origin's placement view.
 type HomeUpdate struct {
 	Objs []core.OID
 	At   core.NodeID
 	Aff  []AffinityObs
+	Load *NodeLoad
 }
 
-// HomeUpdateResp acknowledges the update.
-type HomeUpdateResp struct{}
+// HomeUpdateResp acknowledges the update. Load, when non-nil, carries
+// the origin's own load sample back to the sender — the response half
+// of the piggybacked load gossip.
+type HomeUpdateResp struct {
+	Load *NodeLoad
+}
+
+// LoadGossipReq is the load-gossip heartbeat: the sender's current
+// load sample. The receiver folds it into its placement view.
+type LoadGossipReq struct {
+	Load NodeLoad
+}
+
+// LoadGossipResp answers a heartbeat with the receiver's own sample,
+// so one round trip teaches both ends.
+type LoadGossipResp struct {
+	Load NodeLoad
+}
 
 // EdgeAddReq adds half an attachment edge at the host of Obj.
 type EdgeAddReq struct {

@@ -634,6 +634,16 @@ func (n *Node) handleInstall(req *wire.InstallReq) (*wire.InstallResp, error) {
 	if req.From != "" && n.migrationAborted(sessionKey{from: req.From, token: req.Token}) {
 		return nil, wire.Errorf(wire.CodeDenied, "migration %d from %s was aborted", req.Token, req.From)
 	}
+	ids := make([]core.OID, len(req.Snapshots))
+	for i := range req.Snapshots {
+		ids[i] = req.Snapshots[i].ID
+	}
+	// The placement overload veto, with this node's authoritative
+	// counts: a one-shot install that would blow the capacity is
+	// refused before anything decodes.
+	if err := n.admitMigration(ids, req.From); err != nil {
+		return nil, err
+	}
 	if err := n.installBatch(req.Snapshots, req.Token); err != nil {
 		var re *wire.RemoteError
 		if errors.As(err, &re) {

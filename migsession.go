@@ -110,6 +110,13 @@ func (n *Node) handleMigrateBegin(req *wire.MigrateBeginReq) (*wire.MigrateBegin
 	if n.migrationAborted(key) {
 		return nil, wire.Errorf(wire.CodeDenied, "migration %d from %s was aborted", req.Token, req.From)
 	}
+	// The placement overload veto runs before the session opens: a
+	// coordinator with a stale load view learns here — with this
+	// node's authoritative counts — that the group will not fit, before
+	// a single member is paused or a single chunk streamed.
+	if err := n.admitMigration(req.Objs, req.From); err != nil {
+		return nil, err
+	}
 	s := &migSession{
 		key:     key,
 		expect:  make(map[core.OID]bool, len(req.Objs)),

@@ -84,6 +84,13 @@ type Config struct {
 	// size, staging-session TTL, pause lease). The zero value selects
 	// the documented defaults; see MigrateConfig.
 	Migrate MigrateConfig
+	// Capacity is the node's advertised object capacity, gossiped with
+	// its load samples and enforced by the placement admission veto: a
+	// migration that would push the hosted-object count past
+	// Capacity×OverloadRatio is refused while placement is enabled.
+	// 0 means uncapped. Explicit application primitives are subject to
+	// the veto too — back-pressure is only useful if it holds.
+	Capacity int64
 	// Observer, when non-nil, receives runtime events (invocations,
 	// move decisions, migrations, ...) synchronously. Observers must
 	// be fast and must not call back into the node.
@@ -120,8 +127,17 @@ type Node struct {
 
 	aff       *affinity.Tracker
 	homeBatch *homeBatcher
-	apMu      sync.Mutex
-	ap        *autopilot
+	// apMu guards the optimiser daemons (autopilot and placement) and
+	// the affinity tracker's user count — both daemons feed on the
+	// tracker, so it stays enabled while either runs.
+	apMu     sync.Mutex
+	ap       *autopilot
+	pl       *placementDaemon
+	affUsers int
+
+	capacity int64
+	loadSeq  atomic.Uint64                 // load-sample ordering (see wire.NodeLoad.Seq)
+	lastLoad atomic.Pointer[wire.NodeLoad] // latest self-sample, for piggybacks
 
 	cfgMu sync.RWMutex
 	types map[string]objectType
@@ -184,6 +200,7 @@ func NewNode(cfg Config) (*Node, error) {
 		retries:       cfg.CallRetries,
 		chaseDeadline: cfg.ChaseDeadline,
 		migrate:       cfg.Migrate.withDefaults(),
+		capacity:      cfg.Capacity,
 		observer:      cfg.Observer,
 		pool:          rpc.NewPool(cfg.Cluster.tr),
 		store:         store.New(cfg.ID),
@@ -324,6 +341,7 @@ func (n *Node) Close() error {
 		return nil
 	}
 	n.DisableAutopilot()
+	n.DisablePlacement()
 	n.homeBatch.close()
 	n.store.Close()
 	err := n.server.Close()
@@ -408,7 +426,14 @@ func (n *Node) handle(ctx context.Context, kind wire.Kind, body, dst []byte) ([]
 		return handleTyped(body, dst, func(req *wire.HomeUpdate) (*wire.HomeUpdateResp, error) {
 			n.store.HomeUpdate(req.Objs, req.At)
 			n.mergeAffinityGossip(req.Aff)
-			return &wire.HomeUpdateResp{}, nil
+			n.observeLoad(req.Load)
+			// The response piggybacks this node's own sample back to
+			// the sender — the cheap half of the load gossip.
+			return &wire.HomeUpdateResp{Load: n.cachedLoadSample()}, nil
+		})
+	case wire.KLoadGossip:
+		return handleTyped(body, dst, func(req *wire.LoadGossipReq) (*wire.LoadGossipResp, error) {
+			return n.handleLoadGossip(req)
 		})
 	case wire.KEdgeAdd:
 		return handleTyped(body, dst, func(req *wire.EdgeAddReq) (*wire.EdgeAddResp, error) {
@@ -454,4 +479,20 @@ func (n *Node) spawn(fn func()) {
 		defer n.bg.Done()
 		fn()
 	}()
+}
+
+// cancelOnStop fires cancel the moment stop closes, until the
+// returned release func runs — the pattern every optimiser daemon
+// wraps around its per-scan context, so node shutdown never waits out
+// a full operation timeout. Use as: defer cancelOnStop(stop, cancel)().
+func cancelOnStop(stop <-chan struct{}, cancel context.CancelFunc) (release func()) {
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-stop:
+			cancel()
+		case <-done:
+		}
+	}()
+	return func() { close(done) }
 }

@@ -61,6 +61,21 @@ type Stats struct {
 	// whose coordinator neither committed nor aborted within the lease,
 	// auto-resumed by this host.
 	PauseLeasesExpired int64
+	// PlacementScans counts placement-engine scans (origin
+	// pre-placement passes plus autopilot ticks that elected through
+	// the engine); PlacementMigrations the group migrations the engine
+	// issued, and PlacementObjectsMoved the objects those carried.
+	PlacementScans        int64
+	PlacementMigrations   int64
+	PlacementObjectsMoved int64
+	// PlacementVetoes counts migrations this node refused as a target
+	// because admitting them would push it past its capacity — the
+	// overload veto's authoritative, target-side half.
+	PlacementVetoes int64
+	// LoadGossipSent / LoadGossipReceived count load samples shipped
+	// and folded in, heartbeats and HomeUpdate piggybacks alike.
+	LoadGossipSent     int64
+	LoadGossipReceived int64
 }
 
 // nodeStats is the internal atomic counterpart of Stats.
@@ -90,6 +105,13 @@ type nodeStats struct {
 	streamSessionsOpened  atomic.Int64
 	streamSessionsExpired atomic.Int64
 	pauseLeasesExpired    atomic.Int64
+
+	placementScans        atomic.Int64
+	placementMigrations   atomic.Int64
+	placementObjectsMoved atomic.Int64
+	placementVetoes       atomic.Int64
+	loadGossipSent        atomic.Int64
+	loadGossipReceived    atomic.Int64
 }
 
 // maxInt64 raises g to v if v is larger (CAS max for gauge counters).
@@ -133,5 +155,12 @@ func (n *Node) Stats() Stats {
 		StreamSessionsOpened:  n.stats.streamSessionsOpened.Load(),
 		StreamSessionsExpired: n.stats.streamSessionsExpired.Load(),
 		PauseLeasesExpired:    n.stats.pauseLeasesExpired.Load(),
+
+		PlacementScans:        n.stats.placementScans.Load(),
+		PlacementMigrations:   n.stats.placementMigrations.Load(),
+		PlacementObjectsMoved: n.stats.placementObjectsMoved.Load(),
+		PlacementVetoes:       n.stats.placementVetoes.Load(),
+		LoadGossipSent:        n.stats.loadGossipSent.Load(),
+		LoadGossipReceived:    n.stats.loadGossipReceived.Load(),
 	}
 }

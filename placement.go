@@ -1,0 +1,590 @@
+package objmig
+
+// Cluster placement: the live runtime's glue around the
+// internal/placement engine. Three pieces live here:
+//
+//   - The load sampler and gossip. Each placement-enabled node
+//     periodically samples its own load (hosted objects, resident
+//     bytes, an EWMA-smoothed invoke rate, the configured Capacity)
+//     into a wire.NodeLoad. Samples ride a low-rate heartbeat
+//     (wire.KLoadGossip, answered with the receiver's own sample so
+//     one round trip teaches both ends) and piggyback on HomeUpdate
+//     request/response bodies, so the nodes that migrate objects at
+//     each other converge on a decaying view of each other's load
+//     without a dedicated gossip mesh.
+//
+//   - The origin pre-placement pass. Origins accumulate affinity
+//     gossip for objects they created (departing hosts ship their
+//     observations home), so an origin often knows who uses a freshly
+//     created object before the object has ever been hot locally. The
+//     pass periodically runs the placement engine over home objects
+//     still hosted here and pre-places them — closure by closure —
+//     near their likely callers.
+//
+//   - The target-side admission veto. The same overload predicate the
+//     engine applies with gossiped samples runs here with the node's
+//     authoritative local counts: a migration that would push this
+//     node past Capacity×OverloadRatio is refused at MigrateBegin /
+//     Install time, so converging traffic is back-pressured even when
+//     the coordinators' views are stale.
+//
+// The autopilot's election is the third consumer of the engine: with
+// placement enabled its per-object election is replaced by the
+// group-scored, load-discounted election in autopilot.go.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"objmig/internal/core"
+	"objmig/internal/placement"
+	"objmig/internal/stats"
+	"objmig/internal/wire"
+)
+
+// PlacementConfig tunes a node's placement subsystem. The zero value
+// selects the documented defaults.
+type PlacementConfig struct {
+	// Heartbeat is the load-gossip period: every Heartbeat the node
+	// re-samples its own load and exchanges samples with its known
+	// peers. Default 500ms; negative disables the heartbeat (samples
+	// then travel only as HomeUpdate piggybacks).
+	Heartbeat time.Duration
+	// Freshness is the view TTL: a peer sample older than this is
+	// ignored (and the headroom discount fades linearly towards it).
+	// Default 8× Heartbeat, at least 2s.
+	Freshness time.Duration
+	// OverloadRatio is the veto threshold shared by scoring and
+	// admission: a node whose projected utilisation — hosted objects
+	// plus the incoming group, over its Capacity — exceeds this is not
+	// a migration target. Default 1.
+	OverloadRatio float64
+	// LoadDiscount scales how strongly a candidate's utilisation
+	// discounts its affinity score. Default 1; negative disables the
+	// discount (veto only).
+	LoadDiscount float64
+	// Hysteresis is the election bar: the winner's discounted score
+	// must exceed the strongest rival by this factor. Values below 1
+	// are raised to 1; zero selects the default 2.
+	Hysteresis float64
+	// OriginPass is the origin pre-placement scan period. Default 1s;
+	// negative disables the pass.
+	OriginPass time.Duration
+	// MinTotal is the pressure floor for the origin pass: home objects
+	// with less accumulated (gossiped plus observed) pressure are not
+	// considered. Default 16.
+	MinTotal int64
+	// BudgetPerPass caps group migrations per origin pass. Default 2.
+	BudgetPerPass int
+	// Cooldown is the per-object minimum time between origin-pass
+	// migrations. Default 10× OriginPass.
+	Cooldown time.Duration
+	// Alliance is the cooperation context whose attachment closure
+	// travels with a pre-placed object (same semantics as
+	// AutopilotConfig.Alliance).
+	Alliance AllianceID
+}
+
+// withDefaults fills the zero fields.
+func (c PlacementConfig) withDefaults() PlacementConfig {
+	if c.Heartbeat == 0 {
+		c.Heartbeat = 500 * time.Millisecond
+	}
+	if c.Freshness == 0 {
+		c.Freshness = 8 * c.Heartbeat
+		if c.Freshness < 2*time.Second {
+			c.Freshness = 2 * time.Second
+		}
+	}
+	if c.OverloadRatio == 0 {
+		c.OverloadRatio = 1
+	}
+	if c.LoadDiscount == 0 {
+		c.LoadDiscount = 1
+	}
+	if c.Hysteresis == 0 {
+		c.Hysteresis = 2
+	} else if c.Hysteresis < 1 {
+		c.Hysteresis = 1
+	}
+	if c.OriginPass == 0 {
+		c.OriginPass = time.Second
+	}
+	if c.MinTotal <= 0 {
+		c.MinTotal = 16
+	}
+	if c.BudgetPerPass <= 0 {
+		c.BudgetPerPass = 2
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 10 * c.OriginPass
+		if c.Cooldown < 0 { // OriginPass disabled: pick a plain default
+			c.Cooldown = 10 * time.Second
+		}
+	}
+	return c
+}
+
+// engineOptions maps the config onto the scoring core's options.
+func (c PlacementConfig) engineOptions() placement.Options {
+	return placement.Options{
+		Hysteresis:    c.Hysteresis,
+		OverloadRatio: c.OverloadRatio,
+		LoadDiscount:  c.LoadDiscount,
+	}
+}
+
+// placementDaemon is one node's running placement subsystem.
+type placementDaemon struct {
+	node *Node
+	cfg  PlacementConfig
+	view *placement.View
+
+	rate *stats.EWMA // smoothed invoke rate; daemon-goroutine owned
+	// last heartbeat's reference point for the rate computation
+	lastServed int64
+	lastTick   time.Time
+
+	stop chan struct{}
+	done chan struct{}
+
+	mu       sync.Mutex
+	cooldown map[core.OID]time.Time
+}
+
+// EnablePlacement starts the node's placement subsystem: the load
+// sampler and gossip heartbeat, the decaying cluster view, the origin
+// pre-placement pass, and the target-side admission veto (the latter
+// only bites when Config.Capacity is set). Enabling placement also
+// turns the affinity tracker on — the engine scores with its counters
+// and the gossip that merges into them. With the autopilot enabled as
+// well, its election switches to the engine's group scoring.
+func (n *Node) EnablePlacement(cfg PlacementConfig) error {
+	if n.closed.Load() {
+		return ErrClosed
+	}
+	cfg = cfg.withDefaults()
+	n.apMu.Lock()
+	defer n.apMu.Unlock()
+	if n.closed.Load() {
+		return ErrClosed
+	}
+	if n.pl != nil {
+		return fmt.Errorf("objmig: placement already enabled on %s", n.id)
+	}
+	d := &placementDaemon{
+		node:     n,
+		cfg:      cfg,
+		view:     placement.NewView(cfg.Freshness),
+		rate:     stats.NewEWMA(0),
+		lastTick: time.Now(),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		cooldown: make(map[core.OID]time.Time),
+	}
+	n.pl = d
+	n.affUsers++
+	n.aff.SetEnabled(true)
+	n.refreshLoadSample(d)
+	n.spawn(d.run)
+	return nil
+}
+
+// DisablePlacement stops the placement subsystem. It blocks until the
+// daemon (and any migration its origin pass is driving) has wound
+// down. Safe to call when placement is not running.
+func (n *Node) DisablePlacement() {
+	n.apMu.Lock()
+	d := n.pl
+	n.pl = nil
+	if d != nil {
+		n.affUsers--
+		if n.affUsers <= 0 {
+			n.aff.SetEnabled(false)
+		}
+	}
+	n.apMu.Unlock()
+	if d == nil {
+		return
+	}
+	close(d.stop)
+	<-d.done
+}
+
+// PlacementEnabled reports whether the placement subsystem is running.
+func (n *Node) PlacementEnabled() bool {
+	n.apMu.Lock()
+	defer n.apMu.Unlock()
+	return n.pl != nil
+}
+
+// placementDaemonRef returns the running daemon, if any.
+func (n *Node) placementDaemonRef() *placementDaemon {
+	n.apMu.Lock()
+	defer n.apMu.Unlock()
+	return n.pl
+}
+
+// LoadView reports the node's current placement view — its own latest
+// sample plus every fresh peer sample — for operators and tests.
+// Empty when placement is disabled.
+func (n *Node) LoadView() []NodeLoad {
+	d := n.placementDaemonRef()
+	if d == nil {
+		return nil
+	}
+	snaps := d.view.Snapshot()
+	out := make([]NodeLoad, len(snaps))
+	for i, s := range snaps {
+		out[i] = NodeLoad{Node: s.Node, Objects: s.Objects, Bytes: s.Bytes,
+			RateMilli: s.RateMilli, Capacity: s.Capacity}
+	}
+	return out
+}
+
+// NodeLoad is one node's load sample in LoadView's report.
+type NodeLoad struct {
+	Node      NodeID // the sampled node
+	Objects   int64  // live hosted objects
+	Bytes     int64  // approximate resident state bytes
+	RateMilli int64  // smoothed invocations/second ×1000
+	Capacity  int64  // configured object capacity (0 = uncapped)
+}
+
+// run is the daemon loop: heartbeat ticks re-sample and gossip load,
+// origin ticks pre-place home objects. The sampler runs even when the
+// heartbeat RPCs are disabled (negative Heartbeat) — the HomeUpdate
+// piggybacks must never carry a frozen enable-time sample.
+func (d *placementDaemon) run() {
+	defer close(d.done)
+	sample := d.cfg.Heartbeat
+	if sample <= 0 {
+		sample = 500 * time.Millisecond
+	}
+	hb := time.NewTicker(sample)
+	defer hb.Stop()
+	op := foreverTicker(d.cfg.OriginPass)
+	defer op.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-hb.C:
+			load := d.node.refreshLoadSample(d)
+			if d.cfg.Heartbeat > 0 {
+				d.gossip(load)
+			}
+		case <-op.C:
+			d.originPass()
+		}
+	}
+}
+
+// foreverTicker returns a ticker for the period, or one that never
+// fires when the period is negative (the feature is disabled).
+func foreverTicker(period time.Duration) *time.Ticker {
+	if period <= 0 {
+		t := time.NewTicker(time.Hour)
+		t.Stop()
+		return t
+	}
+	return time.NewTicker(period)
+}
+
+// gossip exchanges the node's latest sample with every known peer
+// (configured peers, peers in the view, and the callers the affinity
+// tracker has seen).
+func (d *placementDaemon) gossip(load wire.NodeLoad) {
+	n := d.node
+	peers := d.gossipPeers()
+	if len(peers) == 0 {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d.cfg.Heartbeat*4+time.Second)
+	defer cancel()
+	defer cancelOnStop(d.stop, cancel)() // shutdown must not wait out slow peers
+	var wg sync.WaitGroup
+	for _, peer := range peers {
+		wg.Add(1)
+		go func(peer NodeID) {
+			defer wg.Done()
+			var resp wire.LoadGossipResp
+			if err := n.call(ctx, peer, wire.KLoadGossip, &wire.LoadGossipReq{Load: load}, &resp); err != nil {
+				return
+			}
+			n.stats.loadGossipSent.Add(1)
+			n.observeLoad(&resp.Load)
+		}(peer)
+	}
+	wg.Wait()
+}
+
+// refreshLoadSample rebuilds the node's own load sample, updates the
+// smoothed invoke rate, caches the sample for piggybacks and folds it
+// into the node's own view (the engine scores self and peers alike).
+func (n *Node) refreshLoadSample(d *placementDaemon) wire.NodeLoad {
+	objs, bytes := n.store.HostedStats()
+	served := n.stats.invocationsServed.Load()
+	now := time.Now()
+	if dt := now.Sub(d.lastTick).Seconds(); dt > 0 {
+		d.rate.Observe(float64(served-d.lastServed) / dt)
+	}
+	d.lastServed, d.lastTick = served, now
+	load := wire.NodeLoad{
+		Node:      n.id,
+		Objects:   objs,
+		Bytes:     bytes,
+		RateMilli: int64(d.rate.Value() * 1000),
+		Capacity:  n.capacity,
+		Seq:       n.loadSeq.Add(1),
+	}
+	n.lastLoad.Store(&load)
+	d.view.Observe(placementSample(&load))
+	return load
+}
+
+// cachedLoadSample returns the node's latest self-sample for
+// piggybacking, or nil when placement is disabled.
+func (n *Node) cachedLoadSample() *wire.NodeLoad {
+	if n.placementDaemonRef() == nil {
+		return nil
+	}
+	return n.lastLoad.Load()
+}
+
+// observeLoad folds a received sample into the placement view.
+func (n *Node) observeLoad(load *wire.NodeLoad) {
+	if load == nil || load.Node == "" || load.Node == n.id {
+		return
+	}
+	d := n.placementDaemonRef()
+	if d == nil {
+		return
+	}
+	n.stats.loadGossipReceived.Add(1)
+	d.view.Observe(placementSample(load))
+}
+
+// placementSample converts the wire form into the engine's.
+func placementSample(l *wire.NodeLoad) placement.Sample {
+	return placement.Sample{Node: l.Node, Objects: l.Objects, Bytes: l.Bytes,
+		RateMilli: l.RateMilli, Capacity: l.Capacity, Seq: l.Seq}
+}
+
+// handleLoadGossip serves a heartbeat: fold the sender's sample in,
+// answer with our own.
+func (n *Node) handleLoadGossip(req *wire.LoadGossipReq) (*wire.LoadGossipResp, error) {
+	n.observeLoad(&req.Load)
+	resp := &wire.LoadGossipResp{}
+	if self := n.cachedLoadSample(); self != nil {
+		resp.Load = *self
+	}
+	return resp, nil
+}
+
+// gossipPeers collects the nodes worth heartbeating: the configured
+// address book, every peer with a fresh sample in the view, and the
+// callers the affinity tracker has observed.
+func (d *placementDaemon) gossipPeers() []NodeID {
+	n := d.node
+	seen := make(map[NodeID]bool)
+	n.cfgMu.RLock()
+	for id := range n.peers {
+		seen[id] = true
+	}
+	n.cfgMu.RUnlock()
+	for _, id := range d.view.Nodes() {
+		seen[id] = true
+	}
+	for _, id := range n.aff.CallerNodes() {
+		seen[id] = true
+	}
+	delete(seen, n.id)
+	out := make([]NodeID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// originPass pre-places home objects: the engine runs over the
+// affinity this origin has accumulated — much of it gossip from
+// departing hosts — and migrates closures towards their likely
+// callers, within the pass budget.
+func (d *placementDaemon) originPass() {
+	n := d.node
+	n.stats.placementScans.Add(1)
+	d.reapCooldowns(time.Now())
+	hot := n.aff.Hot(d.cfg.MinTotal)
+	if len(hot) == 0 {
+		return
+	}
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].Total != hot[j].Total {
+			return hot[i].Total > hot[j].Total
+		}
+		return hot[i].Obj.Less(hot[j].Obj)
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	defer cancelOnStop(d.stop, cancel)()
+
+	budget := d.cfg.BudgetPerPass
+	visited := make(map[core.OID]bool)
+	for _, h := range hot {
+		if budget <= 0 || ctx.Err() != nil {
+			return
+		}
+		// Home objects hosted here only: the pass is the origin acting
+		// on its own accumulated gossip, not a second autopilot.
+		if h.Obj.Origin != n.id || visited[h.Obj] {
+			continue
+		}
+		if _, hosted := n.store.Hosted(h.Obj); !hosted {
+			continue
+		}
+		if d.onCooldown(h.Obj, time.Now()) {
+			continue
+		}
+		members, err := n.closureOf(ctx, h.Obj, d.cfg.Alliance)
+		if err != nil {
+			continue
+		}
+		for oid := range members {
+			visited[oid] = true
+		}
+		g := n.groupAffinity(members)
+		dec, ok := placement.Score(g, d.view, d.cfg.engineOptions())
+		if !ok {
+			continue
+		}
+		moved, err := n.migrateClosureSoft(ctx, members, dec.Target)
+		if err != nil {
+			d.setCooldown(h.Obj, time.Now())
+			continue
+		}
+		budget--
+		n.stats.placementMigrations.Add(1)
+		n.stats.placementObjectsMoved.Add(int64(len(moved)))
+		now := time.Now()
+		refs := make([]Ref, len(moved))
+		for i, oid := range moved {
+			refs[i] = Ref{OID: oid}
+			d.setCooldown(oid, now)
+		}
+		n.emit(Event{Kind: EventPlacement, Obj: Ref{OID: h.Obj}, Target: dec.Target,
+			Outcome: "origin", Objects: refs})
+	}
+}
+
+// onCooldown reports whether the object pre-placed too recently.
+func (d *placementDaemon) onCooldown(obj core.OID, now time.Time) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	until, ok := d.cooldown[obj]
+	if ok && now.Before(until) {
+		return true
+	}
+	if ok {
+		delete(d.cooldown, obj)
+	}
+	return false
+}
+
+// setCooldown stamps the object's next earliest pre-placement.
+func (d *placementDaemon) setCooldown(obj core.OID, now time.Time) {
+	d.mu.Lock()
+	d.cooldown[obj] = now.Add(d.cfg.Cooldown)
+	d.mu.Unlock()
+}
+
+// reapCooldowns drops expired stamps (same hygiene as the autopilot's).
+func (d *placementDaemon) reapCooldowns(now time.Time) {
+	d.mu.Lock()
+	for obj, until := range d.cooldown {
+		if !now.Before(until) {
+			delete(d.cooldown, obj)
+		}
+	}
+	d.mu.Unlock()
+}
+
+// groupAffinity aggregates the affinity tracker's counters over an
+// attachment closure: the scoring engine's Group input. Members hosted
+// elsewhere contribute nothing — this node can only speak for the
+// pressure it has observed (or been gossiped).
+func (n *Node) groupAffinity(members map[core.OID]NodeID) placement.Group {
+	g := placement.Group{Self: n.id, Members: len(members),
+		PerNode: make(map[core.NodeID]int64)}
+	for oid, host := range members {
+		if host != n.id {
+			continue
+		}
+		l := n.aff.Load(oid)
+		g.Local += l.Local
+		for _, c := range l.Callers {
+			g.PerNode[c.Node] += c.Count
+		}
+		if rec, ok := n.store.Hosted(oid); ok {
+			g.Bytes += rec.StateBytes
+		}
+	}
+	return g
+}
+
+// migrateClosureSoft drives one engine-elected group migration through
+// the standard machinery with the optimiser's admission rule: fixed or
+// placed members veto the whole transfer — the engine, like the
+// autopilot, is never an override.
+func (n *Node) migrateClosureSoft(ctx context.Context, members map[core.OID]NodeID, target NodeID) ([]core.OID, error) {
+	admit := func(s *wire.Snapshot) error {
+		if s.Pol.Lock.Held {
+			return wire.Errorf(wire.CodeDenied, "placement: member %s is placed", s.ID)
+		}
+		if s.Pol.Fixed {
+			return wire.Errorf(wire.CodeFixed, "placement: member %s is fixed", s.ID)
+		}
+		return nil
+	}
+	return n.migrateGroup(ctx, members, target, admit, nil)
+}
+
+// admitMigration is the target-side overload veto: the engine's
+// predicate evaluated with this node's authoritative counts. Objects
+// already present (hosted or paused here) do not count as incoming, so
+// same-node reshuffles and returning objects are never vetoed. A nil
+// error admits the migration.
+func (n *Node) admitMigration(objs []core.OID, from NodeID) error {
+	d := n.placementDaemonRef()
+	if d == nil || n.capacity <= 0 || len(objs) == 0 {
+		return nil
+	}
+	incoming := 0
+	for _, rec := range n.store.GetBatch(objs) {
+		if rec == nil || rec.IsGone() {
+			incoming++
+		}
+	}
+	if incoming == 0 {
+		return nil
+	}
+	hosted, _ := n.store.HostedStats()
+	self := placement.Sample{Objects: hosted, Capacity: n.capacity}
+	if !placement.Overloaded(self, incoming, d.cfg.OverloadRatio) {
+		return nil
+	}
+	n.stats.placementVetoes.Add(1)
+	refs := make([]Ref, len(objs))
+	for i, oid := range objs {
+		refs[i] = Ref{OID: oid}
+	}
+	n.emit(Event{Kind: EventPlacement, Target: from, Outcome: "veto", Objects: refs})
+	return wire.Errorf(wire.CodeDenied,
+		"node %s is at capacity (%d hosted, %d incoming, capacity %d): migration refused",
+		n.id, hosted, incoming, n.capacity)
+}

@@ -20,6 +20,9 @@ type Series struct {
 	// NoGroupLock enables the group-lock ablation for this series
 	// (see Config.DisableGroupLock).
 	NoGroupLock bool
+	// SmallNodeCap caps node 0's resident server objects for this
+	// series (see Config.SmallNodeCapacity); 0 keeps it uncapped.
+	SmallNodeCap int
 }
 
 // Metric selects which result column an experiment plots.
@@ -84,10 +87,12 @@ func Experiments() []Experiment {
 
 // Extensions returns the experiments that go beyond the paper's
 // figures: the exclusive-attachment variant it describes but does not
-// plot (Section 3.4), and the group-lock ablation that quantifies our
-// reading of the placement/attachment interaction.
+// plot (Section 3.4), the group-lock ablation that quantifies our
+// reading of the placement/attachment interaction, and the
+// heterogeneous-capacity experiment behind the placement engine's
+// overload veto.
 func Extensions() []Experiment {
-	return []Experiment{Fig16Exclusive(), AblationGroupLock()}
+	return []Experiment{Fig16Exclusive(), AblationGroupLock(), PlacementCapacity()}
 }
 
 // ExperimentByID looks an experiment up by its ID (e.g. "fig8"),
@@ -283,6 +288,39 @@ func AblationGroupLock() Experiment {
 	return e
 }
 
+// PlacementCapacity is an extension: a heterogeneous cluster with one
+// small node (node 0, capped resident servers) under skewed traffic —
+// 70% of the clients are pinned to it, so every migrating policy
+// tries to converge the servers there. The veto series refuses
+// transfers that would overflow the small node (the simulator's twin
+// of the live runtime's placement admission veto); the uncapped
+// series shows the pile-up it prevents. PeakSmallNode and
+// PlacementVetoes in the cell results carry the occupancy story that
+// the communication-time metric alone does not.
+func PlacementCapacity() Experiment {
+	return Experiment{
+		ID:     "placement-cap",
+		Title:  "Extension: one small node under skewed traffic (overload veto)",
+		XLabel: "number of clients",
+		Metric: MetricCommTime,
+		Xs:     []float64{2, 4, 6, 8, 10, 12},
+		Series: []Series{
+			{Label: "without Migration", Policy: core.PolicySedentary},
+			{Label: "Placement, small node uncapped", Policy: core.PolicyPlacement},
+			{Label: "Placement + overload veto (cap 2)",
+				Policy: core.PolicyPlacement, SmallNodeCap: 2},
+			{Label: "Comparing the Nodes + overload veto (cap 2)",
+				Policy: core.PolicyCompareNodes, SmallNodeCap: 2},
+		},
+		Base: Config{
+			Nodes: 4, Servers1: 6, Servers2: 0,
+			MigrationTime: 6, MeanCalls: 8, MeanInterCall: 1,
+			MeanInterBlock: 10, HotClientShare: 0.7,
+		},
+		Apply: applyClients,
+	}
+}
+
 // RunOpts controls an experiment run.
 type RunOpts struct {
 	// Seed is the master seed; every cell derives its own seed from
@@ -355,6 +393,7 @@ func RunExperiment(e Experiment, opts RunOpts) (Table, error) {
 				cfg.Policy = s.Policy
 				cfg.Attach = s.Attach
 				cfg.DisableGroupLock = s.NoGroupLock
+				cfg.SmallNodeCapacity = s.SmallNodeCap
 				cfg.Seed = cellSeed(opts.Seed, e.ID, s.Label, x)
 				cfg.WarmupCalls = warm
 				cfg.BatchSize = batch

@@ -46,10 +46,10 @@ func TestExperimentCatalogue(t *testing.T) {
 func TestExtensionsCatalogue(t *testing.T) {
 	t.Parallel()
 	exts := Extensions()
-	if len(exts) != 2 {
-		t.Fatalf("got %d extensions, want 2", len(exts))
+	if len(exts) != 3 {
+		t.Fatalf("got %d extensions, want 3", len(exts))
 	}
-	for _, id := range []string{"fig16x", "ablation-grouplock"} {
+	for _, id := range []string{"fig16x", "ablation-grouplock", "placement-cap"} {
 		e, ok := ExperimentByID(id)
 		if !ok {
 			t.Fatalf("extension %q not resolvable", id)

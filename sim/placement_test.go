@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"testing"
+
+	"objmig/internal/core"
+)
+
+// placementCapacityBase is the heterogeneous-capacity cell under
+// test: one small node, most clients pinned to it.
+func placementCapacityBase() Config {
+	return Config{
+		Nodes: 4, Clients: 8, Servers1: 6,
+		MigrationTime: 6, MeanCalls: 8, MeanInterCall: 1,
+		MeanInterBlock: 10, HotClientShare: 0.7,
+		Policy: core.PolicyPlacement,
+		Seed:   11, WarmupCalls: 200, BatchSize: 200, MaxCalls: 8000,
+	}
+}
+
+// TestPlacementCapacityVeto: under skewed traffic the uncapped small
+// node piles up beyond the cap, while the veto keeps its peak
+// occupancy within capacity and actually fires.
+func TestPlacementCapacityVeto(t *testing.T) {
+	t.Parallel()
+	const cap = 2
+
+	uncapped := placementCapacityBase()
+	free, err := Run(uncapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.PlacementVetoes != 0 {
+		t.Fatalf("uncapped run reported %d vetoes", free.PlacementVetoes)
+	}
+	if free.PeakSmallNode <= cap {
+		t.Fatalf("skewed traffic never overloaded the small node (peak %d); the veto has nothing to prevent",
+			free.PeakSmallNode)
+	}
+
+	capped := placementCapacityBase()
+	capped.SmallNodeCapacity = cap
+	held, err := Run(capped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if held.PeakSmallNode > cap {
+		t.Fatalf("veto leaked: small-node peak %d exceeds capacity %d", held.PeakSmallNode, cap)
+	}
+	if held.PlacementVetoes == 0 {
+		t.Fatal("capacity held but no veto ever fired")
+	}
+	if held.Migrations == 0 {
+		t.Fatal("the veto froze all migration, not just the overload")
+	}
+}
+
+// TestPlacementCapacityExperiment smoke-runs the extension experiment
+// end to end (quick mode, truncated sweep) and checks its occupancy
+// invariants across every cell.
+func TestPlacementCapacityExperiment(t *testing.T) {
+	t.Parallel()
+	e := PlacementCapacity()
+	e.Xs = []float64{4, 8}
+	tab, err := RunExperiment(e, RunOpts{Seed: 7, Quick: true, MaxCalls: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tab.Cells {
+		for j, s := range e.Series {
+			r := tab.Cells[i][j]
+			if s.SmallNodeCap > 0 && r.PeakSmallNode > int64(s.SmallNodeCap) {
+				t.Errorf("cell %s x=%v: peak %d exceeds cap %d",
+					s.Label, e.Xs[i], r.PeakSmallNode, s.SmallNodeCap)
+			}
+			if s.SmallNodeCap == 0 && r.PlacementVetoes != 0 {
+				t.Errorf("cell %s x=%v: %d vetoes without a cap", s.Label, e.Xs[i], r.PlacementVetoes)
+			}
+			if r.Calls == 0 {
+				t.Errorf("cell %s x=%v: no calls measured", s.Label, e.Xs[i])
+			}
+		}
+	}
+	// Sanity: the sedentary baseline never migrates, the placement
+	// series do.
+	for i := range tab.Cells {
+		if tab.Cells[i][0].Migrations != 0 {
+			t.Errorf("sedentary cell x=%v migrated", e.Xs[i])
+		}
+		if tab.Cells[i][1].Migrations == 0 {
+			t.Errorf("placement cell x=%v never migrated", e.Xs[i])
+		}
+	}
+}

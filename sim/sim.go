@@ -82,6 +82,17 @@ type Config struct {
 	// members mid-block. The paper's semantics (Section 4.4) keep the
 	// set together; this switch quantifies what that rule is worth.
 	DisableGroupLock bool
+	// HotClientShare skews the traffic: this fraction of the clients
+	// is pinned to node 0 instead of spreading round-robin, so node 0
+	// becomes the cluster's convergence point. 0 keeps the paper's
+	// symmetric pinning.
+	HotClientShare float64
+	// SmallNodeCapacity models a heterogeneous cluster: node 0 can
+	// hold at most this many resident server objects. A migration
+	// batch that would push it past the capacity is vetoed (denied) —
+	// the simulator's twin of the live runtime's placement overload
+	// veto. 0 means uncapped.
+	SmallNodeCapacity int
 	// Seed makes the run reproducible.
 	Seed int64
 
@@ -156,6 +167,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: invalid attach mode %d", c.Attach)
 	case c.CIRel < 0:
 		return errors.New("sim: CIRel must be >= 0")
+	case c.HotClientShare < 0 || c.HotClientShare > 1:
+		return errors.New("sim: HotClientShare must be in [0, 1]")
+	case c.SmallNodeCapacity < 0:
+		return errors.New("sim: SmallNodeCapacity must be >= 0")
 	default:
 		return nil
 	}
@@ -188,6 +203,13 @@ type Result struct {
 	MovesGranted int64
 	MovesStayed  int64
 	MovesDenied  int64
+	// PlacementVetoes counts transfers refused by the small node's
+	// capacity (a subset of MovesDenied for move-triggered transfers);
+	// PeakSmallNode is the highest resident server count node 0
+	// reached. With the veto active it never exceeds
+	// SmallNodeCapacity.
+	PlacementVetoes int64
+	PeakSmallNode   int64
 
 	// RelHalfWidth is the achieved relative CI half-width of
 	// CommTimePerCall at p = 0.99.

@@ -33,6 +33,11 @@ type world struct {
 	s1        []*object
 	s2        []*object
 	byOID     map[core.OID]*object
+	// resident counts the server objects associated with each node
+	// (transit targets reserve their slot at departure, so concurrent
+	// transfers cannot overshoot a capacity). Feeds the small-node
+	// overload veto and the PeakSmallNode gauge.
+	resident []int
 
 	comm    *stats.Estimator
 	callDur *stats.Estimator
@@ -108,8 +113,26 @@ func newWorld(cfg Config) *world {
 			w.attach.Attach(w.s2[a].id, w.s2[b].id, al)
 		}
 	}
+	w.resident = make([]int, cfg.Nodes)
+	for _, o := range w.s1 {
+		w.resident[o.node]++
+	}
+	for _, o := range w.s2 {
+		w.resident[o.node]++
+	}
+	w.res.PeakSmallNode = int64(w.resident[0])
+	// The first HotClientShare of the clients is pinned to node 0
+	// (the skewed-traffic knob); the rest spread round-robin over the
+	// remaining nodes, keeping the paper's symmetric pinning when the
+	// share is 0.
+	hot := int(cfg.HotClientShare * float64(cfg.Clients))
 	for i := 0; i < cfg.Clients; i++ {
 		node := i % cfg.Nodes
+		if i < hot {
+			node = 0
+		} else if hot > 0 && cfg.Nodes > 1 {
+			node = 1 + (i-hot)%(cfg.Nodes-1)
+		}
 		rng := master.Fork(fmt.Sprintf("client-%d", i))
 		name := fmt.Sprintf("client-%d", i)
 		w.k.Spawn(name, func(p *des.Proc) { w.clientLoop(p, rng, node) })
@@ -175,12 +198,41 @@ func (w *world) transfer(p *des.Proc, objs []*object, target int) {
 
 func (w *world) beginTransit(objs []*object, target int) {
 	for _, o := range objs {
+		w.resident[o.node]--
+		w.resident[target]++
 		o.inTransit = true
 		o.transit = target
 		o.node = -1
 	}
+	if r := int64(w.resident[0]); r > w.res.PeakSmallNode {
+		w.res.PeakSmallNode = r
+	}
 	w.res.Migrations++
 	w.res.ObjectsMoved += int64(len(objs))
+}
+
+// vetoTransfer is the simulator's overload veto: it reports whether
+// moving the given members to target would push the capped small node
+// (node 0) past its capacity, counting only members that would
+// actually arrive. Mirrors the live runtime's admission check.
+func (w *world) vetoTransfer(members []*object, target int) bool {
+	if target != 0 || w.cfg.SmallNodeCapacity <= 0 {
+		return false
+	}
+	incoming := 0
+	for _, m := range members {
+		if m.node != target {
+			incoming++
+		}
+	}
+	if incoming == 0 {
+		return false
+	}
+	if w.resident[0]+incoming > w.cfg.SmallNodeCapacity {
+		w.res.PlacementVetoes++
+		return true
+	}
+	return false
 }
 
 func (w *world) finishTransit(objs []*object, target int) {
@@ -274,7 +326,7 @@ func (w *world) moveBlock(p *des.Proc, rng *xrand.Stream, node int) {
 				break
 			}
 		}
-		if free {
+		if free && !w.vetoTransfer(group, target) {
 			w.beginTransit(group, target)
 			w.k.Spawn("reinstantiate", func(tp *des.Proc) {
 				tp.Sleep(w.cfg.MigrationTime)
@@ -329,6 +381,14 @@ func (w *world) decideMove(p *des.Proc, root *object, node int, block core.Block
 				return nil
 			}
 		}
+		// Overload veto: a working set that would not fit on the capped
+		// small node is refused like any other denial — the block's
+		// calls proceed remotely.
+		if w.vetoTransfer(members, node) {
+			w.policy.Abort(&root.st, req)
+			w.res.MovesDenied++
+			return nil
+		}
 		// The placed working set is locked as a whole: attached
 		// objects are kept together for the duration of the block
 		// (unless the group-lock ablation is active).
@@ -352,6 +412,10 @@ func (w *world) decideMove(p *des.Proc, root *object, node int, block core.Block
 		// Conventional migration chases the working set until it can
 		// take all of it — even out of other blocks' hands.
 		w.waitAllResident(p, members)
+		if w.vetoTransfer(members, node) {
+			w.res.MovesDenied++
+			return nil
+		}
 		return w.finishGrant(dec, members, node)
 	}
 }
