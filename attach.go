@@ -92,7 +92,9 @@ func (n *Node) edgeDel(ctx context.Context, obj, other core.OID, al core.Allianc
 
 // edgeRequest chases obj's host and delivers an edge mutation there.
 func (n *Node) edgeRequest(ctx context.Context, oid core.OID, kind wire.Kind, req interface{}) error {
-	for c := n.newChase(); c.next(ctx); {
+	c := n.newChase(oid)
+	defer c.end()
+	for c.next(ctx) {
 		if _, ok := n.hostedRecord(oid); ok {
 			var err error
 			switch r := req.(type) {
@@ -115,6 +117,7 @@ func (n *Node) edgeRequest(ctx context.Context, oid core.OID, kind wire.Kind, re
 			return fmt.Errorf("%w: %s", ErrNotFound, oid)
 		}
 		var resp wire.EdgeAddResp
+		c.hop()
 		err := n.call(ctx, target, kind, req, &resp)
 		if err == nil {
 			return nil
@@ -124,7 +127,7 @@ func (n *Node) edgeRequest(ctx context.Context, oid core.OID, kind wire.Kind, re
 			continue
 		}
 		if isCode(err, wire.CodeNotFound) && target != oid.Origin {
-			n.store.Invalidate(oid)
+			n.store.InvalidateAt(oid, target)
 			continue
 		}
 		return fromRemote(err)

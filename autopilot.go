@@ -336,7 +336,7 @@ func (a *autopilot) electGroup(ctx context.Context, d *placementDaemon, root cor
 		a.setCooldownUntil(root, time.Now().Add(short))
 		return false
 	}
-	moved, err := n.migrateClosureSoft(ctx, members, dec.Target)
+	moved, err := n.migrateClosureSoft(ctx, root, members, dec.Target)
 	if err != nil {
 		a.setCooldown(root, time.Now())
 		n.stats.autopilotDeferred.Add(1)
@@ -447,7 +447,7 @@ func (a *autopilot) migrate(ctx context.Context, obj core.OID, target NodeID) ([
 		}
 		return nil
 	}
-	return n.migrateGroup(ctx, members, target, admit, nil)
+	return n.migrateGroup(ctx, members, target, obj, admit, nil)
 }
 
 // AffinityCaller is one remote caller's observed pressure in

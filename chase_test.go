@@ -17,7 +17,7 @@ func TestChaseBudgetSemantics(t *testing.T) {
 	// Attempts only (deadline disabled): exactly CallRetries attempts.
 	n := &Node{retries: 3, chaseDeadline: -1}
 	got := 0
-	for c := n.newChase(); c.next(ctx); {
+	for c := n.newChase(Ref{}.OID); c.next(ctx); {
 		got++
 	}
 	if got != 3 {
@@ -29,7 +29,7 @@ func TestChaseBudgetSemantics(t *testing.T) {
 	n = &Node{retries: 1, chaseDeadline: 80 * time.Millisecond}
 	start := time.Now()
 	got = 0
-	for c := n.newChase(); c.next(ctx); {
+	for c := n.newChase(Ref{}.OID); c.next(ctx); {
 		got++
 	}
 	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
@@ -44,7 +44,7 @@ func TestChaseBudgetSemantics(t *testing.T) {
 	cancel()
 	n = &Node{retries: 100, chaseDeadline: time.Hour}
 	got = 0
-	for c := n.newChase(); c.next(cctx); {
+	for c := n.newChase(Ref{}.OID); c.next(cctx); {
 		got++
 	}
 	if got != 0 {

@@ -260,6 +260,10 @@ func run() int {
 						st.PlacementVetoes, st.LoadGossipSent, st.LoadGossipReceived,
 						len(node.LoadView()))
 				}
+				fmt.Printf("directory: %d home, %d forwards, %d cached, %d closures (%d members), %d retired; hint hit rate %s, p99 chase %d hops (%d over budget)\n",
+					st.LocHome, st.LocForwards, st.LocCache, st.LocClosures,
+					st.LocClosureRefs, st.ForwardsRetired,
+					hitRate(st.HintHits, st.HintMisses), st.ChaseP99Hops, st.ChasesOverBudget)
 			}
 		}
 	} else {
@@ -278,5 +282,18 @@ func run() int {
 			st.PlacementMigrations, st.PlacementObjectsMoved, st.PlacementVetoes,
 			st.LoadGossipSent, st.LoadGossipReceived)
 	}
+	fmt.Printf("directory total: %d home, %d forwards, %d cached, %d closures (%d members), %d retired; hint hit rate %s, p99 chase %d hops (%d over budget)\n",
+		st.LocHome, st.LocForwards, st.LocCache, st.LocClosures,
+		st.LocClosureRefs, st.ForwardsRetired,
+		hitRate(st.HintHits, st.HintMisses), st.ChaseP99Hops, st.ChasesOverBudget)
 	return 0
+}
+
+// hitRate formats hits/(hits+misses) as a percentage, or "n/a" before
+// any chase has completed.
+func hitRate(hits, misses int64) string {
+	if hits+misses == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(hits)/float64(hits+misses))
 }

@@ -1,0 +1,166 @@
+package objmig
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// directoryBenchResult is one measured directory population: the whole
+// cluster's heap cost per object, the location-entry footprint at the
+// origin, and the steady-state chase profile of a cold third node.
+type directoryBenchResult struct {
+	bytesPerObj   float64
+	entriesPerObj float64
+	p99Hops       int
+}
+
+// runDirectoryBench builds a three-node cluster, populates n0 with
+// closures×size objects in attachment closures, migrates every closure
+// to n1 and half of them onwards to n2, waits for home updates and
+// retirement to settle, and measures the result. The heap delta spans
+// the entire population — object records, snapshots in flight, and all
+// directory state — so bytes/obj is the realistic cost of holding one
+// live object in the system, not just its location entry.
+func runDirectoryBench(b *testing.B, closures, size int, disable bool) directoryBenchResult {
+	b.Helper()
+	total := closures * size
+	nodes := testCluster(b, 3, Config{
+		Attach:    AttachUnrestricted,
+		Directory: DirectoryConfig{DisableClosureRecords: disable},
+	})
+	n0, n1, n2 := nodes[0], nodes[1], nodes[2]
+	ctx := context.Background()
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	anchors := make([]Ref, closures)
+	members := make([]Ref, 0, total)
+	for c := 0; c < closures; c++ {
+		anchor := mustCreateB(b, n0)
+		anchors[c] = anchor
+		members = append(members, anchor)
+		for m := 1; m < size; m++ {
+			ref := mustCreateB(b, n0)
+			members = append(members, ref)
+			if err := n0.Attach(ctx, anchor, ref, NoAlliance); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	// Every closure leaves home, half of them twice: the second leg
+	// exercises the foreign-host departure path (coalesced forwarding
+	// state, asynchronous home update, stub retirement on the ack).
+	for _, anchor := range anchors {
+		if err := n0.Migrate(ctx, anchor, "n1"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < len(anchors)/2; i++ {
+		if err := n0.Migrate(ctx, anchors[i], "n2"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Settle: n1's forwarding state for the second leg retires once n0
+	// acknowledges the batched home updates.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := n1.Stats()
+		if st.LocForwards == 0 && st.LocClosureRefs == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			b.Fatalf("n1 forwarding state never retired: %d forwards, %d member refs",
+				st.LocForwards, st.LocClosureRefs)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for _, n := range nodes {
+		n.CompactDirectory()
+	}
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	// Chase from the cold node: n2 hosts half the objects (no chase)
+	// and knows nothing about the rest, so each miss resolves origin →
+	// current host — the steady-state two-hop ceiling.
+	sample := total
+	if sample > 2048 {
+		sample = 2048
+	}
+	stride := total / sample
+	for i := 0; i < sample; i++ {
+		if _, err := Call[int, int](ctx, n2, members[i*stride], "Add", 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	st0 := n0.Stats()
+	entries := st0.LocHome + st0.LocForwards + st0.LocCache + st0.LocClosures
+	return directoryBenchResult{
+		bytesPerObj:   float64(after.HeapAlloc-before.HeapAlloc) / float64(total),
+		entriesPerObj: float64(entries) / float64(total),
+		p99Hops:       n2.Stats().ChaseP99Hops,
+	}
+}
+
+func mustCreateB(b *testing.B, n *Node) Ref {
+	b.Helper()
+	ref, err := n.Create("counter")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ref
+}
+
+// BenchmarkDirectoryScale is the CI-sized directory benchmark: 8192
+// objects in 64-member closures across three in-memory nodes. The
+// bytes/obj and p99-hops metrics are enforced against
+// scripts/alloc-budget.txt by scripts/check-allocs.sh; the full-size
+// run is BenchmarkDirectoryMillion.
+func BenchmarkDirectoryScale(b *testing.B) {
+	var res directoryBenchResult
+	for i := 0; i < b.N; i++ {
+		res = runDirectoryBench(b, 128, 64, false)
+	}
+	b.ReportMetric(res.bytesPerObj, "bytes/obj")
+	b.ReportMetric(res.entriesPerObj*1000, "locent/kobj")
+	b.ReportMetric(float64(res.p99Hops), "p99-hops")
+}
+
+// BenchmarkDirectoryMillion holds one million objects (15625 closures
+// of 64) on a three-node in-memory cluster and reports the per-object
+// budget. A second, smaller run with closure records disabled measures
+// the per-object location-entry rate the closure records replace; the
+// benchmark fails if the reduction falls under the required 4× or if
+// the steady-state p99 chase length exceeds two hops. Takes minutes on
+// a small machine — skipped under -short (CI runs the scaled-down
+// BenchmarkDirectoryScale instead).
+func BenchmarkDirectoryMillion(b *testing.B) {
+	if testing.Short() {
+		b.Skip("1M-object directory benchmark; run without -short")
+	}
+	var on, off directoryBenchResult
+	for i := 0; i < b.N; i++ {
+		on = runDirectoryBench(b, 15625, 64, false)
+		// The disabled-mode entry rate is per object and independent of
+		// scale; measuring it at 1/16 size keeps the A/B affordable.
+		off = runDirectoryBench(b, 1024, 64, true)
+	}
+	if on.p99Hops > 2 {
+		b.Errorf("p99 chase hops = %d, want <= 2", on.p99Hops)
+	}
+	if reduction := off.entriesPerObj / on.entriesPerObj; reduction < 4 {
+		b.Errorf("closure records reduce location entries %.1fx, want >= 4x "+
+			"(%.4f vs %.4f entries/obj)", reduction, off.entriesPerObj, on.entriesPerObj)
+	}
+	b.ReportMetric(on.bytesPerObj, "bytes/obj")
+	b.ReportMetric(on.entriesPerObj*1000, "locent/kobj")
+	b.ReportMetric(off.entriesPerObj/on.entriesPerObj, "entry-reduction")
+	b.ReportMetric(float64(on.p99Hops), "p99-hops")
+}

@@ -44,6 +44,11 @@ const (
 	// because admitting the group would push it past its capacity
 	// (Objects lists the refused members, Target the coordinator).
 	EventPlacement
+	// EventChase: a location chase exceeded the configured hop budget
+	// (DirectoryConfig.ChaseHopBudget) — the directory's hints for Obj
+	// were stale enough to cost Hops remote calls. Outcome is
+	// "over-budget".
+	EventChase
 )
 
 // String names the kind.
@@ -69,6 +74,8 @@ func (k EventKind) String() string {
 		return "migrate-stream"
 	case EventPlacement:
 		return "placement"
+	case EventChase:
+		return "chase"
 	default:
 		return "unknown"
 	}
@@ -85,6 +92,7 @@ type Event struct {
 	Outcome string    // granted / stayed / denied / fixed / unfixed / ...
 	Objects []Ref     // batch members (migrations, installs)
 	Bytes   int64     // snapshot bytes (streaming migration events)
+	Hops    int       // remote hops of the chase (EventChase)
 	Time    time.Time // when the node emitted the event
 }
 
@@ -102,6 +110,9 @@ func (e Event) String() string {
 	}
 	if e.Bytes > 0 {
 		s += fmt.Sprintf(" (%d bytes)", e.Bytes)
+	}
+	if e.Hops > 0 {
+		s += fmt.Sprintf(" (%d hops)", e.Hops)
 	}
 	return s
 }

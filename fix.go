@@ -36,7 +36,9 @@ func (n *Node) Refix(ctx context.Context, ref Ref, target NodeID) error {
 func (n *Node) IsFixed(ctx context.Context, ref Ref) (bool, error) {
 	oid := ref.OID
 	req := &wire.FixReq{Obj: oid, Query: true}
-	for c := n.newChase(); c.next(ctx); {
+	c := n.newChase(oid)
+	defer c.end()
+	for c.next(ctx) {
 		if _, ok := n.hostedRecord(oid); ok {
 			resp, err := n.handleFix(req)
 			if to, moved := movedTo(err); moved {
@@ -56,6 +58,7 @@ func (n *Node) IsFixed(ctx context.Context, ref Ref) (bool, error) {
 			return false, fmt.Errorf("%w: %s", ErrNotFound, oid)
 		}
 		var resp wire.FixResp
+		c.hop()
 		err := n.call(ctx, target, wire.KFix, req, &resp)
 		if err == nil {
 			return resp.Fixed, nil
@@ -65,7 +68,7 @@ func (n *Node) IsFixed(ctx context.Context, ref Ref) (bool, error) {
 			continue
 		}
 		if isCode(err, wire.CodeNotFound) && target != oid.Origin {
-			n.store.Invalidate(oid)
+			n.store.InvalidateAt(oid, target)
 			continue
 		}
 		return false, fromRemote(err)
@@ -79,7 +82,9 @@ func (n *Node) IsFixed(ctx context.Context, ref Ref) (bool, error) {
 // fixRequest chases the object and flips its fixed flag at the host.
 func (n *Node) fixRequest(ctx context.Context, oid core.OID, fix bool) error {
 	req := &wire.FixReq{Obj: oid, Fix: fix}
-	for c := n.newChase(); c.next(ctx); {
+	c := n.newChase(oid)
+	defer c.end()
+	for c.next(ctx) {
 		if _, ok := n.hostedRecord(oid); ok {
 			_, err := n.handleFix(req)
 			if to, moved := movedTo(err); moved {
@@ -96,6 +101,7 @@ func (n *Node) fixRequest(ctx context.Context, oid core.OID, fix bool) error {
 			return fmt.Errorf("%w: %s", ErrNotFound, oid)
 		}
 		var resp wire.FixResp
+		c.hop()
 		err := n.call(ctx, target, wire.KFix, req, &resp)
 		if err == nil {
 			return nil
@@ -105,7 +111,7 @@ func (n *Node) fixRequest(ctx context.Context, oid core.OID, fix bool) error {
 			continue
 		}
 		if isCode(err, wire.CodeNotFound) && target != oid.Origin {
-			n.store.Invalidate(oid)
+			n.store.InvalidateAt(oid, target)
 			continue
 		}
 		return fromRemote(err)

@@ -21,11 +21,18 @@ import (
 
 const (
 	// homeBatchMaxObjs flushes a batch early once it carries this many
-	// objects.
+	// objects (closure entries count their members).
 	homeBatchMaxObjs = 128
 	// homeBatchMaxDelay bounds how long an update may wait for
 	// companions.
 	homeBatchMaxDelay = 2 * time.Millisecond
+	// homeBatchRetries re-sends a failed batch this many times before
+	// giving up — a dropped update now also delays stub retirement at
+	// this host, so it is worth a little persistence. Forward TTL
+	// compaction remains the backstop.
+	homeBatchRetries = 2
+	// homeBatchRetryDelay spaces the re-sends.
+	homeBatchRetryDelay = 100 * time.Millisecond
 )
 
 // homeKey identifies a coalescing bucket: updates share a wire message
@@ -35,11 +42,16 @@ type homeKey struct {
 	at     core.NodeID
 }
 
-// homePending is one accumulating batch.
+// homePending is one accumulating batch. gens aligns with objs;
+// closures carries closure-level entries that stand in for their
+// members' per-object entries.
 type homePending struct {
-	objs  []core.OID
-	aff   []wire.AffinityObs
-	since time.Time
+	objs     []core.OID
+	gens     []uint64
+	closures []wire.ClosureLoc
+	aff      []wire.AffinityObs
+	count    int // objs plus closure members, for the flush threshold
+	since    time.Time
 }
 
 // homeBatcher owns the pending batches and the flush loop.
@@ -72,13 +84,17 @@ func newHomeBatcher(n *Node) *homeBatcher {
 }
 
 // enqueue adds one origin's update to its batch, flushing immediately
-// when the batch fills. After close it degrades to a direct
-// (unbatched) send so late migrations still advise their origins.
-func (b *homeBatcher) enqueue(origin, at core.NodeID, objs []core.OID, aff []wire.AffinityObs) {
+// when the batch fills. gens aligns with objs (nil for gossip-only
+// batches); closures carries closure-level entries. After close it
+// degrades to a direct (unbatched) send so late migrations still
+// advise their origins.
+func (b *homeBatcher) enqueue(origin, at core.NodeID, objs []core.OID, gens []uint64,
+	closures []wire.ClosureLoc, aff []wire.AffinityObs) {
 	b.mu.Lock()
 	if b.stopped {
 		b.mu.Unlock()
-		b.send(homeKey{origin: origin, at: at}, &homePending{objs: objs, aff: aff})
+		b.send(homeKey{origin: origin, at: at},
+			&homePending{objs: objs, gens: gens, closures: closures, aff: aff})
 		return
 	}
 	key := homeKey{origin: origin, at: at}
@@ -88,10 +104,27 @@ func (b *homeBatcher) enqueue(origin, at core.NodeID, objs []core.OID, aff []wir
 		p = &homePending{since: time.Now()}
 		b.pend[key] = p
 	}
-	p.objs = append(p.objs, objs...)
+	if len(objs) > 0 {
+		// Keep gens aligned even when a gossip-only batch preceded a
+		// generation-carrying one in the same bucket.
+		if len(p.gens) < len(p.objs) {
+			p.gens = append(p.gens, make([]uint64, len(p.objs)-len(p.gens))...)
+		}
+		p.objs = append(p.objs, objs...)
+		if len(gens) == len(objs) {
+			p.gens = append(p.gens, gens...)
+		} else {
+			p.gens = append(p.gens, make([]uint64, len(objs))...)
+		}
+		p.count += len(objs)
+	}
+	for _, cl := range closures {
+		p.closures = append(p.closures, cl)
+		p.count += len(cl.Members)
+	}
 	p.aff = append(p.aff, aff...)
 	var full *homePending
-	if len(p.objs) >= b.maxObjs {
+	if p.count >= b.maxObjs {
 		delete(b.pend, key)
 		full = p
 	}
@@ -198,20 +231,54 @@ func (b *homeBatcher) send(key homeKey, p *homePending) {
 	b.n.spawn(func() { b.sendNow(key, p, 5*time.Second) })
 }
 
-// sendNow performs the RPC synchronously (best effort). With placement
-// enabled the batch carries the sender's load sample out and folds the
+// sendNow performs the RPC synchronously (best effort, with a couple
+// of spaced retries — see homeBatchRetries). With placement enabled
+// the batch carries the sender's load sample out and folds the
 // origin's sample from the response in — home-update traffic doubles
-// as load gossip.
+// as load gossip. A delivered batch is also this host's proof that the
+// origin's home index is authoritative for the reported objects, so
+// their forwarding pointers and stubs retire on the spot.
 func (b *homeBatcher) sendNow(key homeKey, p *homePending, timeout time.Duration) {
 	n := b.n
 	n.stats.homeUpdateBatches.Add(1)
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
-	defer cancel()
-	var resp wire.HomeUpdateResp
-	err := n.call(ctx, key.origin, wire.KHomeUpdate,
-		&wire.HomeUpdate{Objs: p.objs, At: key.at, Aff: p.aff, Load: n.cachedLoadSample()}, &resp)
-	if err == nil {
-		n.observeLoad(resp.Load)
+	req := &wire.HomeUpdate{Objs: p.objs, Gens: p.gens, At: key.at,
+		Closures: p.closures, Aff: p.aff, Load: n.cachedLoadSample()}
+	for attempt := 0; ; attempt++ {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		var resp wire.HomeUpdateResp
+		err := n.call(ctx, key.origin, wire.KHomeUpdate, req, &resp)
+		cancel()
+		if err == nil {
+			n.observeLoad(resp.Load)
+			b.confirm(key.at, p)
+			return
+		}
+		if attempt >= homeBatchRetries || n.closed.Load() {
+			return
+		}
+		time.Sleep(homeBatchRetryDelay)
+	}
+}
+
+// confirm retires this host's forwarding state for a batch the origin
+// acknowledged. Objects this node never hosted (a multi-host group's
+// other members) have nothing local to retire; ConfirmDeparted is a
+// no-op for them.
+func (b *homeBatcher) confirm(at core.NodeID, p *homePending) {
+	ids := p.objs
+	if len(p.closures) > 0 {
+		total := len(p.objs)
+		for _, cl := range p.closures {
+			total += len(cl.Members)
+		}
+		ids = make([]core.OID, 0, total)
+		ids = append(ids, p.objs...)
+		for _, cl := range p.closures {
+			ids = append(ids, cl.Members...)
+		}
+	}
+	if len(ids) > 0 {
+		b.n.store.ConfirmDeparted(ids, at)
 	}
 }
 

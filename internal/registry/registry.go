@@ -40,13 +40,16 @@ func (r *Registry) Created(id core.OID) { r.s.Created(id) }
 func (r *Registry) Arrived(id core.OID) { r.s.Arrived(id) }
 
 // Departed records that the object left this node towards to: a
-// forwarding pointer replaces the local entry.
-func (r *Registry) Departed(id core.OID, to core.NodeID) { r.s.Departed(id, to) }
+// forwarding pointer replaces the local entry (at the origin the home
+// entry doubles as the forward, so no separate pointer is kept). The
+// facade predates departure generations and reports generation zero,
+// which yields the original last-writer-wins behaviour.
+func (r *Registry) Departed(id core.OID, to core.NodeID) { r.s.Departed(id, to, 0) }
 
 // HomeUpdate records a (possibly delayed) report that objects created
 // here now live at the given node. Reports about foreign objects are
 // ignored.
-func (r *Registry) HomeUpdate(ids []core.OID, at core.NodeID) { r.s.HomeUpdate(ids, at) }
+func (r *Registry) HomeUpdate(ids []core.OID, at core.NodeID) { r.s.HomeUpdate(ids, nil, at) }
 
 // Home returns the home-index entry for an object created here.
 func (r *Registry) Home(id core.OID) (core.NodeID, bool) { return r.s.Home(id) }
@@ -68,7 +71,10 @@ func (r *Registry) Hint(id core.OID) core.NodeID { return r.s.Hint(id) }
 func (r *Registry) Invalidate(id core.OID) { r.s.Invalidate(id) }
 
 // Stats reports table sizes (for diagnostics and tests).
-func (r *Registry) Stats() (home, forwards, cache int) { return r.s.LocStats() }
+func (r *Registry) Stats() (home, forwards, cache int) {
+	ls := r.s.LocStats()
+	return ls.Home, ls.Forwards, ls.Cache
+}
 
 // Debug renders everything the registry knows about one object
 // (diagnostics only).

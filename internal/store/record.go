@@ -37,6 +37,13 @@ type Record struct {
 	// is published into a Store and immutable afterwards, so readers
 	// need no lock; it feeds the node's load-gossip byte gauge.
 	StateBytes int64
+	// Gen is the object's departure generation: how many migrations it
+	// has survived. The migration coordinator bumps it on every shipped
+	// snapshot, so location reports carry a total order and a delayed
+	// report can never roll the directory backwards. Set before the
+	// record is published into a Store and immutable while hosted, so
+	// readers need no lock.
+	Gen uint64
 
 	Mu   sync.Mutex // guards every mutable field below
 	cond *sync.Cond // broadcast on every status/busy transition
@@ -199,6 +206,7 @@ func (r *Record) Snapshot(encode func(inst interface{}) ([]byte, error)) (wire.S
 		State: state,
 		Pol:   r.Pol.Clone(),
 		Edges: edges,
+		Gen:   r.Gen,
 	}, nil
 }
 

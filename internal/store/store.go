@@ -18,9 +18,24 @@
 // commit. Installable is its advisory twin for early conflict checks
 // while chunks are staged.
 //
-// The location scheme itself is unchanged from the paper's system model
-// ([ChC91], [JLH+88]): a name-service lookup at the object's origin
-// plus forward addressing at former hosts.
+// The location scheme follows the paper's system model ([ChC91],
+// [JLH+88]) — a name-service lookup at the object's origin plus forward
+// addressing at former hosts — with three scale amendments:
+//
+//  1. Closure records. When an attachment closure migrates as a unit,
+//     the directory stores one ClosureRec (anchor → node) and each
+//     member holds only a pointer to it, so a 64-member closure costs
+//     one location entry plus 64 map references instead of 64
+//     independent entries, and a single Learn refreshes every member.
+//  2. Self-home is implicit. A hosted record IS the home knowledge for
+//     an object created here; the home index only holds entries for
+//     objects that left. Home entries and forwards carry a departure
+//     generation so delayed reports can never roll the index backwards.
+//  3. Retirement. Forwarding state is dropped eagerly once the origin's
+//     home index is confirmed authoritative (ConfirmDeparted), and any
+//     survivors age out under a TTL (CompactForwards), so a node that
+//     hosted a million transient objects does not keep a million dead
+//     stubs. The hint cache is capped per shard.
 package store
 
 import (
@@ -28,6 +43,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"objmig/internal/core"
 	"objmig/internal/wire"
@@ -38,28 +54,68 @@ import (
 // concurrent hot-path lookups rarely collide on a stripe.
 const ShardCount = 32
 
+// DefaultHintCacheCap bounds the foreign-object hint cache across all
+// shards. 64Ki entries keep a hint-only node's location footprint at a
+// few MiB no matter how many foreign objects churn past it.
+const DefaultHintCacheCap = 65536
+
+// DefaultForwardTTL is how long an unconfirmed forwarding pointer (and
+// its Gone stub) survives before CompactForwards may reap it. Long
+// enough that any chaser holding a hint from before the departure has
+// retried through the origin; short enough that transient hosting
+// leaves no permanent residue.
+const DefaultForwardTTL = 10 * time.Minute
+
 // ErrClosed is returned by mutating operations after Close.
 var ErrClosed = errors.New("store: closed")
+
+// compactEvery is the number of recorded departures between amortised
+// CompactForwards sweeps (triggered via MaybeCompact).
+const compactEvery = 4096
+
+// homeEntry is one home-index record: where an object created here was
+// last reported to live, with the departure generation that reported
+// it. Generation 0 is the pre-generation legacy value and always loses
+// ties to nothing (any report with gen >= stored gen wins).
+type homeEntry struct {
+	at  core.NodeID
+	gen uint64
+}
+
+// fwdEntry is one forwarding pointer: the next hop for an object that
+// was hosted here and left, the generation of that departure, and the
+// departure time for TTL aging.
+type fwdEntry struct {
+	to    core.NodeID
+	gen   uint64
+	stamp time.Time
+}
 
 // shard is one stripe: a slice of the object table plus the location
 // maps for the OIDs that hash here. The table lock and the location
 // lock are separate so a record may update location state while its own
 // mutex is held (forward-pointer commit) without inverting against
 // table scans that take the table lock first. Lock order:
-// tabMu → Record.Mu → locMu.
+// tabMu → Record.Mu → locMu → ClosureRec.mu; the closure index lock
+// (Store.closMu) is taken before locMu, never after.
 type shard struct {
 	tabMu sync.RWMutex
 	objs  map[core.OID]*Record
 
 	locMu sync.Mutex
 	// home maps objects created by this node to their last reported
-	// location (authoritative, lazily updated).
-	home map[core.OID]core.NodeID
+	// location. Only objects that left have entries: a hosted record is
+	// its own home knowledge (see Home).
+	home map[core.OID]homeEntry
 	// forwards maps objects that were hosted here and left to their
 	// next hop.
-	forwards map[core.OID]core.NodeID
-	// cache holds location hints for foreign objects.
+	forwards map[core.OID]fwdEntry
+	// cache holds location hints for foreign objects, capped at the
+	// store's per-shard budget.
 	cache map[core.OID]core.NodeID
+	// members maps closure members to their shared location record.
+	// A member reference shadows home/forwards/cache for that OID.
+	members map[core.OID]*ClosureRec
 }
 
 // Store is a node-local sharded object-and-location table. It is safe
@@ -68,19 +124,56 @@ type Store struct {
 	self   core.NodeID
 	closed atomic.Bool
 	shards [ShardCount]shard
+
+	// cacheCap is the per-shard hint-cache bound (<0 = unbounded).
+	cacheCap atomic.Int64
+	// fwdTTL is the forward/stub age-out in nanoseconds (<=0 disables
+	// TTL compaction).
+	fwdTTL atomic.Int64
+	// retired counts stubs deleted by retirement (confirm + TTL).
+	retired atomic.Int64
+	// sinceSweep counts departures since the last amortised sweep.
+	sinceSweep atomic.Int64
+
+	// closMu guards the anchor → closure-record index.
+	closMu   sync.Mutex
+	closures map[core.OID]*ClosureRec
 }
 
 // New returns an empty Store for the given node.
 func New(self core.NodeID) *Store {
-	s := &Store{self: self}
+	s := &Store{self: self, closures: make(map[core.OID]*ClosureRec)}
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.objs = make(map[core.OID]*Record)
-		sh.home = make(map[core.OID]core.NodeID)
-		sh.forwards = make(map[core.OID]core.NodeID)
+		sh.home = make(map[core.OID]homeEntry)
+		sh.forwards = make(map[core.OID]fwdEntry)
 		sh.cache = make(map[core.OID]core.NodeID)
+		sh.members = make(map[core.OID]*ClosureRec)
 	}
+	s.SetHintCacheCap(DefaultHintCacheCap)
+	s.SetForwardTTL(DefaultForwardTTL)
 	return s
+}
+
+// SetHintCacheCap sets the total hint-cache bound (split evenly across
+// shards, minimum one entry per shard). Negative means unbounded.
+func (s *Store) SetHintCacheCap(total int) {
+	if total < 0 {
+		s.cacheCap.Store(-1)
+		return
+	}
+	per := total / ShardCount
+	if per < 1 {
+		per = 1
+	}
+	s.cacheCap.Store(int64(per))
+}
+
+// SetForwardTTL sets the forward/stub age-out. Non-positive disables
+// TTL compaction (retirement then happens only via ConfirmDeparted).
+func (s *Store) SetForwardTTL(ttl time.Duration) {
+	s.fwdTTL.Store(int64(ttl))
 }
 
 // Self returns the owning node's identity.
@@ -96,8 +189,9 @@ func (s *Store) shardOf(id core.OID) *shard { return &s.shards[ShardIndex(id)] }
 
 // --- Object table ---
 
-// Add inserts a freshly created record and claims its home-index entry,
-// atomically within the record's shard. It fails after Close.
+// Add inserts a freshly created record. No home-index entry is written:
+// the hosted record itself is the home knowledge (entries exist only
+// for objects that left). It fails after Close.
 func (s *Store) Add(rec *Record) error {
 	sh := s.shardOf(rec.ID)
 	sh.tabMu.Lock()
@@ -107,9 +201,6 @@ func (s *Store) Add(rec *Record) error {
 	}
 	sh.objs[rec.ID] = rec
 	sh.tabMu.Unlock()
-	sh.locMu.Lock()
-	sh.home[rec.ID] = s.self
-	sh.locMu.Unlock()
 	return nil
 }
 
@@ -338,78 +429,152 @@ func (s *Store) Close() {
 
 // --- Location tables ---
 
-// Created records that this node created the object and hosts it.
+// Created records that this node created the object. The explicit
+// self-entry serves callers (the registry facade) that track location
+// without hosting records; the node runtime relies on the hosted
+// record instead and never needs it.
 func (s *Store) Created(id core.OID) {
 	sh := s.shardOf(id)
 	sh.locMu.Lock()
 	defer sh.locMu.Unlock()
-	sh.home[id] = s.self
+	sh.home[id] = homeEntry{at: s.self}
 }
 
 // Arrived records that the object is now hosted here: any forwarding
-// pointer and stale hint is dropped, and the home index is updated when
-// this node is the origin.
+// pointer, closure-member reference and stale hint is dropped. For an
+// object created here the home entry is dropped too when the record is
+// actually hosted (the record is the home knowledge); when no record
+// exists (registry usage) an explicit self-entry is written instead.
 func (s *Store) Arrived(id core.OID) {
+	_, hosted := s.Hosted(id)
 	sh := s.shardOf(id)
 	sh.locMu.Lock()
 	defer sh.locMu.Unlock()
 	delete(sh.forwards, id)
 	delete(sh.cache, id)
+	sh.detachMemberLocked(id)
 	if id.Origin == s.self {
-		sh.home[id] = s.self
+		if hosted {
+			delete(sh.home, id)
+		} else {
+			sh.home[id] = homeEntry{at: s.self}
+		}
 	}
 }
 
-// Departed records that the object left this node towards to: a
-// forwarding pointer replaces the local entry.
-func (s *Store) Departed(id core.OID, to core.NodeID) {
+// Departed records that the object left this node towards to, at the
+// given departure generation. At the origin the home entry alone names
+// the next hop — no forwarding pointer (and hence, after stub
+// retirement, no residue) is kept. At a foreign host a forwarding
+// pointer is written, stamped for TTL aging. A stale generation (an
+// out-of-order commit replay) never rolls a fresher entry back.
+//
+// Departed may run under Record.Mu (the Depart commit hook), so it must
+// not touch the object table.
+func (s *Store) Departed(id core.OID, to core.NodeID, gen uint64) {
 	sh := s.shardOf(id)
 	sh.locMu.Lock()
 	defer sh.locMu.Unlock()
-	sh.forwards[id] = to
+	sh.detachMemberLocked(id)
+	delete(sh.cache, id)
 	if id.Origin == s.self {
-		sh.home[id] = to
+		if h, ok := sh.home[id]; !ok || gen >= h.gen {
+			sh.home[id] = homeEntry{at: to, gen: gen}
+		}
+		return
+	}
+	if f, ok := sh.forwards[id]; !ok || gen >= f.gen {
+		sh.forwards[id] = fwdEntry{to: to, gen: gen, stamp: time.Now()}
 	}
 }
 
 // HomeUpdate records a (possibly delayed) report that objects created
 // here now live at the given node. Reports about foreign objects are
-// ignored. Each object's shard is locked individually — a large batch
-// never stalls unrelated lookups.
-func (s *Store) HomeUpdate(ids []core.OID, at core.NodeID) {
-	for _, id := range ids {
+// ignored. gens, when non-nil, aligns with ids and carries each
+// object's departure generation: a report older than the stored entry
+// (or than the member's closure record) is dropped, so batches arriving
+// out of order cannot point the index backwards. Each object's shard is
+// locked individually — a large batch never stalls unrelated lookups.
+func (s *Store) HomeUpdate(ids []core.OID, gens []uint64, at core.NodeID) {
+	for i, id := range ids {
 		if id.Origin != s.self {
 			continue
 		}
+		var gen uint64
+		if i < len(gens) {
+			gen = gens[i]
+		}
 		sh := s.shardOf(id)
 		sh.locMu.Lock()
-		sh.home[id] = at
+		if clos, ok := sh.members[id]; ok {
+			if gen < clos.generation() {
+				sh.locMu.Unlock()
+				continue
+			}
+			sh.detachMemberLocked(id)
+		}
+		if h, ok := sh.home[id]; ok && gen < h.gen {
+			sh.locMu.Unlock()
+			continue
+		}
+		sh.home[id] = homeEntry{at: at, gen: gen}
 		sh.locMu.Unlock()
 	}
 }
 
-// Home returns the home-index entry for an object created here.
+// Home returns this node's knowledge of where an object created here
+// lives: the hosted record itself when the object is (back) here, else
+// the home-index entry, else the member's closure record.
 func (s *Store) Home(id core.OID) (core.NodeID, bool) {
+	if _, ok := s.Hosted(id); ok {
+		return s.self, true
+	}
 	sh := s.shardOf(id)
 	sh.locMu.Lock()
 	defer sh.locMu.Unlock()
-	at, ok := sh.home[id]
-	return at, ok
+	if h, ok := sh.home[id]; ok {
+		return h.at, true
+	}
+	if id.Origin == s.self {
+		if clos, ok := sh.members[id]; ok {
+			return clos.location(), true
+		}
+	}
+	return "", false
 }
 
-// Forward returns the forwarding pointer, if any.
+// Forward returns the forward-addressing next hop for an object that
+// left: the forwarding pointer, a closure-member reference, or — for an
+// object created here — the home entry when it points elsewhere (the
+// origin keeps no separate forwards; its home index IS the forward).
 func (s *Store) Forward(id core.OID) (core.NodeID, bool) {
 	sh := s.shardOf(id)
 	sh.locMu.Lock()
 	defer sh.locMu.Unlock()
-	to, ok := sh.forwards[id]
-	return to, ok
+	if f, ok := sh.forwards[id]; ok {
+		return f.to, true
+	}
+	if clos, ok := sh.members[id]; ok {
+		if at := clos.location(); at != "" && at != s.self {
+			return at, true
+		}
+	}
+	if id.Origin == s.self {
+		if h, ok := sh.home[id]; ok && h.at != "" && h.at != s.self {
+			return h.at, true
+		}
+	}
+	return "", false
 }
 
 // Learn records fresher location knowledge for an object that is not
 // local. When a forwarding pointer exists it is updated in place — this
 // is the classic forward-addressing chain shortening: once we hear
 // where the object really is, our pointer skips the intermediate hops.
+// A closure member is detached and given its own entry: a Learn is
+// hearsay about ONE object, and mutating the shared record would drag
+// every other member along — wrong whenever a member left the closure
+// individually (a fresher closure-level update recaptures the member).
 func (s *Store) Learn(id core.OID, at core.NodeID) {
 	if at == "" || at == s.self {
 		return
@@ -417,29 +582,81 @@ func (s *Store) Learn(id core.OID, at core.NodeID) {
 	sh := s.shardOf(id)
 	sh.locMu.Lock()
 	defer sh.locMu.Unlock()
-	if _, ok := sh.forwards[id]; ok {
-		sh.forwards[id] = at
+	if f, ok := sh.forwards[id]; ok {
+		f.to = at
+		sh.forwards[id] = f
 		if id.Origin == s.self {
-			sh.home[id] = at
+			if h, hok := sh.home[id]; !hok || f.gen >= h.gen {
+				sh.home[id] = homeEntry{at: at, gen: f.gen}
+			}
 		}
 		return
+	}
+	if clos, ok := sh.members[id]; ok {
+		if clos.location() == at {
+			return // nothing new: the shared record already agrees
+		}
+		gen := clos.generation()
+		sh.detachMemberLocked(id)
+		if id.Origin == s.self {
+			// The origin's membership came from its own home index;
+			// carry the generation so a fresher closure update can
+			// still recapture the member.
+			sh.home[id] = homeEntry{at: at, gen: gen}
+		} else {
+			// An old host's member stands in for a forwarding pointer;
+			// restore one so redirects keep being served (retirement
+			// and the TTL sweep apply as usual).
+			sh.forwards[id] = fwdEntry{to: at, gen: gen, stamp: time.Now()}
+		}
+		return
+	}
+	if id.Origin == s.self {
+		if h, ok := sh.home[id]; ok && h.at != s.self {
+			h.at = at
+			sh.home[id] = h
+			return
+		}
+	}
+	s.cacheInsertLocked(sh, id, at)
+}
+
+// cacheInsertLocked writes a hint-cache entry under the shard's
+// location lock, evicting an arbitrary victim when the per-shard cap is
+// reached. Random replacement keeps the insert O(1) with no recency
+// bookkeeping on the lookup path; under churn the cache is a bloom-ish
+// accelerator, not a source of truth, so eviction quality costs at most
+// one extra chase hop.
+func (s *Store) cacheInsertLocked(sh *shard, id core.OID, at core.NodeID) {
+	if _, exists := sh.cache[id]; !exists {
+		if cap := s.cacheCap.Load(); cap >= 0 && int64(len(sh.cache)) >= cap {
+			for victim := range sh.cache {
+				delete(sh.cache, victim)
+				break
+			}
+		}
 	}
 	sh.cache[id] = at
 }
 
 // Hint suggests where to try first for an object that is not local:
-// the freshest of forwarding pointer, home index, cache, falling back
-// to the object's origin node.
+// the freshest of forwarding pointer, closure record, home index and
+// cache, falling back to the object's origin node.
 func (s *Store) Hint(id core.OID) core.NodeID {
 	sh := s.shardOf(id)
 	sh.locMu.Lock()
 	defer sh.locMu.Unlock()
-	if to, ok := sh.forwards[id]; ok {
-		return to
+	if f, ok := sh.forwards[id]; ok {
+		return f.to
+	}
+	if clos, ok := sh.members[id]; ok {
+		if at := clos.location(); at != "" {
+			return at
+		}
 	}
 	if id.Origin == s.self {
-		if at, ok := sh.home[id]; ok {
-			return at
+		if h, ok := sh.home[id]; ok {
+			return h.at
 		}
 	}
 	if at, ok := sh.cache[id]; ok {
@@ -456,29 +673,108 @@ func (s *Store) Invalidate(id core.OID) {
 	delete(sh.cache, id)
 }
 
-// LocStats reports location-table sizes (for diagnostics and tests),
-// summed shard by shard.
-func (s *Store) LocStats() (home, forwards, cache int) {
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.locMu.Lock()
-		home += len(sh.home)
-		forwards += len(sh.forwards)
-		cache += len(sh.cache)
-		sh.locMu.Unlock()
-	}
-	return home, forwards, cache
-}
-
-// Debug renders everything the location tables know about one object
-// (diagnostics only).
-func (s *Store) Debug(id core.OID) string {
+// InvalidateAt discredits location knowledge for id that still points
+// at `at` — a node that just authoritatively denied knowing the
+// object. Unlike Invalidate it also covers forwarding pointers and
+// closure-member references, but only when the entry still names the
+// refuted node: a concurrent update may already have moved the
+// knowledge on, and that fresh state must survive the stale chaser's
+// complaint.
+//
+// Discredited forwards and foreign member references are re-pointed at
+// the object's origin rather than deleted: the entry still has
+// redirect duty — Forward serves it to third-party chasers (the pause
+// path of a group migration relies on old hosts answering with a next
+// hop, not a dead end) — and the origin is always a correct next hop.
+// Deleting would also livelock the local chase itself when the stale
+// entry is an orphan nothing retires (a chain-shortened forward whose
+// ack can no longer match, or one written from hearsay by Learn):
+// Hint would keep serving the refuted node forever.
+//
+// The origin's own knowledge (home entries, self-origin member refs)
+// is never touched here: an origin with neither record nor location
+// entry answers not-found definitively, so erasing its last knowledge
+// on a chaser's say-so would turn a stale hint into a hard failure.
+// Stale origin entries heal through generation-ordered home updates
+// while chases ride their deadline.
+func (s *Store) InvalidateAt(id core.OID, at core.NodeID) {
 	sh := s.shardOf(id)
 	sh.locMu.Lock()
 	defer sh.locMu.Unlock()
-	h, hok := sh.home[id]
-	f, fok := sh.forwards[id]
+	if cached, ok := sh.cache[id]; ok && cached == at {
+		delete(sh.cache, id)
+	}
+	if f, ok := sh.forwards[id]; ok && f.to == at {
+		if at == id.Origin || id.Origin == s.self {
+			// The origin itself denied (the object is truly unknown),
+			// or the home index is the authority here anyway.
+			delete(sh.forwards, id)
+		} else {
+			f.to = id.Origin
+			sh.forwards[id] = f
+		}
+	}
+	if clos, ok := sh.members[id]; ok && clos.location() == at && id.Origin != s.self {
+		gen := clos.generation()
+		sh.detachMemberLocked(id)
+		if at != id.Origin {
+			sh.forwards[id] = fwdEntry{to: id.Origin, gen: gen, stamp: time.Now()}
+		}
+	}
+}
+
+// LocStats aggregates location-table sizes across the shards (for
+// diagnostics, tests and the node status line).
+type LocStats struct {
+	Home        int   // home-index entries (origin objects that left)
+	Forwards    int   // forwarding pointers at former hosts
+	Cache       int   // foreign-object hint-cache entries
+	Closures    int   // shared closure location records
+	ClosureRefs int   // member references into closure records
+	Retired     int64 // stubs deleted by retirement since start
+}
+
+// Entries is the total number of per-object location entries plus
+// shared closure records — the quantity closure-level records are
+// meant to shrink.
+func (ls LocStats) Entries() int {
+	return ls.Home + ls.Forwards + ls.Cache + ls.Closures
+}
+
+// LocStats reports location-table sizes, summed shard by shard.
+func (s *Store) LocStats() LocStats {
+	var ls LocStats
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.locMu.Lock()
+		ls.Home += len(sh.home)
+		ls.Forwards += len(sh.forwards)
+		ls.Cache += len(sh.cache)
+		ls.ClosureRefs += len(sh.members)
+		sh.locMu.Unlock()
+	}
+	s.closMu.Lock()
+	ls.Closures = len(s.closures)
+	s.closMu.Unlock()
+	ls.Retired = s.retired.Load()
+	return ls
+}
+
+// Debug renders everything the location tables know about one object
+// (diagnostics only). home and fwd are the resolved Home/Forward views
+// — at the origin a departure is carried by the home entry alone, and
+// closure members resolve through their shared record.
+func (s *Store) Debug(id core.OID) string {
+	h, hok := s.Home(id)
+	f, fok := s.Forward(id)
+	sh := s.shardOf(id)
+	sh.locMu.Lock()
+	defer sh.locMu.Unlock()
 	c, cok := sh.cache[id]
-	return fmt.Sprintf("self=%s home=%q(%v) fwd=%q(%v) cache=%q(%v)",
-		s.self, h, hok, f, fok, c, cok)
+	m := ""
+	if clos, mok := sh.members[id]; mok {
+		m = fmt.Sprintf(" member(%s@%s#%d)", clos.anchor, clos.location(), clos.generation())
+	}
+	return fmt.Sprintf("self=%s home=%q(%v) fwd=%q(%v) cache=%q(%v)%s",
+		s.self, h, hok, f, fok, c, cok, m)
 }

@@ -29,7 +29,7 @@ func TestAddGetHosted(t *testing.T) {
 	if got, ok := s.Hosted(id); !ok || got != rec {
 		t.Fatal("Hosted lost the record")
 	}
-	// Add claims the home-index entry in the same shard.
+	// The hosted record is its own home knowledge.
 	if at, ok := s.Home(id); !ok || at != "n1" {
 		t.Fatalf("home = %v, %v", at, ok)
 	}
@@ -37,7 +37,7 @@ func TestAddGetHosted(t *testing.T) {
 	if err := rec.Pause(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
-	rec.Depart(1, "n2", func() { s.Departed(id, "n2") })
+	rec.Depart(1, "n2", func() { s.Departed(id, "n2", 1) })
 	if _, ok := s.Hosted(id); ok {
 		t.Fatal("Hosted returned a forwarding stub")
 	}
@@ -215,7 +215,7 @@ func TestStoreParallelStress(t *testing.T) {
 					token := uint64(w*rounds + r + 1)
 					if rec, ok := s.Hosted(id); ok {
 						if err := rec.Pause(ctx, token); err == nil {
-							rec.Depart(token, "n2", func() { s.Departed(id, "n2") })
+							rec.Depart(token, "n2", func() { s.Departed(id, "n2", token) })
 							back := NewRecord(id, "t", &testState{})
 							if err := s.InstallBatch([]*Record{back}, token); err != nil {
 								t.Errorf("reinstall %s: %v", id, err)
@@ -228,7 +228,7 @@ func TestStoreParallelStress(t *testing.T) {
 					s.Invalidate(id)
 				case 3: // table-wide ops against the hot path
 					_ = s.HostedCount()
-					_, _, _ = s.LocStats()
+					_ = s.LocStats()
 				}
 			}
 		}(w)

@@ -198,7 +198,7 @@ func appendSnapshotBody(b []byte, s *Snapshot) []byte {
 		b = appendOID(b, e.Other)
 		b = appendUvarint(b, uint64(e.Alliance))
 	}
-	return b
+	return appendUvarint(b, s.Gen)
 }
 
 // snapshotsSize estimates the encoded size of a snapshot batch (a grow
@@ -258,9 +258,13 @@ func marshalFastAppend(dst []byte, v interface{}) (data []byte, ok bool) {
 	case LocateResp:
 		return marshalFastAppend(dst, &m)
 	case *HomeUpdate:
-		hint := 16 + oidsSize(m.Objs) + len(m.At) + loadSize(m.Load)
+		hint := 32 + oidsSize(m.Objs) + len(m.At) + loadSize(m.Load) + 10*len(m.Gens)
 		for _, o := range m.Aff {
 			hint += 24 + len(o.Obj.Origin) + len(o.From)
+		}
+		for i := range m.Closures {
+			cl := &m.Closures[i]
+			hint += 24 + len(cl.Anchor.Origin) + oidsSize(cl.Members)
 		}
 		b := grow(dst, hint)
 		b = append(b, tagHomeUpdate)
@@ -275,6 +279,17 @@ func marshalFastAppend(dst []byte, v interface{}) (data []byte, ok bool) {
 		b = appendBool(b, m.Load != nil)
 		if m.Load != nil {
 			b = appendNodeLoad(b, m.Load)
+		}
+		b = appendUvarint(b, uint64(len(m.Gens)))
+		for _, g := range m.Gens {
+			b = appendUvarint(b, g)
+		}
+		b = appendUvarint(b, uint64(len(m.Closures)))
+		for i := range m.Closures {
+			cl := &m.Closures[i]
+			b = appendOID(b, cl.Anchor)
+			b = appendUvarint(b, cl.Gen)
+			b = appendOIDs(b, cl.Members)
 		}
 		return b, true
 	case HomeUpdate:
@@ -548,6 +563,43 @@ func (r *reader) snapshotBody(s *Snapshot) {
 			s.Edges = append(s.Edges, e)
 		}
 	}
+	s.Gen = r.uvarint()
+}
+
+func (r *reader) uvarints() []uint64 {
+	n := r.uvarint()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if n > uint64(len(r.data)-r.pos) { // each value takes ≥ 1 byte
+		r.fail()
+		return nil
+	}
+	out := make([]uint64, 0, n)
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		out = append(out, r.uvarint())
+	}
+	return out
+}
+
+func (r *reader) closureLocs() []ClosureLoc {
+	n := r.uvarint()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if n > uint64(len(r.data)-r.pos) { // each entry takes ≥ 4 bytes
+		r.fail()
+		return nil
+	}
+	out := make([]ClosureLoc, 0, n)
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		var cl ClosureLoc
+		cl.Anchor = r.oid()
+		cl.Gen = r.uvarint()
+		cl.Members = r.oids()
+		out = append(out, cl)
+	}
+	return out
 }
 
 func (r *reader) nodeLoad(l *NodeLoad) {
@@ -641,6 +693,8 @@ func unmarshalFast(tag byte, data []byte, v interface{}) error {
 		out.At = core.NodeID(r.str())
 		out.Aff = r.affinityObs()
 		out.Load = r.optNodeLoad()
+		out.Gens = r.uvarints()
+		out.Closures = r.closureLocs()
 	case *HomeUpdateResp:
 		if tag != tagHomeUpdateResp {
 			return tagMismatch(tag, v)

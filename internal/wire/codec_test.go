@@ -15,6 +15,7 @@ func fastBodies() []interface{} {
 	snap := Snapshot{
 		ID:    oid1,
 		Type:  "counter",
+		Gen:   6,
 		State: []byte{9, 8, 7},
 		Pol: core.ObjState{
 			Fixed:     true,
@@ -29,10 +30,15 @@ func fastBodies() []interface{} {
 		&InvokeResp{Result: []byte{4, 5}, At: "n2"},
 		&LocateReq{Obj: oid2},
 		&LocateResp{At: "n5"},
-		&HomeUpdate{Objs: []core.OID{oid1, oid2}, At: "n4", Aff: []AffinityObs{
-			{Obj: oid1, From: "n7", Count: 12},
-			{Obj: oid2, From: "n8", Count: 1},
-		}, Load: &load},
+		&HomeUpdate{Objs: []core.OID{oid1, oid2}, Gens: []uint64{3, 9}, At: "n4",
+			Closures: []ClosureLoc{
+				{Anchor: oid1, Gen: 4, Members: []core.OID{oid1, oid2}},
+				{Anchor: oid2, Gen: 1, Members: []core.OID{oid2}},
+			},
+			Aff: []AffinityObs{
+				{Obj: oid1, From: "n7", Count: 12},
+				{Obj: oid2, From: "n8", Count: 1},
+			}, Load: &load},
 		&HomeUpdateResp{},
 		&HomeUpdateResp{Load: &load},
 		&LoadGossipReq{Load: load},

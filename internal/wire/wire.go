@@ -187,6 +187,9 @@ type Snapshot struct {
 	State []byte // gob of the user struct
 	Pol   core.ObjState
 	Edges []EdgeRec
+	// Gen is the object's departure generation (bumped by the
+	// coordinator per shipped snapshot); it orders location reports.
+	Gen uint64
 }
 
 // SnapshotSize estimates the snapshot's encoded fast-path size in
@@ -194,7 +197,7 @@ type Snapshot struct {
 // chunk accounting both use this estimate, so "bytes per chunk" means
 // the same thing on both ends without encoding anything twice.
 func SnapshotSize(s *Snapshot) int {
-	n := 32 + len(s.ID.Origin) + len(s.Type) + len(s.State) + len(s.Pol.Lock.Owner)
+	n := 40 + len(s.ID.Origin) + len(s.Type) + len(s.State) + len(s.Pol.Lock.Owner)
 	for _, e := range s.Edges {
 		n += 16 + len(e.Other.Origin)
 	}
@@ -401,6 +404,13 @@ type CommitReq struct {
 	NewHome core.NodeID
 	Token   uint64
 	From    core.NodeID
+	// Gens aligns with Objs: each object's departure generation, for
+	// generation-ordered forwarding state at the old host.
+	Gens []uint64
+	// Anchor, when set, names the attachment closure the group migrated
+	// as; old hosts may then coalesce the group's forwarding pointers
+	// into one closure record.
+	Anchor core.OID
 }
 
 // CommitResp acknowledges the commit.
@@ -463,6 +473,21 @@ type HomeUpdate struct {
 	At   core.NodeID
 	Aff  []AffinityObs
 	Load *NodeLoad
+	// Gens, when non-empty, aligns with Objs and carries each object's
+	// departure generation so the origin can drop stale reports.
+	Gens []uint64
+	// Closures carries closure-level location reports: each entry
+	// replaces per-object Objs entries for a whole attachment closure.
+	Closures []ClosureLoc
+}
+
+// ClosureLoc is one closure-level location report: the members of the
+// anchor's attachment closure now live (as a unit) at the update's At
+// node, at the given departure generation.
+type ClosureLoc struct {
+	Anchor  core.OID
+	Gen     uint64
+	Members []core.OID
 }
 
 // HomeUpdateResp acknowledges the update. Load, when non-nil, carries

@@ -19,7 +19,9 @@ func (n *Node) InvokeRaw(ctx context.Context, ref Ref, method string, arg []byte
 		return nil, fmt.Errorf("%w: zero reference", ErrNotFound)
 	}
 	oid := ref.OID
-	for c := n.newChase(); c.next(ctx); {
+	c := n.newChase(oid)
+	defer c.end()
+	for c.next(ctx) {
 		// One sharded lookup resolves both the hosted record and, when
 		// the object is elsewhere, the best location hint.
 		rec, target := n.store.Lookup(oid)
@@ -40,6 +42,7 @@ func (n *Node) InvokeRaw(ctx context.Context, ref Ref, method string, arg []byte
 		}
 		var resp wire.InvokeResp
 		n.stats.remoteCallsSent.Add(1)
+		c.hop()
 		err := n.call(ctx, target, wire.KInvoke,
 			&wire.InvokeReq{Obj: oid, Method: method, Arg: arg, From: n.id}, &resp)
 		if err == nil {
@@ -52,7 +55,7 @@ func (n *Node) InvokeRaw(ctx context.Context, ref Ref, method string, arg []byte
 		}
 		if isCode(err, wire.CodeNotFound) && target != oid.Origin {
 			// Stale hint: fall back towards the origin.
-			n.store.Invalidate(oid)
+			n.store.InvalidateAt(oid, target)
 			continue
 		}
 		return nil, fromRemote(err)
@@ -88,17 +91,51 @@ func isCode(err error, code wire.ErrCode) bool {
 // failing it, while the deadline still guarantees termination.
 type chase struct {
 	n        *Node
+	oid      core.OID
 	attempt  int
+	hops     int       // remote calls issued — the directory's cost metric
 	deadline time.Time // zero when ChaseDeadline is disabled
 }
 
-// newChase starts a chase budget for one logical operation.
-func (n *Node) newChase() chase {
-	c := chase{n: n}
+// newChase starts a chase budget for one logical operation on oid.
+func (n *Node) newChase(oid core.OID) *chase {
+	c := &chase{n: n, oid: oid}
 	if d := n.chaseDeadline; d > 0 {
 		c.deadline = time.Now().Add(d)
 	}
 	return c
+}
+
+// hop records one remote call of the chase. Callers bump it immediately
+// before each RPC so end() sees the true network cost.
+func (c *chase) hop() { c.hops = c.hops + 1 }
+
+// end folds the finished chase into the node's directory statistics:
+// zero hops means the object was local (not a directory event at all),
+// one hop means the first hint was right (a hit), more means chasing
+// (a miss). Chases longer than DirectoryConfig.ChaseHopBudget also
+// count as over-budget and emit an EventChase so operators can spot
+// directories gone stale.
+func (c *chase) end() {
+	n := c.n
+	switch {
+	case c.hops == 0:
+		return
+	case c.hops == 1:
+		n.stats.hintHits.Add(1)
+	default:
+		n.stats.hintMisses.Add(1)
+	}
+	n.stats.chaseHops.Add(int64(c.hops))
+	bucket := c.hops
+	if bucket > len(n.stats.chaseHist) {
+		bucket = len(n.stats.chaseHist)
+	}
+	n.stats.chaseHist[bucket-1].Add(1)
+	if budget := n.dir.ChaseHopBudget; budget > 0 && c.hops > budget {
+		n.stats.chasesOverBudget.Add(1)
+		n.emit(Event{Kind: EventChase, Obj: Ref{OID: c.oid}, Outcome: "over-budget", Hops: c.hops})
+	}
 }
 
 // next reports whether another attempt may run, backing off briefly
@@ -232,7 +269,9 @@ func (n *Node) handleLocate(req *wire.LocateReq) (*wire.LocateResp, error) {
 func (n *Node) Locate(ctx context.Context, ref Ref) (NodeID, error) {
 	oid := ref.OID
 	next := NodeID("")
-	for c := n.newChase(); c.next(ctx); {
+	c := n.newChase(oid)
+	defer c.end()
+	for c.next(ctx) {
 		rec, hint := n.store.Lookup(oid)
 		if rec != nil {
 			return n.id, nil
@@ -249,6 +288,7 @@ func (n *Node) Locate(ctx context.Context, ref Ref) (NodeID, error) {
 			return "", fmt.Errorf("%w: %s", ErrNotFound, oid)
 		}
 		var resp wire.LocateResp
+		c.hop()
 		err := n.call(ctx, target, wire.KLocate, &wire.LocateReq{Obj: oid}, &resp)
 		if err != nil {
 			if to, moved := movedTo(err); moved {
@@ -257,7 +297,7 @@ func (n *Node) Locate(ctx context.Context, ref Ref) (NodeID, error) {
 				continue
 			}
 			if isCode(err, wire.CodeNotFound) && target != oid.Origin {
-				n.store.Invalidate(oid)
+				n.store.InvalidateAt(oid, target)
 				continue
 			}
 			return "", fromRemote(err)

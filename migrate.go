@@ -22,7 +22,9 @@ import (
 // attempts can point back at ourselves while the registry already
 // knows better.
 func (n *Node) edgesOf(ctx context.Context, oid core.OID) ([]wire.EdgeRec, NodeID, error) {
-	for c := n.newChase(); c.next(ctx); {
+	c := n.newChase(oid)
+	defer c.end()
+	for c.next(ctx) {
 		if rec, ok := n.hostedRecord(oid); ok {
 			return rec.EdgeList(), n.id, nil
 		}
@@ -34,6 +36,7 @@ func (n *Node) edgesOf(ctx context.Context, oid core.OID) ([]wire.EdgeRec, NodeI
 			return nil, "", fmt.Errorf("%w: %s (edges)", ErrNotFound, oid)
 		}
 		var resp wire.EdgesResp
+		c.hop()
 		err := n.call(ctx, target, wire.KEdges, &wire.EdgesReq{Obj: oid}, &resp)
 		if err == nil {
 			n.store.Learn(oid, target)
@@ -44,7 +47,7 @@ func (n *Node) edgesOf(ctx context.Context, oid core.OID) ([]wire.EdgeRec, NodeI
 			continue
 		}
 		if isCode(err, wire.CodeNotFound) && target != oid.Origin {
-			n.store.Invalidate(oid)
+			n.store.InvalidateAt(oid, target)
 			continue
 		}
 		return nil, "", fromRemote(err)
@@ -120,16 +123,41 @@ func sortedOIDs(members map[core.OID]NodeID) []core.OID {
 //   - mutate edits each snapshot before it is shipped (placement
 //     group locks, refix).
 //
+//   - anchor names the attachment-closure root the group was derived
+//     from (zero for anchorless groups); old hosts and origins may then
+//     coalesce the group's location state into one closure record.
+//
+// Every shipped snapshot gets its departure generation bumped here, on
+// the coordinator — the one place every snapshot passes through — so
+// location reports for this migration outrank every earlier one.
+//
 // On any failure before the install commit the pauses are rolled
 // back, the target's session is discarded, and the system is
 // unchanged. Every exit path aborts every host that may hold a pause
 // — including veto exits after only some hosts responded.
-func (n *Node) migrateGroup(ctx context.Context, members map[core.OID]NodeID, target NodeID,
+func (n *Node) migrateGroup(ctx context.Context, members map[core.OID]NodeID, target NodeID, anchor core.OID,
 	admit func(*wire.Snapshot) error, mutate func(*wire.Snapshot)) ([]core.OID, error) {
 
 	token := n.nextToken()
 	ids := sortedOIDs(members)
 	start := time.Now()
+
+	// Stamp departure generations on every snapshot that will ship,
+	// recording them for the commit and home-update phases. Wrapping
+	// mutate covers both transfer shapes' admitMutateBatch calls; the
+	// map is written from the per-host pause workers, hence the lock.
+	var genMu sync.Mutex
+	gens := make(map[core.OID]uint64, len(members))
+	userMutate := mutate
+	mutate = func(s *wire.Snapshot) {
+		s.Gen++
+		genMu.Lock()
+		gens[s.ID] = s.Gen
+		genMu.Unlock()
+		if userMutate != nil {
+			userMutate(s)
+		}
+	}
 
 	// Group members by host, hosts in deterministic order.
 	byHost := make(map[NodeID][]core.OID)
@@ -177,7 +205,7 @@ func (n *Node) migrateGroup(ctx context.Context, members map[core.OID]NodeID, ta
 				}
 				return nil, err
 			}
-			return n.finishGroupMigration(ctx, ids, byHost, hosts, target, token, 0)
+			return n.finishGroupMigration(ctx, ids, byHost, hosts, target, token, 0, anchor, gens)
 		}
 		primed = resp // bigger than one chunk: stream it below
 	}
@@ -303,7 +331,7 @@ func (n *Node) migrateGroup(ctx context.Context, members map[core.OID]NodeID, ta
 		}
 		return nil, err
 	}
-	return n.finishGroupMigration(ctx, ids, byHost, hosts, target, token, bytesOut.Load())
+	return n.finishGroupMigration(ctx, ids, byHost, hosts, target, token, bytesOut.Load(), anchor, gens)
 }
 
 // definiteFailure reports whether err proves the request had no remote
@@ -317,6 +345,18 @@ func definiteFailure(err error) bool {
 	return errors.As(err, &re) ||
 		errors.Is(err, rpc.ErrDialFailed) ||
 		errors.Is(err, rpc.ErrSendFailed)
+}
+
+// memberRaced reports whether a group-migration failure means a
+// working-set member moved between the closure walk and its pause: the
+// believed host answered with a redirect (the classic stub) or with
+// not-found (the stub was already retired once the origin confirmed
+// the departure — see ConfirmDeparted). Either way the membership
+// snapshot was stale, not the migration wrong; callers re-walk the
+// closure and retry.
+func memberRaced(err error) bool {
+	var re *wire.RemoteError
+	return errors.As(err, &re) && (re.Code == wire.CodeMoved || re.Code == wire.CodeNotFound)
 }
 
 // pauseBatch pauses one chunk-bounded sub-batch of a migration at a
@@ -383,9 +423,12 @@ func (n *Node) installOneShot(ctx context.Context, target NodeID, snaps []wire.S
 // entered once the group is durably installed at the target: lift the
 // coordinator's affinity observations, commit forwarding pointers at
 // the old hosts, advise the origins, account and announce. streamed is
-// the stream's snapshot byte count (zero for one-shot transfers).
+// the stream's snapshot byte count (zero for one-shot transfers);
+// anchor and gens carry the closure identity and the departure
+// generations stamped on the shipped snapshots.
 func (n *Node) finishGroupMigration(ctx context.Context, ids []core.OID, byHost map[NodeID][]core.OID,
-	hosts []NodeID, target NodeID, token uint64, streamed int64) ([]core.OID, error) {
+	hosts []NodeID, target NodeID, token uint64, streamed int64,
+	anchor core.OID, gens map[core.OID]uint64) ([]core.OID, error) {
 
 	// The objects are leaving this node: lift the coordinator's
 	// affinity observations now (commit drops them) so they can ride
@@ -406,7 +449,8 @@ func (n *Node) finishGroupMigration(ctx context.Context, ids []core.OID, byHost 
 		if h == target {
 			continue
 		}
-		req := &wire.CommitReq{Objs: byHost[h], NewHome: target, Token: token, From: n.id}
+		req := &wire.CommitReq{Objs: byHost[h], NewHome: target, Token: token, From: n.id,
+			Gens: gensFor(gens, byHost[h]), Anchor: anchor}
 		if h == n.id {
 			n.commitLocal(req)
 			continue
@@ -426,7 +470,7 @@ func (n *Node) finishGroupMigration(ctx context.Context, ids []core.OID, byHost 
 	}
 
 	// Phase 4: advise the origins (asynchronous, batched, best effort).
-	n.notifyOrigins(ids, target, obs)
+	n.notifyOrigins(ids, target, obs, anchor, gens)
 	n.stats.migrationsOut.Add(1)
 	n.stats.objectsMovedOut.Add(int64(len(ids)))
 	moved := make([]Ref, len(ids))
@@ -526,7 +570,13 @@ func (n *Node) sessionAbort(h NodeID, objs []core.OID, token uint64) {
 // batcher, which coalesces advisories across migrations into
 // time/size-bounded HomeUpdate RPCs and piggy-backs the coordinator's
 // affinity observations as gossip.
-func (n *Node) notifyOrigins(ids []core.OID, at NodeID, obs []affinity.Obs) {
+//
+// A closure-anchored group of two or more objects travels as one
+// ClosureLoc per origin instead of per-object entries: the origin
+// stores one shared record plus member references, and every member's
+// departure generation is subsumed by the group's maximum (they were
+// stamped by the same migration).
+func (n *Node) notifyOrigins(ids []core.OID, at NodeID, obs []affinity.Obs, anchor core.OID, gens map[core.OID]uint64) {
 	byOrigin := make(map[NodeID][]core.OID)
 	for _, oid := range ids {
 		byOrigin[oid.Origin] = append(byOrigin[oid.Origin], oid)
@@ -540,12 +590,23 @@ func (n *Node) notifyOrigins(ids []core.OID, at NodeID, obs []affinity.Obs) {
 		}
 	}
 	for origin, objs := range byOrigin {
+		var maxGen uint64
+		for _, oid := range objs {
+			if g := gens[oid]; g > maxGen {
+				maxGen = g
+			}
+		}
+		asClosure := n.closureRecords() && anchor != (core.OID{}) && len(objs) >= 2
 		if origin == n.id {
 			// This node is the origin: update the home index directly
 			// and fold the lifted observations straight back in — the
 			// same warm-affinity knowledge a remote origin would merge
 			// from the gossip.
-			n.store.HomeUpdate(objs, at)
+			if asClosure {
+				n.store.HomeUpdateClosure(anchor, maxGen, objs, at)
+			} else {
+				n.store.HomeUpdate(objs, gensFor(gens, objs), at)
+			}
 			n.mergeAffinityGossip(affByOrigin[origin])
 			continue
 		}
@@ -557,12 +618,17 @@ func (n *Node) notifyOrigins(ids []core.OID, at NodeID, obs []affinity.Obs) {
 			// a gossip-only batch.
 			if aff := affByOrigin[origin]; len(aff) > 0 {
 				n.stats.homeUpdatesQueued.Add(1)
-				n.homeBatch.enqueue(origin, at, nil, aff)
+				n.homeBatch.enqueue(origin, at, nil, nil, nil, aff)
 			}
 			continue
 		}
 		n.stats.homeUpdatesQueued.Add(1)
-		n.homeBatch.enqueue(origin, at, objs, affByOrigin[origin])
+		if asClosure {
+			n.homeBatch.enqueue(origin, at, nil, nil,
+				[]wire.ClosureLoc{{Anchor: anchor, Gen: maxGen, Members: objs}}, affByOrigin[origin])
+		} else {
+			n.homeBatch.enqueue(origin, at, objs, gensFor(gens, objs), nil, affByOrigin[origin])
+		}
 	}
 }
 
@@ -672,24 +738,69 @@ func (n *Node) handleCommit(req *wire.CommitReq) (*wire.CommitResp, error) {
 // forwarded to the objects' origins as gossip — in a multi-host group
 // migration the coordinator can only gossip its own counters, so each
 // departing host ships its own.
+//
+// Directory upkeep rides the commit: a closure-anchored group's
+// forwarding state coalesces into one shared record, departures of
+// objects this node created are retired immediately (the home entry
+// written under the record lock is authoritative by construction —
+// there is no remote origin to wait for), and the amortised forward
+// sweep is advanced.
 func (n *Node) commitLocal(req *wire.CommitReq) {
 	n.cancelPauseLease(sessionKey{from: req.From, token: req.Token})
 	recs := n.store.GetBatch(req.Objs)
 	var departed []core.OID
+	var maxGen uint64
 	for i, rec := range recs {
 		if rec == nil {
 			continue
 		}
 		oid := req.Objs[i]
+		var gen uint64
+		if i < len(req.Gens) {
+			gen = req.Gens[i]
+		}
 		if rec.Depart(req.Token, req.NewHome, func() {
-			n.store.Departed(oid, req.NewHome)
+			n.store.Departed(oid, req.NewHome, gen)
 		}) {
 			departed = append(departed, oid)
+			if gen > maxGen {
+				maxGen = gen
+			}
 		}
 	}
-	if len(departed) > 0 {
-		n.gossipDeparted(departed, req.NewHome)
+	if len(departed) == 0 {
+		return
 	}
+	var own, foreign []core.OID
+	for _, oid := range departed {
+		if oid.Origin == n.id {
+			own = append(own, oid)
+		} else {
+			foreign = append(foreign, oid)
+		}
+	}
+	// Foreign members coalesce into one closure record; objects created
+	// here keep their per-object home entries (the origin-side closure
+	// attach happens in the coordinator's phase 4, where it survives
+	// retirement).
+	if n.closureRecords() && req.Anchor != (core.OID{}) && len(foreign) >= 2 {
+		n.store.DepartedClosure(req.Anchor, maxGen, foreign, req.NewHome)
+	}
+	if len(own) > 0 {
+		n.store.ConfirmDeparted(own, req.NewHome)
+	}
+	n.store.MaybeCompact(len(departed))
+	n.gossipDeparted(departed, req.NewHome)
+}
+
+// gensFor aligns the stamped departure generations with an OID list
+// (zero for objects that never produced a snapshot).
+func gensFor(gens map[core.OID]uint64, ids []core.OID) []uint64 {
+	out := make([]uint64, len(ids))
+	for i, id := range ids {
+		out[i] = gens[id]
+	}
+	return out
 }
 
 // gossipDeparted lifts this host's observations for objects that just
@@ -717,7 +828,7 @@ func (n *Node) gossipDeparted(ids []core.OID, at NodeID) {
 			continue
 		}
 		n.stats.homeUpdatesQueued.Add(1)
-		n.homeBatch.enqueue(origin, at, nil, aff)
+		n.homeBatch.enqueue(origin, at, nil, nil, nil, aff)
 	}
 }
 
@@ -775,7 +886,9 @@ func (n *Node) MigrateToObject(ctx context.Context, ref, with Ref) error {
 // migrate primitive.
 func (n *Node) migrateRequest(ctx context.Context, req *wire.MigrateReq) (*wire.MigrateResp, error) {
 	oid := req.Obj
-	for c := n.newChase(); c.next(ctx); {
+	c := n.newChase(oid)
+	defer c.end()
+	for c.next(ctx) {
 		if _, ok := n.hostedRecord(oid); ok {
 			resp, err := n.handleMigrate(ctx, req)
 			if to, moved := movedTo(err); moved {
@@ -792,6 +905,7 @@ func (n *Node) migrateRequest(ctx context.Context, req *wire.MigrateReq) (*wire.
 			return nil, fmt.Errorf("%w: %s", ErrNotFound, oid)
 		}
 		var resp wire.MigrateResp
+		c.hop()
 		err := n.call(ctx, target, wire.KMigrate, req, &resp)
 		if err == nil {
 			n.store.Learn(oid, resp.At)
@@ -802,7 +916,7 @@ func (n *Node) migrateRequest(ctx context.Context, req *wire.MigrateReq) (*wire.
 			continue
 		}
 		if isCode(err, wire.CodeNotFound) && target != oid.Origin {
-			n.store.Invalidate(oid)
+			n.store.InvalidateAt(oid, target)
 			continue
 		}
 		return nil, fromRemote(err)
@@ -836,10 +950,6 @@ func (n *Node) handleMigrate(ctx context.Context, req *wire.MigrateReq) (*wire.M
 	}
 	rec.Mu.Unlock()
 
-	members, err := n.closureOf(ctx, req.Obj, req.Alliance)
-	if err != nil {
-		return nil, wire.Errorf(wire.CodeInternal, "%v", err)
-	}
 	admit := func(s *wire.Snapshot) error {
 		if s.Pol.Lock.Held {
 			return wire.Errorf(wire.CodeDenied, "working-set member %s is placed", s.ID)
@@ -857,13 +967,33 @@ func (n *Node) handleMigrate(ctx context.Context, req *wire.MigrateReq) (*wire.M
 			}
 		}
 	}
-	moved, err := n.migrateGroup(ctx, members, req.Target, admit, mutate)
-	if err != nil {
+	// A member can migrate between the closure walk and its pause
+	// (memberRaced); the walk is re-run against fresh location
+	// knowledge, mirroring handleMove's busy-retry loop.
+	const (
+		raceRetries = 50
+		raceBackoff = 2 * time.Millisecond
+	)
+	for attempt := 0; ; attempt++ {
+		members, err := n.closureOf(ctx, req.Obj, req.Alliance)
+		if err != nil {
+			return nil, wire.Errorf(wire.CodeInternal, "%v", err)
+		}
+		moved, err := n.migrateGroup(ctx, members, req.Target, req.Obj, admit, mutate)
+		if err == nil {
+			return &wire.MigrateResp{At: req.Target, Moved: moved}, nil
+		}
+		if memberRaced(err) && attempt < raceRetries && ctx.Err() == nil {
+			select {
+			case <-ctx.Done():
+			case <-time.After(raceBackoff):
+				continue
+			}
+		}
 		var re *wire.RemoteError
 		if errors.As(err, &re) {
 			return nil, re
 		}
 		return nil, wire.Errorf(wire.CodeInternal, "%v", err)
 	}
-	return &wire.MigrateResp{At: req.Target, Moved: moved}, nil
 }

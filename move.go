@@ -95,7 +95,9 @@ type moveOutcome struct {
 // move-request there.
 func (n *Node) moveRequest(ctx context.Context, req *wire.MoveReq) (*moveOutcome, error) {
 	oid := req.Obj
-	for c := n.newChase(); c.next(ctx); {
+	c := n.newChase(oid)
+	defer c.end()
+	for c.next(ctx) {
 		if _, ok := n.hostedRecord(oid); ok {
 			resp, err := n.handleMove(ctx, req)
 			if to, moved := movedTo(err); moved {
@@ -115,6 +117,7 @@ func (n *Node) moveRequest(ctx context.Context, req *wire.MoveReq) (*moveOutcome
 			return nil, fmt.Errorf("%w: %s", ErrNotFound, oid)
 		}
 		var resp wire.MoveResp
+		c.hop()
 		err := n.call(ctx, target, wire.KMove, req, &resp)
 		if err == nil {
 			n.store.Learn(oid, resp.At)
@@ -125,7 +128,7 @@ func (n *Node) moveRequest(ctx context.Context, req *wire.MoveReq) (*moveOutcome
 			continue
 		}
 		if isCode(err, wire.CodeNotFound) && target != oid.Origin {
-			n.store.Invalidate(oid)
+			n.store.InvalidateAt(oid, target)
 			continue
 		}
 		return nil, fromRemote(err)
@@ -219,7 +222,7 @@ func (n *Node) tryMove(ctx context.Context, req *wire.MoveReq) (_ *wire.MoveResp
 			s.Pol.Lock = core.LockState{Held: true, Owner: req.From, Block: req.Block}
 		}
 	}
-	moved, err := n.migrateGroup(ctx, members, req.From, admit, mutate)
+	moved, err := n.migrateGroup(ctx, members, req.From, req.Obj, admit, mutate)
 	if err != nil {
 		n.moveAbort(rec, coreReq)
 		if isCode(err, wire.CodeDenied) {
@@ -227,6 +230,12 @@ func (n *Node) tryMove(ctx context.Context, req *wire.MoveReq) (_ *wire.MoveResp
 				return &wire.MoveResp{Outcome: wire.MoveDenied, Reason: core.ReasonLocked, At: n.id}, false, nil
 			}
 			return nil, true, nil // busy working set: chase it
+		}
+		if memberRaced(err) {
+			// A member migrated (or its old host forgot it) between the
+			// closure walk and its pause. The next attempt re-walks the
+			// closure against fresh location knowledge.
+			return nil, true, nil
 		}
 		var re *wire.RemoteError
 		if errors.As(err, &re) {
@@ -273,7 +282,9 @@ func (n *Node) endBlock(ctx context.Context, ref Ref, al AllianceID, block core.
 	}
 	// Dynamic policies: chase the object.
 	oid := ref.OID
-	for c := n.newChase(); c.next(ctx); {
+	c := n.newChase(oid)
+	defer c.end()
+	for c.next(ctx) {
 		if _, ok := n.hostedRecord(oid); ok {
 			_, err := n.handleEnd(ctx, req)
 			if to, moved := movedTo(err); moved {
@@ -290,6 +301,7 @@ func (n *Node) endBlock(ctx context.Context, ref Ref, al AllianceID, block core.
 			return fmt.Errorf("%w: %s", ErrNotFound, oid)
 		}
 		var resp wire.EndResp
+		c.hop()
 		err := n.call(ctx, target, wire.KEnd, req, &resp)
 		if err == nil {
 			return nil
@@ -299,7 +311,7 @@ func (n *Node) endBlock(ctx context.Context, ref Ref, al AllianceID, block core.
 			continue
 		}
 		if isCode(err, wire.CodeNotFound) && target != oid.Origin {
-			n.store.Invalidate(oid)
+			n.store.InvalidateAt(oid, target)
 			continue
 		}
 		return fromRemote(err)
@@ -367,7 +379,7 @@ func (n *Node) handleEnd(ctx context.Context, req *wire.EndReq) (*wire.EndResp, 
 			mctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 			defer cancel()
 			if members, err := n.closureOf(mctx, obj, al); err == nil {
-				_, _ = n.migrateGroup(mctx, members, target, nil, nil)
+				_, _ = n.migrateGroup(mctx, members, target, obj, nil, nil)
 			}
 		})
 		resp.Migrated = true

@@ -84,6 +84,10 @@ type Config struct {
 	// size, staging-session TTL, pause lease). The zero value selects
 	// the documented defaults; see MigrateConfig.
 	Migrate MigrateConfig
+	// Directory tunes the location directory (hint-cache cap, forward
+	// TTL, chase-hop budget, closure records). The zero value selects
+	// the documented defaults; see DirectoryConfig.
+	Directory DirectoryConfig
 	// Capacity is the node's advertised object capacity, gossiped with
 	// its load samples and enforced by the placement admission veto: a
 	// migration that would push the hosted-object count past
@@ -113,6 +117,7 @@ type Node struct {
 	retries       int
 	chaseDeadline time.Duration
 	migrate       MigrateConfig
+	dir           DirectoryConfig
 	observer      Observer
 
 	server *rpc.Server
@@ -200,6 +205,7 @@ func NewNode(cfg Config) (*Node, error) {
 		retries:       cfg.CallRetries,
 		chaseDeadline: cfg.ChaseDeadline,
 		migrate:       cfg.Migrate.withDefaults(),
+		dir:           cfg.Directory.withDefaults(),
 		capacity:      cfg.Capacity,
 		observer:      cfg.Observer,
 		pool:          rpc.NewPool(cfg.Cluster.tr),
@@ -214,6 +220,8 @@ func NewNode(cfg Config) (*Node, error) {
 	for id, addr := range cfg.Peers {
 		n.peers[id] = addr
 	}
+	n.store.SetHintCacheCap(n.dir.HintCacheCap)
+	n.store.SetForwardTTL(n.dir.ForwardTTL)
 	h := fnv.New32a()
 	_, _ = h.Write([]byte(n.id))
 	n.tokenBase = uint64(h.Sum32()) << 32
@@ -424,7 +432,10 @@ func (n *Node) handle(ctx context.Context, kind wire.Kind, body, dst []byte) ([]
 		})
 	case wire.KHomeUpdate:
 		return handleTyped(body, dst, func(req *wire.HomeUpdate) (*wire.HomeUpdateResp, error) {
-			n.store.HomeUpdate(req.Objs, req.At)
+			n.store.HomeUpdate(req.Objs, req.Gens, req.At)
+			for _, cl := range req.Closures {
+				n.store.HomeUpdateClosure(cl.Anchor, cl.Gen, cl.Members, req.At)
+			}
 			n.mergeAffinityGossip(req.Aff)
 			n.observeLoad(req.Load)
 			// The response piggybacks this node's own sample back to

@@ -63,8 +63,9 @@ func newCounterType() *Type[counterState] {
 }
 
 // testCluster spins count nodes on a fresh local cluster with the
-// counter type registered, and tears them down with the test.
-func testCluster(t *testing.T, count int, cfg Config) []*Node {
+// counter type registered, and tears them down with the test (or
+// benchmark — anything that can clean up after itself).
+func testCluster(t testing.TB, count int, cfg Config) []*Node {
 	t.Helper()
 	cl := NewLocalCluster()
 	nodes := make([]*Node, count)

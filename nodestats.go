@@ -76,6 +76,29 @@ type Stats struct {
 	// and folded in, heartbeats and HomeUpdate piggybacks alike.
 	LoadGossipSent     int64
 	LoadGossipReceived int64
+	// HintHits counts location chases resolved by the first remote hop
+	// (the directory's hint was right); HintMisses chases that needed
+	// more than one hop. Chases answered locally count as neither.
+	HintHits   int64
+	HintMisses int64
+	// ChaseHops is the total remote hops spent chasing; ChaseP50Hops
+	// and ChaseP99Hops are percentiles of the per-chase hop count
+	// (bucketed, saturating at 8+). ChasesOverBudget counts chases that
+	// exceeded DirectoryConfig.ChaseHopBudget — each also emitted an
+	// EventChase.
+	ChaseHops        int64
+	ChaseP50Hops     int
+	ChaseP99Hops     int
+	ChasesOverBudget int64
+	// Location-directory footprint (see store.LocStats): explicit home
+	// entries, forwarding pointers, cached hints, closure records and
+	// their member references, plus the forwarding stubs retired so far.
+	LocHome         int
+	LocForwards     int
+	LocCache        int
+	LocClosures     int
+	LocClosureRefs  int
+	ForwardsRetired int64
 }
 
 // nodeStats is the internal atomic counterpart of Stats.
@@ -112,6 +135,41 @@ type nodeStats struct {
 	placementVetoes       atomic.Int64
 	loadGossipSent        atomic.Int64
 	loadGossipReceived    atomic.Int64
+
+	hintHits         atomic.Int64
+	hintMisses       atomic.Int64
+	chaseHops        atomic.Int64
+	chasesOverBudget atomic.Int64
+	// chaseHist buckets per-chase hop counts: index i counts chases of
+	// i+1 hops, the last bucket saturating (8+ hops).
+	chaseHist [8]atomic.Int64
+}
+
+// chasePercentile returns the smallest hop count h such that at least
+// frac of all recorded chases used ≤ h hops (from the saturating
+// histogram; the top bucket reads as its lower bound).
+func (s *nodeStats) chasePercentile(frac float64) int {
+	var counts [8]int64
+	var total int64
+	for i := range s.chaseHist {
+		counts[i] = s.chaseHist[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	want := int64(frac * float64(total))
+	if want < 1 {
+		want = 1
+	}
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if cum >= want {
+			return i + 1
+		}
+	}
+	return len(counts)
 }
 
 // maxInt64 raises g to v if v is larger (CAS max for gauge counters).
@@ -128,6 +186,7 @@ func maxInt64(g *atomic.Int64, v int64) {
 // count walks the store shard by shard — no stop-the-world lock.
 func (n *Node) Stats() Stats {
 	hosted := int64(n.store.HostedCount())
+	loc := n.store.LocStats()
 	return Stats{
 		InvocationsServed: n.stats.invocationsServed.Load(),
 		RemoteCallsSent:   n.stats.remoteCallsSent.Load(),
@@ -162,5 +221,19 @@ func (n *Node) Stats() Stats {
 		PlacementVetoes:       n.stats.placementVetoes.Load(),
 		LoadGossipSent:        n.stats.loadGossipSent.Load(),
 		LoadGossipReceived:    n.stats.loadGossipReceived.Load(),
+
+		HintHits:         n.stats.hintHits.Load(),
+		HintMisses:       n.stats.hintMisses.Load(),
+		ChaseHops:        n.stats.chaseHops.Load(),
+		ChaseP50Hops:     n.stats.chasePercentile(0.50),
+		ChaseP99Hops:     n.stats.chasePercentile(0.99),
+		ChasesOverBudget: n.stats.chasesOverBudget.Load(),
+
+		LocHome:         loc.Home,
+		LocForwards:     loc.Forwards,
+		LocCache:        loc.Cache,
+		LocClosures:     loc.Closures,
+		LocClosureRefs:  loc.ClosureRefs,
+		ForwardsRetired: loc.Retired,
 	}
 }

@@ -34,6 +34,7 @@ func (n *Node) decodeSnapshot(snap *wire.Snapshot) (*store.Record, error) {
 	}
 	rec := store.NewRecord(snap.ID, snap.Type, inst)
 	rec.Pol = snap.Pol
+	rec.Gen = snap.Gen
 	rec.StateBytes = int64(len(snap.State))
 	for _, e := range snap.Edges {
 		rec.AddEdge(e.Other, e.Alliance)

@@ -463,7 +463,7 @@ func (d *placementDaemon) originPass() {
 		if !ok {
 			continue
 		}
-		moved, err := n.migrateClosureSoft(ctx, members, dec.Target)
+		moved, err := n.migrateClosureSoft(ctx, h.Obj, members, dec.Target)
 		if err != nil {
 			d.setCooldown(h.Obj, time.Now())
 			continue
@@ -541,7 +541,7 @@ func (n *Node) groupAffinity(members map[core.OID]NodeID) placement.Group {
 // the standard machinery with the optimiser's admission rule: fixed or
 // placed members veto the whole transfer — the engine, like the
 // autopilot, is never an override.
-func (n *Node) migrateClosureSoft(ctx context.Context, members map[core.OID]NodeID, target NodeID) ([]core.OID, error) {
+func (n *Node) migrateClosureSoft(ctx context.Context, anchor core.OID, members map[core.OID]NodeID, target NodeID) ([]core.OID, error) {
 	admit := func(s *wire.Snapshot) error {
 		if s.Pol.Lock.Held {
 			return wire.Errorf(wire.CodeDenied, "placement: member %s is placed", s.ID)
@@ -551,7 +551,7 @@ func (n *Node) migrateClosureSoft(ctx context.Context, members map[core.OID]Node
 		}
 		return nil
 	}
-	return n.migrateGroup(ctx, members, target, admit, nil)
+	return n.migrateGroup(ctx, members, target, anchor, admit, nil)
 }
 
 // admitMigration is the target-side overload veto: the engine's

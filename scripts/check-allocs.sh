@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
-# check-allocs.sh — alloc-regression guard for the wire codec.
+# check-allocs.sh — perf-regression guard for the wire codec and the
+# location directory.
 #
-# Runs BenchmarkRuntimeCodec with -benchmem and fails if any
-# sub-benchmark reports more allocs/op than its ceiling in
-# scripts/alloc-budget.txt. The fast-path budgets are exact (their
-# allocation counts are deterministic — the append variants allocate
-# only decode output); the gob baselines get headroom for stdlib
-# drift. Lowering a number after an optimisation is encouraged;
-# raising one is a reviewed decision.
+# Runs BenchmarkRuntimeCodec (allocs/op) and BenchmarkDirectoryScale
+# (bytes/obj, p99-hops) and fails if any reported value exceeds its
+# ceiling in scripts/alloc-budget.txt. The fast-path codec budgets are
+# exact (their allocation counts are deterministic — the append
+# variants allocate only decode output); the gob baselines and the
+# directory's bytes-per-object get headroom for drift. Lowering a
+# number after an optimisation is encouraged; raising one is a
+# reviewed decision.
+#
+# Budget rows are "name budget [unit]"; the unit defaults to
+# allocs/op. The value compared is the one immediately preceding the
+# matching unit column in the benchmark output.
 #
 # Run from the repository root: ./scripts/check-allocs.sh
 set -u
@@ -22,20 +28,32 @@ if [ "$status" -ne 0 ]; then
   exit 1
 fi
 
+dirout=$(go test -run '^$' -bench 'BenchmarkDirectoryScale' -benchtime 1x . 2>&1)
+dirstatus=$?
+echo "$dirout"
+if [ "$dirstatus" -ne 0 ]; then
+  echo "alloc check FAILED (directory benchmark did not run)"
+  exit 1
+fi
+out="$out
+$dirout"
+
 fail=0
-while read -r name budget; do
+while read -r name budget unit; do
   case "$name" in '' | '#'*) continue ;; esac
-  # Benchmark lines append a -GOMAXPROCS suffix to the name; allocs/op
-  # is the value immediately preceding the "allocs/op" unit column.
-  actual=$(echo "$out" | awk -v n="$name" '
-    $1 ~ "^"n"(-[0-9]+)?$" { for (i = 1; i <= NF; i++) if ($i == "allocs/op") print $(i-1) }')
+  [ -z "$unit" ] && unit=allocs/op
+  # Benchmark lines append a -GOMAXPROCS suffix to the name; the value
+  # is the column immediately preceding the unit column.
+  actual=$(echo "$out" | awk -v n="$name" -v u="$unit" '
+    $1 ~ "^"n"(-[0-9]+)?$" { for (i = 1; i <= NF; i++) if ($i == u) print $(i-1) }')
   if [ -z "$actual" ]; then
-    echo "ALLOC GUARD: benchmark $name missing from output"
+    echo "ALLOC GUARD: benchmark $name ($unit) missing from output"
     fail=1
     continue
   fi
-  if [ "$actual" -gt "$budget" ]; then
-    echo "ALLOC REGRESSION: $name reports $actual allocs/op, budget is $budget"
+  over=$(awk -v a="$actual" -v b="$budget" 'BEGIN { print (a > b) ? 1 : 0 }')
+  if [ "$over" -eq 1 ]; then
+    echo "PERF REGRESSION: $name reports $actual $unit, budget is $budget"
     fail=1
   fi
 done <"$budget_file"
