@@ -447,7 +447,7 @@ func (a *autopilot) migrate(ctx context.Context, obj core.OID, target NodeID) ([
 		}
 		return nil
 	}
-	return n.migrateGroup(ctx, members, target, obj, admit, nil)
+	return n.migrateGroup(ctx, members, target, obj, admit, nil, n.nextTrace())
 }
 
 // AffinityCaller is one remote caller's observed pressure in

@@ -361,6 +361,20 @@ func BenchmarkRuntimeCodec(b *testing.B) {
 		Load: &load.Load,
 	}
 	runAppend("HomeUpdateLoad/append", hu, func() interface{} { return new(wire.HomeUpdate) })
+	// The trace-annotated migration control frames: MigrateBegin opens
+	// the staging session, InstallChunk carries each streamed sub-batch.
+	// Both now tow the migration TraceID as a trailing uvarint; their
+	// append paths must stay as lean as before the annotation.
+	begin := &wire.MigrateBeginReq{
+		Token: 42, From: "node-0", Trace: 0xABCD1234DEADBEEF,
+		Objs: []core.OID{{Origin: "node-0", Seq: 1}, {Origin: "node-0", Seq: 2}},
+	}
+	runAppend("MigrateBegin/append", begin, func() interface{} { return new(wire.MigrateBeginReq) })
+	chunk := &wire.InstallChunkReq{
+		Token: 42, From: "node-0", Seq: 3, Trace: 0xABCD1234DEADBEEF,
+		Snapshots: []wire.Snapshot{*snap},
+	}
+	runAppend("Chunk/append", chunk, func() interface{} { return new(wire.InstallChunkReq) })
 }
 
 // BenchmarkRuntimeStoreParallel measures the sharded store under

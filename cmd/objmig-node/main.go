@@ -13,6 +13,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -158,6 +160,9 @@ func run() int {
 			"utilisation above which a node is vetoed as a migration target (0 = default 1)")
 		plHysteresis = flag.Float64("placement-hysteresis", 0,
 			"winner-vs-rival score ratio required to move a group (0 = default 2)")
+
+		metricsAddr = flag.String("metrics-addr", "",
+			"serve /metrics (Prometheus text), /debug/vars, /debug/pprof and /debug/migrations on this address (empty disables)")
 	)
 	flag.Var(peers, "peer", "peer address as id=addr (repeatable)")
 	flag.Parse()
@@ -223,6 +228,18 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "objmig-node:", err)
 			return 1
 		}
+	}
+
+	if *metricsAddr != "" {
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "objmig-node: metrics listen:", err)
+			return 1
+		}
+		srv := &http.Server{Handler: node.MetricsHandler()}
+		go func() { _ = srv.Serve(ml) }()
+		defer func() { _ = srv.Close() }()
+		fmt.Printf("metrics on http://%s/metrics\n", ml.Addr())
 	}
 
 	fmt.Printf("node %s listening on %s (policy %v, attach %v, autopilot %v, placement %v, capacity %d)\n",

@@ -117,6 +117,36 @@ func printFindings(out io.Writer, t sim.Table) {
 			}
 			fmt.Fprintf(out, "%-31s within %.1f%% of conservative placement (paper: marginal)\n", label, worst*100)
 		}
+	case "placement-cap":
+		// Occupancy and staleness story of the overload veto: per
+		// capped series, how often it fired, the peak it allowed, and
+		// how stale the small node's advertised load was at veto time.
+		for j, s := range t.Experiment.Series {
+			if s.SmallNodeCap == 0 {
+				continue
+			}
+			var vetoes, peak int64
+			var ageMean, ageMax float64
+			var cells int
+			for i := range t.Cells {
+				r := t.Cells[i][j]
+				vetoes += r.PlacementVetoes
+				if r.PeakSmallNode > peak {
+					peak = r.PeakSmallNode
+				}
+				ageMean += r.GossipAgeMeanAtVeto
+				if r.GossipAgeMaxAtVeto > ageMax {
+					ageMax = r.GossipAgeMaxAtVeto
+				}
+				cells++
+			}
+			if cells > 0 {
+				ageMean /= float64(cells)
+			}
+			fmt.Fprintf(out, "%-42s %d vetoes, peak occupancy %d/%d, gossip age at veto mean %.2f / max %.2f (heartbeat %g)\n",
+				s.Label+":", vetoes, peak, s.SmallNodeCap, ageMean, ageMax,
+				t.Experiment.Base.GossipHeartbeat)
+		}
 	case "fig16":
 		last := len(t.Experiment.Xs) - 1
 		get := func(label string) float64 { return t.Column(label)[last] }

@@ -2,6 +2,8 @@ package objmig
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -49,6 +51,11 @@ const (
 	// were stale enough to cost Hops remote calls. Outcome is
 	// "over-budget".
 	EventChase
+
+	// eventKindEnd is one past the last kind. New kinds go above it;
+	// the drift test walks [1, eventKindEnd) and fails on any kind
+	// String() does not know.
+	eventKindEnd
 )
 
 // String names the kind.
@@ -120,12 +127,75 @@ func (e Event) String() string {
 // Observer receives runtime events. See Config.Observer.
 type Observer func(Event)
 
-// emit delivers an event to the node's observer, if any.
+// emit delivers an event to the node's observer, if any: directly on
+// the caller's goroutine by default, or through the bounded async sink
+// when Config.ObserverBuffer is set.
 func (n *Node) emit(e Event) {
 	if n.observer == nil {
 		return
 	}
 	e.Node = n.id
 	e.Time = time.Now()
+	if n.events != nil {
+		n.events.emit(e)
+		return
+	}
 	n.observer(e)
+}
+
+// eventSink decouples event delivery from the hot path: emit enqueues
+// into a bounded channel (dropping, and counting the drop, when the
+// observer cannot keep up) and one goroutine drains the queue into the
+// observer in order. See Config.ObserverBuffer.
+type eventSink struct {
+	fn   Observer
+	ch   chan Event
+	done chan struct{}
+
+	mu      sync.RWMutex // guards closed against concurrent emits
+	closed  bool
+	dropped atomic.Int64
+}
+
+func newEventSink(fn Observer, buffer int) *eventSink {
+	s := &eventSink{fn: fn, ch: make(chan Event, buffer), done: make(chan struct{})}
+	go s.run()
+	return s
+}
+
+func (s *eventSink) run() {
+	defer close(s.done)
+	for e := range s.ch {
+		s.fn(e)
+	}
+}
+
+// emit enqueues without ever blocking: a full queue (or a closed sink)
+// sheds the event and counts it.
+func (s *eventSink) emit(e Event) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		s.dropped.Add(1)
+		return
+	}
+	select {
+	case s.ch <- e:
+	default:
+		s.dropped.Add(1)
+	}
+}
+
+// close drains the queue into the observer and stops the goroutine.
+// Emits arriving after close are counted as dropped.
+func (s *eventSink) close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.ch)
+	<-s.done
 }

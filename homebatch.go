@@ -50,7 +50,8 @@ type homePending struct {
 	gens     []uint64
 	closures []wire.ClosureLoc
 	aff      []wire.AffinityObs
-	count    int // objs plus closure members, for the flush threshold
+	count    int    // objs plus closure members, for the flush threshold
+	trace    uint64 // the single migration trace behind the batch; 0 once mixed
 	since    time.Time
 }
 
@@ -85,24 +86,29 @@ func newHomeBatcher(n *Node) *homeBatcher {
 
 // enqueue adds one origin's update to its batch, flushing immediately
 // when the batch fills. gens aligns with objs (nil for gossip-only
-// batches); closures carries closure-level entries. After close it
-// degrades to a direct (unbatched) send so late migrations still
-// advise their origins.
+// batches); closures carries closure-level entries; trace is the
+// migration trace behind the update — a batch that coalesces updates
+// from different migrations sends trace 0, since one HomeUpdate can
+// only carry one. After close it degrades to a direct (unbatched)
+// send so late migrations still advise their origins.
 func (b *homeBatcher) enqueue(origin, at core.NodeID, objs []core.OID, gens []uint64,
-	closures []wire.ClosureLoc, aff []wire.AffinityObs) {
+	closures []wire.ClosureLoc, aff []wire.AffinityObs, trace uint64) {
 	b.mu.Lock()
 	if b.stopped {
 		b.mu.Unlock()
 		b.send(homeKey{origin: origin, at: at},
-			&homePending{objs: objs, gens: gens, closures: closures, aff: aff})
+			&homePending{objs: objs, gens: gens, closures: closures, aff: aff,
+				trace: trace, since: time.Now()})
 		return
 	}
 	key := homeKey{origin: origin, at: at}
 	wake := len(b.pend) == 0
 	p := b.pend[key]
 	if p == nil {
-		p = &homePending{since: time.Now()}
+		p = &homePending{trace: trace, since: time.Now()}
 		b.pend[key] = p
+	} else if p.trace != trace {
+		p.trace = 0
 	}
 	if len(objs) > 0 {
 		// Keep gens aligned even when a gossip-only batch preceded a
@@ -242,13 +248,14 @@ func (b *homeBatcher) sendNow(key homeKey, p *homePending, timeout time.Duration
 	n := b.n
 	n.stats.homeUpdateBatches.Add(1)
 	req := &wire.HomeUpdate{Objs: p.objs, Gens: p.gens, At: key.at,
-		Closures: p.closures, Aff: p.aff, Load: n.cachedLoadSample()}
+		Closures: p.closures, Aff: p.aff, Load: n.cachedLoadSample(), Trace: p.trace}
 	for attempt := 0; ; attempt++ {
 		ctx, cancel := context.WithTimeout(context.Background(), timeout)
 		var resp wire.HomeUpdateResp
 		err := n.call(ctx, key.origin, wire.KHomeUpdate, req, &resp)
 		cancel()
 		if err == nil {
+			n.tel.homeFlushLat.ObserveSince(p.since)
 			n.observeLoad(resp.Load)
 			b.confirm(key.at, p)
 			return

@@ -21,7 +21,10 @@
 // misses one reuse.
 package framebuf
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Size classes are powers of two from 512 B (smaller than any control
 // frame worth pooling) to 4 MiB (comfortably above the default
@@ -47,6 +50,14 @@ var pools [numClasses]sync.Pool
 
 var headerPool = sync.Pool{New: func() interface{} { return new([]byte) }}
 
+// hits counts Gets served from the pool; misses counts Gets that had
+// to allocate fresh (a cold pool, or a frame beyond MaxPooled). The
+// ratio is the pool's effectiveness, exported by the telemetry scrape.
+var hits, misses atomic.Int64
+
+// Stats returns the pool's lifetime hit/miss counts.
+func Stats() (h, m int64) { return hits.Load(), misses.Load() }
+
 // classFor returns the smallest class whose buffers hold n bytes, or
 // -1 when n exceeds MaxPooled.
 func classFor(n int) int {
@@ -66,14 +77,17 @@ func classFor(n int) int {
 func Get(n int) []byte {
 	c := classFor(n)
 	if c < 0 {
+		misses.Add(1)
 		return make([]byte, 0, n)
 	}
 	if p, _ := pools[c].Get().(*[]byte); p != nil {
 		b := *p
 		*p = nil
 		headerPool.Put(p)
+		hits.Add(1)
 		return b[:0]
 	}
+	misses.Add(1)
 	return make([]byte, 0, 1<<(minShift+c))
 }
 

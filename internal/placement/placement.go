@@ -127,6 +127,41 @@ func (v *View) Nodes() []core.NodeID {
 	return out
 }
 
+// PeerAge is one peer's sample staleness in an Ages report.
+type PeerAge struct {
+	Node core.NodeID
+	Age  time.Duration
+}
+
+// Ages reports how stale each fresh peer sample is, sorted by node,
+// plus the worst age — the gossip-staleness signal the telemetry
+// surface exports. self is excluded (its sample is refreshed locally
+// every heartbeat and would drag the maximum towards zero). Entries
+// past the TTL are pruned, exactly as Get would.
+func (v *View) Ages(self core.NodeID) ([]PeerAge, time.Duration) {
+	v.mu.Lock()
+	now := time.Now()
+	out := make([]PeerAge, 0, len(v.peers))
+	var max time.Duration
+	for node, e := range v.peers {
+		age := now.Sub(e.at)
+		if age > v.ttl {
+			delete(v.peers, node)
+			continue
+		}
+		if node == self {
+			continue
+		}
+		out = append(out, PeerAge{Node: node, Age: age})
+		if age > max {
+			max = age
+		}
+	}
+	v.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out, max
+}
+
 // Snapshot returns every fresh sample, sorted by node (operators,
 // tests).
 func (v *View) Snapshot() []Sample {

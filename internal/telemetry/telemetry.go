@@ -1,0 +1,326 @@
+// Package telemetry is the runtime's zero-allocation metrics core:
+// lock-striped counters, gauges and fixed-bucket latency histograms,
+// plus the bounded trace log migration tracing records spans into.
+//
+// Everything on a recording path — Counter.Add, Gauge.Set,
+// Histogram.Observe, TraceLog.Record — is allocation-free and safe for
+// unbounded concurrency; CI enforces the zero-alloc line with
+// BenchmarkTelemetryRecord. Reading (Value, Snapshot, Spans) allocates
+// and takes whatever locks it needs; readers are scrapes and tests,
+// not hot paths.
+//
+// Counters and histograms stripe their cells so concurrent writers on
+// different goroutines rarely share a cache line. The stripe is picked
+// by hashing the goroutine's stack address — stateless, free, and
+// stable for the duration of a call, which is all the distribution
+// needs. Histogram buckets are exponential (bucket b holds values v
+// with bits.Len64(v) == b, i.e. [2^(b-1), 2^b)), the same shape as the
+// directory's chase-hop histogram; quantiles report the bucket's upper
+// bound, an overestimate of at most 2×.
+package telemetry
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// numStripes is the write-side fan-out of counters and histograms.
+// Must be a power of two.
+const numStripes = 8
+
+// stripeIdx picks this goroutine's stripe from its stack address.
+// Goroutine stacks are at least page-aligned and page-sized, so the
+// low 12 bits carry no information; the bits above them distinguish
+// goroutines well enough to spread contention.
+func stripeIdx() int {
+	var probe byte
+	return int(uintptr(unsafe.Pointer(&probe)) >> 12 & (numStripes - 1))
+}
+
+// pad is the tail padding that keeps one stripe's cell from sharing a
+// cache line with its neighbour.
+type pad [56]byte
+
+// Counter is a monotonically increasing striped counter.
+type Counter struct {
+	stripes [numStripes]struct {
+		n atomic.Int64
+		_ pad
+	}
+}
+
+// Add increments the counter. Allocation-free.
+func (c *Counter) Add(d int64) { c.stripes[stripeIdx()].n.Add(d) }
+
+// Inc adds one. Allocation-free.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value sums the stripes.
+func (c *Counter) Value() int64 {
+	var t int64
+	for i := range c.stripes {
+		t += c.stripes[i].n.Load()
+	}
+	return t
+}
+
+// Gauge is a last-write-wins instantaneous value. A single atomic is
+// enough: gauges are set by one maintainer (a heartbeat, a sampler)
+// and read by scrapes.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the current value. Allocation-free.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the current value. Allocation-free.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the last stored value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// HistBuckets is the number of exponential histogram buckets. Bucket 0
+// holds zero, bucket b (1 ≤ b < HistBuckets−1) holds values in
+// [2^(b-1), 2^b), and the top bucket saturates — with microsecond
+// observations that is everything above ~67 seconds.
+const HistBuckets = 28
+
+// bucketOf maps a value to its bucket.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// BucketUpper returns the largest value bucket b can hold (the value
+// quantiles report).
+func BucketUpper(b int) int64 {
+	if b <= 0 {
+		return 0
+	}
+	if b >= 63 {
+		return int64(^uint64(0) >> 1)
+	}
+	return (int64(1) << b) - 1
+}
+
+// Histogram is a striped fixed-bucket latency histogram. Observations
+// are dimensionless int64s; the runtime records microseconds.
+type Histogram struct {
+	stripes [numStripes]histStripe
+}
+
+type histStripe struct {
+	count [HistBuckets]atomic.Int64
+	sum   atomic.Int64
+	_     pad
+}
+
+// Observe records one value. Allocation-free.
+func (h *Histogram) Observe(v int64) {
+	s := &h.stripes[stripeIdx()]
+	s.count[bucketOf(v)].Add(1)
+	if v > 0 {
+		s.sum.Add(v)
+	}
+}
+
+// ObserveSince records the elapsed time since t0 in microseconds.
+// Allocation-free.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	h.Observe(time.Since(t0).Microseconds())
+}
+
+// HistSnapshot is a consistent-enough copy of a histogram: each
+// stripe is read atomically, so totals can lag individual buckets by
+// in-flight observations but never go negative.
+type HistSnapshot struct {
+	Counts [HistBuckets]int64
+	Sum    int64
+	Total  int64
+}
+
+// Snapshot folds the stripes into one summable view.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.stripes {
+		st := &h.stripes[i]
+		for b := range st.count {
+			c := st.count[b].Load()
+			s.Counts[b] += c
+			s.Total += c
+		}
+		s.Sum += st.sum.Load()
+	}
+	return s
+}
+
+// Quantile returns the value at or below which a q fraction of the
+// observations fall, reported as the containing bucket's upper bound.
+// q is clamped to [0, 1]; an empty histogram reports 0.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	want := int64(q * float64(s.Total))
+	if want < 1 {
+		want = 1
+	}
+	var cum int64
+	for b, c := range s.Counts {
+		cum += c
+		if cum >= want {
+			return BucketUpper(b)
+		}
+	}
+	return BucketUpper(HistBuckets - 1)
+}
+
+// Mean returns the arithmetic mean of the observations (exact, unlike
+// the quantiles — the sum is tracked outside the buckets).
+func (s HistSnapshot) Mean() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Total)
+}
+
+// Registry is a lock-striped name → metric directory. Get-or-create
+// takes a short shard lock; the returned handles are stable, so hot
+// paths resolve their metrics once and record through pure atomics.
+type Registry struct {
+	shards [numStripes]regShard
+}
+
+type regShard struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.counters = make(map[string]*Counter)
+		s.gauges = make(map[string]*Gauge)
+		s.hists = make(map[string]*Histogram)
+	}
+	return r
+}
+
+// shardFor hashes the metric name (FNV-1a) onto a shard.
+func (r *Registry) shardFor(name string) *regShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return &r.shards[h&(numStripes-1)]
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	s := r.shardFor(name)
+	s.mu.RLock()
+	c := s.counters[name]
+	s.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c = s.counters[name]; c == nil {
+		c = &Counter{}
+		s.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	s := r.shardFor(name)
+	s.mu.RLock()
+	g := s.gauges[name]
+	s.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if g = s.gauges[name]; g == nil {
+		g = &Gauge{}
+		s.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	s := r.shardFor(name)
+	s.mu.RLock()
+	h := s.hists[name]
+	s.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h = s.hists[name]; h == nil {
+		h = &Histogram{}
+		s.hists[name] = h
+	}
+	return h
+}
+
+// Point is one named value in a registry snapshot.
+type Point struct {
+	Name  string
+	Value int64
+}
+
+// HistPoint is one named histogram in a registry snapshot.
+type HistPoint struct {
+	Name string
+	Snap HistSnapshot
+}
+
+// Snapshot exports every metric, each kind sorted by name.
+func (r *Registry) Snapshot() (counters, gauges []Point, hists []HistPoint) {
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		for name, c := range s.counters {
+			counters = append(counters, Point{name, c.Value()})
+		}
+		for name, g := range s.gauges {
+			gauges = append(gauges, Point{name, g.Value()})
+		}
+		for name, h := range s.hists {
+			hists = append(hists, HistPoint{name, h.Snapshot()})
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(counters, func(i, j int) bool { return counters[i].Name < counters[j].Name })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].Name < gauges[j].Name })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].Name < hists[j].Name })
+	return counters, gauges, hists
+}

@@ -291,7 +291,7 @@ func marshalFastAppend(dst []byte, v interface{}) (data []byte, ok bool) {
 			b = appendUvarint(b, cl.Gen)
 			b = appendOIDs(b, cl.Members)
 		}
-		return b, true
+		return appendUvarint(b, m.Trace), true
 	case HomeUpdate:
 		return marshalFastAppend(dst, &m)
 	case *HomeUpdateResp:
@@ -321,14 +321,15 @@ func marshalFastAppend(dst []byte, v interface{}) (data []byte, ok bool) {
 	case PauseResp:
 		return marshalFastAppend(dst, &m)
 	case *InstallReq:
-		b := grow(dst, 24+len(m.From)+snapshotsSize(m.Snapshots))
+		b := grow(dst, 34+len(m.From)+snapshotsSize(m.Snapshots))
 		b = append(b, tagInstallReq)
 		b = appendUvarint(b, uint64(len(m.Snapshots)))
 		for i := range m.Snapshots {
 			b = appendSnapshotBody(b, &m.Snapshots[i])
 		}
 		b = appendUvarint(b, m.Token)
-		return appendStr(b, string(m.From)), true
+		b = appendStr(b, string(m.From))
+		return appendUvarint(b, m.Trace), true
 	case InstallReq:
 		return marshalFastAppend(dst, &m)
 	case *MoveReq:
@@ -378,11 +379,12 @@ func marshalFastAppend(dst []byte, v interface{}) (data []byte, ok bool) {
 	case MigrateResp:
 		return marshalFastAppend(dst, &m)
 	case *MigrateBeginReq:
-		b := grow(dst, 24+len(m.From)+oidsSize(m.Objs))
+		b := grow(dst, 34+len(m.From)+oidsSize(m.Objs))
 		b = append(b, tagMigrateBeginReq)
 		b = appendUvarint(b, m.Token)
 		b = appendStr(b, string(m.From))
-		return appendOIDs(b, m.Objs), true
+		b = appendOIDs(b, m.Objs)
+		return appendUvarint(b, m.Trace), true
 	case MigrateBeginReq:
 		return marshalFastAppend(dst, &m)
 	case *MigrateBeginResp:
@@ -390,7 +392,7 @@ func marshalFastAppend(dst []byte, v interface{}) (data []byte, ok bool) {
 	case MigrateBeginResp:
 		return append(dst, tagMigrateBeginResp), true
 	case *InstallChunkReq:
-		b := grow(dst, 32+len(m.From)+snapshotsSize(m.Snapshots))
+		b := grow(dst, 42+len(m.From)+snapshotsSize(m.Snapshots))
 		b = append(b, tagInstallChunkReq)
 		b = appendUvarint(b, m.Token)
 		b = appendStr(b, string(m.From))
@@ -399,7 +401,7 @@ func marshalFastAppend(dst []byte, v interface{}) (data []byte, ok bool) {
 		for i := range m.Snapshots {
 			b = appendSnapshotBody(b, &m.Snapshots[i])
 		}
-		return b, true
+		return appendUvarint(b, m.Trace), true
 	case InstallChunkReq:
 		return marshalFastAppend(dst, &m)
 	case *InstallChunkResp:
@@ -410,7 +412,8 @@ func marshalFastAppend(dst []byte, v interface{}) (data []byte, ok bool) {
 	case *InstallCommitReq:
 		b := append(dst, tagInstallCommitReq)
 		b = appendUvarint(b, m.Token)
-		return appendStr(b, string(m.From)), true
+		b = appendStr(b, string(m.From))
+		return appendUvarint(b, m.Trace), true
 	case InstallCommitReq:
 		return marshalFastAppend(dst, &m)
 	case *InstallCommitResp:
@@ -695,6 +698,7 @@ func unmarshalFast(tag byte, data []byte, v interface{}) error {
 		out.Load = r.optNodeLoad()
 		out.Gens = r.uvarints()
 		out.Closures = r.closureLocs()
+		out.Trace = r.uvarint()
 	case *HomeUpdateResp:
 		if tag != tagHomeUpdateResp {
 			return tagMismatch(tag, v)
@@ -718,6 +722,7 @@ func unmarshalFast(tag byte, data []byte, v interface{}) error {
 		out.Snapshots = r.snapshots()
 		out.Token = r.uvarint()
 		out.From = core.NodeID(r.str())
+		out.Trace = r.uvarint()
 	case *MoveReq:
 		if tag != tagMoveReq {
 			return tagMismatch(tag, v)
@@ -771,6 +776,7 @@ func unmarshalFast(tag byte, data []byte, v interface{}) error {
 		out.Token = r.uvarint()
 		out.From = core.NodeID(r.str())
 		out.Objs = r.oids()
+		out.Trace = r.uvarint()
 	case *MigrateBeginResp:
 		if tag != tagMigrateBeginResp {
 			return tagMismatch(tag, v)
@@ -783,6 +789,7 @@ func unmarshalFast(tag byte, data []byte, v interface{}) error {
 		out.From = core.NodeID(r.str())
 		out.Seq = r.uvarint()
 		out.Snapshots = r.snapshots()
+		out.Trace = r.uvarint()
 	case *InstallChunkResp:
 		if tag != tagInstallChunkResp {
 			return tagMismatch(tag, v)
@@ -794,6 +801,7 @@ func unmarshalFast(tag byte, data []byte, v interface{}) error {
 		}
 		out.Token = r.uvarint()
 		out.From = core.NodeID(r.str())
+		out.Trace = r.uvarint()
 	case *InstallCommitResp:
 		if tag != tagInstallCommitResp {
 			return tagMismatch(tag, v)

@@ -327,6 +327,9 @@ type PauseReq struct {
 	Lease    time.Duration
 	From     core.NodeID
 	Target   core.NodeID
+	// Trace is the migration's TraceID (0 = untraced); the host stamps
+	// its pause/snapshot spans with it.
+	Trace uint64
 }
 
 // PauseResp carries the snapshots of the paused objects. Pending lists
@@ -348,6 +351,8 @@ type InstallReq struct {
 	Snapshots []Snapshot
 	Token     uint64
 	From      core.NodeID
+	// Trace is the migration's TraceID (0 = untraced).
+	Trace uint64
 }
 
 // InstallResp acknowledges installation.
@@ -364,6 +369,10 @@ type MigrateBeginReq struct {
 	Token uint64
 	From  core.NodeID // the coordinator; sessions are keyed (From, Token)
 	Objs  []core.OID
+	// Trace is the migration's TraceID (0 = untraced); the session
+	// remembers it so every staged chunk and the final install are
+	// stamped without re-sending it per frame.
+	Trace uint64
 }
 
 // MigrateBeginResp acknowledges the session.
@@ -378,6 +387,10 @@ type InstallChunkReq struct {
 	From      core.NodeID
 	Seq       uint64
 	Snapshots []Snapshot
+	// Trace is the migration's TraceID (0 = untraced), redundant with
+	// the session's MigrateBegin — carried so a chunk's stage span can
+	// be stamped even before the session is resolved.
+	Trace uint64
 }
 
 // InstallChunkResp acknowledges a chunk; Staged is the total number of
@@ -390,6 +403,8 @@ type InstallChunkResp struct{ Staged int }
 type InstallCommitReq struct {
 	Token uint64
 	From  core.NodeID
+	// Trace is the migration's TraceID (0 = untraced).
+	Trace uint64
 }
 
 // InstallCommitResp reports the number of objects installed.
@@ -411,6 +426,9 @@ type CommitReq struct {
 	// as; old hosts may then coalesce the group's forwarding pointers
 	// into one closure record.
 	Anchor core.OID
+	// Trace is the migration's TraceID (0 = untraced); old hosts stamp
+	// their directory-update spans with it.
+	Trace uint64
 }
 
 // CommitResp acknowledges the commit.
@@ -479,6 +497,10 @@ type HomeUpdate struct {
 	// Closures carries closure-level location reports: each entry
 	// replaces per-object Objs entries for a whole attachment closure.
 	Closures []ClosureLoc
+	// Trace is the TraceID of the migration this update reports, when
+	// every coalesced entry shares one (0 when untraced or mixed); the
+	// origin stamps its directory-update span with it.
+	Trace uint64
 }
 
 // ClosureLoc is one closure-level location report: the members of the

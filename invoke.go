@@ -43,8 +43,10 @@ func (n *Node) InvokeRaw(ctx context.Context, ref Ref, method string, arg []byte
 		var resp wire.InvokeResp
 		n.stats.remoteCallsSent.Add(1)
 		c.hop()
+		hopStart := time.Now()
 		err := n.call(ctx, target, wire.KInvoke,
 			&wire.InvokeReq{Obj: oid, Method: method, Arg: arg, From: n.id}, &resp)
+		n.tel.invokeRemote.ObserveSince(hopStart)
 		if err == nil {
 			n.store.Learn(oid, resp.At)
 			return resp.Result, nil
@@ -94,14 +96,15 @@ type chase struct {
 	oid      core.OID
 	attempt  int
 	hops     int       // remote calls issued — the directory's cost metric
+	start    time.Time // chase begin, for the latency histogram
 	deadline time.Time // zero when ChaseDeadline is disabled
 }
 
 // newChase starts a chase budget for one logical operation on oid.
 func (n *Node) newChase(oid core.OID) *chase {
-	c := &chase{n: n, oid: oid}
+	c := &chase{n: n, oid: oid, start: time.Now()}
 	if d := n.chaseDeadline; d > 0 {
-		c.deadline = time.Now().Add(d)
+		c.deadline = c.start.Add(d)
 	}
 	return c
 }
@@ -126,6 +129,7 @@ func (c *chase) end() {
 	default:
 		n.stats.hintMisses.Add(1)
 	}
+	n.tel.chaseLat.ObserveSince(c.start)
 	n.stats.chaseHops.Add(int64(c.hops))
 	bucket := c.hops
 	if bucket > len(n.stats.chaseHist) {
@@ -201,6 +205,7 @@ func (n *Node) invokeLocal(ctx context.Context, rec *store.Record, method string
 	n.stats.invocationsServed.Add(1)
 	n.emit(Event{Kind: EventInvoke, Obj: Ref{OID: rec.ID}, Outcome: method})
 	c := &Ctx{ctx: ctx, node: n, self: Ref{OID: rec.ID}}
+	defer n.tel.invokeLocal.ObserveSince(time.Now())
 	return m(c, rec.Inst, arg)
 }
 

@@ -13,6 +13,7 @@ import (
 	"objmig/internal/core"
 	"objmig/internal/rpc"
 	"objmig/internal/store"
+	"objmig/internal/telemetry"
 	"objmig/internal/wire"
 )
 
@@ -127,6 +128,12 @@ func sortedOIDs(members map[core.OID]NodeID) []core.OID {
 //     from (zero for anchorless groups); old hosts and origins may then
 //     coalesce the group's location state into one closure record.
 //
+//   - trace is the migration's TraceID, minted at the decision point
+//     (handleMigrate, a move grant, an autopilot election, a placement
+//     pass). It rides every wire body of the transfer so each
+//     participating node stamps its telemetry spans with it; 0 runs
+//     the migration untraced (phase histograms still record).
+//
 // Every shipped snapshot gets its departure generation bumped here, on
 // the coordinator — the one place every snapshot passes through — so
 // location reports for this migration outrank every earlier one.
@@ -136,7 +143,7 @@ func sortedOIDs(members map[core.OID]NodeID) []core.OID {
 // unchanged. Every exit path aborts every host that may hold a pause
 // — including veto exits after only some hosts responded.
 func (n *Node) migrateGroup(ctx context.Context, members map[core.OID]NodeID, target NodeID, anchor core.OID,
-	admit func(*wire.Snapshot) error, mutate func(*wire.Snapshot)) ([]core.OID, error) {
+	admit func(*wire.Snapshot) error, mutate func(*wire.Snapshot), trace uint64) ([]core.OID, error) {
 
 	token := n.nextToken()
 	ids := sortedOIDs(members)
@@ -178,7 +185,7 @@ func (n *Node) migrateGroup(ctx context.Context, members map[core.OID]NodeID, ta
 	var primed *wire.PauseResp
 	if len(hosts) == 1 {
 		h := hosts[0]
-		resp, err := n.pauseBatch(ctx, h, byHost[h], token, target)
+		resp, err := n.pauseBatch(ctx, h, byHost[h], token, target, trace)
 		if err == nil {
 			err = admitMutateBatch(resp.Snapshots, admit, mutate)
 		}
@@ -195,7 +202,7 @@ func (n *Node) migrateGroup(ctx context.Context, members map[core.OID]NodeID, ta
 				return nil, wire.Errorf(wire.CodeDenied,
 					"migration %d consumed over half the %v pause lease; aborted to stay clear of the sources' lease recovery", token, lease)
 			}
-			if err := n.installOneShot(ctx, target, resp.Snapshots, token); err != nil {
+			if err := n.installOneShot(ctx, target, resp.Snapshots, token, trace); err != nil {
 				// The install is the point of no return: only a definite
 				// answer from the target proves it did not happen. An
 				// ambiguous transport failure leaves the sources paused
@@ -205,7 +212,7 @@ func (n *Node) migrateGroup(ctx context.Context, members map[core.OID]NodeID, ta
 				}
 				return nil, err
 			}
-			return n.finishGroupMigration(ctx, ids, byHost, hosts, target, token, 0, anchor, gens)
+			return n.finishGroupMigration(ctx, ids, byHost, hosts, target, token, 0, anchor, gens, trace)
 		}
 		primed = resp // bigger than one chunk: stream it below
 	}
@@ -213,7 +220,7 @@ func (n *Node) migrateGroup(ctx context.Context, members map[core.OID]NodeID, ta
 	// Streamed path. Open the staging session at the target before
 	// pausing anything further: an unreachable target fails the
 	// migration with minimal cleanup.
-	if err := n.sessionBegin(ctx, target, token, ids); err != nil {
+	if err := n.sessionBegin(ctx, target, token, ids, trace); err != nil {
 		if primed != nil {
 			n.sessionAbort(hosts[0], byHost[hosts[0]], token)
 		}
@@ -272,7 +279,7 @@ func (n *Node) migrateGroup(ctx context.Context, members map[core.OID]NodeID, ta
 					return
 				}
 				if batch == nil {
-					resp, err := n.pauseBatch(sctx, h, pending, token, target)
+					resp, err := n.pauseBatch(sctx, h, pending, token, target, trace)
 					if err != nil {
 						fail(err)
 						return
@@ -287,7 +294,7 @@ func (n *Node) migrateGroup(ctx context.Context, members map[core.OID]NodeID, ta
 					}
 					batch, pending = resp.Snapshots, resp.Pending
 				}
-				b, err := n.sessionChunk(sctx, target, token, seq.Add(1), batch)
+				b, err := n.sessionChunk(sctx, target, token, seq.Add(1), batch, trace)
 				if err != nil {
 					fail(err)
 					return
@@ -325,13 +332,13 @@ func (n *Node) migrateGroup(ctx context.Context, members map[core.OID]NodeID, ta
 	// exact duplication the lease machinery exists to prevent. Only
 	// when leases are disabled is the blind abort the lesser evil
 	// (nothing else would ever unpause the sources).
-	if err := n.sessionCommit(ctx, target, token); err != nil {
+	if err := n.sessionCommit(ctx, target, token, trace); err != nil {
 		if definiteFailure(err) || n.migrate.PauseLease <= 0 {
 			abort()
 		}
 		return nil, err
 	}
-	return n.finishGroupMigration(ctx, ids, byHost, hosts, target, token, bytesOut.Load(), anchor, gens)
+	return n.finishGroupMigration(ctx, ids, byHost, hosts, target, token, bytesOut.Load(), anchor, gens, trace)
 }
 
 // definiteFailure reports whether err proves the request had no remote
@@ -360,20 +367,29 @@ func memberRaced(err error) bool {
 }
 
 // pauseBatch pauses one chunk-bounded sub-batch of a migration at a
-// host (locally or over the wire).
-func (n *Node) pauseBatch(ctx context.Context, h NodeID, objs []core.OID, token uint64, target NodeID) (*wire.PauseResp, error) {
+// host (locally or over the wire). The coordinator's pause span covers
+// the whole round trip: the request, the host-side pause wait and
+// snapshot encode, and the reply carrying the snapshots.
+func (n *Node) pauseBatch(ctx context.Context, h NodeID, objs []core.OID, token uint64, target NodeID, trace uint64) (*wire.PauseResp, error) {
 	req := &wire.PauseReq{
 		Objs: objs, Token: token,
 		MaxBytes: int64(n.migrate.ChunkBytes), Lease: n.migrate.PauseLease,
-		From: n.id, Target: target,
+		From: n.id, Target: target, Trace: trace,
 	}
+	start := time.Now()
+	var resp *wire.PauseResp
 	if h == n.id {
-		return n.handlePause(ctx, req)
+		var err error
+		if resp, err = n.handlePause(ctx, req); err != nil {
+			return nil, err
+		}
+	} else {
+		resp = &wire.PauseResp{}
+		if err := n.call(ctx, h, wire.KPause, req, resp); err != nil {
+			return nil, err
+		}
 	}
-	resp := &wire.PauseResp{}
-	if err := n.call(ctx, h, wire.KPause, req, resp); err != nil {
-		return nil, err
-	}
+	n.tel.span(trace, telemetry.PhasePause, start, 0, len(resp.Snapshots))
 	return resp, nil
 }
 
@@ -397,12 +413,13 @@ func admitMutateBatch(snaps []wire.Snapshot, admit func(*wire.Snapshot) error, m
 // InstallReq. The frame counts towards the same transfer gauges as
 // streamed chunks, so StreamMaxChunkBytes always reports the
 // coordinator's true peak migration-frame size.
-func (n *Node) installOneShot(ctx context.Context, target NodeID, snaps []wire.Snapshot, token uint64) error {
+func (n *Node) installOneShot(ctx context.Context, target NodeID, snaps []wire.Snapshot, token, trace uint64) error {
 	var bytes int64
 	for i := range snaps {
 		bytes += int64(wire.SnapshotSize(&snaps[i]))
 	}
-	req := &wire.InstallReq{Snapshots: snaps, Token: token, From: n.id}
+	req := &wire.InstallReq{Snapshots: snaps, Token: token, From: n.id, Trace: trace}
+	start := time.Now()
 	if target == n.id {
 		if _, err := n.handleInstall(req); err != nil {
 			return err
@@ -413,6 +430,7 @@ func (n *Node) installOneShot(ctx context.Context, target NodeID, snaps []wire.S
 			return err
 		}
 	}
+	n.tel.span(trace, telemetry.PhaseStream, start, bytes, len(snaps))
 	n.stats.streamChunksOut.Add(1)
 	n.stats.streamBytesOut.Add(bytes)
 	maxInt64(&n.stats.streamMaxChunkBytes, bytes)
@@ -428,7 +446,7 @@ func (n *Node) installOneShot(ctx context.Context, target NodeID, snaps []wire.S
 // generations stamped on the shipped snapshots.
 func (n *Node) finishGroupMigration(ctx context.Context, ids []core.OID, byHost map[NodeID][]core.OID,
 	hosts []NodeID, target NodeID, token uint64, streamed int64,
-	anchor core.OID, gens map[core.OID]uint64) ([]core.OID, error) {
+	anchor core.OID, gens map[core.OID]uint64, trace uint64) ([]core.OID, error) {
 
 	// The objects are leaving this node: lift the coordinator's
 	// affinity observations now (commit drops them) so they can ride
@@ -445,12 +463,13 @@ func (n *Node) finishGroupMigration(ctx context.Context, ids []core.OID, byHost 
 	// its pause lease resolves the outcome against the target as the
 	// backstop — the remaining hosts still get their commit now.
 	var commitErr error
+	commitStart := time.Now()
 	for _, h := range hosts {
 		if h == target {
 			continue
 		}
 		req := &wire.CommitReq{Objs: byHost[h], NewHome: target, Token: token, From: n.id,
-			Gens: gensFor(gens, byHost[h]), Anchor: anchor}
+			Gens: gensFor(gens, byHost[h]), Anchor: anchor, Trace: trace}
 		if h == n.id {
 			n.commitLocal(req)
 			continue
@@ -463,6 +482,7 @@ func (n *Node) finishGroupMigration(ctx context.Context, ids []core.OID, byHost 
 			}
 		}
 	}
+	n.tel.span(trace, telemetry.PhaseCommit, commitStart, 0, len(ids))
 	if commitErr != nil {
 		// The objects are installed at the target; report the partial
 		// failure.
@@ -470,7 +490,7 @@ func (n *Node) finishGroupMigration(ctx context.Context, ids []core.OID, byHost 
 	}
 
 	// Phase 4: advise the origins (asynchronous, batched, best effort).
-	n.notifyOrigins(ids, target, obs, anchor, gens)
+	n.notifyOrigins(ids, target, obs, anchor, gens, trace)
 	n.stats.migrationsOut.Add(1)
 	n.stats.objectsMovedOut.Add(int64(len(ids)))
 	moved := make([]Ref, len(ids))
@@ -486,8 +506,8 @@ func (n *Node) finishGroupMigration(ctx context.Context, ids []core.OID, byHost 
 }
 
 // sessionBegin opens the streaming session at the target.
-func (n *Node) sessionBegin(ctx context.Context, target NodeID, token uint64, ids []core.OID) error {
-	req := &wire.MigrateBeginReq{Token: token, From: n.id, Objs: ids}
+func (n *Node) sessionBegin(ctx context.Context, target NodeID, token uint64, ids []core.OID, trace uint64) error {
+	req := &wire.MigrateBeginReq{Token: token, From: n.id, Objs: ids, Trace: trace}
 	if target == n.id {
 		_, err := n.handleMigrateBegin(req)
 		return err
@@ -498,12 +518,13 @@ func (n *Node) sessionBegin(ctx context.Context, target NodeID, token uint64, id
 
 // sessionChunk forwards one sub-batch of snapshots to the target's
 // session and returns the snapshot bytes it carried.
-func (n *Node) sessionChunk(ctx context.Context, target NodeID, token, seq uint64, snaps []wire.Snapshot) (int64, error) {
+func (n *Node) sessionChunk(ctx context.Context, target NodeID, token, seq uint64, snaps []wire.Snapshot, trace uint64) (int64, error) {
 	var bytes int64
 	for i := range snaps {
 		bytes += int64(wire.SnapshotSize(&snaps[i]))
 	}
-	req := &wire.InstallChunkReq{Token: token, From: n.id, Seq: seq, Snapshots: snaps}
+	req := &wire.InstallChunkReq{Token: token, From: n.id, Seq: seq, Snapshots: snaps, Trace: trace}
+	start := time.Now()
 	var err error
 	if target == n.id {
 		_, err = n.handleInstallChunk(req)
@@ -514,6 +535,7 @@ func (n *Node) sessionChunk(ctx context.Context, target NodeID, token, seq uint6
 	if err != nil {
 		return 0, err
 	}
+	n.tel.span(trace, telemetry.PhaseStream, start, bytes, len(snaps))
 	n.stats.streamChunksOut.Add(1)
 	n.stats.streamBytesOut.Add(bytes)
 	maxInt64(&n.stats.streamMaxChunkBytes, bytes)
@@ -521,8 +543,8 @@ func (n *Node) sessionChunk(ctx context.Context, target NodeID, token, seq uint6
 }
 
 // sessionCommit asks the target to install the staged group.
-func (n *Node) sessionCommit(ctx context.Context, target NodeID, token uint64) error {
-	req := &wire.InstallCommitReq{Token: token, From: n.id}
+func (n *Node) sessionCommit(ctx context.Context, target NodeID, token, trace uint64) error {
+	req := &wire.InstallCommitReq{Token: token, From: n.id, Trace: trace}
 	if target == n.id {
 		_, err := n.handleInstallCommit(req)
 		return err
@@ -576,7 +598,7 @@ func (n *Node) sessionAbort(h NodeID, objs []core.OID, token uint64) {
 // stores one shared record plus member references, and every member's
 // departure generation is subsumed by the group's maximum (they were
 // stamped by the same migration).
-func (n *Node) notifyOrigins(ids []core.OID, at NodeID, obs []affinity.Obs, anchor core.OID, gens map[core.OID]uint64) {
+func (n *Node) notifyOrigins(ids []core.OID, at NodeID, obs []affinity.Obs, anchor core.OID, gens map[core.OID]uint64, trace uint64) {
 	byOrigin := make(map[NodeID][]core.OID)
 	for _, oid := range ids {
 		byOrigin[oid.Origin] = append(byOrigin[oid.Origin], oid)
@@ -602,11 +624,13 @@ func (n *Node) notifyOrigins(ids []core.OID, at NodeID, obs []affinity.Obs, anch
 			// and fold the lifted observations straight back in — the
 			// same warm-affinity knowledge a remote origin would merge
 			// from the gossip.
+			start := time.Now()
 			if asClosure {
 				n.store.HomeUpdateClosure(anchor, maxGen, objs, at)
 			} else {
 				n.store.HomeUpdate(objs, gensFor(gens, objs), at)
 			}
+			n.tel.span(trace, telemetry.PhaseDirUpdate, start, 0, len(objs))
 			n.mergeAffinityGossip(affByOrigin[origin])
 			continue
 		}
@@ -618,16 +642,16 @@ func (n *Node) notifyOrigins(ids []core.OID, at NodeID, obs []affinity.Obs, anch
 			// a gossip-only batch.
 			if aff := affByOrigin[origin]; len(aff) > 0 {
 				n.stats.homeUpdatesQueued.Add(1)
-				n.homeBatch.enqueue(origin, at, nil, nil, nil, aff)
+				n.homeBatch.enqueue(origin, at, nil, nil, nil, aff, trace)
 			}
 			continue
 		}
 		n.stats.homeUpdatesQueued.Add(1)
 		if asClosure {
 			n.homeBatch.enqueue(origin, at, nil, nil,
-				[]wire.ClosureLoc{{Anchor: anchor, Gen: maxGen, Members: objs}}, affByOrigin[origin])
+				[]wire.ClosureLoc{{Anchor: anchor, Gen: maxGen, Members: objs}}, affByOrigin[origin], trace)
 		} else {
-			n.homeBatch.enqueue(origin, at, objs, gensFor(gens, objs), nil, affByOrigin[origin])
+			n.homeBatch.enqueue(origin, at, objs, gensFor(gens, objs), nil, affByOrigin[origin], trace)
 		}
 	}
 }
@@ -644,6 +668,7 @@ func (n *Node) notifyOrigins(ids []core.OID, at NodeID, obs []affinity.Obs, anch
 // paused and are covered by the coordinator's abort (and, should the
 // coordinator be gone, by the pause lease).
 func (n *Node) handlePause(ctx context.Context, req *wire.PauseReq) (*wire.PauseResp, error) {
+	start := time.Now()
 	var done []*store.Record
 	rollback := func() {
 		for _, rec := range done {
@@ -691,6 +716,7 @@ func (n *Node) handlePause(ctx context.Context, req *wire.PauseReq) (*wire.Pause
 		}
 		n.armPauseLease(sessionKey{from: req.From, token: req.Token}, req.Target, covered, req.Lease)
 	}
+	n.tel.span(req.Trace, telemetry.PhaseSnapshot, start, bytes, len(done))
 	return resp, nil
 }
 
@@ -710,6 +736,11 @@ func (n *Node) handleInstall(req *wire.InstallReq) (*wire.InstallResp, error) {
 	if err := n.admitMigration(ids, req.From); err != nil {
 		return nil, err
 	}
+	start := time.Now()
+	var bytes int64
+	for i := range req.Snapshots {
+		bytes += int64(wire.SnapshotSize(&req.Snapshots[i]))
+	}
 	if err := n.installBatch(req.Snapshots, req.Token); err != nil {
 		var re *wire.RemoteError
 		if errors.As(err, &re) {
@@ -722,6 +753,7 @@ func (n *Node) handleInstall(req *wire.InstallReq) (*wire.InstallResp, error) {
 	if req.From != "" {
 		n.cancelPauseLease(sessionKey{from: req.From, token: req.Token})
 	}
+	n.tel.span(req.Trace, telemetry.PhaseInstall, start, bytes, len(ids))
 	return &wire.InstallResp{}, nil
 }
 
@@ -746,6 +778,7 @@ func (n *Node) handleCommit(req *wire.CommitReq) (*wire.CommitResp, error) {
 // there is no remote origin to wait for), and the amortised forward
 // sweep is advanced.
 func (n *Node) commitLocal(req *wire.CommitReq) {
+	start := time.Now()
 	n.cancelPauseLease(sessionKey{from: req.From, token: req.Token})
 	recs := n.store.GetBatch(req.Objs)
 	var departed []core.OID
@@ -790,6 +823,7 @@ func (n *Node) commitLocal(req *wire.CommitReq) {
 		n.store.ConfirmDeparted(own, req.NewHome)
 	}
 	n.store.MaybeCompact(len(departed))
+	n.tel.span(req.Trace, telemetry.PhaseDirUpdate, start, 0, len(departed))
 	n.gossipDeparted(departed, req.NewHome)
 }
 
@@ -828,7 +862,7 @@ func (n *Node) gossipDeparted(ids []core.OID, at NodeID) {
 			continue
 		}
 		n.stats.homeUpdatesQueued.Add(1)
-		n.homeBatch.enqueue(origin, at, nil, nil, nil, aff)
+		n.homeBatch.enqueue(origin, at, nil, nil, nil, aff, 0)
 	}
 }
 
@@ -974,12 +1008,15 @@ func (n *Node) handleMigrate(ctx context.Context, req *wire.MigrateReq) (*wire.M
 		raceRetries = 50
 		raceBackoff = 2 * time.Millisecond
 	)
+	// One trace covers the whole primitive, including race retries —
+	// the retries are part of the same decision's story.
+	trace := n.nextTrace()
 	for attempt := 0; ; attempt++ {
 		members, err := n.closureOf(ctx, req.Obj, req.Alliance)
 		if err != nil {
 			return nil, wire.Errorf(wire.CodeInternal, "%v", err)
 		}
-		moved, err := n.migrateGroup(ctx, members, req.Target, req.Obj, admit, mutate)
+		moved, err := n.migrateGroup(ctx, members, req.Target, req.Obj, admit, mutate, trace)
 		if err == nil {
 			return &wire.MigrateResp{At: req.Target, Moved: moved}, nil
 		}

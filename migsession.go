@@ -36,6 +36,7 @@ import (
 
 	"objmig/internal/core"
 	"objmig/internal/store"
+	"objmig/internal/telemetry"
 	"objmig/internal/wire"
 )
 
@@ -96,6 +97,7 @@ type migSession struct {
 	staged  map[core.OID]bool
 	recs    []*store.Record
 	bytes   int64
+	trace   uint64      // the migration's TraceID (0 when untraced)
 	touched time.Time   // last traffic; re-checked by the TTL janitor
 	timer   *time.Timer // TTL janitor; nil when expiry is disabled
 }
@@ -121,6 +123,7 @@ func (n *Node) handleMigrateBegin(req *wire.MigrateBeginReq) (*wire.MigrateBegin
 		key:     key,
 		expect:  make(map[core.OID]bool, len(req.Objs)),
 		staged:  make(map[core.OID]bool, len(req.Objs)),
+		trace:   req.Trace,
 		touched: time.Now(),
 	}
 	for _, oid := range req.Objs {
@@ -162,7 +165,10 @@ func (n *Node) handleInstallChunk(req *wire.InstallChunkReq) (*wire.InstallChunk
 	if !open {
 		return nil, wire.Errorf(wire.CodeDenied, "no migration session %d from %s (expired?)", req.Token, req.From)
 	}
-	// Decode outside the session lock: state blobs can be large.
+	// Decode outside the session lock: state blobs can be large. The
+	// stage span covers decode and bookkeeping — the target-side cost
+	// of one chunk.
+	start := time.Now()
 	recs := make([]*store.Record, len(req.Snapshots))
 	var bytes int64
 	for i := range req.Snapshots {
@@ -213,6 +219,7 @@ func (n *Node) handleInstallChunk(req *wire.InstallChunkReq) (*wire.InstallChunk
 	staged := len(s.recs)
 	n.sessMu.Unlock()
 
+	n.tel.span(req.Trace, telemetry.PhaseStage, start, bytes, len(req.Snapshots))
 	n.stats.streamChunksIn.Add(1)
 	n.stats.streamBytesIn.Add(bytes)
 	return &wire.InstallChunkResp{Staged: staged}, nil
@@ -239,6 +246,7 @@ func (n *Node) handleInstallCommit(req *wire.InstallCommitReq) (*wire.InstallCom
 		return nil, wire.Errorf(wire.CodeBadRequest,
 			"commit of session %d from %s with %d of %d members unstaged", req.Token, req.From, missing, len(s.expect))
 	}
+	start := time.Now()
 	if err := n.store.InstallBatch(s.recs, req.Token); err != nil {
 		var re *wire.RemoteError
 		if errors.As(err, &re) {
@@ -250,6 +258,7 @@ func (n *Node) handleInstallCommit(req *wire.InstallCommitReq) (*wire.InstallCom
 	// group) were just replaced by the installation; their lease must
 	// not fire later and there is nothing left for it to resume.
 	n.cancelPauseLease(key)
+	n.tel.span(s.trace, telemetry.PhaseInstall, start, s.bytes, len(s.recs))
 	installed := make([]Ref, len(s.recs))
 	for i, rec := range s.recs {
 		installed[i] = Ref{OID: rec.ID}

@@ -222,7 +222,7 @@ func (n *Node) tryMove(ctx context.Context, req *wire.MoveReq) (_ *wire.MoveResp
 			s.Pol.Lock = core.LockState{Held: true, Owner: req.From, Block: req.Block}
 		}
 	}
-	moved, err := n.migrateGroup(ctx, members, req.From, req.Obj, admit, mutate)
+	moved, err := n.migrateGroup(ctx, members, req.From, req.Obj, admit, mutate, n.nextTrace())
 	if err != nil {
 		n.moveAbort(rec, coreReq)
 		if isCode(err, wire.CodeDenied) {
@@ -379,7 +379,7 @@ func (n *Node) handleEnd(ctx context.Context, req *wire.EndReq) (*wire.EndResp, 
 			mctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 			defer cancel()
 			if members, err := n.closureOf(mctx, obj, al); err == nil {
-				_, _ = n.migrateGroup(mctx, members, target, obj, nil, nil)
+				_, _ = n.migrateGroup(mctx, members, target, obj, nil, nil, n.nextTrace())
 			}
 		})
 		resp.Migrated = true

@@ -13,6 +13,7 @@ import (
 	"objmig/internal/core"
 	"objmig/internal/rpc"
 	"objmig/internal/store"
+	"objmig/internal/telemetry"
 	"objmig/internal/transport"
 	"objmig/internal/wire"
 )
@@ -99,6 +100,13 @@ type Config struct {
 	// move decisions, migrations, ...) synchronously. Observers must
 	// be fast and must not call back into the node.
 	Observer Observer
+	// ObserverBuffer switches event delivery to a bounded asynchronous
+	// queue of this many events, drained by one background goroutine:
+	// the hot path never blocks on a slow observer. When the queue is
+	// full the event is dropped and Stats.EventsDropped counts it —
+	// backpressure by shedding, never by stalling. 0 (the default)
+	// keeps the synchronous delivery.
+	ObserverBuffer int
 }
 
 // Node hosts distributed objects and executes the migration policies at
@@ -119,6 +127,7 @@ type Node struct {
 	migrate       MigrateConfig
 	dir           DirectoryConfig
 	observer      Observer
+	events        *eventSink // non-nil when Config.ObserverBuffer > 0
 
 	server *rpc.Server
 	pool   *rpc.Pool
@@ -151,11 +160,13 @@ type Node struct {
 	seq       atomic.Uint64 // object IDs minted here
 	block     atomic.Uint64 // move-block IDs
 	token     atomic.Uint64 // migration tokens (low half; see nextToken)
+	traceSeq  atomic.Uint64 // migration TraceIDs (low half; see nextTrace)
 	tokenBase uint64        // node-identity half of migration tokens
 	allSeq    atomic.Uint32 // alliance IDs
 	closed    atomic.Bool
 
 	stats nodeStats
+	tel   *nodeTelemetry
 
 	bg sync.WaitGroup // background work: home updates, reinstantiation
 }
@@ -216,6 +227,10 @@ func NewNode(cfg Config) (*Node, error) {
 		sessions:      make(map[sessionKey]*migSession),
 		tombs:         make(map[sessionKey]time.Time),
 		leases:        make(map[sessionKey]*pauseLease),
+		tel:           newNodeTelemetry(),
+	}
+	if cfg.Observer != nil && cfg.ObserverBuffer > 0 {
+		n.events = newEventSink(cfg.Observer, cfg.ObserverBuffer)
 	}
 	for id, addr := range cfg.Peers {
 		n.peers[id] = addr
@@ -357,6 +372,11 @@ func (n *Node) Close() error {
 	n.closeSessions()
 	n.closePauseLeases()
 	n.bg.Wait()
+	// The sink goes last: background work above may still emit, and a
+	// drained queue means observers see every event that made it in.
+	if n.events != nil {
+		n.events.close()
+	}
 	return err
 }
 
@@ -432,10 +452,14 @@ func (n *Node) handle(ctx context.Context, kind wire.Kind, body, dst []byte) ([]
 		})
 	case wire.KHomeUpdate:
 		return handleTyped(body, dst, func(req *wire.HomeUpdate) (*wire.HomeUpdateResp, error) {
+			start := time.Now()
 			n.store.HomeUpdate(req.Objs, req.Gens, req.At)
+			objects := len(req.Objs)
 			for _, cl := range req.Closures {
 				n.store.HomeUpdateClosure(cl.Anchor, cl.Gen, cl.Members, req.At)
+				objects += len(cl.Members)
 			}
+			n.tel.span(req.Trace, telemetry.PhaseDirUpdate, start, 0, objects)
 			n.mergeAffinityGossip(req.Aff)
 			n.observeLoad(req.Load)
 			// The response piggybacks this node's own sample back to

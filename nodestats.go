@@ -90,6 +90,10 @@ type Stats struct {
 	ChaseP50Hops     int
 	ChaseP99Hops     int
 	ChasesOverBudget int64
+	// EventsDropped counts observer events shed by the bounded async
+	// sink (Config.ObserverBuffer) because the observer could not keep
+	// up. Always 0 with synchronous delivery.
+	EventsDropped int64
 	// Location-directory footprint (see store.LocStats): explicit home
 	// entries, forwarding pointers, cached hints, closure records and
 	// their member references, plus the forwarding stubs retired so far.
@@ -172,6 +176,15 @@ func (s *nodeStats) chasePercentile(frac float64) int {
 	return len(counts)
 }
 
+// eventsDropped reads the async event sink's shed counter (0 when
+// delivery is synchronous).
+func (n *Node) eventsDropped() int64 {
+	if n.events == nil {
+		return 0
+	}
+	return n.events.dropped.Load()
+}
+
 // maxInt64 raises g to v if v is larger (CAS max for gauge counters).
 func maxInt64(g *atomic.Int64, v int64) {
 	for {
@@ -228,6 +241,8 @@ func (n *Node) Stats() Stats {
 		ChaseP50Hops:     n.stats.chasePercentile(0.50),
 		ChaseP99Hops:     n.stats.chasePercentile(0.99),
 		ChasesOverBudget: n.stats.chasesOverBudget.Load(),
+
+		EventsDropped: n.eventsDropped(),
 
 		LocHome:         loc.Home,
 		LocForwards:     loc.Forwards,

@@ -343,6 +343,10 @@ func (n *Node) refreshLoadSample(d *placementDaemon) wire.NodeLoad {
 	}
 	n.lastLoad.Store(&load)
 	d.view.Observe(placementSample(&load))
+	// The view's worst-case staleness is the one number that tells an
+	// operator whether placement decisions run on live or fossil data.
+	_, maxAge := d.view.Ages(n.id)
+	n.tel.viewAgeMax.Set(maxAge.Microseconds())
 	return load
 }
 
@@ -460,6 +464,7 @@ func (d *placementDaemon) originPass() {
 		}
 		g := n.groupAffinity(members)
 		dec, ok := placement.Score(g, d.view, d.cfg.engineOptions())
+		n.tel.placementScores.Inc()
 		if !ok {
 			continue
 		}
@@ -540,7 +545,9 @@ func (n *Node) groupAffinity(members map[core.OID]NodeID) placement.Group {
 // migrateClosureSoft drives one engine-elected group migration through
 // the standard machinery with the optimiser's admission rule: fixed or
 // placed members veto the whole transfer — the engine, like the
-// autopilot, is never an override.
+// autopilot, is never an override. The trace is minted here, at the
+// decision point, so both callers (the autopilot election and the
+// origin pass) get per-decision timelines for free.
 func (n *Node) migrateClosureSoft(ctx context.Context, anchor core.OID, members map[core.OID]NodeID, target NodeID) ([]core.OID, error) {
 	admit := func(s *wire.Snapshot) error {
 		if s.Pol.Lock.Held {
@@ -551,7 +558,7 @@ func (n *Node) migrateClosureSoft(ctx context.Context, anchor core.OID, members 
 		}
 		return nil
 	}
-	return n.migrateGroup(ctx, members, target, anchor, admit, nil)
+	return n.migrateGroup(ctx, members, target, anchor, admit, nil, n.nextTrace())
 }
 
 // admitMigration is the target-side overload veto: the engine's

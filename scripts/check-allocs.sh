@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
-# check-allocs.sh — perf-regression guard for the wire codec and the
-# location directory.
+# check-allocs.sh — perf-regression guard for the wire codec, the
+# location directory and the telemetry hot path.
 #
-# Runs BenchmarkRuntimeCodec (allocs/op) and BenchmarkDirectoryScale
-# (bytes/obj, p99-hops) and fails if any reported value exceeds its
-# ceiling in scripts/alloc-budget.txt. The fast-path codec budgets are
-# exact (their allocation counts are deterministic — the append
-# variants allocate only decode output); the gob baselines and the
-# directory's bytes-per-object get headroom for drift. Lowering a
-# number after an optimisation is encouraged; raising one is a
-# reviewed decision.
+# Runs BenchmarkRuntimeCodec (allocs/op), BenchmarkDirectoryScale
+# (bytes/obj, p99-hops) and BenchmarkTelemetryRecord (allocs/op) and
+# fails if any reported value exceeds its ceiling in
+# scripts/alloc-budget.txt. The fast-path codec budgets are exact
+# (their allocation counts are deterministic — the append variants
+# allocate only decode output) and the telemetry budgets are zero
+# (recording a counter, gauge, histogram sample or migration span must
+# never allocate); the gob baselines and the directory's
+# bytes-per-object get headroom for drift. Lowering a number after an
+# optimisation is encouraged; raising one is a reviewed decision.
 #
 # Budget rows are "name budget [unit]"; the unit defaults to
 # allocs/op. The value compared is the one immediately preceding the
@@ -35,8 +37,17 @@ if [ "$dirstatus" -ne 0 ]; then
   echo "alloc check FAILED (directory benchmark did not run)"
   exit 1
 fi
+
+telout=$(go test -run '^$' -bench 'BenchmarkTelemetryRecord' -benchmem -benchtime 200x ./internal/telemetry 2>&1)
+telstatus=$?
+echo "$telout"
+if [ "$telstatus" -ne 0 ]; then
+  echo "alloc check FAILED (telemetry benchmark did not run)"
+  exit 1
+fi
 out="$out
-$dirout"
+$dirout
+$telout"
 
 fail=0
 while read -r name budget unit; do

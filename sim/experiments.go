@@ -296,7 +296,9 @@ func AblationGroupLock() Experiment {
 // of the live runtime's placement admission veto); the uncapped
 // series shows the pile-up it prevents. PeakSmallNode and
 // PlacementVetoes in the cell results carry the occupancy story that
-// the communication-time metric alone does not.
+// the communication-time metric alone does not, and the gossip model
+// (GossipHeartbeat) reports how stale the small node's advertised load
+// was at each veto — the window only the authoritative veto covers.
 func PlacementCapacity() Experiment {
 	return Experiment{
 		ID:     "placement-cap",
@@ -316,6 +318,7 @@ func PlacementCapacity() Experiment {
 			Nodes: 4, Servers1: 6, Servers2: 0,
 			MigrationTime: 6, MeanCalls: 8, MeanInterCall: 1,
 			MeanInterBlock: 10, HotClientShare: 0.7,
+			GossipHeartbeat: 5,
 		},
 		Apply: applyClients,
 	}

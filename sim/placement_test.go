@@ -40,6 +40,7 @@ func TestPlacementCapacityVeto(t *testing.T) {
 
 	capped := placementCapacityBase()
 	capped.SmallNodeCapacity = cap
+	capped.GossipHeartbeat = 5
 	held, err := Run(capped)
 	if err != nil {
 		t.Fatal(err)
@@ -52,6 +53,23 @@ func TestPlacementCapacityVeto(t *testing.T) {
 	}
 	if held.Migrations == 0 {
 		t.Fatal("the veto froze all migration, not just the overload")
+	}
+	// Gossip staleness at veto time: with the heartbeat model on, the
+	// recorded ages are positive (a veto landing exactly on a broadcast
+	// is measure zero) and bounded by one heartbeat period.
+	if held.GossipAgeMeanAtVeto <= 0 {
+		t.Fatalf("vetoes fired but gossip age mean is %g", held.GossipAgeMeanAtVeto)
+	}
+	if held.GossipAgeMaxAtVeto < held.GossipAgeMeanAtVeto {
+		t.Fatalf("gossip age max %g below mean %g", held.GossipAgeMaxAtVeto, held.GossipAgeMeanAtVeto)
+	}
+	if held.GossipAgeMaxAtVeto > capped.GossipHeartbeat {
+		t.Fatalf("gossip age max %g exceeds the heartbeat period %g",
+			held.GossipAgeMaxAtVeto, capped.GossipHeartbeat)
+	}
+	if free.GossipAgeMeanAtVeto != 0 || free.GossipAgeMaxAtVeto != 0 {
+		t.Fatalf("uncapped run reported gossip ages (mean %g, max %g) without vetoes",
+			free.GossipAgeMeanAtVeto, free.GossipAgeMaxAtVeto)
 	}
 }
 
@@ -75,6 +93,14 @@ func TestPlacementCapacityExperiment(t *testing.T) {
 			}
 			if s.SmallNodeCap == 0 && r.PlacementVetoes != 0 {
 				t.Errorf("cell %s x=%v: %d vetoes without a cap", s.Label, e.Xs[i], r.PlacementVetoes)
+			}
+			if r.PlacementVetoes > 0 && r.GossipAgeMeanAtVeto <= 0 {
+				t.Errorf("cell %s x=%v: %d vetoes but no gossip age recorded",
+					s.Label, e.Xs[i], r.PlacementVetoes)
+			}
+			if r.GossipAgeMaxAtVeto > e.Base.GossipHeartbeat {
+				t.Errorf("cell %s x=%v: gossip age max %g exceeds heartbeat %g",
+					s.Label, e.Xs[i], r.GossipAgeMaxAtVeto, e.Base.GossipHeartbeat)
 			}
 			if r.Calls == 0 {
 				t.Errorf("cell %s x=%v: no calls measured", s.Label, e.Xs[i])

@@ -93,6 +93,15 @@ type Config struct {
 	// the simulator's twin of the live runtime's placement overload
 	// veto. 0 means uncapped.
 	SmallNodeCapacity int
+	// GossipHeartbeat models the live runtime's load-gossip cadence:
+	// every node re-broadcasts its load sample once per this many time
+	// units (staggered across nodes). The veto itself stays
+	// authoritative — exactly like the runtime's target-side admission
+	// check — but each fired veto records how stale the target's last
+	// broadcast was at decision time, quantifying how far off a
+	// gossip-only decision would have been. 0 disables the model (no
+	// staleness is reported).
+	GossipHeartbeat float64
 	// Seed makes the run reproducible.
 	Seed int64
 
@@ -171,6 +180,8 @@ func (c Config) Validate() error {
 		return errors.New("sim: HotClientShare must be in [0, 1]")
 	case c.SmallNodeCapacity < 0:
 		return errors.New("sim: SmallNodeCapacity must be >= 0")
+	case c.GossipHeartbeat < 0:
+		return errors.New("sim: GossipHeartbeat must be >= 0")
 	default:
 		return nil
 	}
@@ -210,6 +221,14 @@ type Result struct {
 	// SmallNodeCapacity.
 	PlacementVetoes int64
 	PeakSmallNode   int64
+	// GossipAgeMeanAtVeto / GossipAgeMaxAtVeto report, over the fired
+	// vetoes, the mean and worst age (in simulated time units) of the
+	// small node's last load broadcast at decision time — the staleness
+	// a gossip-only placement decision would have acted on. Both are 0
+	// when GossipHeartbeat is 0 or no veto fired; with the model active
+	// the max is bounded by GossipHeartbeat.
+	GossipAgeMeanAtVeto float64
+	GossipAgeMaxAtVeto  float64
 
 	// RelHalfWidth is the achieved relative CI half-width of
 	// CommTimePerCall at p = 0.99.

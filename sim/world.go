@@ -38,6 +38,13 @@ type world struct {
 	// transfers cannot overshoot a capacity). Feeds the small-node
 	// overload veto and the PeakSmallNode gauge.
 	resident []int
+	// gossipAt[i] is the sim time node i last broadcast its load
+	// sample (see Config.GossipHeartbeat); vetoAge* accumulate the
+	// broadcast age observed at each fired veto.
+	gossipAt   []float64
+	vetoAgeSum float64
+	vetoAgeMax float64
+	vetoAgeN   int64
 
 	comm    *stats.Estimator
 	callDur *stats.Estimator
@@ -137,6 +144,24 @@ func newWorld(cfg Config) *world {
 		name := fmt.Sprintf("client-%d", i)
 		w.k.Spawn(name, func(p *des.Proc) { w.clientLoop(p, rng, node) })
 	}
+	// Load-gossip heartbeats: every node re-broadcasts its load sample
+	// once per GossipHeartbeat, staggered so broadcasts do not align
+	// (node i offsets its cycle by i/D of a period). Everybody knows
+	// the initial placement, so the stamps start at time 0.
+	if hb := cfg.GossipHeartbeat; hb > 0 {
+		w.gossipAt = make([]float64, cfg.Nodes)
+		for i := 0; i < cfg.Nodes; i++ {
+			node := i
+			name := fmt.Sprintf("gossip-%d", i)
+			w.k.Spawn(name, func(p *des.Proc) {
+				p.Sleep(hb * float64(node) / float64(cfg.Nodes))
+				for !w.done {
+					p.Sleep(hb)
+					w.gossipAt[node] = p.Now()
+				}
+			})
+		}
+	}
 	return w
 }
 
@@ -149,6 +174,10 @@ func (w *world) run() Result {
 	w.res.Calls = w.comm.N()
 	w.res.RelHalfWidth = w.comm.RelHalfWidth(z99)
 	w.res.SimTime = w.k.Now()
+	if w.vetoAgeN > 0 {
+		w.res.GossipAgeMeanAtVeto = w.vetoAgeSum / float64(w.vetoAgeN)
+		w.res.GossipAgeMaxAtVeto = w.vetoAgeMax
+	}
 	return w.res
 }
 
@@ -230,6 +259,17 @@ func (w *world) vetoTransfer(members []*object, target int) bool {
 	}
 	if w.resident[0]+incoming > w.cfg.SmallNodeCapacity {
 		w.res.PlacementVetoes++
+		// Record how stale the small node's advertised load was at
+		// this decision — the gap a gossip-scored placement would have
+		// acted across (the authoritative veto is what closes it).
+		if w.gossipAt != nil {
+			age := w.k.Now() - w.gossipAt[target]
+			w.vetoAgeSum += age
+			w.vetoAgeN++
+			if age > w.vetoAgeMax {
+				w.vetoAgeMax = age
+			}
+		}
 		return true
 	}
 	return false

@@ -1,0 +1,243 @@
+package objmig
+
+// Node-side telemetry: the glue between the runtime's hot paths and
+// internal/telemetry, plus the HTTP export surface.
+//
+// Recording is designed to cost what a counter bump costs: the handles
+// in nodeTelemetry are resolved once at node construction, the
+// histograms and counters behind them are lock-free and allocation-
+// free, and the migration trace ring holds fixed-size spans in a
+// preallocated buffer. Everything readable — the Prometheus text
+// scrape, the expvar JSON, the migration timelines — pays its costs at
+// read time instead.
+//
+// MetricsHandler returns the surface; objmig-node mounts it with
+// -metrics-addr. Endpoints:
+//
+//	/metrics           Prometheus text: every Stats counter, the
+//	                   registry's counters/gauges/histograms (as
+//	                   summaries with p50/p99), frame-pool
+//	                   effectiveness, dropped observer events, and the
+//	                   placement view's per-peer staleness.
+//	/debug/vars        expvar JSON (process defaults plus this node's
+//	                   Stats snapshot under "objmig").
+//	/debug/pprof/...   the standard pprof handlers.
+//	/debug/migrations  recent migration timelines, newest first: one
+//	                   block per TraceID with its phase spans.
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"reflect"
+	"strings"
+	"time"
+
+	"objmig/internal/framebuf"
+	"objmig/internal/telemetry"
+)
+
+// nodeTelemetry bundles one node's metric handles and its migration
+// trace ring. All handles are resolved once, at construction, so the
+// recording paths never touch the registry's maps.
+type nodeTelemetry struct {
+	reg    *telemetry.Registry
+	traces *telemetry.TraceLog
+
+	// Hot-path latency histograms (µs).
+	invokeLocal  *telemetry.Histogram // local method execution
+	invokeRemote *telemetry.Histogram // remote invoke round trip, per hop
+	chaseLat     *telemetry.Histogram // whole location chase, local ops excluded
+	homeFlushLat *telemetry.Histogram // home-update batch queue-to-delivery
+
+	// phase[p-1] is the duration histogram of migration phase p — fed
+	// on every migration, traced or not.
+	phase [telemetry.NumPhases]*telemetry.Histogram
+
+	// Placement decision instrumentation.
+	placementScores *telemetry.Counter // engine scoring runs
+	viewAgeMax      *telemetry.Gauge   // worst fresh peer-sample age, µs
+}
+
+func newNodeTelemetry() *nodeTelemetry {
+	reg := telemetry.NewRegistry()
+	t := &nodeTelemetry{
+		reg:             reg,
+		traces:          telemetry.NewTraceLog(telemetry.DefaultTraceSpans),
+		invokeLocal:     reg.Histogram("objmig_invoke_local_us"),
+		invokeRemote:    reg.Histogram("objmig_invoke_remote_us"),
+		chaseLat:        reg.Histogram("objmig_chase_us"),
+		homeFlushLat:    reg.Histogram("objmig_homeupdate_flush_us"),
+		placementScores: reg.Counter("objmig_placement_scores_total"),
+		viewAgeMax:      reg.Gauge("objmig_placement_view_age_max_us"),
+	}
+	// The generated per-phase names, for anyone grepping a scrape:
+	// objmig_migration_phase_pause_us, objmig_migration_phase_snapshot_us,
+	// objmig_migration_phase_stream_us, objmig_migration_phase_stage_us,
+	// objmig_migration_phase_install_us, objmig_migration_phase_commit_us,
+	// objmig_migration_phase_dir_update_us.
+	for p := telemetry.Phase(1); int(p) <= telemetry.NumPhases; p++ {
+		name := "objmig_migration_phase_" + strings.ReplaceAll(p.String(), "-", "_") + "_us"
+		t.phase[p-1] = reg.Histogram(name)
+	}
+	return t
+}
+
+// span records one migration phase execution: its duration always
+// feeds the phase histogram, and when the migration is traced
+// (trace != 0) a fixed-size span lands in the ring for timeline
+// reconstruction. Allocation-free on both paths.
+func (t *nodeTelemetry) span(trace uint64, phase telemetry.Phase, start time.Time, bytes int64, objects int) {
+	end := time.Now()
+	t.phase[phase-1].Observe(end.Sub(start).Microseconds())
+	if trace == 0 {
+		return
+	}
+	t.traces.Record(telemetry.Span{
+		Trace: trace, Phase: phase,
+		Start: start.UnixNano(), End: end.UnixNano(),
+		Bytes: bytes, Objects: int32(objects),
+	})
+}
+
+// nextTrace mints a cluster-unique migration TraceID: the high 32 bits
+// identify this node (the same FNV scheme as nextToken), the low 32
+// count locally. Minted once per migration decision — explicit
+// primitives, move grants, autopilot elections, placement passes — and
+// carried by every wire body of the resulting transfer.
+func (n *Node) nextTrace() uint64 {
+	return n.tokenBase | (n.traceSeq.Add(1) & 0xFFFFFFFF)
+}
+
+// Timelines returns the migration timelines reconstructible from this
+// node's own span ring, newest first. Cross-node timelines are built
+// by merging several nodes' TraceSpans (as the e2e tests and the
+// /debug/migrations endpoint of each participant do).
+func (n *Node) Timelines() []telemetry.Timeline {
+	return telemetry.Timelines(n.tel.traces.Spans())
+}
+
+// TraceSpans copies this node's recorded migration spans, oldest
+// first — raw material for cross-node timeline merges.
+func (n *Node) TraceSpans() []telemetry.Span {
+	return n.tel.traces.Spans()
+}
+
+// MetricsHandler returns the node's observability surface (see the
+// package comment above for the endpoint list). Mount it on any HTTP
+// server; objmig-node serves it when started with -metrics-addr.
+func (n *Node) MetricsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", n.serveMetrics)
+	mux.HandleFunc("/debug/vars", n.serveVars)
+	mux.HandleFunc("/debug/migrations", n.serveMigrations)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// serveMetrics renders the Prometheus text exposition: the reflected
+// Stats snapshot, the registry, the frame pool and the placement view.
+func (n *Node) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	node := string(n.id)
+
+	// Every Stats field becomes one gauge line, named by convention:
+	// InvocationsServed → objmig_invocations_served.
+	s := n.Stats()
+	v := reflect.ValueOf(s)
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		fmt.Fprintf(w, "objmig_%s{node=%q} %d\n", promName(t.Field(i).Name), node, v.Field(i).Int())
+	}
+
+	counters, gauges, hists := n.tel.reg.Snapshot()
+	for _, c := range counters {
+		fmt.Fprintf(w, "%s{node=%q} %d\n", c.Name, node, c.Value)
+	}
+	for _, g := range gauges {
+		fmt.Fprintf(w, "%s{node=%q} %d\n", g.Name, node, g.Value)
+	}
+	for _, h := range hists {
+		fmt.Fprintf(w, "# TYPE %s summary\n", h.Name)
+		fmt.Fprintf(w, "%s{node=%q,quantile=\"0.5\"} %d\n", h.Name, node, h.Snap.Quantile(0.5))
+		fmt.Fprintf(w, "%s{node=%q,quantile=\"0.99\"} %d\n", h.Name, node, h.Snap.Quantile(0.99))
+		fmt.Fprintf(w, "%s_sum{node=%q} %d\n", h.Name, node, h.Snap.Sum)
+		fmt.Fprintf(w, "%s_count{node=%q} %d\n", h.Name, node, h.Snap.Total)
+	}
+
+	hits, misses := framebuf.Stats()
+	fmt.Fprintf(w, "objmig_framebuf_pool_hits_total{node=%q} %d\n", node, hits)
+	fmt.Fprintf(w, "objmig_framebuf_pool_misses_total{node=%q} %d\n", node, misses)
+	fmt.Fprintf(w, "objmig_trace_spans_total{node=%q} %d\n", node, n.tel.traces.Total())
+
+	// Gossip staleness, per peer: how old this node's view of each
+	// fresh peer sample is. Stale (TTL-pruned) peers disappear.
+	if d := n.placementDaemonRef(); d != nil {
+		ages, _ := d.view.Ages(n.id)
+		for _, pa := range ages {
+			fmt.Fprintf(w, "objmig_placement_view_age_us{node=%q,peer=%q} %d\n",
+				node, string(pa.Node), pa.Age.Microseconds())
+		}
+	}
+}
+
+// promName converts a Stats field name to its metric suffix:
+// StreamMaxChunkBytes → stream_max_chunk_bytes, ChaseP50Hops →
+// chase_p50_hops.
+func promName(field string) string {
+	var b strings.Builder
+	for i, r := range field {
+		if r >= 'A' && r <= 'Z' {
+			if i > 0 && (field[i-1] < 'A' || field[i-1] > 'Z') {
+				b.WriteByte('_')
+			}
+			b.WriteByte(byte(r) + ('a' - 'A'))
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// serveVars renders expvar-compatible JSON: the process-level expvar
+// defaults (cmdline, memstats) plus this node's Stats under "objmig".
+func (n *Node) serveVars(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\n")
+	expvar.Do(func(kv expvar.KeyValue) {
+		fmt.Fprintf(w, "%q: %s,\n", kv.Key, kv.Value.String())
+	})
+	b, err := json.Marshal(n.Stats())
+	if err != nil {
+		b = []byte("{}")
+	}
+	fmt.Fprintf(w, "%q: %s\n}\n", "objmig", b)
+}
+
+// serveMigrations lists the node's recent migration timelines, newest
+// first: one block per TraceID with its locally recorded phase spans.
+// A cross-node view is the union of each participant's listing for the
+// same TraceID.
+func (n *Node) serveMigrations(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	tls := n.Timelines()
+	fmt.Fprintf(w, "node %s: %d traced migrations in window (%d spans recorded total)\n\n",
+		n.id, len(tls), n.tel.traces.Total())
+	for _, tl := range tls {
+		var bytes int64
+		for _, sp := range tl.Spans {
+			bytes += sp.Bytes
+		}
+		fmt.Fprintf(w, "trace %016x  %d spans  %d bytes\n", tl.Trace, len(tl.Spans), bytes)
+		for _, sp := range tl.Spans {
+			fmt.Fprintf(w, "  %s\n", sp)
+		}
+		fmt.Fprintln(w)
+	}
+}

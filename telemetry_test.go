@@ -1,0 +1,223 @@
+package objmig
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"objmig/internal/telemetry"
+)
+
+// mergedSpans unions the migration spans every node recorded — the
+// cross-node raw material a timeline reconstruction works from.
+func mergedSpans(nodes []*Node) []telemetry.Span {
+	var all []telemetry.Span
+	for _, n := range nodes {
+		all = append(all, n.TraceSpans()...)
+	}
+	return all
+}
+
+// phasesOf indexes the spans of one trace by phase.
+func phasesOf(spans []telemetry.Span, trace uint64) map[telemetry.Phase][]telemetry.Span {
+	out := make(map[telemetry.Phase][]telemetry.Span)
+	for _, sp := range spans {
+		if sp.Trace == trace {
+			out[sp.Phase] = append(out[sp.Phase], sp)
+		}
+	}
+	return out
+}
+
+// TestMigrationTraceCorrelation: a streamed multi-host group migration
+// is annotated with a single TraceID on every node it touches, and
+// merging the participants' span rings reconstructs the complete
+// timeline — every phase present, timestamps in causal order, byte
+// totals agreeing with the stream counters.
+func TestMigrationTraceCorrelation(t *testing.T) {
+	t.Parallel()
+	ctx := ctxShort(t)
+	// ChunkBytes 1 forces the streamed path: per-snapshot pause
+	// sub-batches, InstallChunk frames, a staging session.
+	nodes := testCluster(t, 3, Config{Migrate: MigrateConfig{ChunkBytes: 1}})
+	root := mustCreate(t, nodes[0])
+	members := []Ref{root}
+	for i := 0; i < 4; i++ {
+		members = append(members, mustCreate(t, nodes[0]))
+	}
+	remote := mustCreate(t, nodes[1]) // second host: spans cross nodes
+	members = append(members, remote)
+	for _, m := range members[1:] {
+		if err := nodes[0].Attach(ctx, root, m, NoAlliance); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, m := range members {
+		if _, err := Call[int, int](ctx, nodes[0], m, "Add", 10+i); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := nodes[0].Migrate(ctx, root, "n2"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exactly one migration ran, so exactly one trace must appear —
+	// on every participating node.
+	traces := make(map[uint64]bool)
+	for _, sp := range mergedSpans(nodes) {
+		if sp.Trace == 0 {
+			t.Fatalf("untraced span in the ring: %+v", sp)
+		}
+		traces[sp.Trace] = true
+	}
+	if len(traces) != 1 {
+		t.Fatalf("one migration produced %d distinct traces", len(traces))
+	}
+	var trace uint64
+	for tr := range traces {
+		trace = tr
+	}
+
+	// The directory-update spans trail the commit (home updates are
+	// batched asynchronously); poll until the timeline is complete.
+	want := []telemetry.Phase{
+		telemetry.PhasePause, telemetry.PhaseSnapshot, telemetry.PhaseStream,
+		telemetry.PhaseStage, telemetry.PhaseInstall, telemetry.PhaseCommit,
+		telemetry.PhaseDirUpdate,
+	}
+	eventually(t, 5*time.Second, func() bool {
+		ph := phasesOf(mergedSpans(nodes), trace)
+		for _, p := range want {
+			if len(ph[p]) == 0 {
+				return false
+			}
+		}
+		return true
+	}, "merged timeline never gained all phases")
+
+	ph := phasesOf(mergedSpans(nodes), trace)
+	minStart := func(p telemetry.Phase) int64 {
+		m := ph[p][0].Start
+		for _, sp := range ph[p] {
+			if sp.Start < m {
+				m = sp.Start
+			}
+		}
+		return m
+	}
+	for p, spans := range ph {
+		for _, sp := range spans {
+			if sp.Start <= 0 || sp.End < sp.Start {
+				t.Fatalf("phase %s span with impossible timestamps: %+v", p, sp)
+			}
+		}
+	}
+	// Causal order across nodes: pausing starts before the target
+	// stages the first chunk, staging before the install, the install
+	// before the coordinator's commit round.
+	order := []telemetry.Phase{
+		telemetry.PhasePause, telemetry.PhaseStage,
+		telemetry.PhaseInstall, telemetry.PhaseCommit,
+	}
+	for i := 1; i < len(order); i++ {
+		if minStart(order[i-1]) > minStart(order[i]) {
+			t.Fatalf("phase %s started after %s", order[i-1], order[i])
+		}
+	}
+
+	// Byte accounting: the coordinator's stream spans must add up to
+	// its StreamBytesOut, the target's stage spans to its
+	// StreamBytesIn, and the two sides must agree.
+	sum := func(p telemetry.Phase) int64 {
+		var total int64
+		for _, sp := range ph[p] {
+			total += sp.Bytes
+		}
+		return total
+	}
+	streamed, staged := sum(telemetry.PhaseStream), sum(telemetry.PhaseStage)
+	if out := nodes[0].Stats().StreamBytesOut; streamed != out {
+		t.Fatalf("stream spans carry %d bytes, coordinator counted %d", streamed, out)
+	}
+	if in := nodes[2].Stats().StreamBytesIn; staged != in {
+		t.Fatalf("stage spans carry %d bytes, target counted %d", staged, in)
+	}
+	if streamed != staged {
+		t.Fatalf("coordinator streamed %d bytes, target staged %d", streamed, staged)
+	}
+	if installed := sum(telemetry.PhaseInstall); installed != staged {
+		t.Fatalf("install span carries %d bytes, staged %d", installed, staged)
+	}
+
+	// The same timeline is what each node's Timelines() reports for
+	// its local slice of the work.
+	for i, n := range nodes {
+		tls := n.Timelines()
+		if len(tls) != 1 || tls[0].Trace != trace {
+			t.Fatalf("node %d timelines: %d entries (want the one trace)", i, len(tls))
+		}
+	}
+}
+
+// TestObserverBufferBackpressure: with a bounded async sink, a stalled
+// observer never blocks the hot path — surplus events are shed and
+// counted, and Close still drains cleanly.
+func TestObserverBufferBackpressure(t *testing.T) {
+	t.Parallel()
+	ctx := ctxShort(t)
+	release := make(chan struct{})
+	var delivered atomic.Int64
+	slow := func(Event) {
+		<-release
+		delivered.Add(1)
+	}
+	nodes := testCluster(t, 1, Config{Observer: slow, ObserverBuffer: 2})
+	n := nodes[0]
+	ref := mustCreate(t, n)
+
+	// Each Add emits one event; with the observer stalled, at most
+	// ObserverBuffer+1 can be in flight, the rest must be shed without
+	// ever blocking an invocation.
+	for i := 0; i < 50; i++ {
+		if _, err := Call[int, int](ctx, n, ref, "Add", 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dropped := n.Stats().EventsDropped
+	if dropped == 0 {
+		t.Fatal("stalled observer shed no events")
+	}
+
+	// Unstall and close: the queue drains in order, nothing deadlocks.
+	close(release)
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered.Load() == 0 {
+		t.Fatal("queued events never reached the observer")
+	}
+	if got := n.Stats().EventsDropped; got < dropped {
+		t.Fatalf("drop counter went backwards: %d then %d", dropped, got)
+	}
+}
+
+// TestEventKindStringsComplete walks every declared kind and fails when
+// one was added without a name — the drift guard for EventKind.String.
+func TestEventKindStringsComplete(t *testing.T) {
+	t.Parallel()
+	seen := make(map[string]EventKind)
+	for k := EventKind(1); k < eventKindEnd; k++ {
+		name := k.String()
+		if name == "unknown" {
+			t.Errorf("EventKind %d has no String() name", k)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("EventKind %d and %d share the name %q", prev, k, name)
+		}
+		seen[name] = k
+	}
+	if eventKindEnd.String() != "unknown" || EventKind(0).String() != "unknown" {
+		t.Error("out-of-range kinds must read as unknown")
+	}
+}
