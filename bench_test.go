@@ -361,12 +361,14 @@ func BenchmarkRuntimeCodec(b *testing.B) {
 		Load: &load.Load,
 	}
 	runAppend("HomeUpdateLoad/append", hu, func() interface{} { return new(wire.HomeUpdate) })
-	// The trace-annotated migration control frames: MigrateBegin opens
-	// the staging session, InstallChunk carries each streamed sub-batch.
-	// Both now tow the migration TraceID as a trailing uvarint; their
-	// append paths must stay as lean as before the annotation.
+	// The annotated migration control frames: MigrateBegin opens the
+	// staging session, InstallChunk carries each streamed sub-batch.
+	// Both tow the migration TraceID as a trailing uvarint, and
+	// MigrateBegin additionally carries the byte estimate the target's
+	// reservation ledger claims at admission; the append paths must
+	// stay as lean as before either annotation.
 	begin := &wire.MigrateBeginReq{
-		Token: 42, From: "node-0", Trace: 0xABCD1234DEADBEEF,
+		Token: 42, From: "node-0", Trace: 0xABCD1234DEADBEEF, Bytes: 3 << 20,
 		Objs: []core.OID{{Origin: "node-0", Seq: 1}, {Origin: "node-0", Seq: 2}},
 	}
 	runAppend("MigrateBegin/append", begin, func() interface{} { return new(wire.MigrateBeginReq) })
@@ -375,6 +377,48 @@ func BenchmarkRuntimeCodec(b *testing.B) {
 		Snapshots: []wire.Snapshot{*snap},
 	}
 	runAppend("Chunk/append", chunk, func() interface{} { return new(wire.InstallChunkReq) })
+}
+
+// BenchmarkShedPlan measures the shedder's planning pass alone: the
+// pure ranking of every hosted object by coldness × resident bytes
+// that shedPass reruns before each shed. No pauses, no RPCs — the cost
+// is one store walk plus one sort, and CI guards its allocs/op against
+// scripts/alloc-budget.txt.
+func BenchmarkShedPlan(b *testing.B) {
+	const objects = 2048
+	cl := NewLocalCluster()
+	n, err := NewNode(Config{ID: "bench", Cluster: cl, Capacity: objects * 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer n.Close()
+	if err := n.RegisterType(newCounterType()); err != nil {
+		b.Fatal(err)
+	}
+	if err := n.EnablePlacement(PlacementConfig{Heartbeat: -1, OriginPass: -1}); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < objects; i++ {
+		ref, err := n.Create("counter")
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Vary sizes and pressure so the sort works on a realistic
+		// spread rather than a constant key.
+		rec, _ := n.store.Lookup(ref.OID)
+		rec.StateBytes = int64(1+i%97) << 10
+		if i%3 == 0 {
+			n.aff.Record(ref.OID, "peer-1")
+		}
+	}
+	d := n.placementDaemonRef()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if plan := d.shedPlan(); len(plan) != objects {
+			b.Fatalf("plan covered %d of %d objects", len(plan), objects)
+		}
+	}
 }
 
 // BenchmarkRuntimeStoreParallel measures the sharded store under

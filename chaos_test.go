@@ -5,10 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"objmig/internal/core"
+	"objmig/internal/wire"
 )
 
 // TestMigrateToClosedNodeAborts: migrating towards a dead node must
@@ -248,5 +252,85 @@ func TestChaos(t *testing.T) {
 				t.Fatalf("object %d working set split: %v vs %v", i, at, loc)
 			}
 		}
+	}
+}
+
+// TestChaosCoordinatorCrashReleasesReservation: a coordinator that
+// claims admission headroom at MigrateBegin and then dies before
+// streaming a single chunk must not leak its claim. The target's
+// session-TTL janitor discards the orphaned session and releases the
+// reservation with it, so the headroom returns to its pre-claim level
+// and later migrations admit again.
+func TestChaosCoordinatorCrashReleasesReservation(t *testing.T) {
+	t.Parallel()
+	cl := NewLocalCluster()
+	src, err := NewNode(Config{ID: "src", Cluster: cl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = src.Close() })
+	if err := src.RegisterType(newCounterType()); err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := NewNode(Config{
+		ID: "tgt", Cluster: cl, Capacity: 4,
+		Migrate: MigrateConfig{SessionTTL: 100 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = tgt.Close() })
+	if err := tgt.EnablePlacement(PlacementConfig{Heartbeat: -1, OriginPass: -1}); err != nil {
+		t.Fatal(err)
+	}
+
+	oids := make([]core.OID, 5)
+	for i := range oids {
+		oids[i] = mustCreate(t, src).OID
+	}
+
+	// The "coordinator" opens a session claiming 2 objects / 100 bytes
+	// of headroom and then crashes: no chunk, no commit, no abort ever
+	// arrives.
+	resp, err := tgt.handleMigrateBegin(&wire.MigrateBeginReq{
+		Token: 77, From: src.ID(), Objs: oids[:2], Bytes: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Reserved || resp.ReservedBytes != 100 {
+		t.Fatalf("begin did not reserve: %+v", resp)
+	}
+	if res := tgt.resv.Reserved(); res.Objects != 2 || res.Bytes != 100 {
+		t.Fatalf("reserved = %+v, want 2 objects / 100 bytes", res)
+	}
+	// While the claim is live it defends the capacity: a 3-object group
+	// would make 5 of 4 and is vetoed.
+	if _, err := tgt.handleMigrateBegin(&wire.MigrateBeginReq{
+		Token: 78, From: src.ID(), Objs: oids[2:], Bytes: 0,
+	}); err == nil || !strings.Contains(err.Error(), "capacity") {
+		t.Fatalf("pre-expiry admission: %v, want capacity refusal", err)
+	}
+
+	// The TTL janitor discards the orphaned session and its claim.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if res := tgt.resv.Reserved(); res.Objects == 0 && res.Bytes == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("reservation still held after session TTL: %+v", tgt.resv.Reserved())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if exp := tgt.Stats().StreamSessionsExpired; exp < 1 {
+		t.Fatalf("StreamSessionsExpired = %d, want >= 1", exp)
+	}
+	// Headroom is back: the 3-object group that was vetoed now admits.
+	resp, err = tgt.handleMigrateBegin(&wire.MigrateBeginReq{
+		Token: 79, From: src.ID(), Objs: oids[2:], Bytes: 0,
+	})
+	if err != nil || !resp.Reserved {
+		t.Fatalf("post-expiry admission: reserved=%v err=%v", resp != nil && resp.Reserved, err)
 	}
 }

@@ -150,6 +150,8 @@ func run() int {
 
 		capacity = flag.Int64("capacity", 0,
 			"advertised object capacity, enforced by the placement admission veto (0 = uncapped)")
+		capacityBytes = flag.Int64("capacity-bytes", 0,
+			"advertised resident-byte capacity, enforced alongside -capacity (0 = uncapped)")
 		placement = flag.Bool("placement", false,
 			"gossip load samples and place objects with the load-aware, group-scored engine")
 		plHeartbeat = flag.Duration("placement-heartbeat", 0,
@@ -160,6 +162,10 @@ func run() int {
 			"utilisation above which a node is vetoed as a migration target (0 = default 1)")
 		plHysteresis = flag.Float64("placement-hysteresis", 0,
 			"winner-vs-rival score ratio required to move a group (0 = default 2)")
+		plShedRatio = flag.Float64("placement-shed-ratio", 0,
+			"utilisation above which this node proactively sheds cold closures (0 disables; must be below the overload ratio)")
+		plShedPass = flag.Duration("placement-shed-pass", 0,
+			"shed-pass period (0 = default 1s, negative disables)")
 
 		metricsAddr = flag.String("metrics-addr", "",
 			"serve /metrics (Prometheus text), /debug/vars, /debug/pprof and /debug/migrations on this address (empty disables)")
@@ -183,13 +189,14 @@ func run() int {
 		return 2
 	}
 	node, err := objmig.NewNode(objmig.Config{
-		ID:         objmig.NodeID(*id),
-		Cluster:    objmig.NewTCPCluster(),
-		ListenAddr: *listen,
-		Policy:     pol,
-		Attach:     att,
-		Peers:      peers,
-		Capacity:   *capacity,
+		ID:            objmig.NodeID(*id),
+		Cluster:       objmig.NewTCPCluster(),
+		ListenAddr:    *listen,
+		Policy:        pol,
+		Attach:        att,
+		Peers:         peers,
+		Capacity:      *capacity,
+		CapacityBytes: *capacityBytes,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "objmig-node:", err)
@@ -223,6 +230,8 @@ func run() int {
 			OriginPass:    *plOriginPass,
 			OverloadRatio: *plOverload,
 			Hysteresis:    *plHysteresis,
+			ShedRatio:     *plShedRatio,
+			ShedPass:      *plShedPass,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "objmig-node:", err)
@@ -272,9 +281,10 @@ func run() int {
 						st.AutopilotDeferred, len(node.Affinity()))
 				}
 				if *placement {
-					fmt.Printf("placement: %d scans, %d migrations (%d objects), %d vetoes; gossip %d out / %d in, view of %d nodes\n",
+					fmt.Printf("placement: %d scans, %d migrations (%d objects), %d vetoes, %d reservations, %d sheds (%d bytes); gossip %d out / %d in, view of %d nodes\n",
 						st.PlacementScans, st.PlacementMigrations, st.PlacementObjectsMoved,
-						st.PlacementVetoes, st.LoadGossipSent, st.LoadGossipReceived,
+						st.PlacementVetoes, st.PlacementReservations, st.PlacementSheds,
+						st.PlacementShedBytes, st.LoadGossipSent, st.LoadGossipReceived,
 						len(node.LoadView()))
 				}
 				fmt.Printf("directory: %d home, %d forwards, %d cached, %d closures (%d members), %d retired; hint hit rate %s, p99 chase %d hops (%d over budget)\n",

@@ -249,6 +249,26 @@ func (t *Tracker) Load(obj core.OID) ObjLoad {
 	return loadOf(obj, c)
 }
 
+// Total returns just the object's total pressure (local plus all
+// remote callers), without materialising the per-caller breakdown —
+// the allocation-free read the shed planner runs per hosted object.
+func (t *Tracker) Total(obj core.OID) int64 {
+	st := &t.stripes[stripeIndex(obj)]
+	st.mu.RLock()
+	c := st.objs[obj]
+	st.mu.RUnlock()
+	if c == nil {
+		return 0
+	}
+	total := c.local.Load()
+	if m := c.remote.Load(); m != nil {
+		for _, ctr := range *m {
+			total += ctr.Load()
+		}
+	}
+	return total
+}
+
 // Decay halves every counter and forgets objects whose total pressure
 // reached zero. Calling it at a fixed period gives the counters an
 // exponential half-life without any per-entry timestamps. Increments

@@ -43,6 +43,7 @@ type Sample struct {
 	Bytes     int64       // approximate resident state bytes
 	RateMilli int64       // smoothed invocations/second ×1000
 	Capacity  int64       // configured object capacity; 0 = uncapped
+	CapBytes  int64       // configured byte capacity; 0 = uncapped
 	Seq       uint64      // sender-monotonic sample ordering
 }
 
@@ -240,31 +241,44 @@ type Decision struct {
 	Vetoed   []core.NodeID // candidates excluded by the overload veto
 }
 
-// Utilisation returns a node's projected utilisation if incoming more
-// objects landed on it: (objects + incoming) / capacity. Uncapped
-// nodes (capacity <= 0) report 0.
-func Utilisation(s Sample, incoming int) float64 {
-	if s.Capacity <= 0 {
-		return 0
+// Utilisation returns a node's projected utilisation if the incoming
+// group (objects, bytes) landed on it: the *worse* of the object-count
+// dimension ((objects+incoming)/capacity) and the byte dimension
+// ((bytes+incomingBytes)/capBytes). A dimension whose capacity is
+// unset (<= 0) contributes 0, so a node capped only by object count
+// behaves exactly as before byte weighting, and vice versa. Fully
+// uncapped nodes report 0.
+func Utilisation(s Sample, incoming int, incomingBytes int64) float64 {
+	var u float64
+	if s.Capacity > 0 {
+		u = float64(s.Objects+int64(incoming)) / float64(s.Capacity)
 	}
-	return float64(s.Objects+int64(incoming)) / float64(s.Capacity)
+	if s.CapBytes > 0 {
+		if bu := float64(s.Bytes+incomingBytes) / float64(s.CapBytes); bu > u {
+			u = bu
+		}
+	}
+	return u
 }
 
 // Overloaded reports the veto predicate: projected utilisation
-// strictly above ratio. This is the exact check migration admission
-// runs target-side with its authoritative local counts (ratio <= 0
-// selects the default 1).
-func Overloaded(s Sample, incoming int, ratio float64) bool {
+// strictly above ratio, in either the object-count or the byte
+// dimension. This is the exact check migration admission runs
+// target-side with its authoritative local counts (ratio <= 0 selects
+// the default 1).
+func Overloaded(s Sample, incoming int, incomingBytes int64, ratio float64) bool {
 	if ratio <= 0 {
 		ratio = 1
 	}
-	return Utilisation(s, incoming) > ratio
+	return Utilisation(s, incoming, incomingBytes) > ratio
 }
 
 // Score elects the best node for the group, or reports (ok=false)
 // that it should stay put. The formula, per candidate node c:
 //
-//	util(c)  = (objects(c) + |group|) / capacity(c)   (0 when uncapped)
+//	util(c)  = max( (objects(c) + |group|) / capacity(c),
+//	                (bytes(c) + groupBytes) / capBytes(c) )
+//	           (an uncapped dimension contributes 0)
 //	fresh(c) = 1 − age(c)/TTL                          (clamped to [0,1])
 //	weight(c) = 1 / (1 + LoadDiscount · util(c) · fresh(c))
 //	score(c)  = affinity(c) · weight(c)
@@ -286,14 +300,15 @@ func Score(g Group, v *View, opt Options) (Decision, bool) {
 	var dec Decision
 
 	// discount returns the headroom weight of a node whose sample is
-	// known; incoming is the group size for candidates and 0 for the
-	// current host (which already counts the group among its objects).
-	discount := func(s Sample, age time.Duration, incoming int) float64 {
+	// known; incoming is the group's (size, bytes) for candidates and
+	// (0, 0) for the current host (which already counts the group among
+	// its objects and resident bytes).
+	discount := func(s Sample, age time.Duration, incoming int, incomingBytes int64) float64 {
 		fresh := 1 - float64(age)/float64(v.TTL())
 		if fresh < 0 {
 			fresh = 0
 		}
-		return 1 / (1 + opt.LoadDiscount*Utilisation(s, incoming)*fresh)
+		return 1 / (1 + opt.LoadDiscount*Utilisation(s, incoming, incomingBytes)*fresh)
 	}
 
 	// Deterministic candidate order.
@@ -314,11 +329,11 @@ func Score(g Group, v *View, opt Options) (Decision, bool) {
 		}
 		w := 1.0 // unknown load: pure affinity, no veto evidence
 		if s, age, ok := v.Get(node); ok {
-			if Overloaded(s, g.Members, opt.OverloadRatio) {
+			if Overloaded(s, g.Members, g.Bytes, opt.OverloadRatio) {
 				dec.Vetoed = append(dec.Vetoed, node)
 				continue
 			}
-			w = discount(s, age, g.Members)
+			w = discount(s, age, g.Members, g.Bytes)
 		}
 		score := float64(aff) * w
 		if score > best {
@@ -334,7 +349,7 @@ func Score(g Group, v *View, opt Options) (Decision, bool) {
 
 	localW := 1.0
 	if s, age, ok := v.Get(g.Self); ok {
-		localW = discount(s, age, 0)
+		localW = discount(s, age, 0, 0)
 	}
 	localScore := float64(g.Local) * localW
 	rival := math.Max(localScore, second)

@@ -222,7 +222,7 @@ func TestScoreProperties(t *testing.T) {
 			t.Fatalf("trial %d: winner %s has no affinity", trial, dec.Target)
 		}
 		// The winner is never overloaded.
-		if s, _, known := v.Get(dec.Target); known && Overloaded(s, g.Members, opt.OverloadRatio) {
+		if s, _, known := v.Get(dec.Target); known && Overloaded(s, g.Members, g.Bytes, opt.OverloadRatio) {
 			t.Fatalf("trial %d: winner %s is overloaded: %+v", trial, dec.Target, s)
 		}
 		for _, vetoed := range dec.Vetoed {
@@ -238,16 +238,32 @@ func TestScoreProperties(t *testing.T) {
 func TestOverloadedPredicate(t *testing.T) {
 	t.Parallel()
 	full := Sample{Objects: 10, Capacity: 10}
-	if Overloaded(full, 0, 1) {
+	if Overloaded(full, 0, 0, 1) {
 		t.Fatal("at exactly capacity is not overloaded")
 	}
-	if !Overloaded(full, 1, 1) {
+	if !Overloaded(full, 1, 0, 1) {
 		t.Fatal("one past capacity must veto")
 	}
-	if Overloaded(Sample{Objects: 1000}, 50, 1) {
+	if Overloaded(Sample{Objects: 1000}, 50, 1<<30, 1) {
 		t.Fatal("uncapped node vetoed")
 	}
-	if Overloaded(Sample{Objects: 12, Capacity: 10}, 0, 1.5) {
+	if Overloaded(Sample{Objects: 12, Capacity: 10}, 0, 0, 1.5) {
 		t.Fatal("ratio headroom ignored")
+	}
+	// The byte dimension vetoes independently of the object count.
+	byteFull := Sample{Objects: 1, Capacity: 100, Bytes: 900, CapBytes: 1000}
+	if Overloaded(byteFull, 1, 100, 1) {
+		t.Fatal("at exactly byte capacity is not overloaded")
+	}
+	if !Overloaded(byteFull, 1, 101, 1) {
+		t.Fatal("one byte past capacity must veto")
+	}
+	if got := Utilisation(byteFull, 0, 100); got != 1.0 {
+		t.Fatalf("byte utilisation = %v, want 1.0", got)
+	}
+	// The worse dimension wins.
+	both := Sample{Objects: 9, Capacity: 10, Bytes: 100, CapBytes: 1000}
+	if got := Utilisation(both, 0, 0); got != 0.9 {
+		t.Fatalf("max-dimension utilisation = %v, want 0.9", got)
 	}
 }

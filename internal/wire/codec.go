@@ -145,7 +145,7 @@ func appendOID(b []byte, id core.OID) []byte {
 	return appendUvarint(b, id.Seq)
 }
 
-// appendNodeLoad encodes one load sample (~7 varints plus the node
+// appendNodeLoad encodes one load sample (~8 varints plus the node
 // name; loadSize is its grow hint).
 func appendNodeLoad(b []byte, l *NodeLoad) []byte {
 	b = appendStr(b, string(l.Node))
@@ -153,6 +153,7 @@ func appendNodeLoad(b []byte, l *NodeLoad) []byte {
 	b = appendVarint(b, l.Bytes)
 	b = appendVarint(b, l.RateMilli)
 	b = appendVarint(b, l.Capacity)
+	b = appendVarint(b, l.CapBytes)
 	return appendUvarint(b, l.Seq)
 }
 
@@ -161,7 +162,7 @@ func loadSize(l *NodeLoad) int {
 	if l == nil {
 		return 1
 	}
-	return 48 + len(l.Node)
+	return 58 + len(l.Node)
 }
 
 func appendOIDs(b []byte, ids []core.OID) []byte {
@@ -379,18 +380,22 @@ func marshalFastAppend(dst []byte, v interface{}) (data []byte, ok bool) {
 	case MigrateResp:
 		return marshalFastAppend(dst, &m)
 	case *MigrateBeginReq:
-		b := grow(dst, 34+len(m.From)+oidsSize(m.Objs))
+		b := grow(dst, 44+len(m.From)+oidsSize(m.Objs))
 		b = append(b, tagMigrateBeginReq)
 		b = appendUvarint(b, m.Token)
 		b = appendStr(b, string(m.From))
 		b = appendOIDs(b, m.Objs)
+		b = appendVarint(b, m.Bytes)
 		return appendUvarint(b, m.Trace), true
 	case MigrateBeginReq:
 		return marshalFastAppend(dst, &m)
 	case *MigrateBeginResp:
-		return append(dst, tagMigrateBeginResp), true
+		b := grow(dst, 12)
+		b = append(b, tagMigrateBeginResp)
+		b = appendBool(b, m.Reserved)
+		return appendVarint(b, m.ReservedBytes), true
 	case MigrateBeginResp:
-		return append(dst, tagMigrateBeginResp), true
+		return marshalFastAppend(dst, &m)
 	case *InstallChunkReq:
 		b := grow(dst, 42+len(m.From)+snapshotsSize(m.Snapshots))
 		b = append(b, tagInstallChunkReq)
@@ -611,6 +616,7 @@ func (r *reader) nodeLoad(l *NodeLoad) {
 	l.Bytes = r.varint()
 	l.RateMilli = r.varint()
 	l.Capacity = r.varint()
+	l.CapBytes = r.varint()
 	l.Seq = r.uvarint()
 }
 
@@ -776,11 +782,14 @@ func unmarshalFast(tag byte, data []byte, v interface{}) error {
 		out.Token = r.uvarint()
 		out.From = core.NodeID(r.str())
 		out.Objs = r.oids()
+		out.Bytes = r.varint()
 		out.Trace = r.uvarint()
 	case *MigrateBeginResp:
 		if tag != tagMigrateBeginResp {
 			return tagMismatch(tag, v)
 		}
+		out.Reserved = r.bool()
+		out.ReservedBytes = r.varint()
 	case *InstallChunkReq:
 		if tag != tagInstallChunkReq {
 			return tagMismatch(tag, v)

@@ -24,7 +24,7 @@ func fastBodies() []interface{} {
 		},
 		Edges: []EdgeRec{{Other: oid2, Alliance: 3}, {Other: oid1, Alliance: 0}},
 	}
-	load := NodeLoad{Node: "n9", Objects: 120, Bytes: 1 << 20, RateMilli: 2500, Capacity: 256, Seq: 31}
+	load := NodeLoad{Node: "n9", Objects: 120, Bytes: 1 << 20, RateMilli: 2500, Capacity: 256, CapBytes: 1 << 30, Seq: 31}
 	return []interface{}{
 		&InvokeReq{Obj: oid1, Method: "Add", Arg: []byte{1, 2, 3}, From: "n7"},
 		&InvokeResp{Result: []byte{4, 5}, At: "n2"},
@@ -46,8 +46,9 @@ func fastBodies() []interface{} {
 		&snap,
 		&PauseResp{Snapshots: []Snapshot{snap, {ID: oid2, Type: "t"}}, Pending: []core.OID{oid1}},
 		&InstallReq{Snapshots: []Snapshot{snap}, Token: 99},
-		&MigrateBeginReq{Token: 99, From: "n1", Objs: []core.OID{oid1, oid2}},
+		&MigrateBeginReq{Token: 99, From: "n1", Objs: []core.OID{oid1, oid2}, Bytes: 1 << 22},
 		&MigrateBeginResp{},
+		&MigrateBeginResp{Reserved: true, ReservedBytes: 1 << 22},
 		&InstallChunkReq{Token: 99, From: "n1", Seq: 3, Snapshots: []Snapshot{snap}},
 		&InstallChunkResp{Staged: 5},
 		&InstallCommitReq{Token: 99, From: "n1"},

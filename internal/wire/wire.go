@@ -369,14 +369,28 @@ type MigrateBeginReq struct {
 	Token uint64
 	From  core.NodeID // the coordinator; sessions are keyed (From, Token)
 	Objs  []core.OID
+	// Bytes is the coordinator's estimate of the group's snapshot
+	// bytes (the sum of the members' last-known state sizes). The
+	// target's reservation ledger claims this footprint against its
+	// byte capacity at admission, before any chunk is streamed.
+	Bytes int64
 	// Trace is the migration's TraceID (0 = untraced); the session
 	// remembers it so every staged chunk and the final install are
 	// stamped without re-sending it per frame.
 	Trace uint64
 }
 
-// MigrateBeginResp acknowledges the session.
-type MigrateBeginResp struct{}
+// MigrateBeginResp acknowledges the session and reports the admission
+// reservation the target's ledger claimed for it.
+type MigrateBeginResp struct {
+	// Reserved reports whether the target recorded a (bytes, objects)
+	// claim for this session — false when the target is uncapped, has
+	// no placement daemon, or runs with reservations disabled.
+	Reserved bool
+	// ReservedBytes is the byte footprint of the claim (0 when
+	// Reserved is false).
+	ReservedBytes int64
+}
 
 // InstallChunkReq delivers one size-bounded slice of a streaming
 // migration's snapshots to the target's session buffer. Chunks carry
@@ -475,6 +489,9 @@ type NodeLoad struct {
 	// Capacity is the node's configured object capacity
 	// (Config.Capacity); 0 means uncapped.
 	Capacity int64
+	// CapBytes is the node's configured resident-byte capacity
+	// (Config.CapacityBytes); 0 means uncapped.
+	CapBytes int64
 	// Seq orders samples from the same node: receivers keep the
 	// highest Seq and ignore stragglers.
 	Seq uint64

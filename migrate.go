@@ -505,9 +505,21 @@ func (n *Node) finishGroupMigration(ctx context.Context, ids []core.OID, byHost 
 	return ids, nil
 }
 
-// sessionBegin opens the streaming session at the target.
+// sessionBegin opens the streaming session at the target. The begin
+// frame carries the coordinator's byte estimate for the group — the
+// summed state sizes of the members hosted here. Members living on
+// other hosts are not inspected (that would cost a round trip per
+// host before anything is even admitted), so the estimate is a floor;
+// the target's ledger trues it up against real chunk sizes only in
+// the sense that residency replaces the claim at commit.
 func (n *Node) sessionBegin(ctx context.Context, target NodeID, token uint64, ids []core.OID, trace uint64) error {
-	req := &wire.MigrateBeginReq{Token: token, From: n.id, Objs: ids, Trace: trace}
+	var bytes int64
+	for _, rec := range n.store.GetBatch(ids) {
+		if rec != nil && !rec.IsGone() {
+			bytes += rec.StateBytes
+		}
+	}
+	req := &wire.MigrateBeginReq{Token: token, From: n.id, Objs: ids, Bytes: bytes, Trace: trace}
 	if target == n.id {
 		_, err := n.handleMigrateBegin(req)
 		return err
@@ -727,20 +739,23 @@ func (n *Node) handleInstall(req *wire.InstallReq) (*wire.InstallResp, error) {
 		return nil, wire.Errorf(wire.CodeDenied, "migration %d from %s was aborted", req.Token, req.From)
 	}
 	ids := make([]core.OID, len(req.Snapshots))
-	for i := range req.Snapshots {
-		ids[i] = req.Snapshots[i].ID
-	}
-	// The placement overload veto, with this node's authoritative
-	// counts: a one-shot install that would blow the capacity is
-	// refused before anything decodes.
-	if err := n.admitMigration(ids, req.From); err != nil {
-		return nil, err
-	}
-	start := time.Now()
 	var bytes int64
 	for i := range req.Snapshots {
+		ids[i] = req.Snapshots[i].ID
 		bytes += int64(wire.SnapshotSize(&req.Snapshots[i]))
 	}
+	// The placement admission, with this node's authoritative counts: a
+	// one-shot install that would blow the capacity is refused before
+	// anything decodes. The admitted group is claimed in the
+	// reservation ledger for the (short) window until the install below
+	// lands, so a concurrent MigrateBegin cannot admit against headroom
+	// this install is about to consume; the claim is released once the
+	// batch either became residency or failed.
+	if _, err := n.admitAndReserve(ids, bytes, req.From, req.Token); err != nil {
+		return nil, err
+	}
+	defer n.releaseReservation(req.From, req.Token)
+	start := time.Now()
 	if err := n.installBatch(req.Snapshots, req.Token); err != nil {
 		var re *wire.RemoteError
 		if errors.As(err, &re) {

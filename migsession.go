@@ -112,11 +112,17 @@ func (n *Node) handleMigrateBegin(req *wire.MigrateBeginReq) (*wire.MigrateBegin
 	if n.migrationAborted(key) {
 		return nil, wire.Errorf(wire.CodeDenied, "migration %d from %s was aborted", req.Token, req.From)
 	}
-	// The placement overload veto runs before the session opens: a
+	// The placement admission runs before the session opens: a
 	// coordinator with a stale load view learns here — with this
 	// node's authoritative counts — that the group will not fit, before
-	// a single member is paused or a single chunk streamed.
-	if err := n.admitMigration(req.Objs, req.From); err != nil {
+	// a single member is paused or a single chunk streamed. When the
+	// group is admitted, its (objects, bytes) are claimed in the
+	// reservation ledger under the session's own key, so concurrent
+	// coordinators cannot collectively overshoot the capacity the veto
+	// defends: each admission sees every earlier claim as if it were
+	// already resident.
+	reserved, err := n.admitAndReserve(req.Objs, req.Bytes, req.From, req.Token)
+	if err != nil {
 		return nil, err
 	}
 	s := &migSession{
@@ -132,6 +138,9 @@ func (n *Node) handleMigrateBegin(req *wire.MigrateBeginReq) (*wire.MigrateBegin
 	n.sessMu.Lock()
 	if _, dup := n.sessions[key]; dup {
 		n.sessMu.Unlock()
+		// Keep the claim: it carries the same (coordinator, token) key
+		// as the open session's, so the ledger entry still backs the
+		// transfer that is actually in flight.
 		return nil, wire.Errorf(wire.CodeDenied, "migration session %d from %s already open", req.Token, req.From)
 	}
 	if ttl := n.migrate.SessionTTL; ttl > 0 {
@@ -141,7 +150,11 @@ func (n *Node) handleMigrateBegin(req *wire.MigrateBeginReq) (*wire.MigrateBegin
 	n.sessMu.Unlock()
 	n.stats.streamSessionsOpened.Add(1)
 	n.emit(Event{Kind: EventMigrateStream, Target: req.From, Outcome: "begin"})
-	return &wire.MigrateBeginResp{}, nil
+	resp := &wire.MigrateBeginResp{Reserved: reserved}
+	if reserved {
+		resp.ReservedBytes = req.Bytes
+	}
+	return resp, nil
 }
 
 // handleInstallChunk stages one chunk of snapshots into its session.
@@ -247,6 +260,11 @@ func (n *Node) handleInstallCommit(req *wire.InstallCommitReq) (*wire.InstallCom
 			"commit of session %d from %s with %d of %d members unstaged", req.Token, req.From, missing, len(s.expect))
 	}
 	start := time.Now()
+	// The reservation is released only after InstallBatch: between the
+	// install and the release the group is briefly counted twice (as
+	// residency and as a claim), which errs on the safe side — hosted
+	// plus reserved never undercounts what the node is committed to.
+	defer n.releaseReservation(req.From, req.Token)
 	if err := n.store.InstallBatch(s.recs, req.Token); err != nil {
 		var re *wire.RemoteError
 		if errors.As(err, &re) {
@@ -292,7 +310,11 @@ func (n *Node) expireSession(key sessionKey) {
 
 // dropSession discards a staging session, reporting whether it
 // existed. outcome labels the emitted event ("abort" or "expire").
+// The session's capacity claim is released whether or not the session
+// itself still exists: an abort can race a commit that already removed
+// the session but failed its install, leaving only the claim behind.
 func (n *Node) dropSession(key sessionKey, outcome string) bool {
+	n.releaseReservation(key.from, key.token)
 	n.sessMu.Lock()
 	s, ok := n.sessions[key]
 	if ok {

@@ -11,6 +11,7 @@ import (
 
 	"objmig/internal/affinity"
 	"objmig/internal/core"
+	"objmig/internal/placement"
 	"objmig/internal/rpc"
 	"objmig/internal/store"
 	"objmig/internal/telemetry"
@@ -96,6 +97,12 @@ type Config struct {
 	// 0 means uncapped. Explicit application primitives are subject to
 	// the veto too — back-pressure is only useful if it holds.
 	Capacity int64
+	// CapacityBytes is the node's advertised resident-byte capacity,
+	// the byte twin of Capacity: admission and scoring weigh a
+	// candidate by the *worse* of its object-count and byte
+	// utilisation, so one 1 GiB object no longer costs the same as one
+	// 1 KiB object. 0 means uncapped in the byte dimension.
+	CapacityBytes int64
 	// Observer, when non-nil, receives runtime events (invocations,
 	// move decisions, migrations, ...) synchronously. Observers must
 	// be fast and must not call back into the node.
@@ -150,6 +157,12 @@ type Node struct {
 	affUsers int
 
 	capacity int64
+	capBytes int64
+	// resv is the admission reservation ledger: claims made at
+	// MigrateBegin/Install admission, released on commit, abort or
+	// session expiry. Always non-nil; it only accumulates claims while
+	// placement is enabled on a capped node.
+	resv     *placement.Ledger
 	loadSeq  atomic.Uint64                 // load-sample ordering (see wire.NodeLoad.Seq)
 	lastLoad atomic.Pointer[wire.NodeLoad] // latest self-sample, for piggybacks
 
@@ -218,6 +231,8 @@ func NewNode(cfg Config) (*Node, error) {
 		migrate:       cfg.Migrate.withDefaults(),
 		dir:           cfg.Directory.withDefaults(),
 		capacity:      cfg.Capacity,
+		capBytes:      cfg.CapacityBytes,
+		resv:          placement.NewLedger(),
 		observer:      cfg.Observer,
 		pool:          rpc.NewPool(cfg.Cluster.tr),
 		store:         store.New(cfg.ID),

@@ -72,6 +72,13 @@ type Stats struct {
 	// because admitting them would push it past its capacity — the
 	// overload veto's authoritative, target-side half.
 	PlacementVetoes int64
+	// PlacementReservations counts admissions that claimed (objects,
+	// bytes) in the reservation ledger; PlacementSheds counts the group
+	// migrations the proactive shedder issued to drain this node below
+	// ShedRatio, and PlacementShedBytes the claimed bytes they carried.
+	PlacementReservations int64
+	PlacementSheds        int64
+	PlacementShedBytes    int64
 	// LoadGossipSent / LoadGossipReceived count load samples shipped
 	// and folded in, heartbeats and HomeUpdate piggybacks alike.
 	LoadGossipSent     int64
@@ -137,6 +144,9 @@ type nodeStats struct {
 	placementMigrations   atomic.Int64
 	placementObjectsMoved atomic.Int64
 	placementVetoes       atomic.Int64
+	placementReservations atomic.Int64
+	placementSheds        atomic.Int64
+	placementShedBytes    atomic.Int64
 	loadGossipSent        atomic.Int64
 	loadGossipReceived    atomic.Int64
 
@@ -232,6 +242,9 @@ func (n *Node) Stats() Stats {
 		PlacementMigrations:   n.stats.placementMigrations.Load(),
 		PlacementObjectsMoved: n.stats.placementObjectsMoved.Load(),
 		PlacementVetoes:       n.stats.placementVetoes.Load(),
+		PlacementReservations: n.stats.placementReservations.Load(),
+		PlacementSheds:        n.stats.placementSheds.Load(),
+		PlacementShedBytes:    n.stats.placementShedBytes.Load(),
 		LoadGossipSent:        n.stats.loadGossipSent.Load(),
 		LoadGossipReceived:    n.stats.loadGossipReceived.Load(),
 

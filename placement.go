@@ -42,6 +42,7 @@ import (
 	"objmig/internal/core"
 	"objmig/internal/placement"
 	"objmig/internal/stats"
+	"objmig/internal/store"
 	"objmig/internal/wire"
 )
 
@@ -86,6 +87,25 @@ type PlacementConfig struct {
 	// travels with a pre-placed object (same semantics as
 	// AutopilotConfig.Alliance).
 	Alliance AllianceID
+	// ShedRatio arms proactive shedding: when the node's own
+	// utilisation (the worse of its object-count and byte dimensions)
+	// exceeds this, the shed pass migrates its coldest closures towards
+	// peers with headroom until utilisation is back at or below the
+	// ratio. Must be positive and below OverloadRatio — shedding has to
+	// trigger before the admission veto slams shut. 0 disables
+	// shedding.
+	ShedRatio float64
+	// ShedPass is the shed scan period. Default 1s; negative disables
+	// the pass even when ShedRatio is set.
+	ShedPass time.Duration
+	// DisableReservations reverts target-side admission to the
+	// unreserved check-then-act predicate (read hosted counts, compare,
+	// answer) instead of the reservation ledger's atomic
+	// claim-at-MigrateBegin. With it set, N concurrent coordinators can
+	// collectively overshoot the capacity the veto guards — the knob
+	// exists for A/B tests and regression demonstrations, not for
+	// production.
+	DisableReservations bool
 }
 
 // withDefaults fills the zero fields.
@@ -124,6 +144,9 @@ func (c PlacementConfig) withDefaults() PlacementConfig {
 		if c.Cooldown < 0 { // OriginPass disabled: pick a plain default
 			c.Cooldown = 10 * time.Second
 		}
+	}
+	if c.ShedPass == 0 {
+		c.ShedPass = time.Second
 	}
 	return c
 }
@@ -167,6 +190,13 @@ func (n *Node) EnablePlacement(cfg PlacementConfig) error {
 		return ErrClosed
 	}
 	cfg = cfg.withDefaults()
+	if cfg.ShedRatio < 0 {
+		return fmt.Errorf("objmig: placement ShedRatio must be >= 0, got %v", cfg.ShedRatio)
+	}
+	if cfg.ShedRatio > 0 && cfg.ShedRatio >= cfg.OverloadRatio {
+		return fmt.Errorf("objmig: placement ShedRatio (%v) must be below OverloadRatio (%v): shedding has to trigger before the admission veto",
+			cfg.ShedRatio, cfg.OverloadRatio)
+	}
 	n.apMu.Lock()
 	defer n.apMu.Unlock()
 	if n.closed.Load() {
@@ -240,18 +270,19 @@ func (n *Node) LoadView() []NodeLoad {
 	out := make([]NodeLoad, len(snaps))
 	for i, s := range snaps {
 		out[i] = NodeLoad{Node: s.Node, Objects: s.Objects, Bytes: s.Bytes,
-			RateMilli: s.RateMilli, Capacity: s.Capacity}
+			RateMilli: s.RateMilli, Capacity: s.Capacity, CapacityBytes: s.CapBytes}
 	}
 	return out
 }
 
 // NodeLoad is one node's load sample in LoadView's report.
 type NodeLoad struct {
-	Node      NodeID // the sampled node
-	Objects   int64  // live hosted objects
-	Bytes     int64  // approximate resident state bytes
-	RateMilli int64  // smoothed invocations/second ×1000
-	Capacity  int64  // configured object capacity (0 = uncapped)
+	Node          NodeID // the sampled node
+	Objects       int64  // live hosted objects
+	Bytes         int64  // approximate resident state bytes
+	RateMilli     int64  // smoothed invocations/second ×1000
+	Capacity      int64  // configured object capacity (0 = uncapped)
+	CapacityBytes int64  // configured byte capacity (0 = uncapped)
 }
 
 // run is the daemon loop: heartbeat ticks re-sample and gossip load,
@@ -268,17 +299,30 @@ func (d *placementDaemon) run() {
 	defer hb.Stop()
 	op := foreverTicker(d.cfg.OriginPass)
 	defer op.Stop()
+	shedEvery := d.cfg.ShedPass
+	if d.cfg.ShedRatio <= 0 {
+		shedEvery = -1
+	}
+	sp := foreverTicker(shedEvery)
+	defer sp.Stop()
 	for {
 		select {
 		case <-d.stop:
 			return
 		case <-hb.C:
 			load := d.node.refreshLoadSample(d)
+			// Ledger backstop: the session janitor releases claims with
+			// their sessions; this sweep only catches claims orphaned by
+			// a janitor that never ran (defence in depth, normally a
+			// no-op).
+			d.node.expireReservations(time.Now())
 			if d.cfg.Heartbeat > 0 {
 				d.gossip(load)
 			}
 		case <-op.C:
 			d.originPass()
+		case <-sp.C:
+			d.shedPass()
 		}
 	}
 }
@@ -339,6 +383,7 @@ func (n *Node) refreshLoadSample(d *placementDaemon) wire.NodeLoad {
 		Bytes:     bytes,
 		RateMilli: int64(d.rate.Value() * 1000),
 		Capacity:  n.capacity,
+		CapBytes:  n.capBytes,
 		Seq:       n.loadSeq.Add(1),
 	}
 	n.lastLoad.Store(&load)
@@ -375,7 +420,7 @@ func (n *Node) observeLoad(load *wire.NodeLoad) {
 // placementSample converts the wire form into the engine's.
 func placementSample(l *wire.NodeLoad) placement.Sample {
 	return placement.Sample{Node: l.Node, Objects: l.Objects, Bytes: l.Bytes,
-		RateMilli: l.RateMilli, Capacity: l.Capacity, Seq: l.Seq}
+		RateMilli: l.RateMilli, Capacity: l.Capacity, CapBytes: l.CapBytes, Seq: l.Seq}
 }
 
 // handleLoadGossip serves a heartbeat: fold the sender's sample in,
@@ -561,15 +606,33 @@ func (n *Node) migrateClosureSoft(ctx context.Context, anchor core.OID, members 
 	return n.migrateGroup(ctx, members, target, anchor, admit, nil, n.nextTrace())
 }
 
-// admitMigration is the target-side overload veto: the engine's
-// predicate evaluated with this node's authoritative counts. Objects
-// already present (hosted or paused here) do not count as incoming, so
-// same-node reshuffles and returning objects are never vetoed. A nil
-// error admits the migration.
-func (n *Node) admitMigration(objs []core.OID, from NodeID) error {
+// selfSample is the node's authoritative local load sample — what a
+// peer would see gossiped, read directly from the store.
+func (n *Node) selfSample() placement.Sample {
+	hosted, bytes := n.store.HostedStats()
+	return placement.Sample{Node: n.id, Objects: hosted, Bytes: bytes,
+		Capacity: n.capacity, CapBytes: n.capBytes}
+}
+
+// admitAndReserve is the target-side admission veto, now exact: the
+// engine's overload predicate evaluated with this node's authoritative
+// counts, atomically with a reservation claim in the ledger so N
+// concurrent coordinators racing this target cannot collectively
+// overshoot its capacity. Objects already present (hosted or paused
+// here) do not count as incoming, so same-node reshuffles and
+// returning objects are never vetoed. bytes is the coordinator's
+// estimate of the group's snapshot footprint; token keys the claim
+// alongside the staging session, and the caller owns releasing it
+// (dropSession / commit / one-shot completion) whenever reserved is
+// true. A nil error admits the migration.
+//
+// With cfg.DisableReservations the pre-ledger check-then-act predicate
+// runs instead: correct against a single coordinator, overshootable by
+// concurrent ones — the A/B baseline the ledger exists to replace.
+func (n *Node) admitAndReserve(objs []core.OID, bytes int64, from NodeID, token uint64) (reserved bool, err error) {
 	d := n.placementDaemonRef()
-	if d == nil || n.capacity <= 0 || len(objs) == 0 {
-		return nil
+	if d == nil || (n.capacity <= 0 && n.capBytes <= 0) || len(objs) == 0 {
+		return false, nil
 	}
 	incoming := 0
 	for _, rec := range n.store.GetBatch(objs) {
@@ -578,20 +641,178 @@ func (n *Node) admitMigration(objs []core.OID, from NodeID) error {
 		}
 	}
 	if incoming == 0 {
-		return nil
+		return false, nil
 	}
-	hosted, _ := n.store.HostedStats()
-	self := placement.Sample{Objects: hosted, Capacity: n.capacity}
-	if !placement.Overloaded(self, incoming, d.cfg.OverloadRatio) {
-		return nil
+	if d.cfg.DisableReservations {
+		self := n.selfSample()
+		if !placement.Overloaded(self, incoming, bytes, d.cfg.OverloadRatio) {
+			return false, nil
+		}
+		return false, n.placementVeto(objs, from, incoming, bytes)
 	}
+	key := placement.ClaimKey{From: from, Token: token}
+	claim := placement.Claim{Objects: int64(incoming), Bytes: bytes}
+	if !n.resv.Admit(key, claim, d.cfg.OverloadRatio, n.selfSample) {
+		return false, n.placementVeto(objs, from, incoming, bytes)
+	}
+	n.stats.placementReservations.Add(1)
+	n.publishReserved()
+	return true, nil
+}
+
+// placementVeto records and reports one refused admission.
+func (n *Node) placementVeto(objs []core.OID, from NodeID, incoming int, bytes int64) error {
 	n.stats.placementVetoes.Add(1)
 	refs := make([]Ref, len(objs))
 	for i, oid := range objs {
 		refs[i] = Ref{OID: oid}
 	}
 	n.emit(Event{Kind: EventPlacement, Target: from, Outcome: "veto", Objects: refs})
+	hosted, hostedBytes := n.store.HostedStats()
+	res := n.resv.Reserved()
 	return wire.Errorf(wire.CodeDenied,
-		"node %s is at capacity (%d hosted, %d incoming, capacity %d): migration refused",
-		n.id, hosted, incoming, n.capacity)
+		"node %s is at capacity (%d hosted + %d reserved, %d incoming, capacity %d objects / %d bytes; %d+%d incoming bytes of %d reserved): migration refused",
+		n.id, hosted, res.Objects, incoming, n.capacity, n.capBytes,
+		hostedBytes, bytes, res.Bytes)
+}
+
+// releaseReservation drops the ledger claim keyed (from, token), if
+// one exists — called from every session release point: commit (after
+// the install has landed in the hosted counts), abort, and TTL expiry.
+func (n *Node) releaseReservation(from NodeID, token uint64) {
+	if _, ok := n.resv.Release(placement.ClaimKey{From: from, Token: token}); ok {
+		n.publishReserved()
+	}
+}
+
+// expireReservations is the heartbeat-driven backstop sweep: claims
+// older than twice the session TTL have outlived any session that
+// could still convert them.
+func (n *Node) expireReservations(now time.Time) {
+	freed := n.resv.ExpireBefore(now.Add(-2 * n.migrate.SessionTTL))
+	if freed.Objects > 0 || freed.Bytes > 0 {
+		n.publishReserved()
+	}
+}
+
+// publishReserved refreshes the objmig_placement_reserved_bytes gauge.
+func (n *Node) publishReserved() {
+	n.tel.reservedBytes.Set(n.resv.Reserved().Bytes)
+}
+
+// shedCand is one ranked shed candidate: a hosted object ordered by
+// coldness × size (biggest, least-wanted first).
+type shedCand struct {
+	oid   core.OID
+	bytes int64
+	score float64 // bytes per unit of observed pressure
+}
+
+// shedPlan ranks the node's hosted objects for shedding: inverse
+// affinity × resident bytes, so the pass drains the closures that cost
+// the most capacity and are wanted the least. Pure planning — no
+// pauses, no RPCs — so it is cheap enough to rerun every pass (and to
+// benchmark: BenchmarkShedPlan).
+func (d *placementDaemon) shedPlan() []shedCand {
+	n := d.node
+	var plan []shedCand
+	n.store.Range(func(rec *store.Record) bool {
+		if rec.IsGone() {
+			return true
+		}
+		total := n.aff.Total(rec.ID)
+		plan = append(plan, shedCand{
+			oid:   rec.ID,
+			bytes: rec.StateBytes,
+			score: float64(rec.StateBytes+1) / float64(total+1),
+		})
+		return true
+	})
+	sort.Slice(plan, func(i, j int) bool {
+		if plan[i].score != plan[j].score {
+			return plan[i].score > plan[j].score
+		}
+		return plan[i].oid.Less(plan[j].oid)
+	})
+	return plan
+}
+
+// shedPass is the veto's push half: while the node's own utilisation
+// sits above ShedRatio, migrate the coldest closures towards the peer
+// with the most headroom. Each shed re-reads the local sample before
+// the next, and ShedTarget refuses any peer whose projected
+// utilisation would reach ShedRatio — together with the per-closure
+// cooldown this is what keeps two draining nodes from ping-ponging a
+// group. Budgeted per pass exactly like the origin pass.
+func (d *placementDaemon) shedPass() {
+	n := d.node
+	if d.cfg.ShedRatio <= 0 {
+		return
+	}
+	if placement.Utilisation(n.selfSample(), 0, 0) <= d.cfg.ShedRatio {
+		return
+	}
+	n.stats.placementScans.Add(1)
+	d.reapCooldowns(time.Now())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	defer cancelOnStop(d.stop, cancel)()
+
+	budget := d.cfg.BudgetPerPass
+	visited := make(map[core.OID]bool)
+	for budget > 0 && ctx.Err() == nil {
+		if placement.Utilisation(n.selfSample(), 0, 0) <= d.cfg.ShedRatio {
+			return // drained below the ratio: pass complete
+		}
+		shed := false
+		for _, cand := range d.shedPlan() {
+			if ctx.Err() != nil {
+				return
+			}
+			if visited[cand.oid] || d.onCooldown(cand.oid, time.Now()) {
+				continue
+			}
+			members, err := n.closureOf(ctx, cand.oid, d.cfg.Alliance)
+			if err != nil {
+				visited[cand.oid] = true
+				continue
+			}
+			for oid := range members {
+				visited[oid] = true
+			}
+			g := n.groupAffinity(members)
+			dec, ok := placement.ShedTarget(g, d.view, d.cfg.ShedRatio)
+			n.tel.placementScores.Inc()
+			if !ok {
+				// No peer with headroom for this closure; smaller ones
+				// later in the plan may still fit.
+				d.setCooldown(cand.oid, time.Now())
+				continue
+			}
+			moved, err := n.migrateClosureSoft(ctx, cand.oid, members, dec.Target)
+			if err != nil {
+				d.setCooldown(cand.oid, time.Now())
+				continue
+			}
+			budget--
+			n.stats.placementSheds.Add(1)
+			n.stats.placementMigrations.Add(1)
+			n.stats.placementObjectsMoved.Add(int64(len(moved)))
+			n.stats.placementShedBytes.Add(g.Bytes)
+			now := time.Now()
+			refs := make([]Ref, len(moved))
+			for i, oid := range moved {
+				refs[i] = Ref{OID: oid}
+				d.setCooldown(oid, now)
+			}
+			n.emit(Event{Kind: EventPlacement, Obj: Ref{OID: cand.oid}, Target: dec.Target,
+				Outcome: "shed", Objects: refs})
+			shed = true
+			break // re-read utilisation before shedding more
+		}
+		if !shed {
+			return // nothing sheddable this pass
+		}
+	}
 }

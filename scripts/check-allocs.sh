@@ -3,9 +3,9 @@
 # location directory and the telemetry hot path.
 #
 # Runs BenchmarkRuntimeCodec (allocs/op), BenchmarkDirectoryScale
-# (bytes/obj, p99-hops) and BenchmarkTelemetryRecord (allocs/op) and
-# fails if any reported value exceeds its ceiling in
-# scripts/alloc-budget.txt. The fast-path codec budgets are exact
+# (bytes/obj, p99-hops), BenchmarkTelemetryRecord (allocs/op) and
+# BenchmarkShedPlan (allocs/op) and fails if any reported value
+# exceeds its ceiling in scripts/alloc-budget.txt. The fast-path codec budgets are exact
 # (their allocation counts are deterministic — the append variants
 # allocate only decode output) and the telemetry budgets are zero
 # (recording a counter, gauge, histogram sample or migration span must
@@ -45,9 +45,18 @@ if [ "$telstatus" -ne 0 ]; then
   echo "alloc check FAILED (telemetry benchmark did not run)"
   exit 1
 fi
+
+shedout=$(go test -run '^$' -bench 'BenchmarkShedPlan' -benchmem -benchtime 20x . 2>&1)
+shedstatus=$?
+echo "$shedout"
+if [ "$shedstatus" -ne 0 ]; then
+  echo "alloc check FAILED (shed-plan benchmark did not run)"
+  exit 1
+fi
 out="$out
 $dirout
-$telout"
+$telout
+$shedout"
 
 fail=0
 while read -r name budget unit; do

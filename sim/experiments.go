@@ -23,6 +23,9 @@ type Series struct {
 	// SmallNodeCap caps node 0's resident server objects for this
 	// series (see Config.SmallNodeCapacity); 0 keeps it uncapped.
 	SmallNodeCap int
+	// ShedRatio arms proactive shedding on the capped node for this
+	// series (see Config.ShedRatio); 0 leaves it off.
+	ShedRatio float64
 }
 
 // Metric selects which result column an experiment plots.
@@ -92,7 +95,7 @@ func Experiments() []Experiment {
 // heterogeneous-capacity experiment behind the placement engine's
 // overload veto.
 func Extensions() []Experiment {
-	return []Experiment{Fig16Exclusive(), AblationGroupLock(), PlacementCapacity()}
+	return []Experiment{Fig16Exclusive(), AblationGroupLock(), PlacementCapacity(), Shed()}
 }
 
 // ExperimentByID looks an experiment up by its ID (e.g. "fig8"),
@@ -324,6 +327,39 @@ func PlacementCapacity() Experiment {
 	}
 }
 
+// Shed is an extension: node 0 starts overloaded (SmallNodeSeed piles
+// every server on it) and the proactive shedder drains it to
+// ShedRatio×capacity. The sedentary baseline without a shedder shows
+// the pile staying put forever; the shedder series drain it with zero
+// oscillation (the receiver-side threshold guard keeps the receivers
+// from ever having to shed back); the placement series shows the
+// shedder coexisting with client-driven migration. Occupancy lives in
+// the cell results: Sheds, ShedDrainTime, ShedOscillations,
+// FinalSmallNode.
+func Shed() Experiment {
+	return Experiment{
+		ID:     "shed",
+		Title:  "Extension: proactive shedding drains an overloaded small node",
+		XLabel: "mean distance between two usages",
+		Metric: MetricCommTime,
+		Xs:     []float64{5, 10, 20, 40},
+		Series: []Series{
+			{Label: "overloaded, no shedding", Policy: core.PolicySedentary,
+				SmallNodeCap: 12},
+			{Label: "overloaded + shedder (ratio 0.5)", Policy: core.PolicySedentary,
+				SmallNodeCap: 12, ShedRatio: 0.5},
+			{Label: "Placement + shedder (ratio 0.5)", Policy: core.PolicyPlacement,
+				SmallNodeCap: 12, ShedRatio: 0.5},
+		},
+		Base: Config{
+			Nodes: 4, Clients: 8, Servers1: 10, Servers2: 0,
+			MigrationTime: 6, MeanCalls: 8, MeanInterCall: 1,
+			SmallNodeSeed: 10,
+		},
+		Apply: applyInterBlock,
+	}
+}
+
 // RunOpts controls an experiment run.
 type RunOpts struct {
 	// Seed is the master seed; every cell derives its own seed from
@@ -397,6 +433,7 @@ func RunExperiment(e Experiment, opts RunOpts) (Table, error) {
 				cfg.Attach = s.Attach
 				cfg.DisableGroupLock = s.NoGroupLock
 				cfg.SmallNodeCapacity = s.SmallNodeCap
+				cfg.ShedRatio = s.ShedRatio
 				cfg.Seed = cellSeed(opts.Seed, e.ID, s.Label, x)
 				cfg.WarmupCalls = warm
 				cfg.BatchSize = batch

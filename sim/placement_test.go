@@ -118,3 +118,87 @@ func TestPlacementCapacityExperiment(t *testing.T) {
 		}
 	}
 }
+
+// TestPlacementShedDrainsOverload: a node seeded past the shed
+// threshold drains itself down to it and then goes quiet — no
+// oscillation, receivers never shed back.
+func TestPlacementShedDrainsOverload(t *testing.T) {
+	t.Parallel()
+	base := Config{
+		Nodes: 4, Clients: 4, Servers1: 10,
+		MigrationTime: 6, MeanCalls: 8, MeanInterCall: 1, MeanInterBlock: 10,
+		Policy:            core.PolicySedentary,
+		SmallNodeCapacity: 12, SmallNodeSeed: 10,
+		Seed: 3, WarmupCalls: 200, BatchSize: 200, MaxCalls: 6000,
+	}
+
+	// Baseline: without a shedder the sedentary pile stays put forever.
+	still, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if still.Sheds != 0 || still.Migrations != 0 {
+		t.Fatalf("sedentary baseline moved: %d sheds, %d migrations", still.Sheds, still.Migrations)
+	}
+	if still.FinalSmallNode != 10 {
+		t.Fatalf("baseline final occupancy %d, want the seeded 10", still.FinalSmallNode)
+	}
+
+	shed := base
+	shed.ShedRatio = 0.5 // threshold 6 of the 12-cap: drain 10 -> 6
+	r, err := Run(shed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sheds != 4 || r.ShedObjectsMoved != 4 {
+		t.Fatalf("sheds = %d (%d objects), want exactly the 4 that reach the threshold",
+			r.Sheds, r.ShedObjectsMoved)
+	}
+	if r.FinalSmallNode > 6 {
+		t.Fatalf("final occupancy %d, want <= the threshold 6", r.FinalSmallNode)
+	}
+	if r.ShedDrainTime <= 0 {
+		t.Fatal("drain time not recorded despite the overloaded start")
+	}
+	// Zero oscillation: nothing the shedder moved ever needed shedding
+	// again — the receiver guard kept every peer below the threshold.
+	if r.ShedOscillations != 0 {
+		t.Fatalf("%d shed oscillations, want none", r.ShedOscillations)
+	}
+}
+
+// TestPlacementShedExperiment smoke-runs the shed extension end to end
+// (quick mode, truncated sweep) and checks the occupancy story of
+// every cell.
+func TestPlacementShedExperiment(t *testing.T) {
+	t.Parallel()
+	e := Shed()
+	e.Xs = []float64{5, 20}
+	tab, err := RunExperiment(e, RunOpts{Seed: 13, Quick: true, MaxCalls: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	threshold := int64(float64(e.Series[1].SmallNodeCap) * e.Series[1].ShedRatio)
+	for i := range tab.Cells {
+		noShed, sedShed, plShed := tab.Cells[i][0], tab.Cells[i][1], tab.Cells[i][2]
+		if noShed.Sheds != 0 {
+			t.Errorf("x=%v: shedder-off cell shed %d times", e.Xs[i], noShed.Sheds)
+		}
+		if sedShed.Sheds == 0 || sedShed.FinalSmallNode > threshold {
+			t.Errorf("x=%v: sedentary shedder: %d sheds, final %d (threshold %d)",
+				e.Xs[i], sedShed.Sheds, sedShed.FinalSmallNode, threshold)
+		}
+		if sedShed.ShedOscillations != 0 {
+			t.Errorf("x=%v: sedentary shedder oscillated %d times", e.Xs[i], sedShed.ShedOscillations)
+		}
+		if sedShed.ShedDrainTime <= 0 {
+			t.Errorf("x=%v: sedentary shedder never drained", e.Xs[i])
+		}
+		if plShed.Sheds == 0 {
+			t.Errorf("x=%v: placement shedder never shed", e.Xs[i])
+		}
+		if cap := int64(e.Series[2].SmallNodeCap); plShed.PeakSmallNode > cap {
+			t.Errorf("x=%v: placement peak %d exceeds cap %d", e.Xs[i], plShed.PeakSmallNode, cap)
+		}
+	}
+}

@@ -93,6 +93,22 @@ type Config struct {
 	// the simulator's twin of the live runtime's placement overload
 	// veto. 0 means uncapped.
 	SmallNodeCapacity int
+	// SmallNodeSeed pre-loads node 0 with this many of the server
+	// objects at time zero (the rest spread round-robin over the other
+	// nodes), modelling a node that starts out overloaded. 0 keeps the
+	// symmetric round-robin start. Must not exceed the server count,
+	// nor SmallNodeCapacity when that is set.
+	SmallNodeSeed int
+	// ShedRatio arms proactive shedding on the capped small node: once
+	// node 0's resident count exceeds ShedRatio×SmallNodeCapacity, a
+	// background shedder migrates node 0's coldest free working sets
+	// (least recently invoked first) to the emptiest other node until
+	// the count is back at or below the threshold. The shedder refuses
+	// any receiver the transfer would push past the same threshold —
+	// the oscillation guard the live runtime's ShedTarget applies, so
+	// receivers never become shedders themselves. Requires
+	// SmallNodeCapacity > 0; must be in [0, 1), 0 disables.
+	ShedRatio float64
 	// GossipHeartbeat models the live runtime's load-gossip cadence:
 	// every node re-broadcasts its load sample once per this many time
 	// units (staggered across nodes). The veto itself stays
@@ -182,6 +198,16 @@ func (c Config) Validate() error {
 		return errors.New("sim: SmallNodeCapacity must be >= 0")
 	case c.GossipHeartbeat < 0:
 		return errors.New("sim: GossipHeartbeat must be >= 0")
+	case c.ShedRatio < 0 || c.ShedRatio >= 1:
+		return errors.New("sim: ShedRatio must be in [0, 1)")
+	case c.ShedRatio > 0 && c.SmallNodeCapacity <= 0:
+		return errors.New("sim: ShedRatio needs SmallNodeCapacity > 0 (the ratio is relative to the cap)")
+	case c.SmallNodeSeed < 0:
+		return errors.New("sim: SmallNodeSeed must be >= 0")
+	case c.SmallNodeSeed > c.Servers1+c.Servers2:
+		return errors.New("sim: SmallNodeSeed exceeds the server count")
+	case c.SmallNodeCapacity > 0 && c.SmallNodeSeed > c.SmallNodeCapacity:
+		return errors.New("sim: SmallNodeSeed exceeds SmallNodeCapacity")
 	default:
 		return nil
 	}
@@ -221,6 +247,20 @@ type Result struct {
 	// SmallNodeCapacity.
 	PlacementVetoes int64
 	PeakSmallNode   int64
+	// Sheds counts the proactive shed transfers node 0 issued, and
+	// ShedObjectsMoved the objects they carried (both subsets of
+	// Migrations / ObjectsMoved). ShedOscillations counts sheds of a
+	// working set that had already been shed once before — the
+	// ping-pong the receiver-side threshold guard exists to prevent.
+	// ShedDrainTime is the simulated time at which node 0 first
+	// dropped to the shed threshold after starting above it (0 when it
+	// never started above). FinalSmallNode is node 0's resident server
+	// count when the run ended.
+	Sheds            int64
+	ShedObjectsMoved int64
+	ShedOscillations int64
+	ShedDrainTime    float64
+	FinalSmallNode   int64
 	// GossipAgeMeanAtVeto / GossipAgeMaxAtVeto report, over the fired
 	// vetoes, the mean and worst age (in simulated time units) of the
 	// small node's last load broadcast at decision time — the staleness

@@ -17,6 +17,8 @@ type object struct {
 	transit   int // transit target while inTransit
 	st        core.ObjState
 	cond      *des.Cond // broadcast whenever the object becomes resident
+	lastUsed  float64   // sim time of the last invocation (shed coldness)
+	shedded   bool      // was shed from node 0 before (oscillation marker)
 	// First-layer servers only:
 	ws       []int           // indices into world.s2 (the working set)
 	alliance core.AllianceID // the server's cooperation context
@@ -45,6 +47,9 @@ type world struct {
 	vetoAgeSum float64
 	vetoAgeMax float64
 	vetoAgeN   int64
+	// shedStartAbove records that node 0 began the run above the shed
+	// threshold, arming the ShedDrainTime measurement.
+	shedStartAbove bool
 
 	comm    *stats.Estimator
 	callDur *stats.Estimator
@@ -83,9 +88,19 @@ func newWorld(cfg Config) *world {
 	// client nodes, making the sedentary baseline flat.
 	placed := 0
 	mkObj := func(kind string, i int) *object {
-		node := (cfg.Nodes - 1 - placed) % cfg.Nodes
-		if node < 0 {
-			node += cfg.Nodes
+		var node int
+		switch {
+		case placed < cfg.SmallNodeSeed:
+			// Overload seeding: the first SmallNodeSeed servers start
+			// on node 0 — the pile the shedder exists to drain.
+			node = 0
+		case cfg.SmallNodeSeed > 0 && cfg.Nodes > 1:
+			node = 1 + (placed-cfg.SmallNodeSeed)%(cfg.Nodes-1)
+		default:
+			node = (cfg.Nodes - 1 - placed) % cfg.Nodes
+			if node < 0 {
+				node += cfg.Nodes
+			}
 		}
 		placed++
 		o := &object{
@@ -148,6 +163,12 @@ func newWorld(cfg Config) *world {
 	// once per GossipHeartbeat, staggered so broadcasts do not align
 	// (node i offsets its cycle by i/D of a period). Everybody knows
 	// the initial placement, so the stamps start at time 0.
+	// Proactive shedding: node 0 drains itself below
+	// ShedRatio×SmallNodeCapacity (see shedLoop).
+	if cfg.ShedRatio > 0 && cfg.SmallNodeCapacity > 0 {
+		w.shedStartAbove = w.resident[0] > w.shedThreshold()
+		w.k.Spawn("shedder", func(p *des.Proc) { w.shedLoop(p) })
+	}
 	if hb := cfg.GossipHeartbeat; hb > 0 {
 		w.gossipAt = make([]float64, cfg.Nodes)
 		for i := 0; i < cfg.Nodes; i++ {
@@ -174,6 +195,7 @@ func (w *world) run() Result {
 	w.res.Calls = w.comm.N()
 	w.res.RelHalfWidth = w.comm.RelHalfWidth(z99)
 	w.res.SimTime = w.k.Now()
+	w.res.FinalSmallNode = int64(w.resident[0])
 	if w.vetoAgeN > 0 {
 		w.res.GossipAgeMeanAtVeto = w.vetoAgeSum / float64(w.vetoAgeN)
 		w.res.GossipAgeMaxAtVeto = w.vetoAgeMax
@@ -236,8 +258,102 @@ func (w *world) beginTransit(objs []*object, target int) {
 	if r := int64(w.resident[0]); r > w.res.PeakSmallNode {
 		w.res.PeakSmallNode = r
 	}
+	if w.shedStartAbove && w.res.ShedDrainTime == 0 && w.resident[0] <= w.shedThreshold() {
+		w.res.ShedDrainTime = w.k.Now()
+	}
 	w.res.Migrations++
 	w.res.ObjectsMoved += int64(len(objs))
+}
+
+// shedThreshold is the resident count above which node 0 sheds (and
+// at-or-below which shed receivers must stay).
+func (w *world) shedThreshold() int {
+	return int(w.cfg.ShedRatio * float64(w.cfg.SmallNodeCapacity))
+}
+
+// shedLoop is node 0's proactive shedder: once per time unit it
+// compares the resident count against the shed threshold and, while
+// above it, migrates the coldest free working set to the emptiest
+// eligible peer. Each shed blocks the shedder for the transfer — the
+// same one-migration-at-a-time pacing the live runtime's pass budget
+// imposes.
+func (w *world) shedLoop(p *des.Proc) {
+	for !w.done {
+		p.Sleep(1)
+		for !w.done && w.resident[0] > w.shedThreshold() {
+			if !w.shedOne(p) {
+				break // nothing free to shed, or nowhere to put it
+			}
+		}
+	}
+}
+
+// shedOne performs one shed: the coldest first-layer root resident on
+// node 0 whose working set is entirely free moves, closure and all, to
+// the emptiest peer that the transfer would not push past the shed
+// threshold (the anti-oscillation guard: a receiver never ends up
+// having to shed what it just received). Reports whether a shed
+// happened.
+func (w *world) shedOne(p *des.Proc) bool {
+	var root *object
+	for _, o := range w.s1 {
+		if o.inTransit || o.node != 0 || o.st.Lock.Held {
+			continue
+		}
+		free := true
+		for _, m := range w.closureObjects(o, o.alliance) {
+			if m.inTransit || m.st.Lock.Held {
+				free = false
+				break
+			}
+		}
+		if !free {
+			continue
+		}
+		if root == nil || o.lastUsed < root.lastUsed {
+			root = o
+		}
+	}
+	if root == nil {
+		return false
+	}
+	members := w.closureObjects(root, root.alliance)
+	threshold := w.shedThreshold()
+	best := -1
+	for j := 1; j < w.cfg.Nodes; j++ {
+		incoming := 0
+		for _, m := range members {
+			if m.node != j {
+				incoming++
+			}
+		}
+		if w.resident[j]+incoming > threshold {
+			continue
+		}
+		if best < 0 || w.resident[j] < w.resident[best] {
+			best = j
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	moving := members[:0:0]
+	for _, m := range members {
+		if m.node != best {
+			moving = append(moving, m)
+		}
+	}
+	if len(moving) == 0 {
+		return false
+	}
+	if root.shedded {
+		w.res.ShedOscillations++
+	}
+	root.shedded = true
+	w.res.Sheds++
+	w.res.ShedObjectsMoved += int64(len(moving))
+	w.transfer(p, moving, best)
+	return true
 }
 
 // vetoTransfer is the simulator's overload veto: it reports whether
@@ -483,6 +599,7 @@ func (w *world) finishGrant(dec core.MoveDecision, members []*object, node int) 
 func (w *world) invoke(p *des.Proc, rng *xrand.Stream, clientNode int, obj *object) float64 {
 	start := p.Now()
 	w.waitResident(p, obj)
+	obj.lastUsed = p.Now() // shed coldness: least recently invoked goes first
 	objNode := obj.node
 	remote := objNode != clientNode
 	if remote {

@@ -59,6 +59,7 @@ type nodeTelemetry struct {
 	// Placement decision instrumentation.
 	placementScores *telemetry.Counter // engine scoring runs
 	viewAgeMax      *telemetry.Gauge   // worst fresh peer-sample age, µs
+	reservedBytes   *telemetry.Gauge   // bytes claimed in the admission ledger
 }
 
 func newNodeTelemetry() *nodeTelemetry {
@@ -72,6 +73,7 @@ func newNodeTelemetry() *nodeTelemetry {
 		homeFlushLat:    reg.Histogram("objmig_homeupdate_flush_us"),
 		placementScores: reg.Counter("objmig_placement_scores_total"),
 		viewAgeMax:      reg.Gauge("objmig_placement_view_age_max_us"),
+		reservedBytes:   reg.Gauge("objmig_placement_reserved_bytes"),
 	}
 	// The generated per-phase names, for anyone grepping a scrape:
 	// objmig_migration_phase_pause_us, objmig_migration_phase_snapshot_us,
