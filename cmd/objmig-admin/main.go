@@ -1,0 +1,156 @@
+// Command objmig-admin drives a node's migration jobs over its
+// metrics endpoint (-metrics-addr on objmig-node). It is a thin HTTP
+// front end to /debug/jobs:
+//
+//	objmig-admin -addr 127.0.0.1:7101 drain            # start draining that node
+//	objmig-admin -addr 127.0.0.1:7101 rebalance -wait  # rebalance, block until terminal
+//	objmig-admin -addr 127.0.0.1:7101 status           # list the node's jobs
+//	objmig-admin -addr 127.0.0.1:7101 cancel -id 3     # cancel job 3
+//
+// Exit status is 0 when the verb succeeded (for -wait: the job ended
+// done or cancelled), 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7101", "node metrics address (objmig-node -metrics-addr)")
+	id := flag.Uint64("id", 0, "job id (cancel)")
+	wait := flag.Bool("wait", false, "after drain/rebalance, poll status until the job is terminal")
+	timeout := flag.Duration("timeout", 2*time.Minute, "overall deadline for -wait polling")
+	flag.Parse()
+
+	// Accept flags on either side of the verb ("drain -wait" reads
+	// better than "-wait drain"): take the first positional as the
+	// verb, then re-parse whatever followed it.
+	if flag.NArg() < 1 {
+		usage()
+	}
+	verb := flag.Arg(0)
+	if err := flag.CommandLine.Parse(flag.Args()[1:]); err != nil {
+		os.Exit(2)
+	}
+	if flag.NArg() != 0 {
+		usage()
+	}
+	base := "http://" + *addr + "/debug/jobs"
+
+	var err error
+	switch verb {
+	case "status":
+		err = status(base)
+	case "drain", "rebalance":
+		err = start(base, verb, *wait, *timeout)
+	case "cancel":
+		err = post(base, url.Values{"action": {"cancel"}, "id": {fmt.Sprint(*id)}})
+	default:
+		err = fmt.Errorf("unknown verb %q (want drain, rebalance, status or cancel)", verb)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "objmig-admin:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: objmig-admin [-addr host:port] drain|rebalance|status|cancel [-id N] [-wait] [-timeout D]")
+	os.Exit(2)
+}
+
+// status prints the node's job table verbatim.
+func status(base string) error {
+	body, err := get(base)
+	if err != nil {
+		return err
+	}
+	fmt.Print(body)
+	return nil
+}
+
+// start launches a drain or rebalance and, with -wait, polls the job
+// table until the started job reaches a terminal state.
+func start(base, verb string, wait bool, timeout time.Duration) error {
+	body, err := postBody(base, url.Values{"action": {verb}})
+	if err != nil {
+		return err
+	}
+	fmt.Print(body)
+	if !wait {
+		return nil
+	}
+	// The start line reads "job N started ...".
+	var id uint64
+	if _, err := fmt.Sscanf(body, "job %d started", &id); err != nil {
+		return fmt.Errorf("cannot parse started job id from %q: %w", strings.TrimSpace(body), err)
+	}
+	needle := fmt.Sprintf("job %d ", id)
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		table, err := get(base)
+		if err != nil {
+			return err
+		}
+		for _, line := range strings.Split(table, "\n") {
+			if !strings.HasPrefix(line, needle) {
+				continue
+			}
+			switch {
+			case strings.Contains(line, "state=done"), strings.Contains(line, "state=cancelled"):
+				fmt.Println(line)
+				return nil
+			case strings.Contains(line, "state=failed"):
+				fmt.Println(line)
+				return fmt.Errorf("job %d failed", id)
+			}
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	return fmt.Errorf("job %d not terminal after %s", id, timeout)
+}
+
+func get(u string) (string, error) {
+	resp, err := http.Get(u)
+	if err != nil {
+		return "", err
+	}
+	return slurp(resp)
+}
+
+func post(u string, form url.Values) error {
+	body, err := postBody(u, form)
+	if err != nil {
+		return err
+	}
+	fmt.Print(body)
+	return nil
+}
+
+func postBody(u string, form url.Values) (string, error) {
+	resp, err := http.PostForm(u, form)
+	if err != nil {
+		return "", err
+	}
+	return slurp(resp)
+}
+
+// slurp reads a response, turning non-2xx statuses into errors.
+func slurp(resp *http.Response) (string, error) {
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode/100 != 2 {
+		return "", fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(b)))
+	}
+	return string(b), nil
+}

@@ -147,6 +147,30 @@ func printFindings(out io.Writer, t sim.Table) {
 				s.Label+":", vetoes, peak, s.SmallNodeCap, ageMean, ageMax,
 				t.Experiment.Base.GossipHeartbeat)
 		}
+	case "drain":
+		// Occupancy story of the drain job: per drain series, what the
+		// drainer moved, its slowest completion, how much inbound
+		// traffic the draining refusal turned away, and whether
+		// anything was left behind.
+		for j, s := range t.Experiment.Series {
+			if s.DrainAt == 0 {
+				continue
+			}
+			var moves, objs, vetoes, leftover int64
+			var worst float64
+			for i := range t.Cells {
+				r := t.Cells[i][j]
+				moves += r.DrainMoves
+				objs += r.DrainObjectsMoved
+				vetoes += r.DrainVetoes
+				leftover += r.FinalSmallNode
+				if d := r.DrainDoneTime - s.DrainAt; d > worst {
+					worst = d
+				}
+			}
+			fmt.Fprintf(out, "%-28s %d drain moves (%d objects), slowest drain %.1f time units, %d inbound refusals, %d objects left behind\n",
+				s.Label+":", moves, objs, worst, vetoes, leftover)
+		}
 	case "fig16":
 		last := len(t.Experiment.Xs) - 1
 		get := func(label string) float64 { return t.Column(label)[last] }

@@ -51,6 +51,15 @@ const (
 	// were stale enough to cost Hops remote calls. Outcome is
 	// "over-budget".
 	EventChase
+	// EventJob: a migration job changed state on its coordinator.
+	// Outcome is the lifecycle edge — "plan" (move list computed),
+	// "resume" (re-created from a checkpoint), "wave" (a wave started;
+	// Wave carries its index), "wave-done" (the wave's moves all
+	// settled; Objects lists what travelled, Bytes what it weighed),
+	// "retarget" (a vetoed move was re-pointed against the live view;
+	// Target names the new receiver), then exactly one of "done",
+	// "cancelled" or "failed".
+	EventJob
 
 	// eventKindEnd is one past the last kind. New kinds go above it;
 	// the drift test walks [1, eventKindEnd) and fails on any kind
@@ -83,6 +92,8 @@ func (k EventKind) String() string {
 		return "placement"
 	case EventChase:
 		return "chase"
+	case EventJob:
+		return "job"
 	default:
 		return "unknown"
 	}
@@ -100,6 +111,7 @@ type Event struct {
 	Objects []Ref     // batch members (migrations, installs)
 	Bytes   int64     // snapshot bytes (streaming migration events)
 	Hops    int       // remote hops of the chase (EventChase)
+	Wave    int       // wave index (EventJob wave progress)
 	Time    time.Time // when the node emitted the event
 }
 

@@ -1,0 +1,372 @@
+package jobs
+
+import (
+	"reflect"
+	"testing"
+
+	"objmig/internal/core"
+	"objmig/internal/placement"
+)
+
+func oid(seq uint64) core.OID { return core.OID{Origin: "a", Seq: seq} }
+
+func sample(node core.NodeID, objs, cap int64) placement.Sample {
+	return placement.Sample{Node: node, Objects: objs, Capacity: cap}
+}
+
+// closure is a 1-object test unit; pressure 0, bytes as given.
+func closure(seq uint64, host core.NodeID, bytes int64) Closure {
+	return Closure{Anchor: oid(seq), Host: host, Objects: 1, Bytes: bytes}
+}
+
+// moveTargets flattens a plan to "anchorSeq->target" pairs for compact
+// table expectations.
+func moveTargets(p Plan) map[uint64]core.NodeID {
+	out := make(map[uint64]core.NodeID, len(p.Moves))
+	for _, m := range p.Moves {
+		out[m.Anchor.Seq] = m.To
+	}
+	return out
+}
+
+func TestPlanDrainTable(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name     string
+		closures []Closure
+		view     []placement.Sample
+		ratio    float64
+		want     map[uint64]core.NodeID
+		unplaced int
+	}{
+		{
+			name: "spread across headroom",
+			closures: []Closure{
+				closure(1, "a", 0), closure(2, "a", 0), closure(3, "a", 0), closure(4, "a", 0),
+			},
+			view: []placement.Sample{
+				sample("a", 4, 4), sample("b", 0, 4), sample("c", 2, 4),
+			},
+			ratio: 1,
+			// b has the most headroom and takes the first closures;
+			// once b's projection matches c's, ties go to b (lexical)
+			// until both fill towards the ratio.
+			want: map[uint64]core.NodeID{1: "b", 2: "b", 3: "b", 4: "c"},
+		},
+		{
+			name: "receiver guard vetoes full peer",
+			closures: []Closure{
+				closure(1, "a", 0), closure(2, "a", 0), closure(3, "a", 0),
+			},
+			view: []placement.Sample{
+				sample("a", 3, 4), sample("b", 4, 4), sample("c", 0, 2),
+			},
+			ratio: 1,
+			// b is at capacity: vetoed for every closure. c takes two
+			// and is then full itself; the third is unplaced.
+			want:     map[uint64]core.NodeID{1: "c", 2: "c"},
+			unplaced: 1,
+		},
+		{
+			name: "closures hosted elsewhere are ignored",
+			closures: []Closure{
+				closure(1, "a", 0), closure(2, "b", 0),
+			},
+			view:  []placement.Sample{sample("b", 1, 8), sample("c", 0, 8)},
+			ratio: 1,
+			want:  map[uint64]core.NodeID{1: "c"},
+		},
+		{
+			name:     "no sampled peers: everything unplaced",
+			closures: []Closure{closure(1, "a", 0), closure(2, "a", 0)},
+			view:     []placement.Sample{sample("a", 2, 2)},
+			ratio:    1,
+			want:     map[uint64]core.NodeID{},
+			unplaced: 2,
+		},
+		{
+			name: "byte dimension vetoes too",
+			closures: []Closure{
+				{Anchor: oid(1), Host: "a", Objects: 1, Bytes: 900},
+			},
+			view: []placement.Sample{
+				{Node: "b", Objects: 0, Bytes: 200, Capacity: 10, CapBytes: 1000},
+				{Node: "c", Objects: 0, Bytes: 0, Capacity: 10, CapBytes: 1000},
+			},
+			ratio: 1,
+			// b's byte projection (1100/1000) crosses the ratio; c fits.
+			want: map[uint64]core.NodeID{1: "c"},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			got := PlanDrain("a", tc.closures, tc.view, tc.ratio)
+			if targets := moveTargets(got); !reflect.DeepEqual(targets, tc.want) {
+				t.Errorf("targets = %v, want %v", targets, tc.want)
+			}
+			if len(got.Unplaced) != tc.unplaced {
+				t.Errorf("unplaced = %d (%v), want %d", len(got.Unplaced), got.Unplaced, tc.unplaced)
+			}
+			// Determinism: the same inputs must produce the identical
+			// move list, order included.
+			again := PlanDrain("a", tc.closures, tc.view, tc.ratio)
+			if !reflect.DeepEqual(got, again) {
+				t.Errorf("plan not deterministic:\n first %+v\nsecond %+v", got, again)
+			}
+		})
+	}
+}
+
+func TestPlanDrainColdFirstOrder(t *testing.T) {
+	t.Parallel()
+	// Hot small closure vs cold big one: the cold-big closure (higher
+	// bytes-per-pressure) must be planned first.
+	closures := []Closure{
+		{Anchor: oid(1), Host: "a", Objects: 1, Bytes: 10, Pressure: 100},
+		{Anchor: oid(2), Host: "a", Objects: 1, Bytes: 1000, Pressure: 1},
+	}
+	view := []placement.Sample{sample("b", 0, 8)}
+	p := PlanDrain("a", closures, view, 1)
+	if len(p.Moves) != 2 || p.Moves[0].Anchor.Seq != 2 || p.Moves[1].Anchor.Seq != 1 {
+		t.Fatalf("want cold-big first, got %+v", p.Moves)
+	}
+}
+
+func TestPlanRebalanceTable(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name     string
+		closures []Closure
+		view     []placement.Sample
+		ratio    float64
+		want     map[uint64]core.NodeID
+		unplaced int
+	}{
+		{
+			name: "worst donor drains first, stops at the ratio",
+			closures: []Closure{
+				closure(1, "a", 0), closure(2, "a", 0), closure(3, "a", 0),
+				closure(4, "a", 0), closure(5, "a", 0), closure(6, "a", 0),
+			},
+			view: []placement.Sample{
+				sample("a", 6, 4), sample("b", 1, 4), sample("c", 0, 4),
+			},
+			ratio: 1,
+			// a is at 6/4: exactly two moves bring it to 4/4 = ratio.
+			// c (more headroom) takes the first, then b and c tie at
+			// 1 object projected and the lexically smaller b wins.
+			want: map[uint64]core.NodeID{1: "c", 2: "b"},
+		},
+		{
+			name: "balanced cluster plans nothing",
+			closures: []Closure{
+				closure(1, "a", 0), closure(2, "b", 0),
+			},
+			view:  []placement.Sample{sample("a", 1, 4), sample("b", 1, 4)},
+			ratio: 1,
+			want:  map[uint64]core.NodeID{},
+		},
+		{
+			name: "no receiver headroom leaves donor moves unplaced",
+			closures: []Closure{
+				closure(1, "a", 0), closure(2, "a", 0), closure(3, "a", 0),
+			},
+			view: []placement.Sample{
+				sample("a", 3, 2), sample("b", 4, 4),
+			},
+			ratio: 1,
+			// b is full; a cannot shed its overload anywhere. Every
+			// closure is tried (a never gets under the ratio) and
+			// reported unplaced.
+			want:     map[uint64]core.NodeID{},
+			unplaced: 3,
+		},
+		{
+			name: "two donors, worst first",
+			closures: []Closure{
+				closure(1, "a", 0), closure(2, "a", 0), closure(3, "a", 0), closure(4, "a", 0),
+				closure(5, "b", 0), closure(6, "b", 0), closure(7, "b", 0),
+			},
+			view: []placement.Sample{
+				sample("a", 4, 2), sample("b", 3, 2), sample("c", 0, 8),
+			},
+			ratio: 1,
+			// a at 2.0 beats b at 1.5; both shed onto c until they fit.
+			want: map[uint64]core.NodeID{1: "c", 2: "c", 5: "c"},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			got := PlanRebalance(tc.closures, tc.view, tc.ratio)
+			if targets := moveTargets(got); !reflect.DeepEqual(targets, tc.want) {
+				t.Errorf("targets = %v, want %v", targets, tc.want)
+			}
+			if len(got.Unplaced) != tc.unplaced {
+				t.Errorf("unplaced = %d (%v), want %d", len(got.Unplaced), got.Unplaced, tc.unplaced)
+			}
+			again := PlanRebalance(tc.closures, tc.view, tc.ratio)
+			if !reflect.DeepEqual(got, again) {
+				t.Errorf("plan not deterministic:\n first %+v\nsecond %+v", got, again)
+			}
+		})
+	}
+}
+
+func TestPlanPinTable(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name     string
+		target   core.NodeID
+		closures []Closure
+		view     []placement.Sample
+		want     map[uint64]core.NodeID
+		unplaced int
+	}{
+		{
+			name:   "pins everything not already there, anchor order",
+			target: "b",
+			closures: []Closure{
+				closure(2, "a", 0), closure(1, "c", 0), closure(3, "b", 0),
+			},
+			view: []placement.Sample{sample("b", 1, 8)},
+			want: map[uint64]core.NodeID{1: "b", 2: "b"},
+		},
+		{
+			name:   "target capacity caps the pin",
+			target: "b",
+			closures: []Closure{
+				closure(1, "a", 0), closure(2, "a", 0), closure(3, "a", 0),
+			},
+			view: []placement.Sample{sample("b", 2, 4)},
+			// 2 hosted + 2 pinned = 4/4 = ratio: the third is refused.
+			want:     map[uint64]core.NodeID{1: "b", 2: "b"},
+			unplaced: 1,
+		},
+		{
+			name:     "unsampled target pins at face value",
+			target:   "z",
+			closures: []Closure{closure(1, "a", 0)},
+			view:     nil,
+			want:     map[uint64]core.NodeID{1: "z"},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			got := PlanPin(tc.target, tc.closures, tc.view, 1)
+			if targets := moveTargets(got); !reflect.DeepEqual(targets, tc.want) {
+				t.Errorf("targets = %v, want %v", targets, tc.want)
+			}
+			if len(got.Unplaced) != tc.unplaced {
+				t.Errorf("unplaced = %d, want %d", len(got.Unplaced), tc.unplaced)
+			}
+			again := PlanPin(tc.target, tc.closures, tc.view, 1)
+			if !reflect.DeepEqual(got, again) {
+				t.Errorf("plan not deterministic")
+			}
+		})
+	}
+}
+
+func TestRetargetExcludesRefuserAndUsesFreshView(t *testing.T) {
+	t.Parallel()
+	m := Move{Anchor: oid(1), From: "a", To: "b", Objects: 1}
+	// The live view now shows b full — and even if it didn't, b is
+	// excluded as the refuser. c is the only lawful re-election.
+	view := []placement.Sample{sample("b", 4, 4), sample("c", 1, 4)}
+	to, ok := Retarget(m, view, map[core.NodeID]bool{"b": true}, 1)
+	if !ok || to != "c" {
+		t.Fatalf("retarget = %q, %v; want c, true", to, ok)
+	}
+	// Nobody left: the move has no lawful target.
+	if to, ok := Retarget(m, view[:1], map[core.NodeID]bool{"b": true}, 1); ok {
+		t.Fatalf("retarget with no candidates = %q, want none", to)
+	}
+}
+
+func TestWaves(t *testing.T) {
+	t.Parallel()
+	moves := make([]Move, 7)
+	w := Waves(moves, 3)
+	if len(w) != 3 || len(w[0]) != 3 || len(w[1]) != 3 || len(w[2]) != 1 {
+		t.Fatalf("waves = %d (%d,%d,...), want 3,3,1", len(w), len(w[0]), len(w[1]))
+	}
+	if got := Waves(nil, 3); got != nil {
+		t.Fatalf("waves of empty plan = %v, want nil", got)
+	}
+	if got := Waves(moves, 0); len(got) != 7 {
+		t.Fatalf("size<1 should clamp to 1, got %d waves", len(got))
+	}
+}
+
+func TestProjectDeltas(t *testing.T) {
+	t.Parallel()
+	view := []placement.Sample{sample("a", 4, 4), sample("b", 0, 4)}
+	moves := []Move{{Anchor: oid(1), From: "a", To: "b", Objects: 2}}
+	d := ProjectDeltas(moves, view)
+	if len(d) != 2 {
+		t.Fatalf("deltas = %d, want 2", len(d))
+	}
+	if d[0].Node != "a" || d[0].Before != 1 || d[0].After != 0.5 {
+		t.Fatalf("a delta = %+v, want before 1 after 0.5", d[0])
+	}
+	if d[1].Node != "b" || d[1].Before != 0 || d[1].After != 0.5 {
+		t.Fatalf("b delta = %+v, want before 0 after 0.5", d[1])
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	t.Parallel()
+	want := map[State]string{
+		Planned: "planned", Running: "running", Done: "done",
+		Cancelled: "cancelled", Failed: "failed",
+	}
+	for s, str := range want {
+		if s.String() != str {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), str)
+		}
+	}
+	if Planned.Terminal() || Running.Terminal() {
+		t.Error("planned/running must not be terminal")
+	}
+	if !Done.Terminal() || !Cancelled.Terminal() || !Failed.Terminal() {
+		t.Error("done/cancelled/failed must be terminal")
+	}
+}
+
+// BenchmarkJobPlan ranks and places 2048 single-object closures off
+// one node across an 8-peer view — the drain planner's cost for a
+// large node, budget-enforced by scripts/check-allocs.sh.
+func BenchmarkJobPlan(b *testing.B) {
+	closures := make([]Closure, 2048)
+	for i := range closures {
+		closures[i] = Closure{
+			Anchor:   core.OID{Origin: "a", Seq: uint64(i + 1)},
+			Host:     "a",
+			Objects:  1,
+			Bytes:    int64(i%7) * 128,
+			Pressure: int64(i % 13),
+		}
+	}
+	view := make([]placement.Sample, 8)
+	for i := range view {
+		view[i] = placement.Sample{
+			Node:     core.NodeID([]byte{'b' + byte(i)}),
+			Objects:  int64(i * 100),
+			Capacity: 4096,
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := PlanDrain("a", closures, view, 1)
+		if len(p.Moves) != len(closures) {
+			b.Fatalf("planned %d of %d", len(p.Moves), len(closures))
+		}
+	}
+}

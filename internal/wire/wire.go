@@ -54,6 +54,7 @@ const (
 	KInstallChunk
 	KInstallCommit
 	KLoadGossip
+	KInventory
 	kMax
 )
 
@@ -66,7 +67,7 @@ func (k Kind) String() string {
 		KEdgeAdd: "edge-add", KEdgeDel: "edge-del", KEdges: "edges",
 		KFix: "fix", KPing: "ping", KMigrateBegin: "migrate-begin",
 		KInstallChunk: "install-chunk", KInstallCommit: "install-commit",
-		KLoadGossip: "load-gossip",
+		KLoadGossip: "load-gossip", KInventory: "inventory",
 	}
 	if k >= 1 && int(k) < len(names) && names[k] != "" {
 		return names[k]
@@ -546,6 +547,33 @@ type LoadGossipReq struct {
 // so one round trip teaches both ends.
 type LoadGossipResp struct {
 	Load NodeLoad
+}
+
+// InventoryReq asks a node for summaries of its hosted migratable
+// units — the job planners' remote input (rebalance jobs enumerate
+// every donor candidate's inventory before planning). Answered from
+// the store alone: no pauses, no closure walks.
+type InventoryReq struct {
+	// MaxUnits caps the reply (0 = unlimited).
+	MaxUnits int64
+}
+
+// InventoryUnit summarises one hosted object as a planning unit. The
+// executor walks the real attachment closure at move time, so the
+// unit's anchor granularity only affects plan accuracy, never
+// migration correctness.
+type InventoryUnit struct {
+	Anchor   core.OID
+	Bytes    int64 // approximate resident state bytes
+	Pressure int64 // total observed access pressure (affinity)
+}
+
+// InventoryResp carries the units plus the answering node's fresh,
+// authoritative load sample — an inventory fetch doubles as a view
+// refresh for the planner.
+type InventoryResp struct {
+	Units []InventoryUnit
+	Load  NodeLoad
 }
 
 // EdgeAddReq adds half an attachment edge at the host of Obj.

@@ -170,6 +170,15 @@ type Node struct {
 	types map[string]objectType
 	peers map[NodeID]string
 
+	// jobMu guards the migration-job registry (see jobs.go); jobSeq
+	// mints job IDs. draining is set while a drain job executes here:
+	// inbound migrations are refused at admission so the node empties
+	// instead of refilling (see admitAndReserve).
+	jobMu    sync.Mutex
+	jobTable map[uint64]*Job
+	jobSeq   atomic.Uint64
+	draining atomic.Bool
+
 	seq       atomic.Uint64 // object IDs minted here
 	block     atomic.Uint64 // move-block IDs
 	token     atomic.Uint64 // migration tokens (low half; see nextToken)
@@ -242,6 +251,7 @@ func NewNode(cfg Config) (*Node, error) {
 		sessions:      make(map[sessionKey]*migSession),
 		tombs:         make(map[sessionKey]time.Time),
 		leases:        make(map[sessionKey]*pauseLease),
+		jobTable:      make(map[uint64]*Job),
 		tel:           newNodeTelemetry(),
 	}
 	if cfg.Observer != nil && cfg.ObserverBuffer > 0 {
@@ -484,6 +494,10 @@ func (n *Node) handle(ctx context.Context, kind wire.Kind, body, dst []byte) ([]
 	case wire.KLoadGossip:
 		return handleTyped(body, dst, func(req *wire.LoadGossipReq) (*wire.LoadGossipResp, error) {
 			return n.handleLoadGossip(req)
+		})
+	case wire.KInventory:
+		return handleTyped(body, dst, func(req *wire.InventoryReq) (*wire.InventoryResp, error) {
+			return n.handleInventory(req)
 		})
 	case wire.KEdgeAdd:
 		return handleTyped(body, dst, func(req *wire.EdgeAddReq) (*wire.EdgeAddResp, error) {

@@ -83,6 +83,20 @@ type Stats struct {
 	// and folded in, heartbeats and HomeUpdate piggybacks alike.
 	LoadGossipSent     int64
 	LoadGossipReceived int64
+	// JobsStarted counts migration jobs this node began executing;
+	// JobsCompleted / JobsCancelled / JobsFailed classify how they
+	// ended. JobWaves counts executed waves, JobMoves the group
+	// migrations job waves drove to completion, JobObjectsMoved the
+	// objects those carried, and JobRetargets the vetoed moves that
+	// were re-pointed at a new receiver against the live view.
+	JobsStarted     int64
+	JobsCompleted   int64
+	JobsCancelled   int64
+	JobsFailed      int64
+	JobWaves        int64
+	JobMoves        int64
+	JobObjectsMoved int64
+	JobRetargets    int64
 	// HintHits counts location chases resolved by the first remote hop
 	// (the directory's hint was right); HintMisses chases that needed
 	// more than one hop. Chases answered locally count as neither.
@@ -149,6 +163,15 @@ type nodeStats struct {
 	placementShedBytes    atomic.Int64
 	loadGossipSent        atomic.Int64
 	loadGossipReceived    atomic.Int64
+
+	jobsStarted     atomic.Int64
+	jobsCompleted   atomic.Int64
+	jobsCancelled   atomic.Int64
+	jobsFailed      atomic.Int64
+	jobWaves        atomic.Int64
+	jobMoves        atomic.Int64
+	jobObjectsMoved atomic.Int64
+	jobRetargets    atomic.Int64
 
 	hintHits         atomic.Int64
 	hintMisses       atomic.Int64
@@ -247,6 +270,15 @@ func (n *Node) Stats() Stats {
 		PlacementShedBytes:    n.stats.placementShedBytes.Load(),
 		LoadGossipSent:        n.stats.loadGossipSent.Load(),
 		LoadGossipReceived:    n.stats.loadGossipReceived.Load(),
+
+		JobsStarted:     n.stats.jobsStarted.Load(),
+		JobsCompleted:   n.stats.jobsCompleted.Load(),
+		JobsCancelled:   n.stats.jobsCancelled.Load(),
+		JobsFailed:      n.stats.jobsFailed.Load(),
+		JobWaves:        n.stats.jobWaves.Load(),
+		JobMoves:        n.stats.jobMoves.Load(),
+		JobObjectsMoved: n.stats.jobObjectsMoved.Load(),
+		JobRetargets:    n.stats.jobRetargets.Load(),
 
 		HintHits:         n.stats.hintHits.Load(),
 		HintMisses:       n.stats.hintMisses.Load(),

@@ -630,6 +630,28 @@ func (n *Node) selfSample() placement.Sample {
 // runs instead: correct against a single coordinator, overshootable by
 // concurrent ones — the A/B baseline the ledger exists to replace.
 func (n *Node) admitAndReserve(objs []core.OID, bytes int64, from NodeID, token uint64) (reserved bool, err error) {
+	// A draining node refuses every inbound migration outright —
+	// capacity or not — so the optimiser daemons and rival coordinators
+	// cannot refill it while a drain job empties it. Objects already
+	// present still re-admit (same-node reshuffles, returning objects).
+	if n.draining.Load() && len(objs) > 0 {
+		incoming := 0
+		for _, rec := range n.store.GetBatch(objs) {
+			if rec == nil || rec.IsGone() {
+				incoming++
+			}
+		}
+		if incoming > 0 {
+			n.stats.placementVetoes.Add(1)
+			refs := make([]Ref, len(objs))
+			for i, oid := range objs {
+				refs[i] = Ref{OID: oid}
+			}
+			n.emit(Event{Kind: EventPlacement, Target: from, Outcome: "veto", Objects: refs})
+			return false, wire.Errorf(wire.CodeDenied,
+				"node %s is draining: migration of %d objects refused", n.id, incoming)
+		}
+	}
 	d := n.placementDaemonRef()
 	if d == nil || (n.capacity <= 0 && n.capBytes <= 0) || len(objs) == 0 {
 		return false, nil

@@ -3,8 +3,9 @@
 # location directory and the telemetry hot path.
 #
 # Runs BenchmarkRuntimeCodec (allocs/op), BenchmarkDirectoryScale
-# (bytes/obj, p99-hops), BenchmarkTelemetryRecord (allocs/op) and
-# BenchmarkShedPlan (allocs/op) and fails if any reported value
+# (bytes/obj, p99-hops), BenchmarkTelemetryRecord (allocs/op),
+# BenchmarkShedPlan (allocs/op) and BenchmarkJobPlan (allocs/op) and
+# fails if any reported value
 # exceeds its ceiling in scripts/alloc-budget.txt. The fast-path codec budgets are exact
 # (their allocation counts are deterministic — the append variants
 # allocate only decode output) and the telemetry budgets are zero
@@ -53,10 +54,18 @@ if [ "$shedstatus" -ne 0 ]; then
   echo "alloc check FAILED (shed-plan benchmark did not run)"
   exit 1
 fi
+jobout=$(go test -run '^$' -bench 'BenchmarkJobPlan' -benchmem -benchtime 20x ./internal/jobs 2>&1)
+jobstatus=$?
+echo "$jobout"
+if [ "$jobstatus" -ne 0 ]; then
+  echo "alloc check FAILED (job-plan benchmark did not run)"
+  exit 1
+fi
 out="$out
 $dirout
 $telout
-$shedout"
+$shedout
+$jobout"
 
 fail=0
 while read -r name budget unit; do

@@ -26,6 +26,9 @@ type Series struct {
 	// ShedRatio arms proactive shedding on the capped node for this
 	// series (see Config.ShedRatio); 0 leaves it off.
 	ShedRatio float64
+	// DrainAt schedules a drain job against node 0 at this simulated
+	// time for this series (see Config.DrainAt); 0 leaves it off.
+	DrainAt float64
 }
 
 // Metric selects which result column an experiment plots.
@@ -91,11 +94,12 @@ func Experiments() []Experiment {
 // Extensions returns the experiments that go beyond the paper's
 // figures: the exclusive-attachment variant it describes but does not
 // plot (Section 3.4), the group-lock ablation that quantifies our
-// reading of the placement/attachment interaction, and the
+// reading of the placement/attachment interaction, the
 // heterogeneous-capacity experiment behind the placement engine's
-// overload veto.
+// overload veto, and the shed and drain experiments behind the
+// runtime's proactive shedder and drain jobs.
 func Extensions() []Experiment {
-	return []Experiment{Fig16Exclusive(), AblationGroupLock(), PlacementCapacity(), Shed()}
+	return []Experiment{Fig16Exclusive(), AblationGroupLock(), PlacementCapacity(), Shed(), Drain()}
 }
 
 // ExperimentByID looks an experiment up by its ID (e.g. "fig8"),
@@ -360,6 +364,38 @@ func Shed() Experiment {
 	}
 }
 
+// Drain is an extension modelling the jobs layer's drain: node 0
+// starts loaded (SmallNodeSeed) and at DrainAt a background drainer
+// migrates everything off it while the node refuses inbound transfers
+// (the draining-admission refusal). The no-drain sedentary baseline
+// shows the load staying put forever; the sedentary drain series must
+// end the run empty; the placement drain series shows the drain
+// holding against skewed traffic that keeps trying to converge
+// servers back onto the drained node — DrainVetoes counts the
+// transfers the refusal turned away. Occupancy lives in the cell
+// results: DrainMoves, DrainObjectsMoved, DrainDoneTime, DrainVetoes,
+// FinalSmallNode.
+func Drain() Experiment {
+	return Experiment{
+		ID:     "drain",
+		Title:  "Extension: a drain job empties node 0 under live traffic",
+		XLabel: "mean distance between two usages",
+		Metric: MetricCommTime,
+		Xs:     []float64{5, 10, 20, 40},
+		Series: []Series{
+			{Label: "loaded, no drain", Policy: core.PolicySedentary},
+			{Label: "loaded + drain (t=60)", Policy: core.PolicySedentary, DrainAt: 60},
+			{Label: "Placement + drain (t=60)", Policy: core.PolicyPlacement, DrainAt: 60},
+		},
+		Base: Config{
+			Nodes: 4, Clients: 8, Servers1: 10, Servers2: 0,
+			MigrationTime: 6, MeanCalls: 8, MeanInterCall: 1,
+			HotClientShare: 0.5, SmallNodeSeed: 6,
+		},
+		Apply: applyInterBlock,
+	}
+}
+
 // RunOpts controls an experiment run.
 type RunOpts struct {
 	// Seed is the master seed; every cell derives its own seed from
@@ -434,6 +470,7 @@ func RunExperiment(e Experiment, opts RunOpts) (Table, error) {
 				cfg.DisableGroupLock = s.NoGroupLock
 				cfg.SmallNodeCapacity = s.SmallNodeCap
 				cfg.ShedRatio = s.ShedRatio
+				cfg.DrainAt = s.DrainAt
 				cfg.Seed = cellSeed(opts.Seed, e.ID, s.Label, x)
 				cfg.WarmupCalls = warm
 				cfg.BatchSize = batch

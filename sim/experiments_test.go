@@ -46,10 +46,10 @@ func TestExperimentCatalogue(t *testing.T) {
 func TestExtensionsCatalogue(t *testing.T) {
 	t.Parallel()
 	exts := Extensions()
-	if len(exts) != 4 {
-		t.Fatalf("got %d extensions, want 4", len(exts))
+	if len(exts) != 5 {
+		t.Fatalf("got %d extensions, want 5", len(exts))
 	}
-	for _, id := range []string{"fig16x", "ablation-grouplock", "placement-cap", "shed"} {
+	for _, id := range []string{"fig16x", "ablation-grouplock", "placement-cap", "shed", "drain"} {
 		e, ok := ExperimentByID(id)
 		if !ok {
 			t.Fatalf("extension %q not resolvable", id)

@@ -167,6 +167,114 @@ func TestPlacementShedDrainsOverload(t *testing.T) {
 	}
 }
 
+// TestPlacementDrainEmptiesNode: the DrainAt drain job empties node 0
+// completely and the draining refusal keeps it empty even while
+// skewed placement traffic keeps trying to converge servers back.
+func TestPlacementDrainEmptiesNode(t *testing.T) {
+	t.Parallel()
+	base := Config{
+		Nodes: 4, Clients: 8, Servers1: 10,
+		MigrationTime: 6, MeanCalls: 8, MeanInterCall: 1, MeanInterBlock: 10,
+		Policy:         core.PolicySedentary,
+		HotClientShare: 0.5, SmallNodeSeed: 6,
+		Seed: 5, WarmupCalls: 200, BatchSize: 200, MaxCalls: 8000,
+	}
+
+	// Baseline: without a drain the sedentary pile stays put forever.
+	still, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if still.FinalSmallNode != 6 || still.Migrations != 0 {
+		t.Fatalf("baseline moved: final %d, %d migrations", still.FinalSmallNode, still.Migrations)
+	}
+	if still.DrainMoves != 0 || still.DrainVetoes != 0 || still.DrainDoneTime != 0 {
+		t.Fatalf("baseline reported drain activity: %d moves, %d vetoes, done at %g",
+			still.DrainMoves, still.DrainVetoes, still.DrainDoneTime)
+	}
+
+	// Sedentary drain: exactly the six seeded objects leave, nothing
+	// else ever moves, and the node ends the run empty.
+	drained := base
+	drained.DrainAt = 40
+	r, err := Run(drained)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FinalSmallNode != 0 {
+		t.Fatalf("drained node still holds %d objects", r.FinalSmallNode)
+	}
+	if r.DrainMoves != 6 || r.DrainObjectsMoved != 6 {
+		t.Fatalf("drain moved %d batches / %d objects, want exactly the seeded 6",
+			r.DrainMoves, r.DrainObjectsMoved)
+	}
+	if r.Migrations != r.DrainMoves {
+		t.Fatalf("sedentary cell migrated %d times beyond the %d drain moves", r.Migrations, r.DrainMoves)
+	}
+	if r.DrainDoneTime <= drained.DrainAt {
+		t.Fatalf("drain done at %g, before its own start %g", r.DrainDoneTime, drained.DrainAt)
+	}
+
+	// Placement drain: half the clients live on node 0 and keep asking
+	// for servers there, so the drain must both empty the node and hold
+	// it empty — every post-drain convergence attempt is refused.
+	pl := drained
+	pl.Policy = core.PolicyPlacement
+	held, err := Run(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if held.FinalSmallNode != 0 {
+		t.Fatalf("placement traffic refilled the drained node to %d", held.FinalSmallNode)
+	}
+	if held.DrainDoneTime <= pl.DrainAt {
+		t.Fatalf("placement drain never finished (done at %g)", held.DrainDoneTime)
+	}
+	if held.DrainVetoes == 0 {
+		t.Fatal("no inbound transfer was ever refused; the drain held by luck, not by the refusal")
+	}
+	if held.Migrations <= held.DrainMoves {
+		t.Fatalf("no client-driven migration beside the drain (%d total, %d drain)",
+			held.Migrations, held.DrainMoves)
+	}
+}
+
+// TestPlacementDrainExperiment smoke-runs the drain extension end to
+// end (quick mode, truncated sweep) and checks the occupancy story of
+// every cell.
+func TestPlacementDrainExperiment(t *testing.T) {
+	t.Parallel()
+	e := Drain()
+	e.Xs = []float64{5, 20}
+	tab, err := RunExperiment(e, RunOpts{Seed: 17, Quick: true, MaxCalls: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tab.Cells {
+		noDrain, sedDrain, plDrain := tab.Cells[i][0], tab.Cells[i][1], tab.Cells[i][2]
+		if noDrain.DrainMoves != 0 || noDrain.FinalSmallNode != int64(e.Base.SmallNodeSeed) {
+			t.Errorf("x=%v: drain-off cell: %d drain moves, final %d (want the seeded %d)",
+				e.Xs[i], noDrain.DrainMoves, noDrain.FinalSmallNode, e.Base.SmallNodeSeed)
+		}
+		if sedDrain.FinalSmallNode != 0 || sedDrain.DrainObjectsMoved != int64(e.Base.SmallNodeSeed) {
+			t.Errorf("x=%v: sedentary drain: final %d, %d objects moved",
+				e.Xs[i], sedDrain.FinalSmallNode, sedDrain.DrainObjectsMoved)
+		}
+		if sedDrain.DrainDoneTime <= 0 {
+			t.Errorf("x=%v: sedentary drain never finished", e.Xs[i])
+		}
+		if plDrain.FinalSmallNode != 0 {
+			t.Errorf("x=%v: placement drain left %d objects behind", e.Xs[i], plDrain.FinalSmallNode)
+		}
+		if plDrain.DrainVetoes == 0 {
+			t.Errorf("x=%v: placement drain never refused an inbound transfer", e.Xs[i])
+		}
+		if plDrain.Calls == 0 {
+			t.Errorf("x=%v: placement drain cell measured no calls", e.Xs[i])
+		}
+	}
+}
+
 // TestPlacementShedExperiment smoke-runs the shed extension end to end
 // (quick mode, truncated sweep) and checks the occupancy story of
 // every cell.

@@ -109,6 +109,16 @@ type Config struct {
 	// receivers never become shedders themselves. Requires
 	// SmallNodeCapacity > 0; must be in [0, 1), 0 disables.
 	ShedRatio float64
+	// DrainAt schedules a drain job against node 0: at this simulated
+	// time a background drainer starts migrating every server object
+	// resident on node 0 (whole working sets, coldest first) to the
+	// emptiest peers until the node is empty. From the drain start the
+	// node also refuses all inbound transfers — the simulator's twin of
+	// the live jobs layer's draining-admission refusal — so traffic
+	// cannot refill it behind the drainer's back; a drained node stays
+	// out of service for the rest of the run. Requires Nodes >= 2;
+	// 0 disables.
+	DrainAt float64
 	// GossipHeartbeat models the live runtime's load-gossip cadence:
 	// every node re-broadcasts its load sample once per this many time
 	// units (staggered across nodes). The veto itself stays
@@ -208,6 +218,10 @@ func (c Config) Validate() error {
 		return errors.New("sim: SmallNodeSeed exceeds the server count")
 	case c.SmallNodeCapacity > 0 && c.SmallNodeSeed > c.SmallNodeCapacity:
 		return errors.New("sim: SmallNodeSeed exceeds SmallNodeCapacity")
+	case c.DrainAt < 0:
+		return errors.New("sim: DrainAt must be >= 0")
+	case c.DrainAt > 0 && c.Nodes < 2:
+		return errors.New("sim: DrainAt needs Nodes >= 2 (somewhere to drain to)")
 	default:
 		return nil
 	}
@@ -261,6 +275,17 @@ type Result struct {
 	ShedOscillations int64
 	ShedDrainTime    float64
 	FinalSmallNode   int64
+	// DrainMoves counts the transfer batches the drain job (DrainAt)
+	// issued against node 0, and DrainObjectsMoved the objects they
+	// carried (both subsets of Migrations / ObjectsMoved).
+	// DrainDoneTime is the simulated time at which node 0 first reached
+	// zero resident servers after the drain started (0 when the drain
+	// never ran or never finished). DrainVetoes counts the inbound
+	// transfers refused because node 0 was draining.
+	DrainMoves        int64
+	DrainObjectsMoved int64
+	DrainDoneTime     float64
+	DrainVetoes       int64
 	// GossipAgeMeanAtVeto / GossipAgeMaxAtVeto report, over the fired
 	// vetoes, the mean and worst age (in simulated time units) of the
 	// small node's last load broadcast at decision time — the staleness

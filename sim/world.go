@@ -50,6 +50,9 @@ type world struct {
 	// shedStartAbove records that node 0 began the run above the shed
 	// threshold, arming the ShedDrainTime measurement.
 	shedStartAbove bool
+	// draining is set once the DrainAt drain job starts: node 0 refuses
+	// every inbound transfer from then on (see vetoTransfer).
+	draining bool
 
 	comm    *stats.Estimator
 	callDur *stats.Estimator
@@ -168,6 +171,10 @@ func newWorld(cfg Config) *world {
 	if cfg.ShedRatio > 0 && cfg.SmallNodeCapacity > 0 {
 		w.shedStartAbove = w.resident[0] > w.shedThreshold()
 		w.k.Spawn("shedder", func(p *des.Proc) { w.shedLoop(p) })
+	}
+	// Drain job: at DrainAt, empty node 0 entirely (see drainLoop).
+	if cfg.DrainAt > 0 {
+		w.k.Spawn("drainer", func(p *des.Proc) { w.drainLoop(p) })
 	}
 	if hb := cfg.GossipHeartbeat; hb > 0 {
 		w.gossipAt = make([]float64, cfg.Nodes)
@@ -356,12 +363,100 @@ func (w *world) shedOne(p *des.Proc) bool {
 	return true
 }
 
-// vetoTransfer is the simulator's overload veto: it reports whether
-// moving the given members to target would push the capped small node
-// (node 0) past its capacity, counting only members that would
-// actually arrive. Mirrors the live runtime's admission check.
+// drainLoop is the drain job of Config.DrainAt: after the trigger
+// time it marks node 0 draining (vetoTransfer refuses all inbound
+// transfers from then on) and migrates every server object off it,
+// whole working sets coldest-first like the shedder, retrying once
+// per time unit while residents are locked inside blocks or in
+// transit. When the node first reaches zero residents the time is
+// recorded as DrainDoneTime and the drainer retires; the draining
+// refusal stays in force, so the node ends the run empty.
+func (w *world) drainLoop(p *des.Proc) {
+	p.Sleep(w.cfg.DrainAt)
+	if w.done {
+		return
+	}
+	w.draining = true
+	for !w.done && w.resident[0] > 0 {
+		if !w.drainOne(p) {
+			p.Sleep(1) // blocked on locks or transits; retry
+		}
+	}
+	if !w.done {
+		w.res.DrainDoneTime = p.Now()
+	}
+}
+
+// drainOne migrates one batch off node 0: the coldest free first-layer
+// working set rooted there (the live drain planner's coldest-first
+// ranking), or failing that a free second-layer stray, to the emptiest
+// peer. Reports whether a transfer happened.
+func (w *world) drainOne(p *des.Proc) bool {
+	var root *object
+	for _, o := range w.s1 {
+		if o.inTransit || o.node != 0 || o.st.Lock.Held {
+			continue
+		}
+		free := true
+		for _, m := range w.closureObjects(o, o.alliance) {
+			if m.inTransit || m.st.Lock.Held {
+				free = false
+				break
+			}
+		}
+		if !free {
+			continue
+		}
+		if root == nil || o.lastUsed < root.lastUsed {
+			root = o
+		}
+	}
+	var members []*object
+	if root != nil {
+		members = w.closureObjects(root, root.alliance)
+	} else {
+		// No free working set is rooted here; a second-layer object
+		// whose root lives elsewhere can leave alone. Roots with busy
+		// sets wait for a later pass.
+		for _, o := range w.s2 {
+			if !o.inTransit && o.node == 0 && !o.st.Lock.Held {
+				members = []*object{o}
+				break
+			}
+		}
+		if members == nil {
+			return false
+		}
+	}
+	best := -1
+	for j := 1; j < w.cfg.Nodes; j++ {
+		if best < 0 || w.resident[j] < w.resident[best] {
+			best = j
+		}
+	}
+	moving := members[:0:0]
+	for _, m := range members {
+		if m.node != best {
+			moving = append(moving, m)
+		}
+	}
+	if len(moving) == 0 {
+		return false
+	}
+	w.res.DrainMoves++
+	w.res.DrainObjectsMoved += int64(len(moving))
+	w.transfer(p, moving, best)
+	return true
+}
+
+// vetoTransfer is the simulator's admission veto: it reports whether
+// node 0 refuses the given members — because the node is draining
+// (every inbound transfer is refused outright, the twin of the live
+// runtime's draining-admission refusal) or because the transfer would
+// push the capped small node past its capacity, counting only members
+// that would actually arrive.
 func (w *world) vetoTransfer(members []*object, target int) bool {
-	if target != 0 || w.cfg.SmallNodeCapacity <= 0 {
+	if target != 0 {
 		return false
 	}
 	incoming := 0
@@ -371,6 +466,13 @@ func (w *world) vetoTransfer(members []*object, target int) bool {
 		}
 	}
 	if incoming == 0 {
+		return false
+	}
+	if w.draining {
+		w.res.DrainVetoes++
+		return true
+	}
+	if w.cfg.SmallNodeCapacity <= 0 {
 		return false
 	}
 	if w.resident[0]+incoming > w.cfg.SmallNodeCapacity {

@@ -24,14 +24,21 @@ package objmig
 //	/debug/pprof/...   the standard pprof handlers.
 //	/debug/migrations  recent migration timelines, newest first: one
 //	                   block per TraceID with its phase spans.
+//	/debug/jobs        the migration job table: GET lists every job's
+//	                   progress (one greppable line per job); POST
+//	                   starts a drain or rebalance (action=drain|
+//	                   rebalance) or cancels one (action=cancel&id=N).
+//	                   objmig-admin is the CLI front end.
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"reflect"
+	"strconv"
 	"strings"
 	"time"
 
@@ -135,6 +142,7 @@ func (n *Node) MetricsHandler() http.Handler {
 	mux.HandleFunc("/metrics", n.serveMetrics)
 	mux.HandleFunc("/debug/vars", n.serveVars)
 	mux.HandleFunc("/debug/migrations", n.serveMigrations)
+	mux.HandleFunc("/debug/jobs", n.serveJobs)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -205,6 +213,68 @@ func promName(field string) string {
 		b.WriteRune(r)
 	}
 	return b.String()
+}
+
+// serveJobs is the migration job table's HTTP face. GET renders one
+// greppable line per job; POST with action=drain or action=rebalance
+// plans and starts a job (executed on a tracked node goroutine, so it
+// survives the request), and action=cancel&id=N requests a wave-
+// boundary cancellation. objmig-admin wraps this endpoint.
+func (n *Node) serveJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost {
+		n.serveJobAction(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	sts := n.Jobs()
+	fmt.Fprintf(w, "node %s: %d jobs\n", n.id, len(sts))
+	for _, st := range sts {
+		fmt.Fprintf(w, "job %d kind=%s state=%s waves=%d/%d moves=%d/%d skipped=%d failed=%d retargets=%d objects=%d bytes=%d unplaced=%d trace=%016x",
+			st.ID, st.Kind, st.State, st.NextWave, st.Waves,
+			st.MovesDone, st.Moves, st.MovesSkipped, st.MovesFailed,
+			st.Retargets, st.ObjectsMoved, st.BytesMoved, st.Unplaced, st.Trace)
+		if st.Err != "" {
+			fmt.Fprintf(w, " err=%q", st.Err)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// serveJobAction handles the POST verbs of /debug/jobs.
+func (n *Node) serveJobAction(w http.ResponseWriter, r *http.Request) {
+	switch r.FormValue("action") {
+	case "drain":
+		j, err := n.NewDrainJob(JobConfig{})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		n.spawn(func() { _ = j.Execute(context.Background()) })
+		fmt.Fprintf(w, "job %d started kind=%s moves=%d\n", j.ID(), j.Kind(), j.Status().Moves)
+	case "rebalance":
+		j, err := n.NewRebalanceJob(r.Context(), JobConfig{})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		n.spawn(func() { _ = j.Execute(context.Background()) })
+		fmt.Fprintf(w, "job %d started kind=%s moves=%d\n", j.ID(), j.Kind(), j.Status().Moves)
+	case "cancel":
+		id, err := strconv.ParseUint(r.FormValue("id"), 10, 64)
+		if err != nil {
+			http.Error(w, "cancel needs a numeric id", http.StatusBadRequest)
+			return
+		}
+		j, ok := n.JobByID(id)
+		if !ok {
+			http.Error(w, fmt.Sprintf("no job %d", id), http.StatusNotFound)
+			return
+		}
+		j.Cancel()
+		fmt.Fprintf(w, "job %d cancel requested\n", id)
+	default:
+		http.Error(w, "action must be drain, rebalance or cancel", http.StatusBadRequest)
+	}
 }
 
 // serveVars renders expvar-compatible JSON: the process-level expvar
