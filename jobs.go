@@ -89,6 +89,13 @@ func (c JobConfig) withDefaults() JobConfig {
 // errJobCancelled signals a wave-boundary cancellation internally.
 var errJobCancelled = errors.New("objmig: job cancelled")
 
+// jobRetention bounds the job registry: registering a new job evicts
+// the oldest terminal jobs beyond this many, so a long-lived node
+// running periodic operations (cron drains, the /debug/jobs POST
+// surface) does not accumulate finished jobs — and their full move
+// lists — without bound. Planned and running jobs are never evicted.
+const jobRetention = 64
+
 // Job is one migration operation: planned once, executed at most once,
 // ending in exactly one of done, cancelled or failed. Safe for
 // concurrent use — Status, Preview, Checkpoint and Cancel may be
@@ -105,6 +112,7 @@ type Job struct {
 
 	mu           sync.Mutex
 	state        jobs.State
+	started      bool // Execute ran (distinguishes pre-start cancellation)
 	plan         jobs.Plan
 	nextWave     int // first wave not yet completed
 	movesDone    int
@@ -265,12 +273,40 @@ func (n *Node) NewPinJob(ctx context.Context, cfg JobConfig, target NodeID, anch
 		return nil, err
 	}
 	closures := make([]jobs.Closure, 0, len(anchors))
+	hosts := make(map[NodeID][]int) // host -> indices into closures
 	for _, ref := range anchors {
 		host, err := n.Locate(ctx, ref)
 		if err != nil {
 			return nil, fmt.Errorf("objmig: pin plan: locate %s: %w", ref, err)
 		}
+		hosts[host] = append(hosts[host], len(closures))
 		closures = append(closures, jobs.Closure{Anchor: ref.OID, Host: host, Objects: 1})
+	}
+	// The planner's byte-utilisation guard is only as good as the
+	// closures' footprints: stamp each anchor's resident bytes, read
+	// from the store for local anchors and one KInventory fetch per
+	// remote host otherwise. An unreachable host degrades that anchor
+	// to Bytes 0 — the plan still forms, and execution-time admission
+	// has the final say.
+	for host, idxs := range hosts {
+		bytes := make(map[core.OID]int64)
+		if host == n.id {
+			for _, c := range n.inventoryLocal() {
+				bytes[c.Anchor] = c.Bytes
+			}
+		} else {
+			var resp wire.InventoryResp
+			if err := n.call(ctx, host, wire.KInventory, &wire.InventoryReq{}, &resp); err != nil {
+				continue
+			}
+			n.observeLoad(&resp.Load)
+			for _, u := range resp.Units {
+				bytes[u.Anchor] = u.Bytes
+			}
+		}
+		for _, i := range idxs {
+			closures[i].Bytes = bytes[closures[i].Anchor]
+		}
 	}
 	plan := jobs.PlanPin(target, closures, d.view.Snapshot(), d.cfg.OverloadRatio)
 	return n.registerJob(jobKindPin, plan, cfg, 0), nil
@@ -309,12 +345,43 @@ func (n *Node) registerJob(kind string, plan jobs.Plan, cfg JobConfig, nextWave 
 	}
 	n.jobMu.Lock()
 	n.jobTable[j.id] = j
+	n.pruneJobsLocked()
 	n.jobMu.Unlock()
 	n.emit(Event{Kind: EventJob, Outcome: "plan", Objects: oidRefs(anchorsOf(plan.Moves))})
 	return j
 }
 
-// Jobs lists every job this node has planned, oldest first.
+// pruneJobsLocked evicts the oldest terminal jobs past jobRetention.
+// Caller holds n.jobMu.
+func (n *Node) pruneJobsLocked() {
+	if len(n.jobTable) <= jobRetention {
+		return
+	}
+	var term []*Job
+	for _, j := range n.jobTable {
+		if j.terminal() {
+			term = append(term, j)
+		}
+	}
+	sort.Slice(term, func(i, k int) bool { return term[i].id < term[k].id })
+	for _, j := range term {
+		if len(n.jobTable) <= jobRetention {
+			return
+		}
+		delete(n.jobTable, j.id)
+	}
+}
+
+// terminal reports whether the job ended (Done, Cancelled or Failed).
+func (j *Job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state.Terminal()
+}
+
+// Jobs lists every job this node has planned, oldest first. Terminal
+// jobs past a retention window are evicted as new jobs register, so
+// the listing is complete only for recent operations.
 func (n *Node) Jobs() []JobStatus {
 	n.jobMu.Lock()
 	js := make([]*Job, 0, len(n.jobTable))
@@ -430,16 +497,26 @@ func (j *Job) cancelRequested() bool {
 // mark the node as draining for the duration and re-plan up to three
 // extra passes afterwards, so objects that arrived mid-drain (or were
 // in flight when the plan was computed) still leave. Returns nil when
-// the job ends Done or Cancelled, the terminal error when it Failed.
+// the job ends Done or Cancelled — including a job cancelled before
+// Execute was called, which returns nil without running anything —
+// and the terminal error when it Failed. A job executes at most once:
+// Execute on a job that already ran returns an error.
 func (j *Job) Execute(ctx context.Context) error {
 	n := j.node
 	j.mu.Lock()
 	if j.state != jobs.Planned {
-		state := j.state
+		state, started := j.state, j.started
 		j.mu.Unlock()
+		if state == jobs.Cancelled && !started {
+			// Cancelled before it ever ran: the job is in the terminal
+			// state the caller asked for, which Execute's contract
+			// treats as success, not failure.
+			return nil
+		}
 		return fmt.Errorf("objmig: job %d is %s, not planned", j.id, state)
 	}
 	j.state = jobs.Running
+	j.started = true
 	moves := j.plan.Moves
 	first := j.nextWave
 	j.mu.Unlock()
@@ -602,7 +679,9 @@ func (j *Job) runWaves(ctx context.Context, moves []jobs.Move, first int, track 
 // attempts — and a veto by the target re-elects the receiver against
 // the live view with the refuser excluded before the next attempt:
 // retrying a full target on the stale view that planned it would
-// hammer the veto until the budget ran out.
+// hammer the veto until the budget ran out. Pin moves are the
+// exception: their target is the point, so a vetoed pin is never
+// re-pointed — it retries the named target and fails if refused.
 func (j *Job) executeMove(ctx context.Context, m *jobs.Move) (moved []core.OID, skipped bool, err error) {
 	n := j.node
 	exclude := make(map[NodeID]bool)
@@ -655,16 +734,25 @@ func (j *Job) executeMove(ctx context.Context, m *jobs.Move) (moved []core.OID, 
 			return nil, false, err // a fixed member vetoes the closure for good
 		case memberRaced(err):
 			// Stale membership: the next attempt re-walks.
+		case isCode(err, wire.CodeDenied) && j.kind == jobKindPin:
+			// A pin has exactly one legitimate destination — the node
+			// the operator named. Electing a substitute would "succeed"
+			// by parking the closure somewhere else, so a vetoed pin
+			// move just retries and, if the target keeps refusing,
+			// exhausts its budget and fails.
 		case isCode(err, wire.CodeDenied):
 			exclude[m.To] = true
 			if to, ok := j.retarget(m, exclude); ok {
+				// m points into j.plan.Moves, which Checkpoint and
+				// Preview copy under j.mu — the retarget write must
+				// hold it too.
 				j.mu.Lock()
 				j.retargets++
+				m.To = to
 				j.mu.Unlock()
 				n.stats.jobRetargets.Add(1)
 				n.emit(Event{Kind: EventJob, Outcome: "retarget",
 					Obj: Ref{OID: m.Anchor}, Target: to})
-				m.To = to
 			}
 		}
 	}

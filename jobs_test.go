@@ -713,3 +713,209 @@ func TestResumeJobValidation(t *testing.T) {
 		t.Fatalf("resume rewrote the wave geometry: %+v (a resumed job must keep the checkpoint's WaveSize)", cp)
 	}
 }
+
+// TestJobCheckpointDuringRetarget is the -race regression for the
+// retarget write: Checkpoint and Preview copy the plan's moves under
+// the job mutex while executeMove re-points a vetoed move's To field,
+// so the write must hold the same mutex. The scenario forces a
+// retarget (the planned receiver drains and vetoes) while a second
+// goroutine checkpoints in a tight loop for the whole execution.
+func TestJobCheckpointDuringRetarget(t *testing.T) {
+	t.Parallel()
+	ctx := ctxShort(t)
+	cl := NewLocalCluster()
+	a := jobNode(t, cl, "a", 8, nil)
+	b := jobNode(t, cl, "b", 100, nil) // planned receiver, vetoes live
+	c := jobNode(t, cl, "c", 10, nil)  // retarget fallback
+	fullMesh(a, b, c)
+
+	ref := mustCreate(t, a)
+	if _, err := Call[int, int](ctx, a, ref, "Add", 1); err != nil {
+		t.Fatal(err)
+	}
+	waitForView(t, a, 2)
+	b.draining.Store(true)
+	defer b.draining.Store(false)
+
+	j, err := a.NewDrainJob(JobConfig{WaveRetries: 3, RetryBackoff: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var snaps atomic.Int64
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				cp := j.Checkpoint()
+				pv := j.Preview()
+				snaps.Add(int64(len(cp.Moves) + len(pv.Moves)))
+			}
+		}
+	}()
+	err = j.Execute(ctx)
+	close(stop)
+	if err != nil {
+		t.Fatalf("drain: %v (status %+v)", err, j.Status())
+	}
+	if st := j.Status(); st.Retargets != 1 {
+		t.Fatalf("status %+v, want exactly 1 retarget (the race under test needs one)", st)
+	}
+	if snaps.Load() == 0 {
+		t.Fatal("checkpoint loop never observed the plan")
+	}
+}
+
+// TestPinJobVetoDoesNotRetarget: a pin's target is the point of the
+// job, so a veto by that target must not re-elect a substitute — the
+// move retries the named node, exhausts its budget and fails, leaving
+// the closure where it was.
+func TestPinJobVetoDoesNotRetarget(t *testing.T) {
+	t.Parallel()
+	ctx := ctxShort(t)
+	cl := NewLocalCluster()
+	a := jobNode(t, cl, "a", 16, nil)
+	b := jobNode(t, cl, "b", 16, nil) // the pin target, refusing inbound
+	c := jobNode(t, cl, "c", 16, nil) // the substitute a retarget would pick
+	fullMesh(a, b, c)
+
+	ref := mustCreate(t, a)
+	if _, err := Call[int, int](ctx, a, ref, "Add", 7); err != nil {
+		t.Fatal(err)
+	}
+	waitForView(t, a, 2)
+	b.draining.Store(true)
+	defer b.draining.Store(false)
+
+	j, err := a.NewPinJob(ctx, JobConfig{WaveRetries: 2, RetryBackoff: 5 * time.Millisecond}, "b", []Ref{ref})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Execute(ctx); err == nil {
+		t.Fatal("pin onto a refusing target succeeded, want failure")
+	}
+	st := j.Status()
+	if st.State != "failed" || st.MovesFailed != 1 || st.Retargets != 0 {
+		t.Fatalf("status %+v, want failed with 1 failed move and 0 retargets", st)
+	}
+	if at, err := a.Locate(ctx, ref); err != nil || at != "a" {
+		t.Fatalf("object at %v (err %v), want still at a — a vetoed pin must not migrate elsewhere", at, err)
+	}
+}
+
+// TestJobExecuteAfterPrestartCancel: cancelling a job that never ran
+// puts it in Cancelled, and a later Execute honours Execute's contract
+// — a job ending Cancelled returns nil — without running any moves.
+// (Cancelling a job that DID run stays an error on re-Execute; see
+// TestJobCancelStopsAtWaveBoundary.)
+func TestJobExecuteAfterPrestartCancel(t *testing.T) {
+	t.Parallel()
+	ctx := ctxShort(t)
+	cl := NewLocalCluster()
+	a := jobNode(t, cl, "a", 16, nil)
+	b := jobNode(t, cl, "b", 16, nil)
+	fullMesh(a, b)
+	ref := mustCreate(t, a)
+	waitForView(t, a, 1)
+
+	j, err := a.NewDrainJob(JobConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Cancel()
+	if err := j.Execute(ctx); err != nil {
+		t.Fatalf("Execute after pre-start cancel: %v, want nil", err)
+	}
+	if st := j.Status(); st.State != "cancelled" || st.MovesDone != 0 {
+		t.Fatalf("status %+v, want cancelled with no moves run", st)
+	}
+	if at, err := a.Locate(ctx, ref); err != nil || at != "a" {
+		t.Fatalf("object at %v (err %v): a cancelled job must not have moved it", at, err)
+	}
+	if got := a.Stats().JobsCancelled; got != 1 {
+		t.Fatalf("JobsCancelled = %d, want 1 (no double count)", got)
+	}
+}
+
+// TestJobTableRetention: terminal jobs past the retention window are
+// evicted as new jobs register, and non-terminal jobs survive the
+// pruning no matter how old they are.
+func TestJobTableRetention(t *testing.T) {
+	t.Parallel()
+	cl := NewLocalCluster()
+	a := jobNode(t, cl, "a", 16, nil)
+
+	keep, err := a.NewDrainJob(JobConfig{}) // stays Planned: never evicted
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < jobRetention+10; i++ {
+		j, err := a.NewDrainJob(JobConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.Cancel() // immediately terminal
+	}
+	js := a.Jobs()
+	if len(js) > jobRetention {
+		t.Fatalf("registry holds %d jobs, want <= %d", len(js), jobRetention)
+	}
+	if _, ok := a.JobByID(keep.ID()); !ok {
+		t.Fatalf("planned job %d was evicted; only terminal jobs may be pruned", keep.ID())
+	}
+}
+
+// TestPinJobPlansRealBytes: the pin planner's byte-utilisation guard
+// must see the anchors' real resident footprint — fetched from the
+// hosting node's inventory — not zero. A target whose byte capacity
+// the closure exceeds refuses it at planning time.
+func TestPinJobPlansRealBytes(t *testing.T) {
+	t.Parallel()
+	ctx := ctxShort(t)
+	cl := NewLocalCluster()
+	a := jobNode(t, cl, "a", 16, nil)
+	b := jobNode(t, cl, "b", 16, nil)
+	// The pin target: plenty of object slots, a 1-byte budget.
+	c, err := NewNode(Config{ID: "c", Cluster: cl, Capacity: 16, CapacityBytes: 1,
+		Migrate: MigrateConfig{SessionTTL: 200 * time.Millisecond, PauseLease: 300 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	if err := c.RegisterType(newCounterType()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EnablePlacement(PlacementConfig{Heartbeat: 20 * time.Millisecond, OriginPass: -1}); err != nil {
+		t.Fatal(err)
+	}
+	fullMesh(a, b, c)
+
+	// Host the anchor on b via a real migration, so b's record carries
+	// the snapshot's StateBytes.
+	ref := mustCreate(t, a)
+	if _, err := Call[int, int](ctx, a, ref, "Add", 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Migrate(ctx, ref, "b"); err != nil {
+		t.Fatal(err)
+	}
+	waitForView(t, a, 2)
+
+	j, err := a.NewPinJob(ctx, JobConfig{}, "c", []Ref{ref})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the real footprint the projection exceeds c's 1-byte budget
+	// and the planner refuses the anchor up front. A Bytes-0 closure
+	// would have admitted it, deferring the veto to execution-time
+	// admission where it only surfaces as retries and a failed job.
+	pv := j.Preview()
+	if len(pv.Moves) != 0 {
+		t.Fatalf("plan admitted %+v onto a 1-byte target; the byte guard saw Bytes 0", pv.Moves)
+	}
+	if len(pv.Unplaced) != 1 || pv.Unplaced[0].OID != ref.OID {
+		t.Fatalf("unplaced = %+v, want the over-budget anchor", pv.Unplaced)
+	}
+}
