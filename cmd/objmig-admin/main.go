@@ -6,6 +6,11 @@
 //	objmig-admin -addr 127.0.0.1:7101 rebalance -wait  # rebalance, block until terminal
 //	objmig-admin -addr 127.0.0.1:7101 status           # list the node's jobs
 //	objmig-admin -addr 127.0.0.1:7101 cancel -id 3     # cancel job 3
+//	objmig-admin -addr 127.0.0.1:7101 top              # cluster health/utilisation view
+//	objmig-admin -addr 127.0.0.1:7101 dump             # freeze and print the flight recorder
+//
+// top and dump wrap /debug/cluster and /debug/flightrec; they need the
+// health engine (objmig-node -health) for meaningful output.
 //
 // Exit status is 0 when the verb succeeded (for -wait: the job ended
 // done or cancelled), 1 otherwise.
@@ -52,8 +57,12 @@ func main() {
 		err = start(base, verb, *wait, *timeout)
 	case "cancel":
 		err = post(base, url.Values{"action": {"cancel"}, "id": {fmt.Sprint(*id)}})
+	case "top":
+		err = status("http://" + *addr + "/debug/cluster")
+	case "dump":
+		err = post("http://"+*addr+"/debug/flightrec", nil)
 	default:
-		err = fmt.Errorf("unknown verb %q (want drain, rebalance, status or cancel)", verb)
+		err = fmt.Errorf("unknown verb %q (want drain, rebalance, status, cancel, top or dump)", verb)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "objmig-admin:", err)
@@ -62,7 +71,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: objmig-admin [-addr host:port] drain|rebalance|status|cancel [-id N] [-wait] [-timeout D]")
+	fmt.Fprintln(os.Stderr, "usage: objmig-admin [-addr host:port] drain|rebalance|status|cancel|top|dump [-id N] [-wait] [-timeout D]")
 	os.Exit(2)
 }
 

@@ -167,6 +167,13 @@ func run() int {
 		plShedPass = flag.Duration("placement-shed-pass", 0,
 			"shed-pass period (0 = default 1s, negative disables)")
 
+		healthOn = flag.Bool("health", false,
+			"run the cluster health engine: windowed SLO evaluation, gossiped state, flight recorder")
+		healthTick = flag.Duration("health-tick", 0,
+			"health sampling period (0 = default 1s)")
+		healthWindow = flag.Duration("health-window", 0,
+			"health sliding evaluation window (0 = default 30s)")
+
 		metricsAddr = flag.String("metrics-addr", "",
 			"serve /metrics (Prometheus text), /debug/vars, /debug/pprof and /debug/migrations on this address (empty disables)")
 	)
@@ -239,6 +246,17 @@ func run() int {
 		}
 	}
 
+	if *healthOn {
+		err := node.EnableHealth(objmig.HealthConfig{
+			Tick:   *healthTick,
+			Window: *healthWindow,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "objmig-node:", err)
+			return 1
+		}
+	}
+
 	if *metricsAddr != "" {
 		ml, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
@@ -251,8 +269,8 @@ func run() int {
 		fmt.Printf("metrics on http://%s/metrics\n", ml.Addr())
 	}
 
-	fmt.Printf("node %s listening on %s (policy %v, attach %v, autopilot %v, placement %v, capacity %d)\n",
-		node.ID(), node.Addr(), node.Policy(), node.AttachPolicy(), *autopilot, *placement, *capacity)
+	fmt.Printf("node %s listening on %s (policy %v, attach %v, autopilot %v, placement %v, health %v, capacity %d)\n",
+		node.ID(), node.Addr(), node.Policy(), node.AttachPolicy(), *autopilot, *placement, *healthOn, *capacity)
 	for i := 0; i < *create; i++ {
 		ref, err := node.Create("kv")
 		if err != nil {
@@ -264,7 +282,7 @@ func run() int {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	if *autopilot || *placement {
+	if *autopilot || *placement || *healthOn {
 		// Periodically report what the optimiser daemons see and do.
 		ticker := time.NewTicker(10 * time.Second)
 		defer ticker.Stop()
@@ -286,6 +304,11 @@ func run() int {
 						st.PlacementVetoes, st.PlacementReservations, st.PlacementSheds,
 						st.PlacementShedBytes, st.LoadGossipSent, st.LoadGossipReceived,
 						len(node.LoadView()))
+				}
+				if *healthOn {
+					fmt.Printf("health: %s after %d ticks, transitions %d degraded / %d critical, %d inbound vetoes, %d dumps\n",
+						node.Health(), st.HealthTicks, st.HealthDegraded,
+						st.HealthCritical, st.HealthVetoes, st.HealthDumps)
 				}
 				fmt.Printf("directory: %d home, %d forwards, %d cached, %d closures (%d members), %d retired; hint hit rate %s, p99 chase %d hops (%d over budget)\n",
 					st.LocHome, st.LocForwards, st.LocCache, st.LocClosures,

@@ -171,6 +171,26 @@ func printFindings(out io.Writer, t sim.Table) {
 			fmt.Fprintf(out, "%-28s %d drain moves (%d objects), slowest drain %.1f time units, %d inbound refusals, %d objects left behind\n",
 				s.Label+":", moves, objs, worst, vetoes, leftover)
 		}
+	case "sick":
+		// Admission story of the health veto: per sick series, how
+		// much inbound traffic the critical window turned away and the
+		// peak occupancy the node reached across the run (readmission
+		// after recovery shows up as a peak above the seeded count).
+		for j, s := range t.Experiment.Series {
+			if s.SickFor == 0 {
+				continue
+			}
+			var vetoes, peak int64
+			for i := range t.Cells {
+				r := t.Cells[i][j]
+				vetoes += r.HealthVetoes
+				if r.PeakSmallNode > peak {
+					peak = r.PeakSmallNode
+				}
+			}
+			fmt.Fprintf(out, "%-36s %d inbound refusals during [%g, %g), peak occupancy %d\n",
+				s.Label+":", vetoes, s.SickAt, s.SickAt+s.SickFor, peak)
+		}
 	case "fig16":
 		last := len(t.Experiment.Xs) - 1
 		get := func(label string) float64 { return t.Column(label)[last] }

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"objmig/internal/health"
 )
 
 // EventKind classifies runtime events.
@@ -60,6 +62,17 @@ const (
 	// Target names the new receiver), then exactly one of "done",
 	// "cancelled" or "failed".
 	EventJob
+	// EventHealth: the health engine changed this node's state.
+	// Outcome is the new state ("healthy", "degraded" or "critical");
+	// Hops carries the previous state's numeric value (0/1/2) so
+	// observers can tell a recovery from an escalation without
+	// parsing.
+	EventHealth
+	// EventObserverOverflow: the bounded async event sink has been
+	// dropping events. Emitted synchronously (it must not itself ride
+	// the overflowing queue), rate-limited to at most once per minute;
+	// Bytes carries the cumulative drop count at emission time.
+	EventObserverOverflow
 
 	// eventKindEnd is one past the last kind. New kinds go above it;
 	// the drift test walks [1, eventKindEnd) and fails on any kind
@@ -94,6 +107,10 @@ func (k EventKind) String() string {
 		return "chase"
 	case EventJob:
 		return "job"
+	case EventHealth:
+		return "health"
+	case EventObserverOverflow:
+		return "observer-overflow"
 	default:
 		return "unknown"
 	}
@@ -141,13 +158,31 @@ type Observer func(Event)
 
 // emit delivers an event to the node's observer, if any: directly on
 // the caller's goroutine by default, or through the bounded async sink
-// when Config.ObserverBuffer is set.
+// when Config.ObserverBuffer is set. While the health engine runs with
+// a flight recorder, every event (bar the high-rate EventInvoke) is
+// additionally mirrored into the recorder ring, so a dump carries the
+// recent event history even with no observer set.
 func (n *Node) emit(e Event) {
-	if n.observer == nil {
+	rec := n.tel.flightRec.Load()
+	if n.observer == nil && rec == nil {
 		return
 	}
 	e.Node = n.id
 	e.Time = time.Now()
+	if rec != nil && e.Kind != EventInvoke {
+		label := e.Kind.String()
+		if e.Outcome != "" {
+			label += ":" + e.Outcome
+		}
+		rec.Record(health.Entry{
+			At: e.Time.UnixNano(), Kind: health.EntryEvent,
+			Label: label, Node: string(e.Target),
+			Values: [4]int64{e.Bytes, int64(e.Hops), int64(e.Wave), int64(len(e.Objects))},
+		})
+	}
+	if n.observer == nil {
+		return
+	}
 	if n.events != nil {
 		n.events.emit(e)
 		return
@@ -167,6 +202,9 @@ type eventSink struct {
 	mu      sync.RWMutex // guards closed against concurrent emits
 	closed  bool
 	dropped atomic.Int64
+	// lastNotify is the UnixNano of the last synchronous
+	// EventObserverOverflow, the ≤ once-per-minute rate limit.
+	lastNotify atomic.Int64
 }
 
 func newEventSink(fn Observer, buffer int) *eventSink {
@@ -183,19 +221,44 @@ func (s *eventSink) run() {
 }
 
 // emit enqueues without ever blocking: a full queue (or a closed sink)
-// sheds the event and counts it.
+// sheds the event and counts it. A shed additionally surfaces as a
+// synchronous EventObserverOverflow — delivered on the caller's
+// goroutine, bypassing the full queue — at most once per minute, so
+// operators learn the observer is losing events without polling
+// Stats.
 func (s *eventSink) emit(e Event) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	if s.closed {
 		s.dropped.Add(1)
+		s.mu.RUnlock()
 		return
 	}
+	var notify int64
 	select {
 	case s.ch <- e:
 	default:
-		s.dropped.Add(1)
+		d := s.dropped.Add(1)
+		if s.shouldNotify(e.Time.UnixNano()) {
+			notify = d
+		}
 	}
+	s.mu.RUnlock()
+	if notify > 0 {
+		s.fn(Event{
+			Kind:    EventObserverOverflow,
+			Node:    e.Node,
+			Outcome: "overflow",
+			Bytes:   notify,
+			Time:    e.Time,
+		})
+	}
+}
+
+// shouldNotify claims the once-per-minute overflow-notification slot
+// (CAS so concurrent droppers elect exactly one notifier).
+func (s *eventSink) shouldNotify(now int64) bool {
+	last := s.lastNotify.Load()
+	return now-last >= int64(time.Minute) && s.lastNotify.CompareAndSwap(last, now)
 }
 
 // close drains the queue into the observer and stops the goroutine.

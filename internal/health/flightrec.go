@@ -1,0 +1,170 @@
+// The flight recorder is the black box: a bounded, allocation-free
+// ring of recent entries — events, trace spans, periodic load/health
+// samples — that keeps recording in the background and only costs a
+// serialisation when something goes wrong. A transition to degraded or
+// critical (or an operator's explicit dump request) freezes the ring
+// into a Dump: a JSON document carrying the trigger reason, the
+// offending window's numbers, and the raw entries, so "why was this
+// migration slow" is answerable after the evidence would otherwise
+// have been overwritten.
+
+package health
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// EntryKind says what one recorder entry is.
+type EntryKind uint8
+
+const (
+	// EntryEvent is a runtime event (events.go Event), Label holding
+	// kind/outcome.
+	EntryEvent EntryKind = iota + 1
+	// EntrySpan is a migration trace span, Label holding the phase.
+	EntrySpan
+	// EntryHealth is one health tick's verdict, Label holding the
+	// state.
+	EntryHealth
+	// EntryLoad is a periodic load sample, Label holding the node.
+	EntryLoad
+)
+
+func (k EntryKind) String() string {
+	switch k {
+	case EntryEvent:
+		return "event"
+	case EntrySpan:
+		return "span"
+	case EntryHealth:
+		return "health"
+	case EntryLoad:
+		return "load"
+	default:
+		return "unknown"
+	}
+}
+
+// Entry is one recorded observation. Fixed shape — the strings are
+// headers onto memory that already exists (event outcome constants,
+// phase names), so recording copies no bytes and allocates nothing.
+type Entry struct {
+	At     int64     `json:"at"`              // UnixNano
+	Kind   EntryKind `json:"-"`               // see KindName
+	Label  string    `json:"label"`           // kind-specific tag
+	Node   string    `json:"node,omitempty"`  // peer the entry concerns
+	Trace  uint64    `json:"trace,omitempty"` // migration TraceID when known
+	Values [4]int64  `json:"values"`          // kind-specific numbers
+}
+
+// entryJSON is Entry with the kind spelled out for the dump.
+type entryJSON struct {
+	Entry
+	KindName string `json:"kind"`
+}
+
+// DefaultRecorderSize is the default ring capacity.
+const DefaultRecorderSize = 1024
+
+// Recorder is the bounded entry ring. Record is allocation-free and
+// safe for concurrent use; Snapshot and Dump copy under the lock.
+type Recorder struct {
+	mu      sync.Mutex
+	entries []Entry
+	next    int
+	n       int
+	total   int64
+}
+
+// NewRecorder returns a ring holding up to capacity entries
+// (DefaultRecorderSize when capacity <= 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultRecorderSize
+	}
+	return &Recorder{entries: make([]Entry, capacity)}
+}
+
+// Record appends one entry, overwriting the oldest when full.
+// Allocation-free.
+func (r *Recorder) Record(e Entry) {
+	r.mu.Lock()
+	r.entries[r.next] = e
+	r.next = (r.next + 1) % len(r.entries)
+	if r.n < len(r.entries) {
+		r.n++
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Total returns the number of entries ever recorded.
+func (r *Recorder) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Snapshot copies the live entries, oldest first.
+func (r *Recorder) Snapshot() []Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Entry, 0, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.entries)
+	}
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.entries[(start+i)%len(r.entries)])
+	}
+	return out
+}
+
+// Dump is a frozen recorder ring plus the context that froze it.
+type Dump struct {
+	Node    string           `json:"node"`
+	At      time.Time        `json:"at"`
+	Reason  string           `json:"reason"` // "transition" or "manual"
+	State   string           `json:"state"`
+	Worst   string           `json:"worst,omitempty"` // signal that set the level
+	Values  map[string]int64 `json:"values"`          // windowed signal values at the trigger
+	Total   int64            `json:"total"`           // entries ever recorded
+	Entries []entryJSON      `json:"entries"`
+}
+
+// Dump freezes the ring with the given trigger context. The verdict
+// supplies the state, worst signal and the offending window's values.
+func (r *Recorder) Dump(node, reason string, v Verdict) *Dump {
+	vals := make(map[string]int64, NumSignals)
+	for i := 0; i < NumSignals; i++ {
+		vals[Signal(i).String()] = v.Values[i]
+	}
+	d := &Dump{
+		Node:   node,
+		At:     time.Now().UTC(),
+		Reason: reason,
+		State:  v.State.String(),
+		Values: vals,
+		Total:  r.Total(),
+	}
+	if v.Level > Healthy {
+		d.Worst = v.Worst.String()
+	}
+	snap := r.Snapshot()
+	d.Entries = make([]entryJSON, len(snap))
+	for i, e := range snap {
+		d.Entries[i] = entryJSON{Entry: e, KindName: e.Kind.String()}
+	}
+	return d
+}
+
+// JSON serialises the dump, indented for operators.
+func (d *Dump) JSON() []byte {
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil { // fixed shape; cannot fail
+		return []byte(`{"error":"marshal failed"}`)
+	}
+	return append(b, '\n')
+}

@@ -1,0 +1,243 @@
+package health
+
+import (
+	"encoding/json"
+	"testing"
+
+	"objmig/internal/telemetry"
+)
+
+// counterSample builds a cumulative sample with one counter signal set.
+func counterSample(at int64, sig Signal, cum int64) Sample {
+	var s Sample
+	s.At = at
+	s.Counters[int(sig)-NumHists] = cum
+	return s
+}
+
+func TestEvaluatorCounterWindowDelta(t *testing.T) {
+	cfg := Config{WindowTicks: 3}
+	cfg.Thresholds[SigStreamAborts] = Threshold{Warn: 5, Crit: 50}
+	e := NewEvaluator(cfg)
+
+	// Cumulative 0, 10, 10, 10: the burst of 10 falls out of the
+	// 2-interval window two ticks after it happened.
+	v := e.Tick(counterSample(1, SigStreamAborts, 0))
+	if v.Values[SigStreamAborts] != 0 {
+		t.Fatalf("first tick window = %d, want 0", v.Values[SigStreamAborts])
+	}
+	v = e.Tick(counterSample(2, SigStreamAborts, 10))
+	if v.Values[SigStreamAborts] != 10 {
+		t.Fatalf("burst window = %d, want 10", v.Values[SigStreamAborts])
+	}
+	if v.State != Degraded || !v.Changed {
+		t.Fatalf("state after burst = %v changed=%v, want degraded/changed", v.State, v.Changed)
+	}
+	v = e.Tick(counterSample(3, SigStreamAborts, 10))
+	if v.Values[SigStreamAborts] != 10 { // oldest edge still pre-burst
+		t.Fatalf("window one tick later = %d, want 10", v.Values[SigStreamAborts])
+	}
+	v = e.Tick(counterSample(4, SigStreamAborts, 10))
+	if v.Values[SigStreamAborts] != 0 {
+		t.Fatalf("window after burst aged out = %d, want 0", v.Values[SigStreamAborts])
+	}
+	if v.State != Healthy {
+		t.Fatalf("state after recovery = %v, want healthy", v.State)
+	}
+}
+
+func TestEvaluatorHistogramP99(t *testing.T) {
+	cfg := Config{WindowTicks: 2}
+	cfg.Thresholds[SigInvokeLocalP99] = Threshold{Warn: 1000, Crit: 100000}
+	e := NewEvaluator(cfg)
+
+	var h telemetry.Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(10)
+	}
+	var s Sample
+	s.Hists[SigInvokeLocalP99] = h.Snapshot()
+	e.Tick(s)
+
+	// 100 slow observations dominate the window's p99.
+	for i := 0; i < 100; i++ {
+		h.Observe(5000)
+	}
+	s.Hists[SigInvokeLocalP99] = h.Snapshot()
+	v := e.Tick(s)
+	if got := v.Values[SigInvokeLocalP99]; got < 1000 {
+		t.Fatalf("windowed p99 = %d, want >= 1000", got)
+	}
+	if v.State != Degraded || v.Worst != SigInvokeLocalP99 {
+		t.Fatalf("verdict = %+v, want degraded via invoke_local", v)
+	}
+
+	// Next window contains no new observations: p99 drops to 0 even
+	// though the lifetime histogram still holds the slow tail.
+	v = e.Tick(s)
+	if got := v.Values[SigInvokeLocalP99]; got != 0 {
+		t.Fatalf("idle-window p99 = %d, want 0", got)
+	}
+	if v.State != Healthy {
+		t.Fatalf("state = %v, want healthy", v.State)
+	}
+}
+
+func TestEvaluatorHysteresis(t *testing.T) {
+	cfg := Config{WindowTicks: 8, RaiseAfter: 2, ClearAfter: 3}
+	cfg.Thresholds[SigPauseExpiries] = Threshold{Warn: 1, Crit: 100}
+	e := NewEvaluator(cfg)
+
+	// One breaching tick must not raise the state (RaiseAfter=2).
+	cum := int64(0)
+	e.Tick(counterSample(1, SigPauseExpiries, cum))
+	cum++
+	v := e.Tick(counterSample(2, SigPauseExpiries, cum))
+	if v.State != Healthy {
+		t.Fatalf("state after 1 breaching tick = %v, want healthy", v.State)
+	}
+	// Second consecutive breaching tick raises it.
+	cum++
+	v = e.Tick(counterSample(3, SigPauseExpiries, cum))
+	if v.State != Degraded || !v.Changed {
+		t.Fatalf("state after 2 breaching ticks = %v changed=%v, want degraded", v.State, v.Changed)
+	}
+
+	// The breach stays inside the window for a while: clear streaks
+	// must survive only over genuinely clear ticks. Push until the
+	// deltas age out, then count clears.
+	clears := 0
+	for i := int64(4); i < 20; i++ {
+		v = e.Tick(counterSample(i, SigPauseExpiries, cum))
+		if v.Level == Healthy {
+			clears++
+		}
+		if v.State == Healthy {
+			break
+		}
+	}
+	if v.State != Healthy {
+		t.Fatalf("never recovered: %+v", v)
+	}
+	if clears != cfg.ClearAfter {
+		t.Fatalf("recovered after %d clear ticks, want %d", clears, cfg.ClearAfter)
+	}
+}
+
+func TestEvaluatorCriticalDirect(t *testing.T) {
+	// A critical breach promotes straight to critical — no mandatory
+	// stop at degraded.
+	cfg := Config{WindowTicks: 4}
+	cfg.Thresholds[SigEventsDropped] = Threshold{Warn: 1, Crit: 10}
+	e := NewEvaluator(cfg)
+	e.Tick(counterSample(1, SigEventsDropped, 0))
+	v := e.Tick(counterSample(2, SigEventsDropped, 500))
+	if v.State != Critical {
+		t.Fatalf("state = %v, want critical", v.State)
+	}
+	if v.Worst != SigEventsDropped {
+		t.Fatalf("worst = %v, want events_dropped", v.Worst)
+	}
+}
+
+func TestEvaluatorZeroThresholdDisabled(t *testing.T) {
+	e := NewEvaluator(Config{WindowTicks: 2}) // all thresholds zero
+	e.Tick(counterSample(1, SigStreamAborts, 0))
+	v := e.Tick(counterSample(2, SigStreamAborts, 1_000_000))
+	if v.State != Healthy || v.Level != Healthy {
+		t.Fatalf("disabled thresholds still tripped: %+v", v)
+	}
+}
+
+func TestRecorderRingAndDump(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 6; i++ {
+		r.Record(Entry{At: int64(i), Kind: EntryEvent, Label: "invoke"})
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot len = %d, want 4", len(snap))
+	}
+	if snap[0].At != 2 || snap[3].At != 5 {
+		t.Fatalf("snapshot order wrong: first=%d last=%d", snap[0].At, snap[3].At)
+	}
+	if r.Total() != 6 {
+		t.Fatalf("total = %d, want 6", r.Total())
+	}
+
+	var v Verdict
+	v.State = Degraded
+	v.Level = Degraded
+	v.Worst = SigChaseP99
+	v.Values[SigChaseP99] = 12345
+	d := r.Dump("node-a", "transition", v)
+	raw := d.JSON()
+
+	var back struct {
+		Node    string           `json:"node"`
+		Reason  string           `json:"reason"`
+		State   string           `json:"state"`
+		Worst   string           `json:"worst"`
+		Values  map[string]int64 `json:"values"`
+		Entries []struct {
+			Kind  string `json:"kind"`
+			Label string `json:"label"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, raw)
+	}
+	if back.Node != "node-a" || back.State != "degraded" || back.Worst != "chase_p99_us" {
+		t.Fatalf("dump header wrong: %+v", back)
+	}
+	if back.Values["chase_p99_us"] != 12345 {
+		t.Fatalf("dump values wrong: %v", back.Values)
+	}
+	if len(back.Entries) != 4 || back.Entries[0].Kind != "event" {
+		t.Fatalf("dump entries wrong: %+v", back.Entries)
+	}
+}
+
+func TestSignalStringsComplete(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < NumSignals; i++ {
+		s := Signal(i).String()
+		if s == "unknown" {
+			t.Fatalf("signal %d has no name", i)
+		}
+		if seen[s] {
+			t.Fatalf("signal name %q duplicated", s)
+		}
+		seen[s] = true
+	}
+	if Signal(NumSignals).String() != "unknown" {
+		t.Fatalf("out-of-range signal should be unknown")
+	}
+}
+
+// BenchmarkHealthTick is the CI-enforced zero-alloc line for the
+// per-tick evaluation: ring write, histogram deltas, quantiles,
+// thresholds and hysteresis all run without allocating.
+func BenchmarkHealthTick(b *testing.B) {
+	cfg := Config{WindowTicks: 30, RaiseAfter: 2, ClearAfter: 3}
+	for i := 0; i < NumSignals; i++ {
+		cfg.Thresholds[i] = Threshold{Warn: 1 << 20, Crit: 1 << 24}
+	}
+	e := NewEvaluator(cfg)
+
+	var h telemetry.Histogram
+	for i := 0; i < 4096; i++ {
+		h.Observe(int64(i) % 1777)
+	}
+	var s Sample
+	for i := 0; i < NumHists; i++ {
+		s.Hists[i] = h.Snapshot()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.At = int64(i)
+		s.Counters[0] = int64(i)
+		e.Tick(s)
+	}
+}

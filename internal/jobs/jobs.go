@@ -224,12 +224,18 @@ func (p *projection) util(node core.NodeID, objects int, bytes int64) float64 {
 // never refuses a move admission would accept). Ties break towards
 // the lexically smaller node (iteration order is sorted and the
 // comparison strict), so identical inputs elect identically. Nodes
-// without samples are skipped: no headroom evidence, no move.
+// without samples are skipped: no headroom evidence, no move. Nodes
+// that are not healthy (degraded or critical) are never elected: a
+// plan must not route load onto a node the health engine is already
+// flagging.
 func (p *projection) elect(c Closure, from core.NodeID, exclude map[core.NodeID]bool, ratio float64) (core.NodeID, float64, bool) {
 	var best core.NodeID
 	bestUtil := 0.0
 	for _, node := range p.order {
 		if node == from || exclude[node] {
+			continue
+		}
+		if p.samples[node].Health >= placement.HealthDegraded {
 			continue
 		}
 		u := p.util(node, c.Objects, c.Bytes)
@@ -298,7 +304,11 @@ func PlanDrain(from core.NodeID, closures []Closure, view []placement.Sample, ra
 // coldest closures to the least-utilised receivers until they fit
 // under the ratio. Receivers are guarded exactly as in PlanDrain, so
 // a rebalance converges instead of ping-ponging load. Closures on a
-// donor that no receiver can take are reported Unplaced.
+// donor that no receiver can take are reported Unplaced. Critical
+// nodes are drain-priority donors: they join the donor set whatever
+// their utilisation, are processed before every merely-overloaded
+// donor, and are emptied outright rather than relieved to the ratio —
+// a sick node's load belongs elsewhere until it recovers.
 func PlanRebalance(closures []Closure, view []placement.Sample, ratio float64) Plan {
 	if ratio <= 0 {
 		ratio = 1
@@ -309,16 +319,23 @@ func PlanRebalance(closures []Closure, view []placement.Sample, ratio float64) P
 	for _, c := range closures {
 		byHost[c.Host] = append(byHost[c.Host], c)
 	}
-	// Donors: sampled nodes above the ratio, worst utilisation first
-	// (ties towards the lexically smaller node). Receivers can never
-	// be pushed past the ratio, so the donor set is fixed up front.
+	critical := func(node core.NodeID) bool {
+		return p.samples[node].Health >= placement.HealthCritical
+	}
+	// Donors: sampled nodes above the ratio plus every critical node,
+	// critical first, then worst utilisation first (ties towards the
+	// lexically smaller node). Receivers can never be pushed past the
+	// ratio, so the donor set is fixed up front.
 	var donors []core.NodeID
 	for _, node := range p.order {
-		if p.util(node, 0, 0) > ratio {
+		if critical(node) || p.util(node, 0, 0) > ratio {
 			donors = append(donors, node)
 		}
 	}
 	sort.Slice(donors, func(i, j int) bool {
+		if ci, cj := critical(donors[i]), critical(donors[j]); ci != cj {
+			return ci
+		}
 		ui, uj := p.util(donors[i], 0, 0), p.util(donors[j], 0, 0)
 		if ui != uj {
 			return ui > uj
@@ -328,8 +345,9 @@ func PlanRebalance(closures []Closure, view []placement.Sample, ratio float64) P
 
 	var plan Plan
 	for _, donor := range donors {
+		drainAll := critical(donor)
 		for _, c := range coldFirst(byHost[donor]) {
-			if p.util(donor, 0, 0) <= ratio {
+			if !drainAll && p.util(donor, 0, 0) <= ratio {
 				break // donor fits: relieved
 			}
 			to, score, ok := p.elect(c, donor, nil, ratio)

@@ -370,3 +370,72 @@ func BenchmarkJobPlan(b *testing.B) {
 		}
 	}
 }
+
+// TestElectSkipsUnhealthyReceivers: a degraded or critical node is
+// never elected as a receiver, even with the most headroom; the move
+// lands on the healthy peer or goes Unplaced.
+func TestElectSkipsUnhealthyReceivers(t *testing.T) {
+	t.Parallel()
+	degraded := sample("roomy", 0, 100)
+	degraded.Health = placement.HealthDegraded
+	view := []placement.Sample{
+		degraded,
+		sample("a", 0, 10),
+		sample("tight", 8, 10),
+	}
+	plan := PlanDrain("a", []Closure{closure(1, "a", 0)}, view, 1)
+	if got := moveTargets(plan); got[1] != "tight" {
+		t.Fatalf("elected %v, want tight (degraded roomy skipped)", got)
+	}
+
+	// Only unhealthy peers left: unplaced.
+	crit := sample("only", 0, 100)
+	crit.Health = placement.HealthCritical
+	plan = PlanDrain("a", []Closure{closure(1, "a", 0)},
+		[]placement.Sample{crit, sample("a", 1, 10)}, 1)
+	if len(plan.Moves) != 0 || len(plan.Unplaced) != 1 {
+		t.Fatalf("plan = %+v, want 1 unplaced", plan)
+	}
+}
+
+// TestPlanRebalanceCriticalDonorDrains: a critical node joins the
+// donor set below the overload ratio, goes first, and is emptied
+// outright instead of relieved to the ratio.
+func TestPlanRebalanceCriticalDonorDrains(t *testing.T) {
+	t.Parallel()
+	sick := sample("sick", 3, 100) // util 0.03: no rebalance cause on its own
+	sick.Health = placement.HealthCritical
+	view := []placement.Sample{
+		sick,
+		sample("fat", 12, 10), // util 1.2: ordinary donor
+		sample("roomy", 0, 100),
+	}
+	closures := []Closure{
+		closure(1, "sick", 0), closure(2, "sick", 0), closure(3, "sick", 0),
+		closure(4, "fat", 0), closure(5, "fat", 0), closure(6, "fat", 0),
+	}
+	plan := PlanRebalance(closures, view, 1)
+	targets := moveTargets(plan)
+	for seq := uint64(1); seq <= 3; seq++ {
+		if targets[seq] != "roomy" {
+			t.Fatalf("critical donor closure %d -> %v, want roomy (plan %+v)", seq, targets[seq], plan)
+		}
+	}
+	// Critical donor's moves precede the overloaded donor's.
+	if len(plan.Moves) < 4 || plan.Moves[0].From != "sick" || plan.Moves[1].From != "sick" || plan.Moves[2].From != "sick" {
+		t.Fatalf("critical donor not drain-priority: %+v", plan.Moves)
+	}
+	// The ordinary donor was only relieved to the ratio, not emptied.
+	fatMoves := 0
+	for _, m := range plan.Moves {
+		if m.From == "fat" {
+			fatMoves++
+			if m.To == "sick" {
+				t.Fatalf("rebalance routed load onto the critical node: %+v", m)
+			}
+		}
+	}
+	if fatMoves != 2 {
+		t.Fatalf("fat shed %d closures, want 2 (12 -> 10 at cap 10)", fatMoves)
+	}
+}

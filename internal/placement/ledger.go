@@ -144,7 +144,10 @@ func (l *Ledger) ExpireBefore(cutoff time.Time) Claim {
 // breaks projection ties (prefer the node that also wants the group),
 // then the lexically smaller node, so identical inputs elect
 // identically regardless of view iteration order. Peers without a
-// fresh sample are skipped: no headroom evidence, no shed.
+// fresh sample are skipped: no headroom evidence, no shed. Peers that
+// are not healthy (degraded or critical) are vetoed — shedding exists
+// to relieve pressure, and a sick receiver would just convert one
+// overload into another incident.
 func ShedTarget(g Group, v *View, shedRatio float64) (Decision, bool) {
 	if shedRatio <= 0 {
 		shedRatio = 1
@@ -153,6 +156,10 @@ func ShedTarget(g Group, v *View, shedRatio float64) (Decision, bool) {
 	bestUtil, bestAff := 0.0, int64(0)
 	for _, s := range v.Snapshot() { // sorted by node: deterministic
 		if s.Node == g.Self {
+			continue
+		}
+		if s.Health >= HealthDegraded {
+			dec.Vetoed = append(dec.Vetoed, s.Node)
 			continue
 		}
 		util := Utilisation(s, g.Members, g.Bytes)

@@ -346,3 +346,28 @@ func TestScoreLexicalTieBreak(t *testing.T) {
 		}
 	}
 }
+
+// TestShedTargetSkipsUnhealthy: shedding never elects a degraded or
+// critical peer, even when it has the most headroom.
+func TestShedTargetSkipsUnhealthy(t *testing.T) {
+	t.Parallel()
+	v := NewView(time.Minute)
+	v.Observe(Sample{Node: "roomy", Objects: 0, Capacity: 100, Seq: 1, Health: HealthDegraded})
+	v.Observe(Sample{Node: "tight", Objects: 60, Capacity: 100, Seq: 1})
+
+	g := Group{Self: "s", Members: 5}
+	dec, ok := ShedTarget(g, v, 1)
+	if !ok || dec.Target != "tight" {
+		t.Fatalf("ShedTarget = %+v, %v; want tight", dec, ok)
+	}
+	if len(dec.Vetoed) != 1 || dec.Vetoed[0] != "roomy" {
+		t.Fatalf("vetoed = %v, want [roomy]", dec.Vetoed)
+	}
+
+	// All peers sick: no shed.
+	v2 := NewView(time.Minute)
+	v2.Observe(Sample{Node: "a", Capacity: 100, Seq: 1, Health: HealthCritical})
+	if _, ok := ShedTarget(g, v2, 1); ok {
+		t.Fatal("shed elected a critical peer")
+	}
+}

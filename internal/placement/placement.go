@@ -45,7 +45,16 @@ type Sample struct {
 	Capacity  int64       // configured object capacity; 0 = uncapped
 	CapBytes  int64       // configured byte capacity; 0 = uncapped
 	Seq       uint64      // sender-monotonic sample ordering
+	Health    uint8       // gossiped health state (0 healthy, 1 degraded, 2 critical)
 }
+
+// Health states as carried in Sample.Health (mirrors health.State
+// without importing it — the placement core stays dependency-light).
+const (
+	HealthHealthy  uint8 = 0
+	HealthDegraded uint8 = 1
+	HealthCritical uint8 = 2
+)
 
 // View is a node's decaying picture of its peers' load. Samples
 // arrive from the load-gossip heartbeat and the HomeUpdate piggyback;
@@ -214,6 +223,10 @@ type Options struct {
 	// majority of the group's total pressure — the paper's
 	// compare-and-reinstantiate rule lifted to group scoring.
 	RequireMajority bool
+	// DegradedPenalty multiplies a degraded candidate's discounted
+	// score (critical candidates are vetoed outright, not penalised).
+	// Zero selects the default 0.25; values are clamped to [0, 1].
+	DegradedPenalty float64
 }
 
 func (o Options) withDefaults() Options {
@@ -229,6 +242,13 @@ func (o Options) withDefaults() Options {
 		o.LoadDiscount = 1
 	} else if o.LoadDiscount < 0 {
 		o.LoadDiscount = 0
+	}
+	if o.DegradedPenalty == 0 {
+		o.DegradedPenalty = 0.25
+	} else if o.DegradedPenalty < 0 {
+		o.DegradedPenalty = 0
+	} else if o.DegradedPenalty > 1 {
+		o.DegradedPenalty = 1
 	}
 	return o
 }
@@ -285,7 +305,9 @@ func Overloaded(s Sample, incoming int, incomingBytes int64, ratio float64) bool
 //
 // Candidates with util(c) > OverloadRatio are vetoed outright
 // (regardless of freshness — a fresh-enough sample is the veto's
-// evidence; absent samples cannot veto). The group's current host is
+// evidence; absent samples cannot veto). Health gates the same way:
+// a critical candidate is vetoed, a degraded one keeps competing but
+// with its score multiplied by DegradedPenalty. The group's current host is
 // scored the same way on its Local pressure, but with incoming 0 —
 // its hosted count already contains the group — and it is never
 // vetoed into moving: an overloaded host's local score is merely
@@ -329,11 +351,20 @@ func Score(g Group, v *View, opt Options) (Decision, bool) {
 		}
 		w := 1.0 // unknown load: pure affinity, no veto evidence
 		if s, age, ok := v.Get(node); ok {
+			if s.Health >= HealthCritical {
+				// A critical node is sick, not merely full: never elect
+				// it, whatever its headroom.
+				dec.Vetoed = append(dec.Vetoed, node)
+				continue
+			}
 			if Overloaded(s, g.Members, g.Bytes, opt.OverloadRatio) {
 				dec.Vetoed = append(dec.Vetoed, node)
 				continue
 			}
 			w = discount(s, age, g.Members, g.Bytes)
+			if s.Health == HealthDegraded {
+				w *= opt.DegradedPenalty
+			}
 		}
 		score := float64(aff) * w
 		if score > best {

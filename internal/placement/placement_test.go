@@ -267,3 +267,45 @@ func TestOverloadedPredicate(t *testing.T) {
 		t.Fatalf("max-dimension utilisation = %v, want 0.9", got)
 	}
 }
+
+// TestScoreHealthGate: a critical candidate is vetoed however dominant
+// its affinity; a degraded one keeps competing but with its score
+// multiplied by DegradedPenalty, so a healthy rival with a fraction of
+// the affinity can still win.
+func TestScoreHealthGate(t *testing.T) {
+	t.Parallel()
+	v := NewView(time.Minute)
+	v.Observe(Sample{Node: "sick", Capacity: 100, Seq: 1, Health: HealthCritical})
+	v.Observe(Sample{Node: "alt", Capacity: 100, Seq: 1})
+
+	g := Group{Self: "s", Members: 1,
+		PerNode: map[core.NodeID]int64{"sick": 1000, "alt": 90}}
+	dec, ok := Score(g, v, Options{})
+	if !ok || dec.Target != "alt" {
+		t.Fatalf("critical veto election: %+v, %v; want alt", dec, ok)
+	}
+	if len(dec.Vetoed) != 1 || dec.Vetoed[0] != "sick" {
+		t.Fatalf("vetoed list: %v, want [sick]", dec.Vetoed)
+	}
+
+	// Degraded: penalty 0.25 shrinks 1000 affinity to ~250 effective —
+	// a healthy 600 beats it despite the raw affinity gap.
+	v2 := NewView(time.Minute)
+	v2.Observe(Sample{Node: "limp", Capacity: 100, Seq: 1, Health: HealthDegraded})
+	v2.Observe(Sample{Node: "fit", Capacity: 100, Seq: 1})
+	g2 := Group{Self: "s", Members: 1,
+		PerNode: map[core.NodeID]int64{"limp": 1000, "fit": 600}}
+	dec2, ok2 := Score(g2, v2, Options{Hysteresis: 1})
+	if !ok2 || dec2.Target != "fit" {
+		t.Fatalf("degraded penalty election: %+v, %v; want fit", dec2, ok2)
+	}
+
+	// Without the health signal the raw affinity would have won.
+	v3 := NewView(time.Minute)
+	v3.Observe(Sample{Node: "limp", Capacity: 100, Seq: 1})
+	v3.Observe(Sample{Node: "fit", Capacity: 100, Seq: 1})
+	dec3, ok3 := Score(g2, v3, Options{Hysteresis: 1})
+	if !ok3 || dec3.Target != "limp" {
+		t.Fatalf("healthy control election: %+v, %v; want limp", dec3, ok3)
+	}
+}

@@ -192,6 +192,25 @@ func (s HistSnapshot) Quantile(q float64) int64 {
 	return BucketUpper(HistBuckets - 1)
 }
 
+// Delta returns the observations recorded between prev and s, where
+// prev is an earlier snapshot of the same histogram. Each component is
+// clamped at zero so a torn read (stripes loaded while writers run)
+// can lag but never go negative. Pure value arithmetic: zero
+// allocations, usable on a health-evaluation hot path.
+func (s HistSnapshot) Delta(prev HistSnapshot) HistSnapshot {
+	var d HistSnapshot
+	for b := range s.Counts {
+		if c := s.Counts[b] - prev.Counts[b]; c > 0 {
+			d.Counts[b] = c
+			d.Total += c
+		}
+	}
+	if v := s.Sum - prev.Sum; v > 0 {
+		d.Sum = v
+	}
+	return d
+}
+
 // Mean returns the arithmetic mean of the observations (exact, unlike
 // the quantiles — the sum is tracked outside the buckets).
 func (s HistSnapshot) Mean() float64 {

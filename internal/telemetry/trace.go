@@ -106,11 +106,12 @@ const DefaultTraceSpans = 4096
 // safe for concurrent use; when the ring is full the oldest span is
 // overwritten.
 type TraceLog struct {
-	mu    sync.Mutex
-	spans []Span
-	next  int
-	n     int   // live spans, ≤ cap
-	total int64 // spans ever recorded
+	mu      sync.Mutex
+	spans   []Span
+	next    int
+	n       int   // live spans, ≤ cap
+	total   int64 // spans ever recorded
+	evicted int64 // spans overwritten before ever being read
 }
 
 // NewTraceLog returns a ring holding up to capacity spans
@@ -126,6 +127,9 @@ func NewTraceLog(capacity int) *TraceLog {
 // Allocation-free.
 func (l *TraceLog) Record(s Span) {
 	l.mu.Lock()
+	if l.n == len(l.spans) {
+		l.evicted++
+	}
 	l.spans[l.next] = s
 	l.next = (l.next + 1) % len(l.spans)
 	if l.n < len(l.spans) {
@@ -133,6 +137,15 @@ func (l *TraceLog) Record(s Span) {
 	}
 	l.total++
 	l.mu.Unlock()
+}
+
+// Evicted returns the number of spans the ring has overwritten. A
+// non-zero value means timelines reconstructed from Spans may be
+// missing their oldest phases.
+func (l *TraceLog) Evicted() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.evicted
 }
 
 // Total returns the number of spans ever recorded (including

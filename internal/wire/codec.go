@@ -154,7 +154,8 @@ func appendNodeLoad(b []byte, l *NodeLoad) []byte {
 	b = appendVarint(b, l.RateMilli)
 	b = appendVarint(b, l.Capacity)
 	b = appendVarint(b, l.CapBytes)
-	return appendUvarint(b, l.Seq)
+	b = appendUvarint(b, l.Seq)
+	return appendUvarint(b, uint64(l.Health))
 }
 
 // loadSize estimates the encoded size of a load sample.
@@ -162,7 +163,7 @@ func loadSize(l *NodeLoad) int {
 	if l == nil {
 		return 1
 	}
-	return 58 + len(l.Node)
+	return 59 + len(l.Node)
 }
 
 func appendOIDs(b []byte, ids []core.OID) []byte {
@@ -618,6 +619,7 @@ func (r *reader) nodeLoad(l *NodeLoad) {
 	l.Capacity = r.varint()
 	l.CapBytes = r.varint()
 	l.Seq = r.uvarint()
+	l.Health = uint8(r.uvarint())
 }
 
 // optNodeLoad decodes a presence-flagged load sample (nil when absent).

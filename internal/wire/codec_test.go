@@ -24,7 +24,7 @@ func fastBodies() []interface{} {
 		},
 		Edges: []EdgeRec{{Other: oid2, Alliance: 3}, {Other: oid1, Alliance: 0}},
 	}
-	load := NodeLoad{Node: "n9", Objects: 120, Bytes: 1 << 20, RateMilli: 2500, Capacity: 256, CapBytes: 1 << 30, Seq: 31}
+	load := NodeLoad{Node: "n9", Objects: 120, Bytes: 1 << 20, RateMilli: 2500, Capacity: 256, CapBytes: 1 << 30, Seq: 31, Health: 2}
 	return []interface{}{
 		&InvokeReq{Obj: oid1, Method: "Add", Arg: []byte{1, 2, 3}, From: "n7"},
 		&InvokeResp{Result: []byte{4, 5}, At: "n2"},

@@ -496,6 +496,11 @@ type NodeLoad struct {
 	// Seq orders samples from the same node: receivers keep the
 	// highest Seq and ignore stragglers.
 	Seq uint64
+	// Health is the node's gossiped health state (0 healthy,
+	// 1 degraded, 2 critical; see the health package). Peers feed it
+	// into their placement views so scoring can discount degraded
+	// nodes and veto critical ones without a dedicated RPC.
+	Health uint8
 }
 
 // HomeUpdate tells an origin node where its objects now live. It is

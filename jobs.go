@@ -195,6 +195,7 @@ func (n *Node) handleInventory(req *wire.InventoryReq) (*wire.InventoryResp, err
 	resp.Load = wire.NodeLoad{
 		Node: n.id, Objects: s.Objects, Bytes: s.Bytes,
 		Capacity: s.Capacity, CapBytes: s.CapBytes, Seq: n.loadSeq.Add(1),
+		Health: uint8(n.healthState.Load()),
 	}
 	return resp, nil
 }

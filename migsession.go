@@ -327,6 +327,9 @@ func (n *Node) dropSession(key sessionKey, outcome string) bool {
 	if !ok {
 		return false
 	}
+	if outcome == "abort" {
+		n.stats.streamAborts.Add(1)
+	}
 	n.emit(Event{Kind: EventMigrateStream, Target: key.from, Outcome: outcome, Bytes: s.bytes})
 	return true
 }

@@ -148,13 +148,23 @@ type Node struct {
 
 	aff       *affinity.Tracker
 	homeBatch *homeBatcher
-	// apMu guards the optimiser daemons (autopilot and placement) and
-	// the affinity tracker's user count — both daemons feed on the
-	// tracker, so it stays enabled while either runs.
+	// apMu guards the optimiser daemons (autopilot, placement, health)
+	// and the affinity tracker's user count — the first two daemons
+	// feed on the tracker, so it stays enabled while either runs.
 	apMu     sync.Mutex
 	ap       *autopilot
 	pl       *placementDaemon
+	hl       *healthDaemon
 	affUsers int
+
+	// healthState is the health engine's current verdict (HealthState
+	// numeric), stamped into every outgoing load sample so peers learn
+	// it over the existing gossip. Stays 0 while health is disabled.
+	healthState atomic.Uint32
+	// lastDump holds the most recent automatic flight-recorder dump
+	// (serialised JSON), frozen at the moment of an upward health
+	// transition.
+	lastDump atomic.Pointer[[]byte]
 
 	capacity int64
 	capBytes int64
@@ -390,6 +400,7 @@ func (n *Node) Close() error {
 	}
 	n.DisableAutopilot()
 	n.DisablePlacement()
+	n.DisableHealth()
 	n.homeBatch.close()
 	n.store.Close()
 	err := n.server.Close()

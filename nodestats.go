@@ -57,6 +57,11 @@ type Stats struct {
 	StreamBytesIn         int64
 	StreamSessionsOpened  int64
 	StreamSessionsExpired int64
+	// StreamAborts counts staging sessions this node dropped with an
+	// explicit abort (coordinator rollback or admission failure) — a
+	// health-engine signal: a rising abort rate inside a window marks
+	// migrations going wrong faster than the TTL janitor would show.
+	StreamAborts int64
 	// PauseLeasesExpired counts pause leases that fired: migrations
 	// whose coordinator neither committed nor aborted within the lease,
 	// auto-resumed by this host.
@@ -115,6 +120,23 @@ type Stats struct {
 	// sink (Config.ObserverBuffer) because the observer could not keep
 	// up. Always 0 with synchronous delivery.
 	EventsDropped int64
+	// TraceSpansEvicted counts migration trace spans the bounded
+	// TraceLog ring overwrote — non-zero means the oldest timelines in
+	// /debug/migrations are reconstructed from a truncated record.
+	TraceSpansEvicted int64
+	// HealthState is the node's current health classification (0
+	// healthy, 1 degraded, 2 critical; see HealthConfig). Always 0
+	// while the health engine is disabled. HealthTicks counts
+	// evaluation ticks; HealthDegraded / HealthCritical count
+	// transitions *into* each state; HealthVetoes counts inbound
+	// migrations refused because this node was critical; HealthDumps
+	// counts flight-recorder dumps (automatic and manual).
+	HealthState    int64
+	HealthTicks    int64
+	HealthDegraded int64
+	HealthCritical int64
+	HealthVetoes   int64
+	HealthDumps    int64
 	// Location-directory footprint (see store.LocStats): explicit home
 	// entries, forwarding pointers, cached hints, closure records and
 	// their member references, plus the forwarding stubs retired so far.
@@ -152,6 +174,7 @@ type nodeStats struct {
 	streamBytesIn         atomic.Int64
 	streamSessionsOpened  atomic.Int64
 	streamSessionsExpired atomic.Int64
+	streamAborts          atomic.Int64
 	pauseLeasesExpired    atomic.Int64
 
 	placementScans        atomic.Int64
@@ -172,6 +195,12 @@ type nodeStats struct {
 	jobMoves        atomic.Int64
 	jobObjectsMoved atomic.Int64
 	jobRetargets    atomic.Int64
+
+	healthTicks    atomic.Int64
+	healthDegraded atomic.Int64
+	healthCritical atomic.Int64
+	healthVetoes   atomic.Int64
+	healthDumps    atomic.Int64
 
 	hintHits         atomic.Int64
 	hintMisses       atomic.Int64
@@ -259,6 +288,7 @@ func (n *Node) Stats() Stats {
 		StreamBytesIn:         n.stats.streamBytesIn.Load(),
 		StreamSessionsOpened:  n.stats.streamSessionsOpened.Load(),
 		StreamSessionsExpired: n.stats.streamSessionsExpired.Load(),
+		StreamAborts:          n.stats.streamAborts.Load(),
 		PauseLeasesExpired:    n.stats.pauseLeasesExpired.Load(),
 
 		PlacementScans:        n.stats.placementScans.Load(),
@@ -287,7 +317,15 @@ func (n *Node) Stats() Stats {
 		ChaseP99Hops:     n.stats.chasePercentile(0.99),
 		ChasesOverBudget: n.stats.chasesOverBudget.Load(),
 
-		EventsDropped: n.eventsDropped(),
+		EventsDropped:     n.eventsDropped(),
+		TraceSpansEvicted: n.tel.traces.Evicted(),
+
+		HealthState:    int64(n.healthState.Load()),
+		HealthTicks:    n.stats.healthTicks.Load(),
+		HealthDegraded: n.stats.healthDegraded.Load(),
+		HealthCritical: n.stats.healthCritical.Load(),
+		HealthVetoes:   n.stats.healthVetoes.Load(),
+		HealthDumps:    n.stats.healthDumps.Load(),
 
 		LocHome:         loc.Home,
 		LocForwards:     loc.Forwards,

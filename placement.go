@@ -98,6 +98,11 @@ type PlacementConfig struct {
 	// ShedPass is the shed scan period. Default 1s; negative disables
 	// the pass even when ShedRatio is set.
 	ShedPass time.Duration
+	// DegradedPenalty multiplies a degraded candidate's score in the
+	// engine's election (critical candidates are vetoed outright).
+	// Zero selects the default 0.25; see HealthConfig for how nodes
+	// become degraded.
+	DegradedPenalty float64
 	// DisableReservations reverts target-side admission to the
 	// unreserved check-then-act predicate (read hosted counts, compare,
 	// answer) instead of the reservation ledger's atomic
@@ -154,9 +159,10 @@ func (c PlacementConfig) withDefaults() PlacementConfig {
 // engineOptions maps the config onto the scoring core's options.
 func (c PlacementConfig) engineOptions() placement.Options {
 	return placement.Options{
-		Hysteresis:    c.Hysteresis,
-		OverloadRatio: c.OverloadRatio,
-		LoadDiscount:  c.LoadDiscount,
+		Hysteresis:      c.Hysteresis,
+		OverloadRatio:   c.OverloadRatio,
+		LoadDiscount:    c.LoadDiscount,
+		DegradedPenalty: c.DegradedPenalty,
 	}
 }
 
@@ -270,19 +276,21 @@ func (n *Node) LoadView() []NodeLoad {
 	out := make([]NodeLoad, len(snaps))
 	for i, s := range snaps {
 		out[i] = NodeLoad{Node: s.Node, Objects: s.Objects, Bytes: s.Bytes,
-			RateMilli: s.RateMilli, Capacity: s.Capacity, CapacityBytes: s.CapBytes}
+			RateMilli: s.RateMilli, Capacity: s.Capacity, CapacityBytes: s.CapBytes,
+			Health: HealthState(s.Health)}
 	}
 	return out
 }
 
 // NodeLoad is one node's load sample in LoadView's report.
 type NodeLoad struct {
-	Node          NodeID // the sampled node
-	Objects       int64  // live hosted objects
-	Bytes         int64  // approximate resident state bytes
-	RateMilli     int64  // smoothed invocations/second ×1000
-	Capacity      int64  // configured object capacity (0 = uncapped)
-	CapacityBytes int64  // configured byte capacity (0 = uncapped)
+	Node          NodeID      // the sampled node
+	Objects       int64       // live hosted objects
+	Bytes         int64       // approximate resident state bytes
+	RateMilli     int64       // smoothed invocations/second ×1000
+	Capacity      int64       // configured object capacity (0 = uncapped)
+	CapacityBytes int64       // configured byte capacity (0 = uncapped)
+	Health        HealthState // gossiped health state
 }
 
 // run is the daemon loop: heartbeat ticks re-sample and gossip load,
@@ -385,6 +393,7 @@ func (n *Node) refreshLoadSample(d *placementDaemon) wire.NodeLoad {
 		Capacity:  n.capacity,
 		CapBytes:  n.capBytes,
 		Seq:       n.loadSeq.Add(1),
+		Health:    uint8(n.healthState.Load()),
 	}
 	n.lastLoad.Store(&load)
 	d.view.Observe(placementSample(&load))
@@ -420,7 +429,8 @@ func (n *Node) observeLoad(load *wire.NodeLoad) {
 // placementSample converts the wire form into the engine's.
 func placementSample(l *wire.NodeLoad) placement.Sample {
 	return placement.Sample{Node: l.Node, Objects: l.Objects, Bytes: l.Bytes,
-		RateMilli: l.RateMilli, Capacity: l.Capacity, CapBytes: l.CapBytes, Seq: l.Seq}
+		RateMilli: l.RateMilli, Capacity: l.Capacity, CapBytes: l.CapBytes, Seq: l.Seq,
+		Health: l.Health}
 }
 
 // handleLoadGossip serves a heartbeat: fold the sender's sample in,
@@ -650,6 +660,31 @@ func (n *Node) admitAndReserve(objs []core.OID, bytes int64, from NodeID, token 
 			n.emit(Event{Kind: EventPlacement, Target: from, Outcome: "veto", Objects: refs})
 			return false, wire.Errorf(wire.CodeDenied,
 				"node %s is draining: migration of %d objects refused", n.id, incoming)
+		}
+	}
+	// A critical node refuses inbound migrations the same way a
+	// draining one does — its own health engine has judged it unfit to
+	// take more load, capacity headroom notwithstanding. This is the
+	// authoritative, target-side half of the health gate: a coordinator
+	// whose gossiped view lags (or predates) the transition is
+	// back-pressured here instead of trusted.
+	if HealthState(n.healthState.Load()) >= HealthCritical && len(objs) > 0 {
+		incoming := 0
+		for _, rec := range n.store.GetBatch(objs) {
+			if rec == nil || rec.IsGone() {
+				incoming++
+			}
+		}
+		if incoming > 0 {
+			n.stats.healthVetoes.Add(1)
+			n.stats.placementVetoes.Add(1)
+			refs := make([]Ref, len(objs))
+			for i, oid := range objs {
+				refs[i] = Ref{OID: oid}
+			}
+			n.emit(Event{Kind: EventPlacement, Target: from, Outcome: "veto", Objects: refs})
+			return false, wire.Errorf(wire.CodeDenied,
+				"node %s is critical: migration of %d objects refused", n.id, incoming)
 		}
 	}
 	d := n.placementDaemonRef()

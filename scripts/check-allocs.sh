@@ -4,8 +4,8 @@
 #
 # Runs BenchmarkRuntimeCodec (allocs/op), BenchmarkDirectoryScale
 # (bytes/obj, p99-hops), BenchmarkTelemetryRecord (allocs/op),
-# BenchmarkShedPlan (allocs/op) and BenchmarkJobPlan (allocs/op) and
-# fails if any reported value
+# BenchmarkShedPlan (allocs/op), BenchmarkJobPlan (allocs/op) and
+# BenchmarkHealthTick (allocs/op) and fails if any reported value
 # exceeds its ceiling in scripts/alloc-budget.txt. The fast-path codec budgets are exact
 # (their allocation counts are deterministic — the append variants
 # allocate only decode output) and the telemetry budgets are zero
@@ -61,11 +61,19 @@ if [ "$jobstatus" -ne 0 ]; then
   echo "alloc check FAILED (job-plan benchmark did not run)"
   exit 1
 fi
+healthout=$(go test -run '^$' -bench 'BenchmarkHealthTick' -benchmem -benchtime 200x ./internal/health 2>&1)
+healthstatus=$?
+echo "$healthout"
+if [ "$healthstatus" -ne 0 ]; then
+  echo "alloc check FAILED (health-tick benchmark did not run)"
+  exit 1
+fi
 out="$out
 $dirout
 $telout
 $shedout
-$jobout"
+$jobout
+$healthout"
 
 fail=0
 while read -r name budget unit; do

@@ -29,6 +29,11 @@ type Series struct {
 	// DrainAt schedules a drain job against node 0 at this simulated
 	// time for this series (see Config.DrainAt); 0 leaves it off.
 	DrainAt float64
+	// SickAt / SickFor make node 0 critical for the window
+	// [SickAt, SickAt+SickFor) in this series (see Config.SickAt);
+	// SickFor 0 leaves the health model off.
+	SickAt  float64
+	SickFor float64
 }
 
 // Metric selects which result column an experiment plots.
@@ -96,10 +101,11 @@ func Experiments() []Experiment {
 // plot (Section 3.4), the group-lock ablation that quantifies our
 // reading of the placement/attachment interaction, the
 // heterogeneous-capacity experiment behind the placement engine's
-// overload veto, and the shed and drain experiments behind the
-// runtime's proactive shedder and drain jobs.
+// overload veto, the shed and drain experiments behind the runtime's
+// proactive shedder and drain jobs, and the sick-node experiment
+// behind the health engine's critical-admission veto.
 func Extensions() []Experiment {
-	return []Experiment{Fig16Exclusive(), AblationGroupLock(), PlacementCapacity(), Shed(), Drain()}
+	return []Experiment{Fig16Exclusive(), AblationGroupLock(), PlacementCapacity(), Shed(), Drain(), Sick()}
 }
 
 // ExperimentByID looks an experiment up by its ID (e.g. "fig8"),
@@ -396,6 +402,36 @@ func Drain() Experiment {
 	}
 }
 
+// Sick is an extension modelling the health engine's critical-admission
+// veto: skewed traffic keeps trying to converge servers onto node 0,
+// but for the window [SickAt, SickAt+SickFor) the node reads critical
+// and refuses every inbound transfer — placement has to keep serving
+// around it, and readmission resumes when the node recovers. The
+// healthy baseline shows the undisturbed convergence; the sick series
+// shows the veto holding (HealthVetoes) and the cost of placing around
+// a refusing node. Occupancy lives in the cell results: HealthVetoes,
+// PeakSmallNode, FinalSmallNode.
+func Sick() Experiment {
+	return Experiment{
+		ID:     "sick",
+		Title:  "Extension: a critical node refuses admission until it recovers",
+		XLabel: "mean distance between two usages",
+		Metric: MetricCommTime,
+		Xs:     []float64{5, 10, 20, 40},
+		Series: []Series{
+			{Label: "Placement, healthy", Policy: core.PolicyPlacement},
+			{Label: "Placement + sick node (t=60..460)", Policy: core.PolicyPlacement,
+				SickAt: 60, SickFor: 400},
+		},
+		Base: Config{
+			Nodes: 4, Clients: 8, Servers1: 10, Servers2: 0,
+			MigrationTime: 6, MeanCalls: 8, MeanInterCall: 1,
+			HotClientShare: 0.5,
+		},
+		Apply: applyInterBlock,
+	}
+}
+
 // RunOpts controls an experiment run.
 type RunOpts struct {
 	// Seed is the master seed; every cell derives its own seed from
@@ -471,6 +507,8 @@ func RunExperiment(e Experiment, opts RunOpts) (Table, error) {
 				cfg.SmallNodeCapacity = s.SmallNodeCap
 				cfg.ShedRatio = s.ShedRatio
 				cfg.DrainAt = s.DrainAt
+				cfg.SickAt = s.SickAt
+				cfg.SickFor = s.SickFor
 				cfg.Seed = cellSeed(opts.Seed, e.ID, s.Label, x)
 				cfg.WarmupCalls = warm
 				cfg.BatchSize = batch

@@ -46,10 +46,10 @@ func TestExperimentCatalogue(t *testing.T) {
 func TestExtensionsCatalogue(t *testing.T) {
 	t.Parallel()
 	exts := Extensions()
-	if len(exts) != 5 {
-		t.Fatalf("got %d extensions, want 5", len(exts))
+	if len(exts) != 6 {
+		t.Fatalf("got %d extensions, want 6", len(exts))
 	}
-	for _, id := range []string{"fig16x", "ablation-grouplock", "placement-cap", "shed", "drain"} {
+	for _, id := range []string{"fig16x", "ablation-grouplock", "placement-cap", "shed", "drain", "sick"} {
 		e, ok := ExperimentByID(id)
 		if !ok {
 			t.Fatalf("extension %q not resolvable", id)

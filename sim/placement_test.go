@@ -310,3 +310,92 @@ func TestPlacementShedExperiment(t *testing.T) {
 		}
 	}
 }
+
+// TestPlacementHealthVetoWindow: during the sick window every inbound
+// transfer to node 0 is refused (HealthVetoes), so its resident count
+// cannot grow; once the window closes, admission reopens and skewed
+// traffic converges servers back onto the node.
+func TestPlacementHealthVetoWindow(t *testing.T) {
+	t.Parallel()
+	base := Config{
+		Nodes: 4, Clients: 8, Servers1: 10,
+		MigrationTime: 6, MeanCalls: 8, MeanInterCall: 1, MeanInterBlock: 10,
+		Policy:         core.PolicyPlacement,
+		HotClientShare: 0.5,
+		Seed:           7, WarmupCalls: 200, BatchSize: 200, MaxCalls: 8000,
+	}
+	// Round-robin seeding puts 2 of the 10 servers on node 0.
+	const initial = 2
+
+	// Healthy baseline: no veto ever fires, and the hot clients pull
+	// servers onto node 0 past its seeded count — the convergence the
+	// sick window must block.
+	healthy, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healthy.HealthVetoes != 0 {
+		t.Fatalf("healthy run reported %d health vetoes", healthy.HealthVetoes)
+	}
+	if healthy.PeakSmallNode <= initial {
+		t.Fatalf("skewed traffic never converged on node 0 (peak %d); the veto has nothing to prevent",
+			healthy.PeakSmallNode)
+	}
+
+	// Sick for the whole run: inbound admission never opens, so node 0
+	// can only lose residents — its peak stays at the seeded count.
+	sickAll := base
+	sickAll.SickAt, sickAll.SickFor = 0, 1e12
+	walled, err := Run(sickAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if walled.HealthVetoes == 0 {
+		t.Fatal("no inbound transfer was ever refused; the sick node held by luck, not by the veto")
+	}
+	if walled.PeakSmallNode != initial {
+		t.Fatalf("sick node's residency peaked at %d, want the seeded %d (inbound must be walled off)",
+			walled.PeakSmallNode, initial)
+	}
+
+	// A bounded window: the veto fires while the window is open, and
+	// after recovery the reopened admission lets traffic converge
+	// servers back past the seeded count.
+	windowed := base
+	windowed.SickAt, windowed.SickFor = 40, 200
+	recovered, err := Run(windowed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered.HealthVetoes == 0 {
+		t.Fatal("windowed sickness never refused a transfer")
+	}
+	if recovered.PeakSmallNode <= initial {
+		t.Fatalf("node 0 never readmitted after recovery (peak %d)", recovered.PeakSmallNode)
+	}
+}
+
+// TestPlacementSickExperiment smoke-runs the sick-node extension end
+// to end (quick mode, truncated sweep) and checks the admission story
+// of every cell.
+func TestPlacementSickExperiment(t *testing.T) {
+	t.Parallel()
+	e := Sick()
+	e.Xs = []float64{5, 20}
+	tab, err := RunExperiment(e, RunOpts{Seed: 23, Quick: true, MaxCalls: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tab.Cells {
+		healthy, sick := tab.Cells[i][0], tab.Cells[i][1]
+		if healthy.HealthVetoes != 0 {
+			t.Errorf("x=%v: healthy cell reported %d health vetoes", e.Xs[i], healthy.HealthVetoes)
+		}
+		if sick.HealthVetoes == 0 {
+			t.Errorf("x=%v: sick cell never refused a transfer", e.Xs[i])
+		}
+		if sick.Calls == 0 {
+			t.Errorf("x=%v: sick cell measured no calls", e.Xs[i])
+		}
+	}
+}

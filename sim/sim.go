@@ -119,6 +119,15 @@ type Config struct {
 	// out of service for the rest of the run. Requires Nodes >= 2;
 	// 0 disables.
 	DrainAt float64
+	// SickAt / SickFor model a sick node: during the simulated-time
+	// window [SickAt, SickAt+SickFor) node 0's health engine reports
+	// it critical, and every inbound transfer is refused — the
+	// simulator's twin of the live runtime's critical-admission veto.
+	// Unlike a drain the node keeps its residents and keeps serving;
+	// only admission is gated, and it reopens when the window ends.
+	// SickFor 0 disables; when armed, requires Nodes >= 2.
+	SickAt  float64
+	SickFor float64
 	// GossipHeartbeat models the live runtime's load-gossip cadence:
 	// every node re-broadcasts its load sample once per this many time
 	// units (staggered across nodes). The veto itself stays
@@ -222,6 +231,12 @@ func (c Config) Validate() error {
 		return errors.New("sim: DrainAt must be >= 0")
 	case c.DrainAt > 0 && c.Nodes < 2:
 		return errors.New("sim: DrainAt needs Nodes >= 2 (somewhere to drain to)")
+	case c.SickAt < 0:
+		return errors.New("sim: SickAt must be >= 0")
+	case c.SickFor < 0:
+		return errors.New("sim: SickFor must be >= 0")
+	case c.SickFor > 0 && c.Nodes < 2:
+		return errors.New("sim: SickFor needs Nodes >= 2 (somewhere else to place)")
 	default:
 		return nil
 	}
@@ -286,6 +301,9 @@ type Result struct {
 	DrainObjectsMoved int64
 	DrainDoneTime     float64
 	DrainVetoes       int64
+	// HealthVetoes counts the inbound transfers refused because node 0
+	// was inside its sick window (SickAt/SickFor).
+	HealthVetoes int64
 	// GossipAgeMeanAtVeto / GossipAgeMaxAtVeto report, over the fired
 	// vetoes, the mean and worst age (in simulated time units) of the
 	// small node's last load broadcast at decision time — the staleness

@@ -449,12 +449,24 @@ func (w *world) drainOne(p *des.Proc) bool {
 	return true
 }
 
+// sickNow reports whether node 0 is inside its configured sick window
+// — the interval during which its modelled health engine reads
+// critical and refuses all inbound admission.
+func (w *world) sickNow() bool {
+	if w.cfg.SickFor <= 0 {
+		return false
+	}
+	now := w.k.Now()
+	return now >= w.cfg.SickAt && now < w.cfg.SickAt+w.cfg.SickFor
+}
+
 // vetoTransfer is the simulator's admission veto: it reports whether
 // node 0 refuses the given members — because the node is draining
 // (every inbound transfer is refused outright, the twin of the live
-// runtime's draining-admission refusal) or because the transfer would
-// push the capped small node past its capacity, counting only members
-// that would actually arrive.
+// runtime's draining-admission refusal), because it is inside its sick
+// window (the twin of the health engine's critical-admission veto), or
+// because the transfer would push the capped small node past its
+// capacity, counting only members that would actually arrive.
 func (w *world) vetoTransfer(members []*object, target int) bool {
 	if target != 0 {
 		return false
@@ -470,6 +482,10 @@ func (w *world) vetoTransfer(members []*object, target int) bool {
 	}
 	if w.draining {
 		w.res.DrainVetoes++
+		return true
+	}
+	if w.sickNow() {
+		w.res.HealthVetoes++
 		return true
 	}
 	if w.cfg.SmallNodeCapacity <= 0 {

@@ -29,6 +29,15 @@ package objmig
 //	                   starts a drain or rebalance (action=drain|
 //	                   rebalance) or cancels one (action=cancel&id=N).
 //	                   objmig-admin is the CLI front end.
+//	/debug/cluster     the cluster as this node sees it: one line per
+//	                   peer with gossiped health state, utilisation and
+//	                   view staleness, aggregated from the placement
+//	                   view — no extra collection RPC. objmig-admin top
+//	                   wraps it.
+//	/debug/flightrec   the black-box flight recorder: POST freezes the
+//	                   ring and returns the dump as JSON; GET returns
+//	                   the last automatic dump (the one frozen by a
+//	                   health transition), 404 if none fired yet.
 
 import (
 	"context"
@@ -40,9 +49,11 @@ import (
 	"reflect"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"objmig/internal/framebuf"
+	"objmig/internal/health"
 	"objmig/internal/telemetry"
 )
 
@@ -67,6 +78,18 @@ type nodeTelemetry struct {
 	placementScores *telemetry.Counter // engine scoring runs
 	viewAgeMax      *telemetry.Gauge   // worst fresh peer-sample age, µs
 	reservedBytes   *telemetry.Gauge   // bytes claimed in the admission ledger
+
+	// nodeHealth mirrors the health engine's verdict (0 healthy,
+	// 1 degraded, 2 critical) as a scrapeable gauge. Stays 0 while the
+	// engine is disabled.
+	nodeHealth *telemetry.Gauge
+
+	// flightRec is the black-box flight recorder, non-nil only while
+	// the health engine runs with a recorder. Events, traced migration
+	// spans and health ticks are mirrored into it allocation-free; the
+	// ring is frozen and serialised on a health transition or an
+	// explicit dump request.
+	flightRec atomic.Pointer[health.Recorder]
 }
 
 func newNodeTelemetry() *nodeTelemetry {
@@ -81,6 +104,7 @@ func newNodeTelemetry() *nodeTelemetry {
 		placementScores: reg.Counter("objmig_placement_scores_total"),
 		viewAgeMax:      reg.Gauge("objmig_placement_view_age_max_us"),
 		reservedBytes:   reg.Gauge("objmig_placement_reserved_bytes"),
+		nodeHealth:      reg.Gauge("objmig_node_health"),
 	}
 	// The generated per-phase names, for anyone grepping a scrape:
 	// objmig_migration_phase_pause_us, objmig_migration_phase_snapshot_us,
@@ -109,6 +133,13 @@ func (t *nodeTelemetry) span(trace uint64, phase telemetry.Phase, start time.Tim
 		Start: start.UnixNano(), End: end.UnixNano(),
 		Bytes: bytes, Objects: int32(objects),
 	})
+	if r := t.flightRec.Load(); r != nil {
+		r.Record(health.Entry{
+			At: end.UnixNano(), Kind: health.EntrySpan,
+			Label: phase.String(), Trace: trace,
+			Values: [4]int64{start.UnixNano(), end.Sub(start).Microseconds(), bytes, int64(objects)},
+		})
+	}
 }
 
 // nextTrace mints a cluster-unique migration TraceID: the high 32 bits
@@ -143,6 +174,8 @@ func (n *Node) MetricsHandler() http.Handler {
 	mux.HandleFunc("/debug/vars", n.serveVars)
 	mux.HandleFunc("/debug/migrations", n.serveMigrations)
 	mux.HandleFunc("/debug/jobs", n.serveJobs)
+	mux.HandleFunc("/debug/cluster", n.serveCluster)
+	mux.HandleFunc("/debug/flightrec", n.serveFlightrec)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -179,6 +212,17 @@ func (n *Node) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "%s{node=%q,quantile=\"0.99\"} %d\n", h.Name, node, h.Snap.Quantile(0.99))
 		fmt.Fprintf(w, "%s_sum{node=%q} %d\n", h.Name, node, h.Snap.Sum)
 		fmt.Fprintf(w, "%s_count{node=%q} %d\n", h.Name, node, h.Snap.Total)
+		// The same distribution as a real Prometheus histogram:
+		// cumulative buckets under <name>_bucket, so rate() and
+		// histogram_quantile() work against the scrape. The summary
+		// lines above stay for anyone already grepping them.
+		fmt.Fprintf(w, "# TYPE %s_bucket histogram\n", h.Name)
+		var cum int64
+		for b, c := range h.Snap.Counts {
+			cum += c
+			fmt.Fprintf(w, "%s_bucket{node=%q,le=\"%d\"} %d\n", h.Name, node, telemetry.BucketUpper(b), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{node=%q,le=\"+Inf\"} %d\n", h.Name, node, h.Snap.Total)
 	}
 
 	hits, misses := framebuf.Stats()
@@ -299,8 +343,12 @@ func (n *Node) serveVars(w http.ResponseWriter, _ *http.Request) {
 func (n *Node) serveMigrations(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	tls := n.Timelines()
-	fmt.Fprintf(w, "node %s: %d traced migrations in window (%d spans recorded total)\n\n",
+	fmt.Fprintf(w, "node %s: %d traced migrations in window (%d spans recorded total)\n",
 		n.id, len(tls), n.tel.traces.Total())
+	if ev := n.tel.traces.Evicted(); ev > 0 {
+		fmt.Fprintf(w, "WARNING: ring evicted %d spans — the oldest timelines below are truncated\n", ev)
+	}
+	fmt.Fprintln(w)
 	for _, tl := range tls {
 		var bytes int64
 		for _, sp := range tl.Spans {

@@ -162,13 +162,21 @@ func TestMigrationTraceCorrelation(t *testing.T) {
 
 // TestObserverBufferBackpressure: with a bounded async sink, a stalled
 // observer never blocks the hot path — surplus events are shed and
-// counted, and Close still drains cleanly.
+// counted, Close still drains cleanly, and the first shed surfaces as
+// one synchronous, rate-limited EventObserverOverflow so operators
+// learn about the loss without polling Stats. (The overflow event is
+// the only synchronous delivery; observers must handle it quickly.)
 func TestObserverBufferBackpressure(t *testing.T) {
 	t.Parallel()
 	ctx := ctxShort(t)
 	release := make(chan struct{})
-	var delivered atomic.Int64
-	slow := func(Event) {
+	var delivered, overflows, overflowBytes atomic.Int64
+	slow := func(e Event) {
+		if e.Kind == EventObserverOverflow {
+			overflows.Add(1)
+			overflowBytes.Store(e.Bytes)
+			return
+		}
 		<-release
 		delivered.Add(1)
 	}
@@ -187,6 +195,14 @@ func TestObserverBufferBackpressure(t *testing.T) {
 	dropped := n.Stats().EventsDropped
 	if dropped == 0 {
 		t.Fatal("stalled observer shed no events")
+	}
+	// Exactly one overflow notification for the whole burst (the rate
+	// limit is a minute), carrying a positive cumulative drop count.
+	if got := overflows.Load(); got != 1 {
+		t.Fatalf("overflow notifications = %d, want exactly 1", got)
+	}
+	if overflowBytes.Load() < 1 {
+		t.Fatalf("overflow event carried drop count %d, want >= 1", overflowBytes.Load())
 	}
 
 	// Unstall and close: the queue drains in order, nothing deadlocks.
